@@ -1,0 +1,212 @@
+package dcsledger
+
+// Benchmarks, one family per experiment in DESIGN.md's index, plus the
+// micro-benchmarks for the consensus-critical primitives. The experiment
+// benchmarks execute the corresponding EXPERIMENTS.md runner at a small
+// scale per iteration; run `go run ./cmd/dcsbench -e all` for the
+// full-scale tables.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"dcsledger/internal/bench"
+	"dcsledger/internal/consensus/pow"
+	"dcsledger/internal/cryptoutil"
+	"dcsledger/internal/iavl"
+	"dcsledger/internal/merkle"
+	"dcsledger/internal/mpt"
+	"dcsledger/internal/state"
+	"dcsledger/internal/types"
+	"dcsledger/internal/vm"
+)
+
+// --- micro-benchmarks: the primitives every table rests on ---
+
+func BenchmarkSHA256Header(b *testing.B) {
+	hdr := types.BlockHeader{Height: 1, Time: 2, Difficulty: 3}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		hdr.Nonce = uint64(i)
+		_ = hdr.Hash()
+	}
+}
+
+func BenchmarkTxSign(b *testing.B) {
+	k := cryptoutil.KeyFromSeed([]byte("bench"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tx := types.NewTransfer(k.Address(), cryptoutil.ZeroAddress, 1, 1, uint64(i))
+		if err := tx.Sign(k); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTxVerify(b *testing.B) {
+	k := cryptoutil.KeyFromSeed([]byte("bench"))
+	tx := types.NewTransfer(k.Address(), cryptoutil.ZeroAddress, 1, 1, 0)
+	if err := tx.Sign(k); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := tx.Verify(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMerkleRoot1k(b *testing.B) {
+	leaves := make([]cryptoutil.Hash, 1024)
+	for i := range leaves {
+		leaves[i] = cryptoutil.HashUint64("bench", uint64(i))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = merkle.Root(leaves)
+	}
+}
+
+func BenchmarkMPTInsert(b *testing.B) {
+	b.ReportAllocs()
+	tr := mpt.New()
+	for i := 0; i < b.N; i++ {
+		tr = tr.Set([]byte(fmt.Sprintf("key-%d", i)), []byte("value"))
+	}
+}
+
+func BenchmarkIAVLInsert(b *testing.B) {
+	b.ReportAllocs()
+	tr := iavl.New()
+	for i := 0; i < b.N; i++ {
+		tr = tr.Set([]byte(fmt.Sprintf("key-%d", i)), []byte("value"))
+	}
+}
+
+func BenchmarkPoWSolve(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		hdr := types.BlockHeader{Height: uint64(i), Difficulty: 1024}
+		if _, err := pow.Solve(&hdr, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVMExecute(b *testing.B) {
+	code := vm.MustAssemble(`
+		PUSH 0
+		SLOAD
+		PUSH 1
+		ADD
+		PUSH 0
+		SWAP
+		SSTORE
+		STOP
+	`)
+	st := state.New()
+	env := &vm.Env{State: st, GasLimit: 1 << 20}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := vm.Execute(code, env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStateCommit(b *testing.B) {
+	st := state.New()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		var a cryptoutil.Address
+		rng.Read(a[:])
+		st.Credit(a, uint64(i))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = st.Commit()
+	}
+}
+
+func BenchmarkBlockEncodeDecode(b *testing.B) {
+	k := cryptoutil.KeyFromSeed([]byte("bench"))
+	txs := make([]*types.Transaction, 64)
+	for i := range txs {
+		txs[i] = types.NewTransfer(k.Address(), cryptoutil.ZeroAddress, 1, 1, uint64(i))
+		if err := txs[i].Sign(k); err != nil {
+			b.Fatal(err)
+		}
+	}
+	blk := types.NewBlock(cryptoutil.ZeroHash, 1, 0, k.Address(), txs)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := types.DecodeBlock(blk.Encode()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- experiment benchmarks: one per DESIGN.md index entry ---
+
+// benchScale keeps per-iteration experiment runs small; the dcsbench
+// CLI runs them at full scale.
+const benchScale = 0.05
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	runner := bench.Experiments()[id]
+	if runner == nil {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		table, err := runner(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(table.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkE1Gossip(b *testing.B)     { benchExperiment(b, "E1") }
+func BenchmarkE2PoW(b *testing.B)        { benchExperiment(b, "E2") }
+func BenchmarkE3ForkChoice(b *testing.B) { benchExperiment(b, "E3") }
+func BenchmarkE4Ordering(b *testing.B)   { benchExperiment(b, "E4") }
+func BenchmarkE5DCS(b *testing.B)        { benchExperiment(b, "E5") }
+func BenchmarkE6Proposers(b *testing.B)  { benchExperiment(b, "E6") }
+func BenchmarkE7BitcoinNG(b *testing.B)  { benchExperiment(b, "E7") }
+func BenchmarkE8Sharding(b *testing.B)   { benchExperiment(b, "E8") }
+func BenchmarkE9Lightning(b *testing.B)  { benchExperiment(b, "E9") }
+func BenchmarkE10Attack(b *testing.B)    { benchExperiment(b, "E10") }
+func BenchmarkE11SPV(b *testing.B)       { benchExperiment(b, "E11") }
+func BenchmarkE12OffChain(b *testing.B)  { benchExperiment(b, "E12") }
+func BenchmarkE13Bootstrap(b *testing.B) { benchExperiment(b, "E13") }
+func BenchmarkE14PBFT(b *testing.B)      { benchExperiment(b, "E14") }
+func BenchmarkE15State(b *testing.B)     { benchExperiment(b, "E15") }
+func BenchmarkE16Mixer(b *testing.B)     { benchExperiment(b, "E16") }
+func BenchmarkE17Gossip(b *testing.B)    { benchExperiment(b, "E17") }
+func BenchmarkE18Swap(b *testing.B)      { benchExperiment(b, "E18") }
+
+// BenchmarkClusterBlockFlow measures full end-to-end block production
+// and validation across a small simulated network per iteration.
+func BenchmarkClusterBlockFlow(b *testing.B) {
+	alice := NewWallet("alice")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cluster, err := NewPoWNetwork(4, map[Address]uint64{alice.Address(): 1000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cluster.Start()
+		cluster.Sim.RunFor(time.Minute)
+		cluster.Stop()
+		if cluster.Nodes[0].Chain().Height() == 0 {
+			b.Fatal("no blocks mined")
+		}
+	}
+}

@@ -1,0 +1,70 @@
+// Command dcsbench regenerates the paper-reproduction experiment tables
+// E1–E18 (see DESIGN.md's per-experiment index and EXPERIMENTS.md for
+// paper-claim vs measured).
+//
+// Usage:
+//
+//	dcsbench -list
+//	dcsbench -e E3
+//	dcsbench -e all -scale 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dcsledger/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dcsbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dcsbench", flag.ContinueOnError)
+	var (
+		experiment = fs.String("e", "all", "experiment id (E1..E18) or 'all'")
+		scale      = fs.Float64("scale", 1.0, "workload scale in (0,1]")
+		list       = fs.Bool("list", false, "list experiments and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, id := range bench.IDs() {
+			fmt.Println(id)
+		}
+		return nil
+	}
+	if *scale <= 0 || *scale > 1 {
+		return fmt.Errorf("scale %v out of (0,1]", *scale)
+	}
+	var ids []string
+	if strings.EqualFold(*experiment, "all") {
+		ids = bench.IDs()
+	} else {
+		ids = strings.Split(*experiment, ",")
+	}
+	registry := bench.Experiments()
+	for _, id := range ids {
+		id = strings.ToUpper(strings.TrimSpace(id))
+		runner, ok := registry[id]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (use -list)", id)
+		}
+		start := time.Now()
+		table, err := runner(*scale)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Println(table.String())
+		fmt.Printf("(%s completed in %s)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+func TestListAndSingleExperiment(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatalf("-list: %v", err)
+	}
+	// The cheapest experiment at tiny scale exercises the whole path.
+	if err := run([]string{"-e", "E11", "-scale", "0.01"}); err != nil {
+		t.Fatalf("run E11: %v", err)
+	}
+}
+
+func TestBadArguments(t *testing.T) {
+	if err := run([]string{"-e", "E99"}); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+	if err := run([]string{"-scale", "0"}); err == nil {
+		t.Fatal("zero scale must error")
+	}
+	if err := run([]string{"-scale", "2"}); err == nil {
+		t.Fatal("scale > 1 must error")
+	}
+}

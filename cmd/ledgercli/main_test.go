@@ -1,0 +1,36 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dcsledger/internal/wallet"
+)
+
+func TestAddrCommand(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"addr", "-seed", "alice"}, &out); err != nil {
+		t.Fatalf("addr: %v", err)
+	}
+	want := wallet.FromSeed("alice").Address().Hex()
+	if strings.TrimSpace(out.String()) != want {
+		t.Fatalf("addr = %q, want %q", out.String(), want)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Fatal("no command must error")
+	}
+	if err := run([]string{"frobnicate"}, &out); err == nil {
+		t.Fatal("unknown command must error")
+	}
+	if err := run([]string{"addr"}, &out); err == nil {
+		t.Fatal("addr without seed must error")
+	}
+	if err := run([]string{"send", "-seed", "a"}, &out); err == nil {
+		t.Fatal("send without -to must error")
+	}
+}

@@ -1,0 +1,251 @@
+// Command ledgerd runs a real (wall-clock, TCP) ledger peer: a PoW
+// miner with gossip over persistent TCP connections and an HTTP API for
+// clients (see cmd/ledgercli).
+//
+// A two-node local network:
+//
+//	ledgerd -id alpha -listen :7001 -http :8001 -peer beta=127.0.0.1:7002 \
+//	        -alloc <addrhex>=100000 -interval 5s
+//	ledgerd -id beta  -listen :7002 -http :8002 -peer alpha=127.0.0.1:7001 \
+//	        -alloc <addrhex>=100000 -interval 5s
+package main
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"dcsledger/internal/consensus/forkchoice"
+	"dcsledger/internal/consensus/pow"
+	"dcsledger/internal/contract"
+	"dcsledger/internal/cryptoutil"
+	"dcsledger/internal/incentive"
+	"dcsledger/internal/node"
+	"dcsledger/internal/p2p"
+	"dcsledger/internal/simclock"
+	"dcsledger/internal/types"
+)
+
+type peerList map[string]string
+
+func (p peerList) String() string { return fmt.Sprint(map[string]string(p)) }
+
+func (p peerList) Set(v string) error {
+	id, addr, ok := strings.Cut(v, "=")
+	if !ok {
+		return errors.New("peer must be id=host:port")
+	}
+	p[id] = addr
+	return nil
+}
+
+type allocList map[cryptoutil.Address]uint64
+
+func (a allocList) String() string { return fmt.Sprintf("%d accounts", len(a)) }
+
+func (a allocList) Set(v string) error {
+	addrHex, amountStr, ok := strings.Cut(v, "=")
+	if !ok {
+		return errors.New("alloc must be addrhex=amount")
+	}
+	addr, err := cryptoutil.AddressFromHex(addrHex)
+	if err != nil {
+		return err
+	}
+	amount, err := strconv.ParseUint(amountStr, 10, 64)
+	if err != nil {
+		return err
+	}
+	a[addr] = amount
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal("ledgerd: ", err)
+	}
+}
+
+func run() error {
+	var (
+		id       = flag.String("id", "node-0", "node identity")
+		listen   = flag.String("listen", ":7001", "p2p listen address")
+		httpAddr = flag.String("http", ":8001", "http api listen address")
+		mine     = flag.Bool("mine", true, "produce blocks")
+		interval = flag.Duration("interval", 10*time.Second, "target block interval")
+		network  = flag.String("network", "dcsledger-devnet", "network name (genesis tag)")
+		keySeed  = flag.String("keyseed", "", "deterministic key seed (default: derive from -id)")
+		peers    = peerList{}
+		alloc    = allocList{}
+	)
+	flag.Var(peers, "peer", "peer as id=host:port (repeatable)")
+	flag.Var(alloc, "alloc", "genesis allocation addrhex=amount (repeatable)")
+	flag.Parse()
+
+	seed := *keySeed
+	if seed == "" {
+		seed = "ledgerd/" + *id
+	}
+	key := cryptoutil.KeyFromSeed([]byte(seed))
+	log.Printf("node %s, address %s", *id, key.Address())
+
+	executor := contract.NewExecutor(contract.NewRegistry())
+	n, err := node.New(node.Config{
+		ID:  p2p.NodeID(*id),
+		Key: key,
+		Engine: pow.New(pow.Config{
+			TargetInterval:    *interval,
+			InitialDifficulty: 4096,
+			HashRate:          4096 / interval.Seconds(),
+		}, rand.New(rand.NewSource(time.Now().UnixNano()))),
+		ForkChoice: forkchoice.LongestChain{},
+		Genesis:    node.NewGenesis(*network),
+		Alloc:      alloc,
+		Executor:   executor,
+		Rewards:    incentive.Schedule{InitialReward: 50, HalvingInterval: 210_000},
+		Clock:      simclock.Wall{},
+		Mine:       *mine,
+	})
+	if err != nil {
+		return err
+	}
+
+	tr, err := p2p.NewTCPTransport(p2p.NodeID(*id), *listen, n.Mux().Dispatch)
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+	var neighbors []p2p.NodeID
+	for pid, addr := range peers {
+		tr.AddPeer(p2p.NodeID(pid), addr)
+		neighbors = append(neighbors, p2p.NodeID(pid))
+	}
+	g := p2p.NewGossiper(tr, neighbors, len(neighbors),
+		rand.New(rand.NewSource(time.Now().UnixNano()+2)))
+	n.Attach(tr, g)
+	n.Start()
+	defer n.Stop()
+	log.Printf("p2p on %s, %d peers; http on %s; mining=%v interval=%s",
+		tr.Addr(), len(neighbors), *httpAddr, *mine, *interval)
+
+	srv := &http.Server{Addr: *httpAddr, Handler: apiHandler(n, executor)}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("signal %v: shutting down", s)
+		return srv.Close()
+	case err := <-errCh:
+		return err
+	}
+}
+
+// apiHandler exposes the node over HTTP for ledgercli.
+func apiHandler(n *node.Node, executor *contract.Executor) http.Handler {
+	mux := http.NewServeMux()
+	writeJSON := func(w http.ResponseWriter, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(v)
+	}
+	fail := func(w http.ResponseWriter, code int, err error) {
+		http.Error(w, err.Error(), code)
+	}
+
+	mux.HandleFunc("GET /status", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{
+			"address": n.Address().Hex(),
+			"height":  n.Chain().Height(),
+			"head":    n.Chain().Head().Hex(),
+			"mempool": n.Pool().Len(),
+			"blocks":  n.Tree().Len(),
+			"metrics": n.Metrics(),
+		})
+	})
+	mux.HandleFunc("GET /balance", func(w http.ResponseWriter, r *http.Request) {
+		addr, err := cryptoutil.AddressFromHex(r.URL.Query().Get("addr"))
+		if err != nil {
+			fail(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, map[string]any{"addr": addr.Hex(), "balance": n.Balance(addr)})
+	})
+	mux.HandleFunc("GET /nonce", func(w http.ResponseWriter, r *http.Request) {
+		addr, err := cryptoutil.AddressFromHex(r.URL.Query().Get("addr"))
+		if err != nil {
+			fail(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, map[string]any{"addr": addr.Hex(), "nonce": n.State().Nonce(addr)})
+	})
+	mux.HandleFunc("GET /block", func(w http.ResponseWriter, r *http.Request) {
+		height, err := strconv.ParseUint(r.URL.Query().Get("height"), 10, 64)
+		if err != nil {
+			fail(w, http.StatusBadRequest, err)
+			return
+		}
+		h, ok := n.Chain().AtHeight(height)
+		if !ok {
+			fail(w, http.StatusNotFound, fmt.Errorf("no block at height %d", height))
+			return
+		}
+		b, _ := n.Tree().Get(h)
+		writeJSON(w, b)
+	})
+	mux.HandleFunc("POST /tx", func(w http.ResponseWriter, r *http.Request) {
+		raw, err := hexBody(r)
+		if err != nil {
+			fail(w, http.StatusBadRequest, err)
+			return
+		}
+		tx, err := types.DecodeTransaction(raw)
+		if err != nil {
+			fail(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := n.SubmitTx(tx); err != nil {
+			fail(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		writeJSON(w, map[string]any{"txId": tx.ID().Hex()})
+	})
+	mux.HandleFunc("GET /query", func(w http.ResponseWriter, r *http.Request) {
+		// Constant (free) native-contract query: /query?contract=&fn=&arg=...
+		addr, err := cryptoutil.AddressFromHex(r.URL.Query().Get("contract"))
+		if err != nil {
+			fail(w, http.StatusBadRequest, err)
+			return
+		}
+		out, err := executor.Query(n.State(), addr, cryptoutil.ZeroAddress,
+			r.URL.Query().Get("fn"), r.URL.Query()["arg"]...)
+		if err != nil {
+			fail(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		writeJSON(w, map[string]any{"result": string(out)})
+	})
+	return mux
+}
+
+func hexBody(r *http.Request) ([]byte, error) {
+	var body struct {
+		TxHex string `json:"txHex"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		return nil, err
+	}
+	return hex.DecodeString(body.TxHex)
+}

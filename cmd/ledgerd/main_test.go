@@ -1,0 +1,164 @@
+package main
+
+import (
+	"bytes"
+	"encoding/hex"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"dcsledger/internal/consensus/forkchoice"
+	"dcsledger/internal/consensus/pow"
+	"dcsledger/internal/contract"
+	"dcsledger/internal/cryptoutil"
+	"dcsledger/internal/incentive"
+	"dcsledger/internal/node"
+	"dcsledger/internal/simclock"
+	"dcsledger/internal/wallet"
+)
+
+func testServer(t *testing.T, alloc map[cryptoutil.Address]uint64) (*httptest.Server, *node.Node) {
+	t.Helper()
+	executor := contract.NewExecutor(contract.NewRegistry())
+	n, err := node.New(node.Config{
+		ID:  "api-test",
+		Key: cryptoutil.KeyFromSeed([]byte("api-test")),
+		Engine: pow.New(pow.Config{
+			TargetInterval:    time.Second,
+			InitialDifficulty: 64,
+			HashRate:          64,
+		}, rand.New(rand.NewSource(1))),
+		ForkChoice: forkchoice.LongestChain{},
+		Genesis:    node.NewGenesis("api-test"),
+		Alloc:      alloc,
+		Executor:   executor,
+		Rewards:    incentive.Schedule{InitialReward: 50},
+		Clock:      simclock.Wall{},
+	})
+	if err != nil {
+		t.Fatalf("node.New: %v", err)
+	}
+	srv := httptest.NewServer(apiHandler(n, executor))
+	t.Cleanup(srv.Close)
+	return srv, n
+}
+
+func getJSON(t *testing.T, url string, v any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if v != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestHTTPAPI(t *testing.T) {
+	alice := wallet.FromSeed("alice")
+	srv, n := testServer(t, map[cryptoutil.Address]uint64{alice.Address(): 1000})
+
+	// /status
+	var status struct {
+		Height  uint64 `json:"height"`
+		Mempool int    `json:"mempool"`
+	}
+	if code := getJSON(t, srv.URL+"/status", &status); code != http.StatusOK {
+		t.Fatalf("/status code %d", code)
+	}
+	if status.Height != 0 {
+		t.Fatalf("fresh chain height %d", status.Height)
+	}
+
+	// /balance
+	var bal struct {
+		Balance uint64 `json:"balance"`
+	}
+	if code := getJSON(t, srv.URL+"/balance?addr="+alice.Address().Hex(), &bal); code != http.StatusOK {
+		t.Fatal("balance failed")
+	}
+	if bal.Balance != 1000 {
+		t.Fatalf("balance = %d", bal.Balance)
+	}
+	if code := getJSON(t, srv.URL+"/balance?addr=zz", nil); code != http.StatusBadRequest {
+		t.Fatalf("bad addr code %d", code)
+	}
+
+	// /tx accepts a valid signed transfer into the mempool.
+	tx, err := alice.Transfer(wallet.FromSeed("bob").Address(), 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(map[string]string{"txHex": hex.EncodeToString(tx.Encode())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/tx", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/tx code %d", resp.StatusCode)
+	}
+	if n.Pool().Len() != 1 {
+		t.Fatalf("mempool = %d", n.Pool().Len())
+	}
+	// Garbage tx rejected.
+	resp2, err := http.Post(srv.URL+"/tx", "application/json", bytes.NewReader([]byte(`{"txHex":"zz"}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage tx code %d", resp2.StatusCode)
+	}
+
+	// /nonce and /block errors.
+	var nonce struct {
+		Nonce uint64 `json:"nonce"`
+	}
+	if code := getJSON(t, srv.URL+"/nonce?addr="+alice.Address().Hex(), &nonce); code != http.StatusOK {
+		t.Fatal("nonce failed")
+	}
+	if code := getJSON(t, srv.URL+"/block?height=99", nil); code != http.StatusNotFound {
+		t.Fatalf("missing block code %d", code)
+	}
+	if code := getJSON(t, srv.URL+"/block?height=0", nil); code != http.StatusOK {
+		t.Fatal("genesis block fetch failed")
+	}
+}
+
+func TestFlagParsers(t *testing.T) {
+	p := peerList{}
+	if err := p.Set("beta=127.0.0.1:7002"); err != nil {
+		t.Fatal(err)
+	}
+	if p["beta"] != "127.0.0.1:7002" {
+		t.Fatalf("peerList = %v", p)
+	}
+	if err := p.Set("malformed"); err == nil {
+		t.Fatal("malformed peer must error")
+	}
+
+	a := allocList{}
+	addr := wallet.FromSeed("x").Address()
+	if err := a.Set(addr.Hex() + "=500"); err != nil {
+		t.Fatal(err)
+	}
+	if a[addr] != 500 {
+		t.Fatalf("allocList = %v", a)
+	}
+	for _, bad := range []string{"nope", "zz=5", addr.Hex() + "=abc"} {
+		if err := a.Set(bad); err == nil {
+			t.Fatalf("alloc %q must error", bad)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+// Command usecase-advisor applies the paper's Section 5.1 use-case
+// template: feed it a filled JSON template and it recommends a platform
+// configuration with reasons.
+//
+// Usage:
+//
+//	usecase-advisor -example > uc.json   # print a sample template
+//	usecase-advisor uc.json              # advise from a file
+//	usecase-advisor -                    # advise from stdin
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dcsledger/internal/usecase"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "usecase-advisor:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("usecase-advisor", flag.ContinueOnError)
+	example := fs.Bool("example", false, "print a sample filled template and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *example {
+		return printExample(stdout)
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: usecase-advisor [-example] <template.json|->")
+	}
+	var (
+		data []byte
+		err  error
+	)
+	if fs.Arg(0) == "-" {
+		data, err = io.ReadAll(stdin)
+	} else {
+		data, err = os.ReadFile(fs.Arg(0))
+	}
+	if err != nil {
+		return err
+	}
+	var uc usecase.UseCase
+	if err := json.Unmarshal(data, &uc); err != nil {
+		return fmt.Errorf("parse template: %w", err)
+	}
+	rec, err := usecase.Advise(uc)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "use case: %s — %s\n\n", uc.Name, uc.Intent)
+	fmt.Fprintf(stdout, "recommended platform\n")
+	fmt.Fprintf(stdout, "  ledger type:     %s (generation %s)\n", rec.Ledger, rec.Generation)
+	fmt.Fprintf(stdout, "  consensus:       %s", rec.Consensus)
+	if rec.ForkChoice != "" {
+		fmt.Fprintf(stdout, " + %s", rec.ForkChoice)
+	}
+	fmt.Fprintln(stdout)
+	fmt.Fprintf(stdout, "  DCS balance:     %s\n", rec.Balance)
+	fmt.Fprintf(stdout, "  smart contracts: %v\n", rec.SmartContracts)
+	fmt.Fprintf(stdout, "  off-chain data:  %v\n", rec.OffChainData)
+	fmt.Fprintf(stdout, "  channels:        %v\n", rec.Channels)
+	fmt.Fprintf(stdout, "  payment chans:   %v\n", rec.PaymentChannel)
+	fmt.Fprintf(stdout, "  sharding:        %v\n", rec.Sharding)
+	fmt.Fprintln(stdout, "\nreasons:")
+	for _, r := range rec.Reasons {
+		fmt.Fprintf(stdout, "  - %s\n", r)
+	}
+	return nil
+}
+
+func printExample(w io.Writer) error {
+	uc := usecase.UseCase{
+		Name:   "land-registry",
+		Intent: "tamper-evident land titles shared by agencies and banks",
+		Actors: []usecase.Actor{
+			{Name: "registry office", Role: usecase.RoleSubmitter, Known: true, Trusted: false, Count: 30},
+			{Name: "banks", Role: usecase.RoleMaintainer, Known: true, Trusted: false, Count: 12},
+			{Name: "citizens", Role: usecase.RoleQuerier, Known: false, Trusted: false, Count: 5_000_000},
+			{Name: "ministry IT", Role: usecase.RoleContractAuthor, Known: true, Trusted: true, Count: 1},
+		},
+		DataObjects: []usecase.DataObject{
+			{Name: "title record", Confidential: true},
+			{Name: "survey documents", Bulky: true},
+			{Name: "transfer workflow", Executable: true},
+		},
+		Performance: usecase.Performance{
+			ExpectedTPS:      150,
+			MaxLatencySec:    5,
+			AnnualGrowthPct:  10,
+			RegulatoryBounds: true,
+		},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(uc)
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestExampleTemplateAdvises(t *testing.T) {
+	// The -example output must itself be a valid template.
+	var example bytes.Buffer
+	if err := run([]string{"-example"}, nil, &example); err != nil {
+		t.Fatalf("example: %v", err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-"}, &example, &out); err != nil {
+		t.Fatalf("advise: %v", err)
+	}
+	for _, want := range []string{"recommended platform", "consortium", "reasons:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestAdviseFromFile(t *testing.T) {
+	var example bytes.Buffer
+	if err := run([]string{"-example"}, nil, &example); err != nil {
+		t.Fatalf("example: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "uc.json")
+	if err := os.WriteFile(path, example.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{path}, nil, &out); err != nil {
+		t.Fatalf("advise from file: %v", err)
+	}
+	if !strings.Contains(out.String(), "land-registry") {
+		t.Fatalf("output missing use-case name:\n%s", out.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if err := run(nil, nil, &bytes.Buffer{}); err == nil {
+		t.Fatal("missing argument must error")
+	}
+	if err := run([]string{"-"}, strings.NewReader("not json"), &bytes.Buffer{}); err == nil {
+		t.Fatal("bad template must error")
+	}
+	if err := run([]string{"/does/not/exist.json"}, nil, &bytes.Buffer{}); err == nil {
+		t.Fatal("missing file must error")
+	}
+}

@@ -1,0 +1,117 @@
+package dcsledger
+
+import (
+	"math/rand"
+	"time"
+
+	"dcsledger/internal/bench"
+	"dcsledger/internal/consensus"
+	"dcsledger/internal/consensus/forkchoice"
+	"dcsledger/internal/consensus/pow"
+	"dcsledger/internal/contract"
+	"dcsledger/internal/cryptoutil"
+	"dcsledger/internal/incentive"
+	"dcsledger/internal/node"
+	"dcsledger/internal/state"
+	"dcsledger/internal/types"
+	"dcsledger/internal/usecase"
+	"dcsledger/internal/wallet"
+)
+
+// Core identifier and data types.
+type (
+	// Hash identifies blocks, transactions, and states.
+	Hash = cryptoutil.Hash
+	// Address identifies an account.
+	Address = cryptoutil.Address
+	// Transaction is an account-model ledger transaction.
+	Transaction = types.Transaction
+	// Block is a header plus its transactions.
+	Block = types.Block
+	// BlockHeader is the fixed-size block commitment.
+	BlockHeader = types.BlockHeader
+)
+
+// Node-level types.
+type (
+	// Node is one full ledger peer.
+	Node = node.Node
+	// Cluster is a simulated network of full peers on a virtual clock.
+	Cluster = node.Cluster
+	// ClusterConfig parameterizes a Cluster.
+	ClusterConfig = node.ClusterConfig
+	// Wallet holds keys and builds signed transactions.
+	Wallet = wallet.Wallet
+	// SPVClient is the headers-only light client.
+	SPVClient = wallet.SPVClient
+	// RewardSchedule is a halving block-subsidy curve.
+	RewardSchedule = incentive.Schedule
+)
+
+// Application-layer types (the paper's §5.1 methodology).
+type (
+	// UseCase is the filled use-case template.
+	UseCase = usecase.UseCase
+	// Recommendation is the advisor's platform recommendation.
+	Recommendation = usecase.Recommendation
+)
+
+// NewWallet derives a deterministic wallet from a seed string.
+func NewWallet(seed string) *Wallet { return wallet.FromSeed(seed) }
+
+// NewCluster builds a simulated peer network from an explicit
+// configuration; see NewPoWNetwork for the batteries-included variant.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) { return node.NewCluster(cfg) }
+
+// NewPoWNetwork builds the canonical public-ledger configuration: n
+// proof-of-work miners with a 10-second virtual block interval,
+// longest-chain selection, smart-contract support, and the given
+// genesis allocation.
+func NewPoWNetwork(n int, alloc map[Address]uint64) (*Cluster, error) {
+	return node.NewCluster(node.ClusterConfig{
+		N: n,
+		Engine: func(i int, key *cryptoutil.KeyPair) consensus.Engine {
+			return pow.New(pow.Config{
+				TargetInterval:    10 * time.Second,
+				InitialDifficulty: 256,
+				HashRate:          25.6,
+			}, rand.New(rand.NewSource(int64(i)+1)))
+		},
+		ForkChoice: func() consensus.ForkChoice { return forkchoice.LongestChain{} },
+		Executor:   func() state.Executor { return contract.NewExecutor(contract.NewRegistry()) },
+		Alloc:      alloc,
+		Rewards:    incentive.Schedule{InitialReward: 50},
+		Seed:       1,
+	})
+}
+
+// NewSPVClient creates a light client rooted at a genesis header.
+func NewSPVClient(genesis BlockHeader) *SPVClient { return wallet.NewSPVClient(genesis) }
+
+// ProveTx builds an SPV inclusion proof from a full node's chain.
+func ProveTx(n *Node, txID Hash) (wallet.SPVProof, error) {
+	return wallet.ProveTx(n.Chain(), txID)
+}
+
+// Advise maps a filled use-case template to a platform recommendation
+// (the §5.1 methodology).
+func Advise(uc UseCase) (Recommendation, error) { return usecase.Advise(uc) }
+
+// Experiments lists the reproduction experiment IDs (E1–E18).
+func Experiments() []string { return bench.IDs() }
+
+// RunExperiment executes one reproduction experiment at the given
+// workload scale in (0,1] and returns its result table.
+func RunExperiment(id string, scale float64) (*bench.Table, error) {
+	runner, ok := bench.Experiments()[id]
+	if !ok {
+		return nil, errUnknownExperiment(id)
+	}
+	return runner(scale)
+}
+
+type errUnknownExperiment string
+
+func (e errUnknownExperiment) Error() string {
+	return "dcsledger: unknown experiment " + string(e)
+}

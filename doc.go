@@ -1,0 +1,36 @@
+// Package dcsledger is the public face of a complete distributed-ledger
+// platform reproducing "Towards Dependable, Scalable, and Pervasive
+// Distributed Ledgers with Blockchains" (Zhang & Jacobsen, ICDCS 2018).
+//
+// The library implements the paper's full six-layer blockchain stack:
+//
+//   - Network: deterministic simulated P2P + real TCP transport, gossip
+//     broadcast over an unstructured overlay.
+//   - Data: blocks and transactions, Merkle trees with SPV proofs,
+//     Merkle Patricia tries, IAVL+ trees, on-/off-chain storage.
+//   - System: proof-based consensus (PoW, PoS, PoET) decomposed into
+//     block proposal and branch selection (longest-chain, GHOST);
+//     leader-based consensus (solo/Raft ordering, PBFT); Bitcoin-NG.
+//   - Contract: a gas-metered stack VM with an assembler plus native Go
+//     contracts (token, notary, escrow, crowdfunding).
+//   - Modeling: role-annotated workflow models compiled to contracts.
+//   - Application: the paper's §5.1 use-case template with a rule-based
+//     platform advisor.
+//
+// Scalability and privacy mechanisms from §5 are included: payment
+// channels, atomic cross-chain swaps, sharding, side-chains, CoinJoin
+// mixing, and Fabric-style channels.
+//
+// Start with Cluster (a simulated network of full peers on a virtual
+// clock) and Wallet:
+//
+//	alice := dcsledger.NewWallet("alice")
+//	cluster, _ := dcsledger.NewPoWNetwork(8, map[dcsledger.Address]uint64{
+//		alice.Address(): 10_000,
+//	})
+//	cluster.Start()
+//	cluster.Sim.RunFor(5 * time.Minute) // milliseconds of wall time
+//
+// The experiment harness behind EXPERIMENTS.md is exposed through
+// RunExperiment; `go run ./cmd/dcsbench -e all` regenerates every table.
+package dcsledger

@@ -1,0 +1,102 @@
+// Atomic swap: cross-blockchain interoperation (Section 4.6 of the
+// paper, Herlihy's HTLC construction). Alice trades her asset on chain
+// one for Bob's on chain two with no intermediary; the hash-time locks
+// make cheating pointless — we run the honest exchange and then an
+// aborted one.
+//
+//	go run ./examples/atomicswap
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"dcsledger/internal/cryptoutil"
+	"dcsledger/internal/state"
+	"dcsledger/internal/swap"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal("atomicswap: ", err)
+	}
+}
+
+func run() error {
+	alice := cryptoutil.KeyFromSeed([]byte("alice")).Address()
+	bob := cryptoutil.KeyFromSeed([]byte("bob")).Address()
+	t0 := time.Unix(0, 0)
+
+	fmt.Println("--- scenario 1: both cooperate ---")
+	chain1, chain2 := newChains(alice, bob)
+	secret := []byte("only alice knows this")
+	lock := swap.HashLock(secret)
+
+	h1, err := chain1.Lock(alice, bob, 100, lock, t0.Add(2*time.Hour))
+	if err != nil {
+		return err
+	}
+	fmt.Println("alice locked 100 on chain-1 (deadline T+2h)")
+	h2, err := chain2.Lock(bob, alice, 100, lock, t0.Add(time.Hour))
+	if err != nil {
+		return err
+	}
+	fmt.Println("bob locked 100 on chain-2 with the same hash (deadline T+1h)")
+
+	if err := chain2.Claim(h2.ID, secret, t0.Add(10*time.Minute)); err != nil {
+		return err
+	}
+	fmt.Println("alice claimed on chain-2, revealing the secret on-chain")
+	revealed, _ := chain2.Get(h2.ID)
+	if err := chain1.Claim(h1.ID, revealed.Preimage, t0.Add(20*time.Minute)); err != nil {
+		return err
+	}
+	fmt.Println("bob read the secret from chain-2 and claimed on chain-1")
+	report(chain1, chain2, alice, bob)
+
+	fmt.Println("\n--- scenario 2: alice walks away ---")
+	chain1, chain2 = newChains(alice, bob)
+	h1, err = chain1.Lock(alice, bob, 100, lock, t0.Add(2*time.Hour))
+	if err != nil {
+		return err
+	}
+	h2, err = chain2.Lock(bob, alice, 100, lock, t0.Add(time.Hour))
+	if err != nil {
+		return err
+	}
+	fmt.Println("both locked; alice never claims")
+	if err := chain2.Refund(h2.ID, t0.Add(61*time.Minute)); err != nil {
+		return err
+	}
+	if err := chain1.Refund(h1.ID, t0.Add(121*time.Minute)); err != nil {
+		return err
+	}
+	fmt.Println("after the deadlines both refunded — nobody lost anything")
+	report(chain1, chain2, alice, bob)
+	return nil
+}
+
+func newChains(alice, bob cryptoutil.Address) (*managerPair, *managerPair) {
+	st1, st2 := state.New(), state.New()
+	st1.Credit(alice, 100)
+	st2.Credit(bob, 100)
+	return &managerPair{Manager: swap.NewManager(st1, "one"), st: st1},
+		&managerPair{Manager: swap.NewManager(st2, "two"), st: st2}
+}
+
+type managerPair struct {
+	*swap.Manager
+	st *state.State
+}
+
+func report(c1, c2 *managerPair, alice, bob cryptoutil.Address) {
+	o := swap.Outcome{
+		AliceGotAsset2: c2.st.Balance(alice) == 100,
+		BobGotAsset1:   c1.st.Balance(bob) == 100,
+		AliceRefunded:  c1.st.Balance(alice) == 100,
+		BobRefunded:    c2.st.Balance(bob) == 100,
+	}
+	fmt.Printf("outcome: alice-got-asset2=%v bob-got-asset1=%v atomic=%v\n",
+		o.AliceGotAsset2, o.BobGotAsset1, o.Atomic())
+}

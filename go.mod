@@ -1,0 +1,3 @@
+module dcsledger
+
+go 1.22

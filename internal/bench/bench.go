@@ -1,0 +1,134 @@
+// Package bench is the experiment harness: one runner per experiment in
+// DESIGN.md's index (E1–E18), each regenerating a table that checks a
+// figure, section, or quantitative claim of the paper. cmd/dcsbench is
+// the CLI front end; EXPERIMENTS.md records paper-claim vs measured.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Table is one experiment's result.
+type Table struct {
+	ID         string
+	Title      string
+	PaperClaim string
+	Columns    []string
+	Rows       [][]string
+	Notes      []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Note appends a footnote.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	if t.PaperClaim != "" {
+		fmt.Fprintf(&b, "paper: %s\n", t.PaperClaim)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Runner executes one experiment. Scale in (0,1] shrinks the workload
+// proportionally (tests use small scales; dcsbench uses 1).
+type Runner func(scale float64) (*Table, error)
+
+// Experiments is the registry, keyed by experiment ID.
+func Experiments() map[string]Runner {
+	return map[string]Runner{
+		"E1":  E1Consistency,
+		"E2":  E2BitcoinCeiling,
+		"E3":  E3ForkChoice,
+		"E4":  E4Ordering,
+		"E5":  E5DCSScorecard,
+		"E6":  E6Proposers,
+		"E7":  E7BitcoinNG,
+		"E8":  E8Sharding,
+		"E9":  E9PaymentChannels,
+		"E10": E10DoubleSpend,
+		"E11": E11SPV,
+		"E12": E12OffChain,
+		"E13": E13Bootstrap,
+		"E14": E14PBFT,
+		"E15": E15StateStructures,
+		"E16": E16Mixer,
+		"E17": E17Gossip,
+		"E18": E18AtomicSwap,
+	}
+}
+
+// IDs returns the experiment identifiers in order.
+func IDs() []string {
+	m := Experiments()
+	out := make([]string, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		// Numeric order: E2 < E10.
+		return idNum(out[i]) < idNum(out[j])
+	})
+	return out
+}
+
+func idNum(id string) int {
+	n := 0
+	for _, r := range id[1:] {
+		n = n*10 + int(r-'0')
+	}
+	return n
+}
+
+// scaled multiplies a base amount by the scale, with a floor.
+func scaled(base int, scale float64, minimum int) int {
+	n := int(float64(base) * scale)
+	if n < minimum {
+		n = minimum
+	}
+	return n
+}

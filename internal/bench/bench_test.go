@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRunAtSmallScale executes every registered
+// experiment at reduced scale and sanity-checks the tables.
+func TestAllExperimentsRunAtSmallScale(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		runner := Experiments()[id]
+		t.Run(id, func(t *testing.T) {
+			table, err := runner(0.05)
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if table.ID != id {
+				t.Fatalf("table id %q, want %q", table.ID, id)
+			}
+			if len(table.Rows) == 0 || len(table.Columns) == 0 {
+				t.Fatalf("%s produced an empty table", id)
+			}
+			for _, row := range table.Rows {
+				if len(row) != len(table.Columns) {
+					t.Fatalf("%s row width %d, want %d", id, len(row), len(table.Columns))
+				}
+			}
+			out := table.String()
+			if !strings.Contains(out, table.Title) {
+				t.Fatalf("%s render missing title", id)
+			}
+		})
+	}
+}
+
+func TestIDsOrderedNumerically(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 18 {
+		t.Fatalf("got %d experiments, want 18", len(ids))
+	}
+	for i, id := range ids {
+		want := "E" + strconv.Itoa(i+1)
+		if id != want {
+			t.Fatalf("ids[%d] = %s, want %s", i, id, want)
+		}
+	}
+}
+
+func TestGini(t *testing.T) {
+	if g := gini([]float64{1, 1, 1, 1}); g > 0.01 {
+		t.Fatalf("equal distribution gini = %f", g)
+	}
+	if g := gini([]float64{0, 0, 0, 100}); g < 0.7 {
+		t.Fatalf("concentrated distribution gini = %f", g)
+	}
+	if g := gini(nil); g != 0 {
+		t.Fatalf("empty gini = %f", g)
+	}
+	if g := gini([]float64{0, 0}); g != 0 {
+		t.Fatalf("zero-total gini = %f", g)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	table := &Table{
+		ID:         "EX",
+		Title:      "demo",
+		PaperClaim: "claim",
+		Columns:    []string{"a", "long-column"},
+	}
+	table.AddRow("1", "2")
+	table.Note("footnote %d", 7)
+	out := table.String()
+	for _, want := range []string{"EX", "demo", "claim", "long-column", "footnote 7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestE10ShapeMatchesTheory locks the paper's core security claim: at
+// q>0.5 the attack always succeeds; below, deeper confirmations
+// suppress it.
+func TestE10ShapeMatchesTheory(t *testing.T) {
+	table, err := E10DoubleSpend(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parse := func(s string) float64 {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", s, err)
+		}
+		return v
+	}
+	for _, row := range table.Rows {
+		q := parse(row[0])
+		z1, z6 := parse(row[1]), parse(row[4])
+		if q > 0.5 {
+			if z6 < 0.99 {
+				t.Fatalf("q=%.2f z=6 success %.3f, want ≈1", q, z6)
+			}
+			continue
+		}
+		if z6 > z1 {
+			t.Fatalf("q=%.2f: success must not grow with depth (%.3f → %.3f)", q, z1, z6)
+		}
+	}
+}
+
+// TestE7ShapeMatchesPaper locks the Bitcoin-NG claim: much lower
+// latency at equal-or-better throughput.
+func TestE7ShapeMatchesPaper(t *testing.T) {
+	table, err := E7BitcoinNG(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 2 {
+		t.Fatalf("rows = %d", len(table.Rows))
+	}
+	// Rows: nakamoto then bitcoin-ng; columns: protocol, committed,
+	// tps, latency, ...
+	nak, ng := table.Rows[0], table.Rows[1]
+	if nak[0] != "nakamoto" || ng[0] != "bitcoin-ng" {
+		t.Fatalf("unexpected row order: %v / %v", nak, ng)
+	}
+}

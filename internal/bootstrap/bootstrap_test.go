@@ -1,0 +1,143 @@
+package bootstrap
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"dcsledger/internal/consensus"
+	"dcsledger/internal/consensus/forkchoice"
+	"dcsledger/internal/consensus/pow"
+	"dcsledger/internal/cryptoutil"
+	"dcsledger/internal/incentive"
+	"dcsledger/internal/node"
+	"dcsledger/internal/state"
+	"dcsledger/internal/wallet"
+)
+
+var testRewards = incentive.Schedule{InitialReward: 50}
+
+// sourceChain mines a chain with traffic and returns the cluster plus
+// its genesis allocation.
+func sourceChain(t *testing.T, minutes int) (*node.Cluster, map[cryptoutil.Address]uint64) {
+	t.Helper()
+	alice := wallet.FromSeed("alice")
+	bob := wallet.FromSeed("bob")
+	alloc := map[cryptoutil.Address]uint64{alice.Address(): 100_000}
+	c, err := node.NewCluster(node.ClusterConfig{
+		N: 1,
+		Engine: func(i int, key *cryptoutil.KeyPair) consensus.Engine {
+			return pow.New(pow.Config{
+				TargetInterval:    5 * time.Second,
+				InitialDifficulty: 64,
+				HashRate:          12.8,
+			}, rand.New(rand.NewSource(3)))
+		},
+		ForkChoice: func() consensus.ForkChoice { return forkchoice.LongestChain{} },
+		Alloc:      alloc,
+		Rewards:    testRewards,
+		Seed:       77,
+	})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	c.Start()
+	for i := 0; i < minutes; i++ {
+		tx, err := alice.Transfer(bob.Address(), 10, 1)
+		if err != nil {
+			t.Fatalf("Transfer: %v", err)
+		}
+		if err := c.Nodes[0].SubmitTx(tx); err != nil {
+			t.Fatalf("SubmitTx: %v", err)
+		}
+		c.Sim.RunFor(time.Minute)
+	}
+	c.Stop()
+	if c.Nodes[0].Chain().Height() < 5 {
+		t.Fatal("setup: chain too short")
+	}
+	return c, alloc
+}
+
+func genesisState(alloc map[cryptoutil.Address]uint64) *state.State {
+	st := state.New()
+	for a, v := range alloc {
+		st.Credit(a, v)
+	}
+	return st
+}
+
+func TestFullSyncReconstructsHead(t *testing.T) {
+	c, alloc := sourceChain(t, 3)
+	src := c.Nodes[0]
+	st, stats, err := FullSync(src, genesisState(alloc), testRewards)
+	if err != nil {
+		t.Fatalf("FullSync: %v", err)
+	}
+	if st.Commit() != src.State().Commit() {
+		t.Fatal("full sync must reach the head state root")
+	}
+	if stats.Blocks != int(src.Chain().Height()) {
+		t.Fatalf("blocks = %d, want %d", stats.Blocks, src.Chain().Height())
+	}
+	if stats.Bytes == 0 || stats.TxsExecuted == 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestFastSyncCheaperSameResult(t *testing.T) {
+	c, alloc := sourceChain(t, 5)
+	src := c.Nodes[0]
+
+	full, fullStats, err := FullSync(src, genesisState(alloc), testRewards)
+	if err != nil {
+		t.Fatalf("FullSync: %v", err)
+	}
+	fast, fastStats, err := FastSync(src, testRewards, 4)
+	if err != nil {
+		t.Fatalf("FastSync: %v", err)
+	}
+	if full.Commit() != fast.Commit() {
+		t.Fatal("fast sync must converge to the same head state")
+	}
+	if fastStats.Blocks >= fullStats.Blocks {
+		t.Fatalf("fast sync downloaded %d blocks, full %d", fastStats.Blocks, fullStats.Blocks)
+	}
+	if fastStats.TxsExecuted >= fullStats.TxsExecuted {
+		t.Fatalf("fast sync executed %d txs, full %d", fastStats.TxsExecuted, fullStats.TxsExecuted)
+	}
+}
+
+func TestFastSyncPivotLagBeyondChain(t *testing.T) {
+	c, alloc := sourceChain(t, 2)
+	src := c.Nodes[0]
+	// Pivot lag longer than the chain degenerates to a full replay from
+	// genesis — but via the snapshot of the genesis state.
+	st, _, err := FastSync(src, testRewards, 10_000)
+	if err != nil {
+		t.Fatalf("FastSync: %v", err)
+	}
+	if st.Commit() != src.State().Commit() {
+		t.Fatal("degenerate fast sync must still reach head")
+	}
+	_ = alloc
+}
+
+func TestFullSyncDetectsWrongGenesis(t *testing.T) {
+	c, _ := sourceChain(t, 2)
+	src := c.Nodes[0]
+	// Wrong genesis allocation → replay fails (insufficient balance or
+	// root mismatch).
+	if _, _, err := FullSync(src, state.New(), testRewards); err == nil {
+		t.Fatal("full sync from wrong genesis must fail")
+	}
+}
+
+func TestFullSyncDetectsWrongRewards(t *testing.T) {
+	c, alloc := sourceChain(t, 2)
+	src := c.Nodes[0]
+	wrong := incentive.Schedule{InitialReward: 1}
+	if _, _, err := FullSync(src, genesisState(alloc), wrong); err == nil {
+		t.Fatal("full sync with wrong reward schedule must fail")
+	}
+}

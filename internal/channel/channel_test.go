@@ -1,0 +1,135 @@
+package channel
+
+import (
+	"errors"
+	"testing"
+
+	"dcsledger/internal/cryptoutil"
+)
+
+func addr(seed string) cryptoutil.Address {
+	return cryptoutil.KeyFromSeed([]byte(seed)).Address()
+}
+
+func TestCreateAndMembership(t *testing.T) {
+	h := NewHub()
+	members := []cryptoutil.Address{addr("a"), addr("b")}
+	c, err := h.Create("trade", members)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if !c.IsMember(addr("a")) || c.IsMember(addr("outsider")) {
+		t.Fatal("membership wrong")
+	}
+	if _, err := h.Create("trade", members); !errors.Is(err, ErrExists) {
+		t.Fatalf("want ErrExists, got %v", err)
+	}
+	if _, err := h.Create("empty", nil); !errors.Is(err, ErrNoMembers) {
+		t.Fatalf("want ErrNoMembers, got %v", err)
+	}
+	if _, err := h.Create("dup", []cryptoutil.Address{addr("a"), addr("a")}); !errors.Is(err, ErrDuplicated) {
+		t.Fatalf("want ErrDuplicated, got %v", err)
+	}
+	if _, err := h.Get("trade"); err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if _, err := h.Get("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+	if len(h.Names()) != 1 || h.Names()[0] != "trade" {
+		t.Fatalf("Names = %v", h.Names())
+	}
+}
+
+func TestAppendReadBoundary(t *testing.T) {
+	h := NewHub()
+	c, err := h.Create("medical", []cryptoutil.Address{addr("hospital"), addr("insurer")})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if _, err := c.Append(addr("hospital"), []byte("patient record"), 100); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	// Non-members can neither write nor read — the paper's legal
+	// boundary guarantee.
+	if _, err := c.Append(addr("attacker"), []byte("junk"), 101); !errors.Is(err, ErrNotMember) {
+		t.Fatalf("want ErrNotMember, got %v", err)
+	}
+	if _, err := c.Read(addr("attacker")); !errors.Is(err, ErrNotMember) {
+		t.Fatalf("want ErrNotMember, got %v", err)
+	}
+	recs, err := c.Read(addr("insurer"))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if len(recs) != 1 || string(recs[0].Data) != "patient record" {
+		t.Fatalf("records = %+v", recs)
+	}
+}
+
+func TestChannelsAreIsolated(t *testing.T) {
+	h := NewHub()
+	c1, err := h.Create("chan-1", []cryptoutil.Address{addr("a")})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	c2, err := h.Create("chan-2", []cryptoutil.Address{addr("b")})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if _, err := c1.Append(addr("a"), []byte("one"), 1); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if c2.Len() != 0 {
+		t.Fatal("channels must not share records")
+	}
+	// Member of chan-1 cannot read chan-2.
+	if _, err := c2.Read(addr("a")); !errors.Is(err, ErrNotMember) {
+		t.Fatalf("want ErrNotMember, got %v", err)
+	}
+}
+
+func TestHashChainIntegrity(t *testing.T) {
+	h := NewHub()
+	c, err := h.Create("audit", []cryptoutil.Address{addr("a")})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := c.Append(addr("a"), []byte{byte(i)}, int64(i)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := c.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	c.tamper(2, []byte("rewritten history"))
+	if err := c.Verify(); !errors.Is(err, ErrCorrupted) {
+		t.Fatalf("want ErrCorrupted, got %v", err)
+	}
+}
+
+func TestRecordChaining(t *testing.T) {
+	h := NewHub()
+	c, err := h.Create("x", []cryptoutil.Address{addr("a")})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	r0, err := c.Append(addr("a"), []byte("first"), 1)
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	r1, err := c.Append(addr("a"), []byte("second"), 2)
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if r0.Prev != (cryptoutil.Hash{}) {
+		t.Fatal("first record must chain from zero")
+	}
+	if r1.Prev != r0.Hash() {
+		t.Fatal("second record must chain from the first")
+	}
+	if r0.Seq != 0 || r1.Seq != 1 {
+		t.Fatal("sequence numbers wrong")
+	}
+}

@@ -1,0 +1,170 @@
+package bitcoinng
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dcsledger/internal/cryptoutil"
+	"dcsledger/internal/types"
+)
+
+func keyBlockBy(seed string) (*types.Block, *cryptoutil.KeyPair) {
+	k := cryptoutil.KeyFromSeed([]byte(seed))
+	b := types.NewBlock(cryptoutil.ZeroHash, 1, 0, k.Address(), nil)
+	return b, k
+}
+
+func someTxs(n int) []*types.Transaction {
+	out := make([]*types.Transaction, n)
+	for i := range out {
+		out[i] = types.NewTransfer(cryptoutil.ZeroAddress, cryptoutil.ZeroAddress, uint64(i), 1, uint64(i))
+	}
+	return out
+}
+
+func TestEpochIssueAccept(t *testing.T) {
+	kb, leader := keyBlockBy("leader")
+	issuer := NewEpoch(kb)
+	follower := NewEpoch(kb)
+	for i := 0; i < 5; i++ {
+		m, err := issuer.Issue(leader, int64(i), someTxs(3))
+		if err != nil {
+			t.Fatalf("Issue %d: %v", i, err)
+		}
+		if err := issuer.Accept(m); err != nil {
+			t.Fatalf("self Accept %d: %v", i, err)
+		}
+		if err := follower.Accept(m); err != nil {
+			t.Fatalf("follower Accept %d: %v", i, err)
+		}
+	}
+	if issuer.Tip() != follower.Tip() {
+		t.Fatal("issuer and follower tips must agree")
+	}
+}
+
+func TestNonLeaderCannotIssue(t *testing.T) {
+	kb, _ := keyBlockBy("leader")
+	epoch := NewEpoch(kb)
+	mallory := cryptoutil.KeyFromSeed([]byte("mallory"))
+	if _, err := epoch.Issue(mallory, 0, someTxs(1)); !errors.Is(err, ErrNotLeader) {
+		t.Fatalf("want ErrNotLeader, got %v", err)
+	}
+}
+
+func TestAcceptRejections(t *testing.T) {
+	kb, leader := keyBlockBy("leader")
+	mallory := cryptoutil.KeyFromSeed([]byte("mallory"))
+
+	t.Run("forged leader", func(t *testing.T) {
+		epoch := NewEpoch(kb)
+		m := &Microblock{Prev: epoch.Tip(), KeyBlock: epoch.KeyBlock, Txs: someTxs(1)}
+		if err := m.Sign(mallory); err != nil {
+			t.Fatalf("Sign: %v", err)
+		}
+		if err := epoch.Accept(m); !errors.Is(err, ErrNotLeader) {
+			t.Fatalf("want ErrNotLeader, got %v", err)
+		}
+	})
+	t.Run("tampered body", func(t *testing.T) {
+		epoch := NewEpoch(kb)
+		m, err := epoch.Issue(leader, 0, someTxs(2))
+		if err != nil {
+			t.Fatalf("Issue: %v", err)
+		}
+		m.Txs = someTxs(3) // mutate after signing
+		if err := epoch.Accept(m); !errors.Is(err, ErrBadSig) {
+			t.Fatalf("want ErrBadSig, got %v", err)
+		}
+	})
+	t.Run("wrong tip", func(t *testing.T) {
+		epoch := NewEpoch(kb)
+		m, err := epoch.Issue(leader, 0, someTxs(1))
+		if err != nil {
+			t.Fatalf("Issue: %v", err)
+		}
+		if err := epoch.Accept(m); err != nil {
+			t.Fatalf("Accept: %v", err)
+		}
+		// Replaying the same microblock no longer extends the tip.
+		if err := epoch.Accept(m); !errors.Is(err, ErrBrokenChain) {
+			t.Fatalf("want ErrBrokenChain, got %v", err)
+		}
+	})
+}
+
+func simCfg() SimConfig {
+	return SimConfig{
+		KeyInterval:   600 * time.Second,
+		MicroInterval: 10 * time.Second,
+		TxRate:        20,
+		MicroCap:      4000,
+		BlockCap:      4000,
+		Duration:      4 * time.Hour,
+		Seed:          42,
+	}
+}
+
+func TestNGLatencyFarBelowNakamoto(t *testing.T) {
+	cfg := simCfg()
+	ng := SimulateNG(cfg)
+	nak := SimulateNakamoto(cfg)
+	if ng.Committed == 0 || nak.Committed == 0 {
+		t.Fatalf("no commits: ng=%d nak=%d", ng.Committed, nak.Committed)
+	}
+	// NG commits every 10s; Nakamoto waits ~600s. Expect an order of
+	// magnitude difference.
+	if ng.MeanLatency*10 > nak.MeanLatency {
+		t.Fatalf("NG latency %v should be ≪ Nakamoto %v", ng.MeanLatency, nak.MeanLatency)
+	}
+}
+
+func TestNGThroughputAtLeastNakamoto(t *testing.T) {
+	cfg := simCfg()
+	// Tight block cap: Nakamoto's throughput ceiling is
+	// BlockCap/KeyInterval; NG's is MicroCap/MicroInterval.
+	cfg.BlockCap = 4000
+	cfg.MicroCap = 4000
+	cfg.TxRate = 50 // above Nakamoto's ceiling of 4000/600 ≈ 6.7 tps
+	ng := SimulateNG(cfg)
+	nak := SimulateNakamoto(cfg)
+	if ng.ThroughputTPS < 3*nak.ThroughputTPS {
+		t.Fatalf("NG throughput %.1f should exceed Nakamoto %.1f under load",
+			ng.ThroughputTPS, nak.ThroughputTPS)
+	}
+}
+
+func TestSimulationAccounting(t *testing.T) {
+	cfg := simCfg()
+	cfg.Duration = time.Hour
+	ng := SimulateNG(cfg)
+	if ng.KeyBlocks == 0 || ng.Microblocks == 0 {
+		t.Fatalf("expected both block kinds: %+v", ng)
+	}
+	// Microblocks every 10s for an hour ≈ 360.
+	if ng.Microblocks < 300 || ng.Microblocks > 400 {
+		t.Fatalf("microblocks = %d, want ≈360", ng.Microblocks)
+	}
+	nak := SimulateNakamoto(cfg)
+	if nak.Microblocks != 0 {
+		t.Fatal("Nakamoto mode must not issue microblocks")
+	}
+	// Deterministic for a fixed seed.
+	if again := SimulateNG(cfg); again != ng {
+		t.Fatal("simulation must be deterministic for a fixed seed")
+	}
+}
+
+func TestMicroblockIDBindsSignature(t *testing.T) {
+	kb, leader := keyBlockBy("leader")
+	epoch := NewEpoch(kb)
+	m, err := epoch.Issue(leader, 0, someTxs(1))
+	if err != nil {
+		t.Fatalf("Issue: %v", err)
+	}
+	unsigned := &Microblock{Prev: m.Prev, KeyBlock: m.KeyBlock, Index: m.Index, Time: m.Time, Txs: m.Txs}
+	if unsigned.ID() == m.ID() {
+		t.Fatal("ID must commit to the signature")
+	}
+}

@@ -1,0 +1,53 @@
+// Package consensus defines the System-layer interfaces of the stack.
+// Following Section 2.4 of the paper, proof-based consensus decomposes
+// into two pluggable pieces: a block-proposal algorithm (Engine — who may
+// extend the chain, when, with what evidence) and a branch-selection
+// algorithm (ForkChoice — which branch peers converge on). PoW, PoS, and
+// PoET implement Engine; longest-chain and GHOST implement ForkChoice;
+// any Engine composes with any ForkChoice.
+package consensus
+
+import (
+	"errors"
+	"time"
+
+	"dcsledger/internal/cryptoutil"
+	"dcsledger/internal/store"
+	"dcsledger/internal/types"
+)
+
+// Shared engine errors, matchable with errors.Is.
+var (
+	ErrInvalidSeal  = errors.New("consensus: invalid seal")
+	ErrNotProposer  = errors.New("consensus: node is not the proposer")
+	ErrBadTimestamp = errors.New("consensus: bad block timestamp")
+)
+
+// Engine is a block-proposal algorithm: it decides when a given
+// validator may extend a given parent and produces/validates the
+// header evidence ("proof").
+type Engine interface {
+	// Name identifies the algorithm ("pow", "pos", "poet").
+	Name() string
+	// Prepare fills the consensus-owned header fields (e.g. difficulty)
+	// of a candidate extending parent.
+	Prepare(hdr *types.BlockHeader, parent *types.Block) error
+	// Delay returns how long this validator must wait (virtual time,
+	// measured from the moment parent became its tip) before sealing a
+	// block on parent. ok=false means it may never propose on parent.
+	Delay(parent *types.Block, self cryptoutil.Address) (delay time.Duration, ok bool)
+	// Seal completes the block's proof (nonce, Extra). The block's
+	// header must already be Prepared and its Proposer set.
+	Seal(b *types.Block, parent *types.Block) error
+	// VerifySeal checks a received block's proof against its parent.
+	VerifySeal(b *types.Block, parent *types.Block) error
+}
+
+// ForkChoice is a branch-selection algorithm over the block tree.
+type ForkChoice interface {
+	// Name identifies the rule ("longest", "ghost").
+	Name() string
+	// Choose returns the tip of the branch all correct peers should
+	// adopt.
+	Choose(tree *store.BlockTree) (cryptoutil.Hash, error)
+}

@@ -1,0 +1,85 @@
+// Package forkchoice implements the two branch-selection algorithms the
+// paper discusses: Nakamoto's longest-chain rule (Section 2.4) and the
+// GHOST rule Ethereum adopted to tolerate shorter block intervals
+// (Section 2.7). Both operate on the block tree; they are interchangeable
+// under any proposal engine, which is exactly the ablation experiment E3
+// exercises.
+package forkchoice
+
+import (
+	"bytes"
+	"fmt"
+
+	"dcsledger/internal/cryptoutil"
+	"dcsledger/internal/store"
+)
+
+// LongestChain selects the tip with the greatest cumulative difficulty
+// (ties broken by height, then lowest hash, so all peers agree).
+type LongestChain struct{}
+
+// Name implements consensus.ForkChoice.
+func (LongestChain) Name() string { return "longest" }
+
+// Choose implements consensus.ForkChoice.
+func (LongestChain) Choose(tree *store.BlockTree) (cryptoutil.Hash, error) {
+	tips := tree.Tips()
+	if len(tips) == 0 {
+		return tree.Genesis(), nil
+	}
+	var (
+		best   cryptoutil.Hash
+		bestTD uint64
+		bestH  uint64
+		found  bool
+	)
+	for _, tip := range tips {
+		td, err := tree.TotalDifficulty(tip)
+		if err != nil {
+			return cryptoutil.ZeroHash, fmt.Errorf("longest: %w", err)
+		}
+		h, err := tree.Height(tip)
+		if err != nil {
+			return cryptoutil.ZeroHash, fmt.Errorf("longest: %w", err)
+		}
+		if !found || td > bestTD || (td == bestTD && h > bestH) ||
+			(td == bestTD && h == bestH && bytes.Compare(tip[:], best[:]) < 0) {
+			best, bestTD, bestH, found = tip, td, h, true
+		}
+	}
+	return best, nil
+}
+
+// GHOST implements the Greedy Heaviest-Observed Sub-Tree rule: starting
+// from genesis, repeatedly descend into the child whose subtree contains
+// the most blocks, so stale sibling blocks still contribute weight to
+// their ancestors' branch.
+type GHOST struct{}
+
+// Name implements consensus.ForkChoice.
+func (GHOST) Name() string { return "ghost" }
+
+// Choose implements consensus.ForkChoice.
+func (GHOST) Choose(tree *store.BlockTree) (cryptoutil.Hash, error) {
+	cur := tree.Genesis()
+	for {
+		children := tree.Children(cur)
+		if len(children) == 0 {
+			return cur, nil
+		}
+		var (
+			best     cryptoutil.Hash
+			bestSize = -1
+		)
+		for _, c := range children {
+			size, err := tree.SubtreeSize(c)
+			if err != nil {
+				return cryptoutil.ZeroHash, fmt.Errorf("ghost: %w", err)
+			}
+			if size > bestSize || (size == bestSize && bytes.Compare(c[:], best[:]) < 0) {
+				best, bestSize = c, size
+			}
+		}
+		cur = best
+	}
+}

@@ -1,0 +1,343 @@
+package ordering
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"dcsledger/internal/consensus/pbft"
+	"dcsledger/internal/consensus/raft"
+	"dcsledger/internal/cryptoutil"
+	"dcsledger/internal/p2p"
+	"dcsledger/internal/simclock"
+	"dcsledger/internal/types"
+)
+
+func tx(i int) *types.Transaction {
+	return types.NewTransfer(cryptoutil.ZeroAddress, cryptoutil.ZeroAddress, uint64(i), 1, uint64(i))
+}
+
+func TestSoloCutsBySize(t *testing.T) {
+	sim := simclock.NewSimulator()
+	s := NewSolo(BatchConfig{MaxTxs: 4, Timeout: time.Hour}, sim)
+	var got []Batch
+	s.Subscribe(func(b Batch) { got = append(got, b) })
+	for i := 0; i < 10; i++ {
+		if err := s.Submit(tx(i)); err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+	if len(got) != 2 {
+		t.Fatalf("batches = %d, want 2 (full cuts)", len(got))
+	}
+	if len(got[0].Txs) != 4 || len(got[1].Txs) != 4 {
+		t.Fatal("full batches must have MaxTxs transactions")
+	}
+	if got[0].Seq != 1 || got[1].Seq != 2 {
+		t.Fatal("batch sequence must increment")
+	}
+}
+
+func TestSoloCutsByTimeout(t *testing.T) {
+	sim := simclock.NewSimulator()
+	s := NewSolo(BatchConfig{MaxTxs: 100, Timeout: time.Second}, sim)
+	var got []Batch
+	s.Subscribe(func(b Batch) { got = append(got, b) })
+	if err := s.Submit(tx(0)); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatal("batch must not cut before timeout")
+	}
+	sim.RunFor(2 * time.Second)
+	if len(got) != 1 || len(got[0].Txs) != 1 {
+		t.Fatalf("timeout cut missing: %v", got)
+	}
+}
+
+func TestSoloOrderIsTotal(t *testing.T) {
+	sim := simclock.NewSimulator()
+	s := NewSolo(BatchConfig{MaxTxs: 3, Timeout: time.Second}, sim)
+	var a, b []uint64
+	s.Subscribe(func(batch Batch) {
+		for _, tx := range batch.Txs {
+			a = append(a, tx.Value)
+		}
+	})
+	s.Subscribe(func(batch Batch) {
+		for _, tx := range batch.Txs {
+			b = append(b, tx.Value)
+		}
+	})
+	for i := 0; i < 9; i++ {
+		if err := s.Submit(tx(i)); err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+	sim.RunFor(2 * time.Second)
+	if len(a) != 9 || len(b) != 9 {
+		t.Fatalf("subscribers saw %d/%d txs", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] || a[i] != uint64(i) {
+			t.Fatalf("order differs at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSoloStop(t *testing.T) {
+	sim := simclock.NewSimulator()
+	s := NewSolo(BatchConfig{}, sim)
+	s.Stop()
+	if err := s.Submit(tx(0)); !errors.Is(err, ErrStopped) {
+		t.Fatalf("want ErrStopped, got %v", err)
+	}
+}
+
+// raftCluster builds an n-orderer raft cluster and returns the orderers.
+func raftCluster(t *testing.T, sim *simclock.Simulator, n int, cfg BatchConfig) ([]*Raft, []*raft.Node) {
+	t.Helper()
+	net := p2p.NewSimNetwork(sim, 21, p2p.WithLatency(5*time.Millisecond))
+	var ids []p2p.NodeID
+	for i := 0; i < n; i++ {
+		ids = append(ids, p2p.NodeName(i))
+	}
+	var (
+		orderers []*Raft
+		nodes    []*raft.Node
+	)
+	for i, id := range ids {
+		var peers []p2p.NodeID
+		for _, other := range ids {
+			if other != id {
+				peers = append(peers, other)
+			}
+		}
+		mux := p2p.NewMux()
+		ep, err := net.Join(id, mux.Dispatch)
+		if err != nil {
+			t.Fatalf("Join: %v", err)
+		}
+		o := NewRaft(cfg, sim)
+		node := raft.NewNode(id, peers, ep, sim, rand.New(rand.NewSource(int64(i+1))),
+			raft.Config{ElectionTimeout: 100 * time.Millisecond}, o.Apply)
+		o.Attach(node)
+		mux.Handle(raft.MsgPrefix, node.HandleMessage)
+		orderers = append(orderers, o)
+		nodes = append(nodes, node)
+	}
+	for _, node := range nodes {
+		node.Start()
+	}
+	return orderers, nodes
+}
+
+func leaderOrderer(t *testing.T, sim *simclock.Simulator, orderers []*Raft) *Raft {
+	t.Helper()
+	for round := 0; round < 100; round++ {
+		sim.RunFor(100 * time.Millisecond)
+		for _, o := range orderers {
+			if o.IsLeader() {
+				return o
+			}
+		}
+	}
+	t.Fatal("no raft orderer leader")
+	return nil
+}
+
+func TestRaftOrdererReplicatesBatches(t *testing.T) {
+	sim := simclock.NewSimulator()
+	orderers, _ := raftCluster(t, sim, 3, BatchConfig{MaxTxs: 5, Timeout: time.Second})
+	delivered := make([][]uint64, 3)
+	for i, o := range orderers {
+		i := i
+		o.Subscribe(func(b Batch) {
+			for _, tx := range b.Txs {
+				delivered[i] = append(delivered[i], tx.Value)
+			}
+		})
+	}
+	leader := leaderOrderer(t, sim, orderers)
+	for i := 0; i < 20; i++ {
+		if err := leader.Submit(tx(i)); err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+	sim.RunFor(5 * time.Second)
+	for i, seq := range delivered {
+		if len(seq) != 20 {
+			t.Fatalf("orderer %d delivered %d/20 txs", i, len(seq))
+		}
+		for j, v := range seq {
+			if v != uint64(j) {
+				t.Fatalf("orderer %d order broken at %d", i, j)
+			}
+		}
+	}
+}
+
+func TestRaftOrdererFollowerRejects(t *testing.T) {
+	sim := simclock.NewSimulator()
+	orderers, _ := raftCluster(t, sim, 3, BatchConfig{})
+	leader := leaderOrderer(t, sim, orderers)
+	for _, o := range orderers {
+		if o == leader {
+			continue
+		}
+		if err := o.Submit(tx(0)); !errors.Is(err, ErrNotLeader) {
+			t.Fatalf("want ErrNotLeader, got %v", err)
+		}
+	}
+}
+
+func TestRaftOrdererSurvivesLeaderCrash(t *testing.T) {
+	sim := simclock.NewSimulator()
+	orderers, nodes := raftCluster(t, sim, 3, BatchConfig{MaxTxs: 2, Timeout: 100 * time.Millisecond})
+	var survivors []uint64
+	orderers[0].Subscribe(func(b Batch) {})
+	leader := leaderOrderer(t, sim, orderers)
+	var leaderIdx int
+	for i, o := range orderers {
+		if o == leader {
+			leaderIdx = i
+		}
+		i := i
+		o.Subscribe(func(b Batch) {
+			if i != leaderIdx {
+				for _, tx := range b.Txs {
+					survivors = append(survivors, tx.Value)
+				}
+			}
+		})
+	}
+	if err := leader.Submit(tx(1)); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if err := leader.Submit(tx(2)); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	sim.RunFor(time.Second)
+	// Crash the leader; a new one takes over and keeps ordering.
+	nodes[leaderIdx].Stop()
+	leader.Stop()
+	newLeader := leaderOrderer(t, sim, orderersWithout(orderers, leaderIdx))
+	if err := newLeader.Submit(tx(3)); err != nil {
+		t.Fatalf("Submit after failover: %v", err)
+	}
+	if err := newLeader.Submit(tx(4)); err != nil {
+		t.Fatalf("Submit after failover: %v", err)
+	}
+	sim.RunFor(2 * time.Second)
+	// One survivor subscriber sees all four txs in order (two before,
+	// two after the crash). survivors aggregates both survivor orderers;
+	// check per-tx multiset instead of strict slice.
+	counts := map[uint64]int{}
+	for _, v := range survivors {
+		counts[v]++
+	}
+	for _, v := range []uint64{1, 2, 3, 4} {
+		if counts[v] == 0 {
+			t.Fatalf("tx %d lost across failover (got %v)", v, counts)
+		}
+	}
+}
+
+func orderersWithout(all []*Raft, skip int) []*Raft {
+	var out []*Raft
+	for i, o := range all {
+		if i != skip {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// TestCommitterAgreesViaPBFT wires a solo orderer to four committing
+// peers that agree on batches through PBFT — the full Hyperledger
+// pattern of Section 2.4.
+func TestCommitterAgreesViaPBFT(t *testing.T) {
+	sim := simclock.NewSimulator()
+	net := p2p.NewSimNetwork(sim, 8, p2p.WithLatency(5*time.Millisecond))
+	orderer := NewSolo(BatchConfig{MaxTxs: 3, Timeout: time.Second}, sim)
+
+	var ids []p2p.NodeID
+	for i := 0; i < 4; i++ {
+		ids = append(ids, p2p.NodeName(i))
+	}
+	executed := make(map[p2p.NodeID][]uint64)
+	var committers []*Committer
+	for _, id := range ids {
+		id := id
+		mux := p2p.NewMux()
+		ep, err := net.Join(id, mux.Dispatch)
+		if err != nil {
+			t.Fatalf("Join: %v", err)
+		}
+		c := NewCommitter(func(b Batch) {
+			for _, tx := range b.Txs {
+				executed[id] = append(executed[id], tx.Value)
+			}
+		})
+		node, err := pbft.NewNode(id, ids, ep, sim, pbft.Config{ViewTimeout: time.Second}, c.Apply)
+		if err != nil {
+			t.Fatalf("NewNode: %v", err)
+		}
+		c.Attach(node)
+		mux.Handle(pbft.MsgPrefix, node.HandleMessage)
+		orderer.Subscribe(c.OnBatch)
+		committers = append(committers, c)
+	}
+
+	for i := 0; i < 9; i++ {
+		if err := orderer.Submit(tx(i)); err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+	sim.RunFor(10 * time.Second)
+	for _, id := range ids {
+		got := executed[id]
+		if len(got) != 9 {
+			t.Fatalf("peer %s executed %d/9 txs", id, len(got))
+		}
+		for j, v := range got {
+			if v != uint64(j) {
+				t.Fatalf("peer %s execution order broken: %v", id, got)
+			}
+		}
+	}
+	if committers[0].Committed() != 3 {
+		t.Fatalf("committed batches = %d, want 3", committers[0].Committed())
+	}
+}
+
+func TestRaftOrdererThroughputScalesWithBatchSize(t *testing.T) {
+	// Sanity for E4's shape: bigger batches → fewer raft proposals for
+	// the same tx count.
+	proposals := func(batch int) uint64 {
+		sim := simclock.NewSimulator()
+		orderers, nodes := raftCluster(t, sim, 3, BatchConfig{MaxTxs: batch, Timeout: 10 * time.Second})
+		leader := leaderOrderer(t, sim, orderers)
+		for i := 0; i < 64; i++ {
+			if err := leader.Submit(tx(i)); err != nil {
+				t.Fatalf("Submit: %v", err)
+			}
+		}
+		sim.RunFor(5 * time.Second)
+		var leaderNode *raft.Node
+		for _, n := range nodes {
+			if n.IsLeader() {
+				leaderNode = n
+			}
+		}
+		if leaderNode == nil {
+			t.Fatal("leader vanished")
+		}
+		return uint64(leaderNode.LogLen())
+	}
+	small, large := proposals(4), proposals(32)
+	if large >= small {
+		t.Fatalf("batching should reduce proposals: batch4=%d batch32=%d", small, large)
+	}
+}

@@ -1,0 +1,185 @@
+package poet
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dcsledger/internal/consensus"
+	"dcsledger/internal/cryptoutil"
+	"dcsledger/internal/types"
+)
+
+func genesisBlock() *types.Block {
+	return types.NewBlock(cryptoutil.ZeroHash, 0, 0, cryptoutil.ZeroAddress, nil)
+}
+
+func addr(seed string) cryptoutil.Address {
+	return cryptoutil.KeyFromSeed([]byte(seed)).Address()
+}
+
+func TestWaitDeterministicAndExponential(t *testing.T) {
+	enclave := NewEnclave([]byte("sgx"))
+	parent := cryptoutil.HashBytes([]byte("parent"))
+	mean := 10 * time.Second
+	a := enclave.DrawWait(parent, addr("v1"), mean)
+	b := enclave.DrawWait(parent, addr("v1"), mean)
+	if a != b {
+		t.Fatal("wait draw must be deterministic")
+	}
+	if a == enclave.DrawWait(parent, addr("v2"), mean) {
+		t.Fatal("different validators should draw different waits")
+	}
+	// Mean over many validators ≈ the configured mean.
+	var total time.Duration
+	const n = 4000
+	for i := 0; i < n; i++ {
+		total += enclave.DrawWait(parent, addr(string(rune(i))+"x"), mean)
+	}
+	got := total / n
+	if got < 8*time.Second || got > 12*time.Second {
+		t.Fatalf("mean wait = %v, want ≈10s", got)
+	}
+}
+
+func TestCertificateIssueVerify(t *testing.T) {
+	enclave := NewEnclave([]byte("sgx"))
+	parent := cryptoutil.HashBytes([]byte("p"))
+	mean := 5 * time.Second
+	cert, err := enclave.IssueCertificate(parent, addr("v1"), mean)
+	if err != nil {
+		t.Fatalf("IssueCertificate: %v", err)
+	}
+	if err := VerifyCertificate(enclave.PublicKey(), cert, mean); err != nil {
+		t.Fatalf("VerifyCertificate: %v", err)
+	}
+
+	t.Run("forged wait", func(t *testing.T) {
+		bad := cert
+		bad.WaitNanos = 1 // claim an instant wait
+		if err := VerifyCertificate(enclave.PublicKey(), bad, mean); !errors.Is(err, ErrBadCertificate) {
+			t.Fatalf("want ErrBadCertificate, got %v", err)
+		}
+	})
+	t.Run("wrong enclave", func(t *testing.T) {
+		rogue := NewEnclave([]byte("rogue"))
+		cert2, err := rogue.IssueCertificate(parent, addr("v1"), mean)
+		if err != nil {
+			t.Fatalf("IssueCertificate: %v", err)
+		}
+		if err := VerifyCertificate(enclave.PublicKey(), cert2, mean); !errors.Is(err, ErrBadCertificate) {
+			t.Fatalf("want ErrBadCertificate, got %v", err)
+		}
+	})
+}
+
+func sealAt(t *testing.T, e *Engine, parent *types.Block, proposer cryptoutil.Address, at time.Duration) *types.Block {
+	t.Helper()
+	b := types.NewBlock(parent.Hash(), parent.Header.Height+1, int64(at), proposer, nil)
+	if err := e.Prepare(&b.Header, parent); err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	if err := e.Seal(b, parent); err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	return b
+}
+
+func TestSealVerifyRoundTrip(t *testing.T) {
+	enclave := NewEnclave([]byte("sgx"))
+	e := New(Config{MeanWait: time.Second}, enclave)
+	g := genesisBlock()
+	v := addr("v1")
+	wait, ok := e.Delay(g, v)
+	if !ok {
+		t.Fatal("PoET validators can always draw")
+	}
+	b := sealAt(t, e, g, v, wait+time.Millisecond)
+	if err := e.VerifySeal(b, g); err != nil {
+		t.Fatalf("VerifySeal: %v", err)
+	}
+}
+
+func TestVerifySealRejections(t *testing.T) {
+	enclave := NewEnclave([]byte("sgx"))
+	e := New(Config{MeanWait: time.Second}, enclave)
+	g := genesisBlock()
+	v := addr("v1")
+	wait, _ := e.Delay(g, v)
+
+	t.Run("did not wait", func(t *testing.T) {
+		b := sealAt(t, e, g, v, wait/2)
+		if err := e.VerifySeal(b, g); !errors.Is(err, consensus.ErrBadTimestamp) {
+			t.Fatalf("want ErrBadTimestamp, got %v", err)
+		}
+	})
+	t.Run("certificate for someone else", func(t *testing.T) {
+		b := sealAt(t, e, g, v, wait+time.Millisecond)
+		b.Header.Proposer = addr("v2")
+		if err := e.VerifySeal(b, g); !errors.Is(err, ErrBadCertificate) {
+			t.Fatalf("want ErrBadCertificate, got %v", err)
+		}
+	})
+	t.Run("garbage extra", func(t *testing.T) {
+		b := sealAt(t, e, g, v, wait+time.Millisecond)
+		b.Header.Extra = []byte("junk")
+		if err := e.VerifySeal(b, g); !errors.Is(err, ErrBadCertificate) {
+			t.Fatalf("want ErrBadCertificate, got %v", err)
+		}
+	})
+	t.Run("wrong parent cert", func(t *testing.T) {
+		other := types.NewBlock(g.Hash(), 1, 1, addr("m"), nil)
+		b := sealAt(t, e, g, v, wait+time.Millisecond)
+		b.Header.ParentHash = other.Hash() // header no longer matches cert
+		if err := e.VerifySeal(b, other); !errors.Is(err, ErrBadCertificate) {
+			t.Fatalf("want ErrBadCertificate, got %v", err)
+		}
+	})
+}
+
+func TestMinWaitWinsRace(t *testing.T) {
+	// The engine's Delay defines the race: the validator with the
+	// minimum wait is the natural winner for this parent.
+	enclave := NewEnclave([]byte("sgx"))
+	e := New(Config{MeanWait: time.Second}, enclave)
+	g := genesisBlock()
+	winner, best := cryptoutil.ZeroAddress, time.Duration(1<<62)
+	for i := 0; i < 20; i++ {
+		v := addr(string(rune('a' + i)))
+		d, _ := e.Delay(g, v)
+		if d < best {
+			winner, best = v, d
+		}
+	}
+	// All validators agree who wins (determinism).
+	again, _ := e.Delay(g, winner)
+	if again != best {
+		t.Fatal("draws must be stable")
+	}
+}
+
+func TestDetectCheaters(t *testing.T) {
+	honest1, honest2, cheater := addr("h1"), addr("h2"), addr("cheat")
+	wins := map[cryptoutil.Address]int{
+		honest1: 32,
+		honest2: 36,
+		cheater: 132, // ~4x fair share
+	}
+	flagged := DetectCheaters(wins, 200, 6, 3.0)
+	if len(flagged) != 1 || flagged[0] != cheater {
+		t.Fatalf("flagged = %v", flagged)
+	}
+	if got := DetectCheaters(nil, 0, 6, 3.0); got != nil {
+		t.Fatal("empty input flags nobody")
+	}
+	fair := map[cryptoutil.Address]int{honest1: 34, honest2: 33}
+	if got := DetectCheaters(fair, 200, 6, 3.0); len(got) != 0 {
+		t.Fatalf("fair validators flagged: %v", got)
+	}
+}
+
+func TestEngineName(t *testing.T) {
+	if New(Config{}, NewEnclave([]byte("x"))).Name() != "poet" {
+		t.Fatal("name changed")
+	}
+}

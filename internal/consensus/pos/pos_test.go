@@ -1,0 +1,264 @@
+package pos
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"dcsledger/internal/consensus"
+	"dcsledger/internal/cryptoutil"
+	"dcsledger/internal/simclock"
+	"dcsledger/internal/types"
+)
+
+func validators(n int) ([]*cryptoutil.KeyPair, map[cryptoutil.Address]uint64) {
+	keys := make([]*cryptoutil.KeyPair, n)
+	stakes := make(map[cryptoutil.Address]uint64, n)
+	for i := range keys {
+		keys[i] = cryptoutil.KeyFromSeed([]byte{byte(i), 'v'})
+		stakes[keys[i].Address()] = 100
+	}
+	return keys, stakes
+}
+
+func genesisBlock() *types.Block {
+	return types.NewBlock(cryptoutil.ZeroHash, 0, 0, cryptoutil.ZeroAddress, nil)
+}
+
+func TestProposerForSlotDeterministicAndValid(t *testing.T) {
+	keys, stakes := validators(5)
+	e := New(Config{SlotInterval: time.Second, Stakes: stakes}, simclock.NewSimulator(), keys[0])
+	parent := cryptoutil.HashBytes([]byte("parent"))
+	for slot := uint64(0); slot < 50; slot++ {
+		a, err := e.ProposerForSlot(parent, slot)
+		if err != nil {
+			t.Fatalf("ProposerForSlot: %v", err)
+		}
+		if stakes[a] == 0 {
+			t.Fatalf("slot %d drew a non-validator", slot)
+		}
+		b, err := e.ProposerForSlot(parent, slot)
+		if err != nil || a != b {
+			t.Fatal("proposer draw must be deterministic")
+		}
+	}
+}
+
+func TestProposerSelectionStakeWeighted(t *testing.T) {
+	// A validator with 4x the stake should win ≈4x the slots.
+	keys, stakes := validators(2)
+	whale, minnow := keys[0].Address(), keys[1].Address()
+	stakes[whale] = 400
+	stakes[minnow] = 100
+	e := New(Config{SlotInterval: time.Second, Stakes: stakes}, simclock.NewSimulator(), nil)
+	parent := cryptoutil.HashBytes([]byte("p"))
+	wins := map[cryptoutil.Address]int{}
+	const slots = 5000
+	for s := uint64(0); s < slots; s++ {
+		a, err := e.ProposerForSlot(parent, s)
+		if err != nil {
+			t.Fatalf("ProposerForSlot: %v", err)
+		}
+		wins[a]++
+	}
+	ratio := float64(wins[whale]) / float64(wins[minnow])
+	if math.Abs(ratio-4) > 0.8 {
+		t.Fatalf("stake weighting off: whale/minnow = %.2f, want ≈4", ratio)
+	}
+}
+
+func TestZeroStakeCannotPropose(t *testing.T) {
+	keys, stakes := validators(3)
+	e := New(Config{SlotInterval: time.Second, Stakes: stakes}, simclock.NewSimulator(), keys[0])
+	outsider := cryptoutil.KeyFromSeed([]byte("outsider")).Address()
+	if _, ok := e.Delay(genesisBlock(), outsider); ok {
+		t.Fatal("zero-stake validator must not get a proposal slot")
+	}
+}
+
+func TestNoStakeTableErrors(t *testing.T) {
+	e := New(Config{SlotInterval: time.Second}, simclock.NewSimulator(), nil)
+	if _, err := e.ProposerForSlot(cryptoutil.ZeroHash, 1); !errors.Is(err, ErrNoStake) {
+		t.Fatalf("want ErrNoStake, got %v", err)
+	}
+}
+
+// sealOwnSlot advances the simulator until self owns a slot, then builds
+// and seals a block there.
+func sealOwnSlot(t *testing.T, e *Engine, sim *simclock.Simulator, parent *types.Block, self *cryptoutil.KeyPair) *types.Block {
+	t.Helper()
+	d, ok := e.Delay(parent, self.Address())
+	if !ok {
+		t.Fatal("validator should eventually own a slot")
+	}
+	sim.RunFor(d)
+	b := types.NewBlock(parent.Hash(), parent.Header.Height+1, sim.Now().UnixNano(), self.Address(), nil)
+	if err := e.Prepare(&b.Header, parent); err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	if err := e.Seal(b, parent); err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	return b
+}
+
+func TestSealVerifyRoundTrip(t *testing.T) {
+	keys, stakes := validators(4)
+	sim := simclock.NewSimulator()
+	cfg := Config{SlotInterval: time.Second, Stakes: stakes}
+	// Every validator runs its own engine; take the one whose slot comes
+	// first and verify at another node.
+	engines := make([]*Engine, len(keys))
+	for i, k := range keys {
+		engines[i] = New(cfg, sim, k)
+	}
+	g := genesisBlock()
+
+	// Find the earliest slot owner.
+	bestIdx, bestDelay := -1, time.Duration(math.MaxInt64)
+	for i, k := range keys {
+		if d, ok := engines[i].Delay(g, k.Address()); ok && d < bestDelay {
+			bestIdx, bestDelay = i, d
+		}
+	}
+	if bestIdx < 0 {
+		t.Fatal("no validator owns a slot")
+	}
+	b := sealOwnSlot(t, engines[bestIdx], sim, g, keys[bestIdx])
+
+	verifier := New(cfg, sim, nil)
+	if err := verifier.VerifySeal(b, g); err != nil {
+		t.Fatalf("VerifySeal: %v", err)
+	}
+}
+
+func TestVerifySealRejections(t *testing.T) {
+	keys, stakes := validators(4)
+	sim := simclock.NewSimulator()
+	cfg := Config{SlotInterval: time.Second, Stakes: stakes}
+	e0 := New(cfg, sim, keys[0])
+	g := genesisBlock()
+	b := sealOwnSlot(t, e0, sim, g, keys[0])
+	verifier := New(cfg, sim, nil)
+
+	t.Run("tampered header", func(t *testing.T) {
+		bb := *b
+		bb.Header.StateRoot[0] ^= 1
+		if err := verifier.VerifySeal(&bb, g); !errors.Is(err, consensus.ErrInvalidSeal) {
+			t.Fatalf("want ErrInvalidSeal, got %v", err)
+		}
+	})
+	t.Run("wrong proposer claims slot", func(t *testing.T) {
+		bb := *b
+		bb.Header.Proposer = keys[1].Address()
+		if err := verifier.VerifySeal(&bb, g); !errors.Is(err, consensus.ErrInvalidSeal) {
+			t.Fatalf("want ErrInvalidSeal, got %v", err)
+		}
+	})
+	t.Run("missing seal", func(t *testing.T) {
+		bb := *b
+		bb.Header.Extra = nil
+		if err := verifier.VerifySeal(&bb, g); !errors.Is(err, consensus.ErrInvalidSeal) {
+			t.Fatalf("want ErrInvalidSeal, got %v", err)
+		}
+	})
+	t.Run("time before parent", func(t *testing.T) {
+		bb := *b
+		bb.Header.Time = -5
+		if err := verifier.VerifySeal(&bb, g); !errors.Is(err, consensus.ErrBadTimestamp) {
+			t.Fatalf("want ErrBadTimestamp, got %v", err)
+		}
+	})
+}
+
+func TestSealRejectsWrongSlotOwner(t *testing.T) {
+	keys, stakes := validators(4)
+	sim := simclock.NewSimulator()
+	cfg := Config{SlotInterval: time.Second, Stakes: stakes}
+	g := genesisBlock()
+	// Find a slot owned by validator 0, then have validator 1 try to
+	// seal there.
+	e0 := New(cfg, sim, keys[0])
+	e1 := New(cfg, sim, keys[1])
+	d, ok := e0.Delay(g, keys[0].Address())
+	if !ok {
+		t.Fatal("no slot for validator 0")
+	}
+	sim.RunFor(d)
+	b := types.NewBlock(g.Hash(), 1, sim.Now().UnixNano(), keys[1].Address(), nil)
+	if err := e1.Prepare(&b.Header, g); err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	if err := e1.Seal(b, g); !errors.Is(err, consensus.ErrNotProposer) {
+		t.Fatalf("want ErrNotProposer, got %v", err)
+	}
+}
+
+func TestDelayLandsInOwnSlot(t *testing.T) {
+	keys, stakes := validators(5)
+	sim := simclock.NewSimulator()
+	cfg := Config{SlotInterval: time.Second, Stakes: stakes}
+	e := New(cfg, sim, keys[2])
+	g := genesisBlock()
+	d, ok := e.Delay(g, keys[2].Address())
+	if !ok {
+		t.Fatal("validator should own some slot in the horizon")
+	}
+	at := sim.Now().Add(d)
+	proposer, err := e.ProposerForSlot(g.Hash(), e.SlotAt(at))
+	if err != nil {
+		t.Fatalf("ProposerForSlot: %v", err)
+	}
+	if proposer != keys[2].Address() {
+		t.Fatal("Delay must land in a slot owned by the validator")
+	}
+}
+
+func TestSlasherDetectsEquivocation(t *testing.T) {
+	keys, stakes := validators(3)
+	sim := simclock.NewSimulator()
+	cfg := Config{SlotInterval: time.Second, Stakes: stakes}
+	e := New(cfg, sim, keys[0])
+	g := genesisBlock()
+	b1 := sealOwnSlot(t, e, sim, g, keys[0])
+
+	// Equivocation: a second, different block in the same slot.
+	b2 := types.NewBlock(g.Hash(), 1, b1.Header.Time, keys[0].Address(),
+		[]*types.Transaction{types.NewCoinbase(keys[0].Address(), 1, 1)})
+	if err := e.Prepare(&b2.Header, g); err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	if err := e.Seal(b2, g); err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+
+	sl := NewSlasher(e, stakes)
+	if ev, err := sl.Observe(g.Hash(), &b1.Header); ev != nil || err != nil {
+		t.Fatalf("first observation must be clean: %v %v", ev, err)
+	}
+	// Re-observing the same block is fine.
+	if ev, err := sl.Observe(g.Hash(), &b1.Header); ev != nil || err != nil {
+		t.Fatalf("duplicate observation must be clean: %v %v", ev, err)
+	}
+	ev, err := sl.Observe(g.Hash(), &b2.Header)
+	if !errors.Is(err, ErrEquivocation) {
+		t.Fatalf("want ErrEquivocation, got %v", err)
+	}
+	if ev == nil || ev.Proposer != keys[0].Address() {
+		t.Fatalf("evidence = %+v", ev)
+	}
+	if sl.StakeOf(keys[0].Address()) != 0 {
+		t.Fatal("equivocator must be slashed to zero")
+	}
+	if sl.StakeOf(keys[1].Address()) != 100 {
+		t.Fatal("honest validators keep their stake")
+	}
+}
+
+func TestEngineName(t *testing.T) {
+	e := New(Config{}, simclock.NewSimulator(), nil)
+	if e.Name() != "pos" {
+		t.Fatal("name changed")
+	}
+}

@@ -1,0 +1,278 @@
+package pow
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"dcsledger/internal/consensus"
+	"dcsledger/internal/cryptoutil"
+	"dcsledger/internal/types"
+)
+
+func genesisBlock() *types.Block {
+	return types.NewBlock(cryptoutil.ZeroHash, 0, 0, cryptoutil.ZeroAddress, nil)
+}
+
+func childOf(parent *types.Block, at time.Duration) *types.Block {
+	miner := cryptoutil.KeyFromSeed([]byte("miner")).Address()
+	cb := types.NewCoinbase(miner, 50, parent.Header.Height+1)
+	return types.NewBlock(parent.Hash(), parent.Header.Height+1, int64(at), miner, []*types.Transaction{cb})
+}
+
+func testEngine(hashRate float64) *Engine {
+	return New(Config{
+		TargetInterval:    10 * time.Minute,
+		InitialDifficulty: 256,
+		HashRate:          hashRate,
+	}, rand.New(rand.NewSource(1)))
+}
+
+func TestSolveAndCheck(t *testing.T) {
+	b := childOf(genesisBlock(), time.Second)
+	b.Header.Difficulty = 256
+	attempts, err := Solve(&b.Header, 0)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if attempts == 0 {
+		t.Fatal("Solve should report attempts")
+	}
+	if !CheckHeader(&b.Header) {
+		t.Fatal("solved header must check")
+	}
+	// Any mutation invalidates the proof (with overwhelming probability
+	// at this difficulty).
+	b.Header.TxRoot[0] ^= 1
+	if CheckHeader(&b.Header) {
+		t.Fatal("mutated header should not satisfy the target")
+	}
+}
+
+func TestSolveRespectsMaxAttempts(t *testing.T) {
+	b := childOf(genesisBlock(), time.Second)
+	b.Header.Difficulty = RealWorkCap // hardest real puzzle
+	if _, err := Solve(&b.Header, 1); err == nil {
+		// One attempt succeeding is possible but absurdly unlikely to
+		// happen for this fixed test vector; treat success as failure
+		// only if the header actually fails the check.
+		if !CheckHeader(&b.Header) {
+			t.Fatal("Solve claimed success without a valid header")
+		}
+	}
+}
+
+func TestTargetMonotonic(t *testing.T) {
+	if Target(16).Cmp(Target(256)) <= 0 {
+		t.Fatal("higher difficulty must mean lower target")
+	}
+	// Saturation at RealWorkCap.
+	if Target(RealWorkCap).Cmp(Target(RealWorkCap*1024)) != 0 {
+		t.Fatal("target must saturate at RealWorkCap")
+	}
+	if Target(0).Cmp(maxTarget) != 0 {
+		t.Fatal("zero difficulty must clamp to easiest target")
+	}
+}
+
+func TestRetarget(t *testing.T) {
+	target := 10 * time.Minute
+	tests := []struct {
+		name   string
+		actual time.Duration
+		check  func(next uint64) bool
+	}{
+		{name: "on pace keeps difficulty", actual: target, check: func(n uint64) bool { return n == 1000 }},
+		{name: "fast blocks raise difficulty", actual: target / 2, check: func(n uint64) bool { return n == 2000 }},
+		{name: "slow blocks lower difficulty", actual: target * 2, check: func(n uint64) bool { return n == 500 }},
+		{name: "clamped up", actual: target / 100, check: func(n uint64) bool { return n == 4000 }},
+		{name: "clamped down", actual: target * 100, check: func(n uint64) bool { return n == 250 }},
+		{name: "zero interval clamps", actual: 0, check: func(n uint64) bool { return n == 4000 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if next := Retarget(1000, tt.actual, target); !tt.check(next) {
+				t.Fatalf("Retarget = %d", next)
+			}
+		})
+	}
+	if Retarget(1, time.Hour, target) < MinDifficulty {
+		t.Fatal("difficulty must not fall below the floor")
+	}
+}
+
+func TestDelayDistribution(t *testing.T) {
+	// The mean of the exponential solve times should approximate
+	// difficulty / hashRate.
+	e := testEngine(256) // mean = 256/256 = 1s
+	g := genesisBlock()
+	g.Header.Difficulty = 256
+	var total time.Duration
+	const n = 3000
+	for i := 0; i < n; i++ {
+		d, ok := e.Delay(g, cryptoutil.ZeroAddress)
+		if !ok {
+			t.Fatal("PoW must always be allowed to mine")
+		}
+		total += d
+	}
+	mean := total / n
+	if mean < 800*time.Millisecond || mean > 1200*time.Millisecond {
+		t.Fatalf("mean delay = %v, want ≈1s", mean)
+	}
+}
+
+func TestDelayScalesWithHashRate(t *testing.T) {
+	g := genesisBlock()
+	g.Header.Difficulty = 1 << 20
+	meanOf := func(rate float64) time.Duration {
+		e := testEngine(rate)
+		var total time.Duration
+		for i := 0; i < 2000; i++ {
+			d, _ := e.Delay(g, cryptoutil.ZeroAddress)
+			total += d
+		}
+		return total / 2000
+	}
+	slow, fast := meanOf(1000), meanOf(16000)
+	if slow < 10*fast {
+		t.Fatalf("16x hash rate should be ≈16x faster: slow=%v fast=%v", slow, fast)
+	}
+}
+
+func TestSealVerifyRoundTrip(t *testing.T) {
+	e := testEngine(1000)
+	g := genesisBlock()
+	b := childOf(g, 10*time.Minute)
+	b.Header.Proposer = cryptoutil.KeyFromSeed([]byte("miner")).Address()
+	if err := e.Prepare(&b.Header, g); err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	if err := e.Seal(b, g); err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	if err := e.VerifySeal(b, g); err != nil {
+		t.Fatalf("VerifySeal: %v", err)
+	}
+}
+
+func TestVerifySealRejections(t *testing.T) {
+	e := testEngine(1000)
+	g := genesisBlock()
+
+	seal := func() *types.Block {
+		b := childOf(g, 10*time.Minute)
+		if err := e.Prepare(&b.Header, g); err != nil {
+			t.Fatalf("Prepare: %v", err)
+		}
+		if err := e.Seal(b, g); err != nil {
+			t.Fatalf("Seal: %v", err)
+		}
+		return b
+	}
+
+	t.Run("unsolved header", func(t *testing.T) {
+		b := seal()
+		b.Header.Nonce = 0
+		// Nonce 0 almost surely misses; if it happens to hit, re-check.
+		if !CheckHeader(&b.Header) {
+			if err := e.VerifySeal(b, g); !errors.Is(err, consensus.ErrInvalidSeal) {
+				t.Fatalf("want ErrInvalidSeal, got %v", err)
+			}
+		}
+	})
+	t.Run("wrong difficulty", func(t *testing.T) {
+		b := seal()
+		b.Header.Difficulty = 17
+		if err := e.VerifySeal(b, g); !errors.Is(err, consensus.ErrInvalidSeal) {
+			t.Fatalf("want ErrInvalidSeal, got %v", err)
+		}
+	})
+	t.Run("time before parent", func(t *testing.T) {
+		parent := seal()
+		b := childOf(parent, 5*time.Minute) // parent is at 10m
+		if err := e.Prepare(&b.Header, parent); err != nil {
+			t.Fatalf("Prepare: %v", err)
+		}
+		if err := e.Seal(b, parent); err != nil {
+			t.Fatalf("Seal: %v", err)
+		}
+		if err := e.VerifySeal(b, parent); !errors.Is(err, consensus.ErrBadTimestamp) {
+			t.Fatalf("want ErrBadTimestamp, got %v", err)
+		}
+	})
+}
+
+func TestRetargetConvergesInSimulation(t *testing.T) {
+	// Simulate sequential mining with virtual time: difficulty should
+	// converge so the interval approaches the 100s target.
+	const targetInterval = 100 * time.Second
+	const hashRate = 100.0
+	e := New(Config{TargetInterval: targetInterval, InitialDifficulty: 64, HashRate: hashRate},
+		rand.New(rand.NewSource(7)))
+	headers := make(map[cryptoutil.Hash]*types.BlockHeader)
+	e.SetHeaderReader(headerMap(headers))
+
+	parent := genesisBlock()
+	headers[parent.Hash()] = &parent.Header
+	now := time.Duration(0)
+	var lastIntervals []time.Duration
+	prevTime := now
+	for i := 0; i < 600; i++ {
+		// Virtual mining: exponential with mean difficulty/hashRate.
+		d, _ := e.Delay(parent, cryptoutil.ZeroAddress)
+		now += d
+		b := childOf(parent, now)
+		if err := e.Prepare(&b.Header, parent); err != nil {
+			t.Fatalf("Prepare: %v", err)
+		}
+		// Skip the real solve (timing is what matters here); difficulty
+		// bookkeeping only.
+		headers[b.Hash()] = &b.Header
+		if i >= 400 {
+			lastIntervals = append(lastIntervals, now-prevTime)
+		}
+		prevTime = now
+		parent = b
+	}
+	var sum time.Duration
+	for _, iv := range lastIntervals {
+		sum += iv
+	}
+	mean := sum / time.Duration(len(lastIntervals))
+	if mean < targetInterval/2 || mean > targetInterval*2 {
+		t.Fatalf("retargeted interval = %v, want ≈%v", mean, targetInterval)
+	}
+}
+
+// headerMap adapts a map to the HeaderReader interface.
+type headerMap map[cryptoutil.Hash]*types.BlockHeader
+
+func (m headerMap) HeaderByHash(h cryptoutil.Hash) (*types.BlockHeader, bool) {
+	hdr, ok := m[h]
+	return hdr, ok
+}
+
+func TestWindowedRetargetBoundariesOnly(t *testing.T) {
+	// Within a window, difficulty is inherited unchanged.
+	e := testEngine(1000)
+	g := genesisBlock()
+	b1 := childOf(g, time.Second)
+	if err := e.Prepare(&b1.Header, g); err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	b2 := childOf(b1, 2*time.Second)
+	if err := e.Prepare(&b2.Header, b1); err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	if b2.Header.Difficulty != b1.Header.Difficulty {
+		t.Fatal("difficulty must be constant inside a retarget window")
+	}
+}
+
+func TestEngineName(t *testing.T) {
+	if testEngine(1).Name() != "pow" {
+		t.Fatal("name changed")
+	}
+}

@@ -1,0 +1,256 @@
+package contract
+
+import (
+	"fmt"
+	"strconv"
+
+	"dcsledger/internal/cryptoutil"
+)
+
+// Token is a minimal fungible-asset contract (Blockchain 2.0's bread
+// and butter): init fixes the owner and supply, transfer moves units,
+// balanceOf queries them.
+type Token struct{}
+
+// Invoke implements Native.
+func (Token) Invoke(ctx *Context, fn string, args []string) ([]byte, error) {
+	switch fn {
+	case "init":
+		// init(supply): mints supply to the caller, once.
+		if !ctx.GetAddr("owner").IsZero() {
+			return nil, fmt.Errorf("%w: already initialized", ErrBadState)
+		}
+		supply, err := uintArg(args, 0)
+		if err != nil {
+			return nil, err
+		}
+		ctx.SetAddr("owner", ctx.Caller)
+		ctx.SetUint("supply", supply)
+		ctx.SetUint(balKey(ctx.Caller), supply)
+		return nil, nil
+	case "transfer":
+		// transfer(to, amount)
+		to, err := addrArg(args, 0)
+		if err != nil {
+			return nil, err
+		}
+		amount, err := uintArg(args, 1)
+		if err != nil {
+			return nil, err
+		}
+		from := ctx.GetUint(balKey(ctx.Caller))
+		if from < amount {
+			return nil, fmt.Errorf("%w: balance %d < %d", ErrBadState, from, amount)
+		}
+		ctx.SetUint(balKey(ctx.Caller), from-amount)
+		ctx.SetUint(balKey(to), ctx.GetUint(balKey(to))+amount)
+		return nil, nil
+	case "balanceOf":
+		// balanceOf(addr) -> decimal string
+		a, err := addrArg(args, 0)
+		if err != nil {
+			return nil, err
+		}
+		return []byte(strconv.FormatUint(ctx.GetUint(balKey(a)), 10)), nil
+	case "supply":
+		return []byte(strconv.FormatUint(ctx.GetUint("supply"), 10)), nil
+	default:
+		return nil, fmt.Errorf("%w: token.%s", ErrUnknownFn, fn)
+	}
+}
+
+func balKey(a cryptoutil.Address) string { return "bal/" + a.Hex() }
+
+// Notary is the document-registry contract of the paper's Figure 3:
+// register(docHash) records the first claimant and timestamp;
+// owner(docHash) answers who registered it.
+type Notary struct{}
+
+// Invoke implements Native.
+func (Notary) Invoke(ctx *Context, fn string, args []string) ([]byte, error) {
+	switch fn {
+	case "register":
+		if len(args) != 1 || args[0] == "" {
+			return nil, fmt.Errorf("%w: register(docHash)", ErrBadArgs)
+		}
+		key := "doc/" + args[0]
+		if len(ctx.Get(key)) != 0 {
+			return nil, fmt.Errorf("%w: document already registered", ErrBadState)
+		}
+		ctx.SetAddr(key, ctx.Caller)
+		ctx.SetUint("time/"+args[0], uint64(ctx.Time))
+		return nil, nil
+	case "owner":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("%w: owner(docHash)", ErrBadArgs)
+		}
+		owner := ctx.GetAddr("doc/" + args[0])
+		if owner.IsZero() {
+			return nil, fmt.Errorf("%w: not registered", ErrBadState)
+		}
+		return []byte(owner.Hex()), nil
+	case "registeredAt":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("%w: registeredAt(docHash)", ErrBadArgs)
+		}
+		return []byte(strconv.FormatUint(ctx.GetUint("time/"+args[0]), 10)), nil
+	default:
+		return nil, fmt.Errorf("%w: notary.%s", ErrUnknownFn, fn)
+	}
+}
+
+// Escrow holds a buyer's funds until the buyer releases them to the
+// seller or the seller refunds the buyer.
+type Escrow struct{}
+
+// Invoke implements Native.
+func (Escrow) Invoke(ctx *Context, fn string, args []string) ([]byte, error) {
+	switch fn {
+	case "init":
+		// init(seller): the caller is the buyer; the deposited value is
+		// held by the contract account.
+		if !ctx.GetAddr("buyer").IsZero() {
+			return nil, fmt.Errorf("%w: already initialized", ErrBadState)
+		}
+		seller, err := addrArg(args, 0)
+		if err != nil {
+			return nil, err
+		}
+		if ctx.Value == 0 {
+			return nil, fmt.Errorf("%w: escrow needs a deposit", ErrBadArgs)
+		}
+		ctx.SetAddr("buyer", ctx.Caller)
+		ctx.SetAddr("seller", seller)
+		ctx.SetUint("amount", ctx.Value)
+		return nil, nil
+	case "release":
+		if ctx.Caller != ctx.GetAddr("buyer") {
+			return nil, fmt.Errorf("%w: only the buyer releases", ErrForbidden)
+		}
+		return nil, payout(ctx, ctx.GetAddr("seller"))
+	case "refund":
+		if ctx.Caller != ctx.GetAddr("seller") {
+			return nil, fmt.Errorf("%w: only the seller refunds", ErrForbidden)
+		}
+		return nil, payout(ctx, ctx.GetAddr("buyer"))
+	case "amount":
+		return []byte(strconv.FormatUint(ctx.GetUint("amount"), 10)), nil
+	default:
+		return nil, fmt.Errorf("%w: escrow.%s", ErrUnknownFn, fn)
+	}
+}
+
+func payout(ctx *Context, to cryptoutil.Address) error {
+	amount := ctx.GetUint("amount")
+	if amount == 0 {
+		return fmt.Errorf("%w: nothing held", ErrBadState)
+	}
+	if err := ctx.State.Debit(ctx.Self, amount); err != nil {
+		return fmt.Errorf("contract: %w", err)
+	}
+	ctx.State.Credit(to, amount)
+	ctx.SetUint("amount", 0)
+	return nil
+}
+
+// Crowdfund is the Blockchain 2.0 showcase ÐApp: contributors fund a
+// goal before a deadline; the beneficiary claims if the goal is met,
+// contributors reclaim otherwise.
+type Crowdfund struct{}
+
+// Invoke implements Native.
+func (Crowdfund) Invoke(ctx *Context, fn string, args []string) ([]byte, error) {
+	switch fn {
+	case "init":
+		// init(goal, deadlineUnixNano): caller becomes beneficiary.
+		if !ctx.GetAddr("beneficiary").IsZero() {
+			return nil, fmt.Errorf("%w: already initialized", ErrBadState)
+		}
+		goal, err := uintArg(args, 0)
+		if err != nil {
+			return nil, err
+		}
+		deadline, err := uintArg(args, 1)
+		if err != nil {
+			return nil, err
+		}
+		ctx.SetAddr("beneficiary", ctx.Caller)
+		ctx.SetUint("goal", goal)
+		ctx.SetUint("deadline", deadline)
+		return nil, nil
+	case "contribute":
+		if ctx.Value == 0 {
+			return nil, fmt.Errorf("%w: contribution needs value", ErrBadArgs)
+		}
+		if uint64(ctx.Time) >= ctx.GetUint("deadline") {
+			return nil, fmt.Errorf("%w: campaign over", ErrBadState)
+		}
+		key := "given/" + ctx.Caller.Hex()
+		ctx.SetUint(key, ctx.GetUint(key)+ctx.Value)
+		ctx.SetUint("raised", ctx.GetUint("raised")+ctx.Value)
+		return nil, nil
+	case "claim":
+		if ctx.Caller != ctx.GetAddr("beneficiary") {
+			return nil, fmt.Errorf("%w: only the beneficiary claims", ErrForbidden)
+		}
+		if uint64(ctx.Time) < ctx.GetUint("deadline") {
+			return nil, fmt.Errorf("%w: campaign still running", ErrBadState)
+		}
+		raised := ctx.GetUint("raised")
+		if raised < ctx.GetUint("goal") {
+			return nil, fmt.Errorf("%w: goal not met", ErrBadState)
+		}
+		if err := ctx.State.Debit(ctx.Self, raised); err != nil {
+			return nil, fmt.Errorf("contract: %w", err)
+		}
+		ctx.State.Credit(ctx.Caller, raised)
+		ctx.SetUint("raised", 0)
+		return nil, nil
+	case "reclaim":
+		if uint64(ctx.Time) < ctx.GetUint("deadline") {
+			return nil, fmt.Errorf("%w: campaign still running", ErrBadState)
+		}
+		if ctx.GetUint("raised") >= ctx.GetUint("goal") {
+			return nil, fmt.Errorf("%w: goal met; funds go to the beneficiary", ErrBadState)
+		}
+		key := "given/" + ctx.Caller.Hex()
+		given := ctx.GetUint(key)
+		if given == 0 {
+			return nil, fmt.Errorf("%w: nothing to reclaim", ErrBadState)
+		}
+		if err := ctx.State.Debit(ctx.Self, given); err != nil {
+			return nil, fmt.Errorf("contract: %w", err)
+		}
+		ctx.State.Credit(ctx.Caller, given)
+		ctx.SetUint(key, 0)
+		return nil, nil
+	case "raised":
+		return []byte(strconv.FormatUint(ctx.GetUint("raised"), 10)), nil
+	case "goal":
+		return []byte(strconv.FormatUint(ctx.GetUint("goal"), 10)), nil
+	default:
+		return nil, fmt.Errorf("%w: crowdfund.%s", ErrUnknownFn, fn)
+	}
+}
+
+func uintArg(args []string, i int) (uint64, error) {
+	if i >= len(args) {
+		return 0, fmt.Errorf("%w: missing argument %d", ErrBadArgs, i)
+	}
+	v, err := strconv.ParseUint(args[i], 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%w: argument %d: %v", ErrBadArgs, i, err)
+	}
+	return v, nil
+}
+
+func addrArg(args []string, i int) (cryptoutil.Address, error) {
+	if i >= len(args) {
+		return cryptoutil.ZeroAddress, fmt.Errorf("%w: missing argument %d", ErrBadArgs, i)
+	}
+	a, err := cryptoutil.AddressFromHex(args[i])
+	if err != nil {
+		return cryptoutil.ZeroAddress, fmt.Errorf("%w: argument %d: %v", ErrBadArgs, i, err)
+	}
+	return a, nil
+}

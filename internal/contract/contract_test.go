@@ -1,0 +1,382 @@
+package contract
+
+import (
+	"errors"
+	"strconv"
+	"testing"
+
+	"dcsledger/internal/cryptoutil"
+	"dcsledger/internal/state"
+	"dcsledger/internal/types"
+	"dcsledger/internal/vm"
+)
+
+type world struct {
+	st    *state.State
+	ex    *Executor
+	miner cryptoutil.Address
+	keys  map[string]*cryptoutil.KeyPair
+}
+
+func newWorld(t *testing.T) *world {
+	t.Helper()
+	w := &world{
+		st:    state.New(),
+		ex:    NewExecutor(NewRegistry()),
+		miner: cryptoutil.KeyFromSeed([]byte("miner")).Address(),
+		keys:  make(map[string]*cryptoutil.KeyPair),
+	}
+	w.st.SetExecutor(w.ex)
+	return w
+}
+
+func (w *world) key(name string) *cryptoutil.KeyPair {
+	k, ok := w.keys[name]
+	if !ok {
+		k = cryptoutil.KeyFromSeed([]byte(name))
+		w.keys[name] = k
+		w.st.Credit(k.Address(), 1_000_000)
+	}
+	return k
+}
+
+func (w *world) deploy(t *testing.T, who, contract string) cryptoutil.Address {
+	t.Helper()
+	k := w.key(who)
+	tx := &types.Transaction{
+		Kind: types.TxDeploy, From: k.Address(),
+		Nonce: w.st.Nonce(k.Address()), Fee: 100, GasLimit: 100000,
+		Data: DeployPayload(contract),
+	}
+	if err := tx.Sign(k); err != nil {
+		t.Fatalf("Sign: %v", err)
+	}
+	rec, err := w.st.ApplyTx(tx, w.miner)
+	if err != nil {
+		t.Fatalf("deploy: %v", err)
+	}
+	if !rec.OK {
+		t.Fatalf("deploy receipt: %+v", rec)
+	}
+	return rec.ContractAddress
+}
+
+// invoke runs fn and returns the receipt (OK or failed).
+func (w *world) invoke(t *testing.T, who string, to cryptoutil.Address, value uint64, fn string, args ...string) *state.Receipt {
+	t.Helper()
+	k := w.key(who)
+	tx := &types.Transaction{
+		Kind: types.TxInvoke, From: k.Address(), To: to, Value: value,
+		Nonce: w.st.Nonce(k.Address()), Fee: 50, GasLimit: 100000,
+		Data: EncodeCall(fn, args...),
+	}
+	if err := tx.Sign(k); err != nil {
+		t.Fatalf("Sign: %v", err)
+	}
+	rec, err := w.st.ApplyTx(tx, w.miner)
+	if err != nil {
+		t.Fatalf("invoke %s: %v", fn, err)
+	}
+	return rec
+}
+
+func (w *world) query(t *testing.T, to cryptoutil.Address, fn string, args ...string) string {
+	t.Helper()
+	out, err := w.ex.Query(w.st, to, cryptoutil.ZeroAddress, fn, args...)
+	if err != nil {
+		t.Fatalf("query %s: %v", fn, err)
+	}
+	return string(out)
+}
+
+func TestTokenLifecycle(t *testing.T) {
+	w := newWorld(t)
+	tok := w.deploy(t, "alice", "token")
+	if rec := w.invoke(t, "alice", tok, 0, "init", "1000"); !rec.OK {
+		t.Fatalf("init: %+v", rec)
+	}
+	bob := w.key("bob").Address()
+	if rec := w.invoke(t, "alice", tok, 0, "transfer", bob.Hex(), "250"); !rec.OK {
+		t.Fatalf("transfer: %+v", rec)
+	}
+	if got := w.query(t, tok, "balanceOf", bob.Hex()); got != "250" {
+		t.Fatalf("bob balance = %s", got)
+	}
+	if got := w.query(t, tok, "balanceOf", w.key("alice").Address().Hex()); got != "750" {
+		t.Fatalf("alice balance = %s", got)
+	}
+	if got := w.query(t, tok, "supply"); got != "1000" {
+		t.Fatalf("supply = %s", got)
+	}
+	// Overdraft fails and reverts.
+	if rec := w.invoke(t, "bob", tok, 0, "transfer", w.key("alice").Address().Hex(), "9999"); rec.OK {
+		t.Fatal("overdraft transfer must fail")
+	}
+	if got := w.query(t, tok, "balanceOf", bob.Hex()); got != "250" {
+		t.Fatalf("failed transfer must not move funds: %s", got)
+	}
+	// Double init fails.
+	if rec := w.invoke(t, "bob", tok, 0, "init", "5"); rec.OK {
+		t.Fatal("second init must fail")
+	}
+}
+
+func TestNotary(t *testing.T) {
+	w := newWorld(t)
+	w.ex.SetNow(777)
+	notary := w.deploy(t, "alice", "notary")
+	doc := cryptoutil.HashBytes([]byte("deed of sale")).Hex()
+	if rec := w.invoke(t, "alice", notary, 0, "register", doc); !rec.OK {
+		t.Fatalf("register: %+v", rec)
+	}
+	if got := w.query(t, notary, "owner", doc); got != w.key("alice").Address().Hex() {
+		t.Fatalf("owner = %s", got)
+	}
+	if got := w.query(t, notary, "registeredAt", doc); got != "777" {
+		t.Fatalf("registeredAt = %s", got)
+	}
+	// Second registration of the same document fails.
+	if rec := w.invoke(t, "bob", notary, 0, "register", doc); rec.OK {
+		t.Fatal("re-registration must fail")
+	}
+	// Unknown document query errors.
+	if _, err := w.ex.Query(w.st, notary, cryptoutil.ZeroAddress, "owner", "beef"); err == nil {
+		t.Fatal("owner of unregistered document must error")
+	}
+}
+
+func TestEscrow(t *testing.T) {
+	w := newWorld(t)
+	esc := w.deploy(t, "buyer", "escrow")
+	seller := w.key("seller").Address()
+	buyerBefore := w.st.Balance(w.key("buyer").Address())
+	if rec := w.invoke(t, "buyer", esc, 500, "init", seller.Hex()); !rec.OK {
+		t.Fatalf("init: %+v", rec)
+	}
+	if w.st.Balance(esc) != 500 {
+		t.Fatalf("escrow holds %d", w.st.Balance(esc))
+	}
+	// Only the buyer can release.
+	if rec := w.invoke(t, "seller", esc, 0, "release"); rec.OK {
+		t.Fatal("seller must not release")
+	}
+	sellerBefore := w.st.Balance(seller)
+	if rec := w.invoke(t, "buyer", esc, 0, "release"); !rec.OK {
+		t.Fatalf("release: %+v", rec)
+	}
+	if w.st.Balance(seller) != sellerBefore+500 {
+		t.Fatal("seller not paid")
+	}
+	if w.st.Balance(esc) != 0 {
+		t.Fatal("escrow should be empty")
+	}
+	// Double release fails.
+	if rec := w.invoke(t, "buyer", esc, 0, "release"); rec.OK {
+		t.Fatal("double release must fail")
+	}
+	_ = buyerBefore
+}
+
+func TestEscrowRefund(t *testing.T) {
+	w := newWorld(t)
+	esc := w.deploy(t, "buyer", "escrow")
+	seller := w.key("seller").Address()
+	if rec := w.invoke(t, "buyer", esc, 300, "init", seller.Hex()); !rec.OK {
+		t.Fatalf("init: %+v", rec)
+	}
+	buyer := w.key("buyer").Address()
+	before := w.st.Balance(buyer)
+	if rec := w.invoke(t, "seller", esc, 0, "refund"); !rec.OK {
+		t.Fatalf("refund: %+v", rec)
+	}
+	// Buyer paid the refund minus the fee for... the refund tx was sent
+	// by the seller, so the buyer's balance strictly increases by 300.
+	if w.st.Balance(buyer) != before+300 {
+		t.Fatalf("buyer balance %d, want +300", w.st.Balance(buyer))
+	}
+}
+
+func TestCrowdfundSuccess(t *testing.T) {
+	w := newWorld(t)
+	w.ex.SetNow(100)
+	cf := w.deploy(t, "founder", "crowdfund")
+	if rec := w.invoke(t, "founder", cf, 0, "init", "1000", "200"); !rec.OK {
+		t.Fatalf("init: %+v", rec)
+	}
+	if rec := w.invoke(t, "backer1", cf, 600, "contribute"); !rec.OK {
+		t.Fatalf("contribute: %+v", rec)
+	}
+	if rec := w.invoke(t, "backer2", cf, 500, "contribute"); !rec.OK {
+		t.Fatalf("contribute: %+v", rec)
+	}
+	if got := w.query(t, cf, "raised"); got != "1100" {
+		t.Fatalf("raised = %s", got)
+	}
+	// Claim before deadline fails.
+	if rec := w.invoke(t, "founder", cf, 0, "claim"); rec.OK {
+		t.Fatal("claim before deadline must fail")
+	}
+	// After the deadline, the founder claims.
+	w.ex.SetNow(300)
+	founder := w.key("founder").Address()
+	before := w.st.Balance(founder)
+	if rec := w.invoke(t, "founder", cf, 0, "claim"); !rec.OK {
+		t.Fatalf("claim: %+v", rec)
+	}
+	if w.st.Balance(founder) != before+1100-50 { // fee 50 paid from founder
+		t.Fatalf("founder balance delta = %d", w.st.Balance(founder)-before)
+	}
+	// Reclaim after success fails.
+	if rec := w.invoke(t, "backer1", cf, 0, "reclaim"); rec.OK {
+		t.Fatal("reclaim after success must fail")
+	}
+}
+
+func TestCrowdfundFailureRefunds(t *testing.T) {
+	w := newWorld(t)
+	w.ex.SetNow(100)
+	cf := w.deploy(t, "founder", "crowdfund")
+	if rec := w.invoke(t, "founder", cf, 0, "init", "1000", "200"); !rec.OK {
+		t.Fatalf("init: %+v", rec)
+	}
+	if rec := w.invoke(t, "backer", cf, 400, "contribute"); !rec.OK {
+		t.Fatalf("contribute: %+v", rec)
+	}
+	w.ex.SetNow(250)
+	// Contribution after deadline fails.
+	if rec := w.invoke(t, "late", cf, 100, "contribute"); rec.OK {
+		t.Fatal("late contribution must fail")
+	}
+	// Founder cannot claim a failed campaign.
+	if rec := w.invoke(t, "founder", cf, 0, "claim"); rec.OK {
+		t.Fatal("claim without goal must fail")
+	}
+	backer := w.key("backer").Address()
+	before := w.st.Balance(backer)
+	if rec := w.invoke(t, "backer", cf, 0, "reclaim"); !rec.OK {
+		t.Fatalf("reclaim: %+v", rec)
+	}
+	if w.st.Balance(backer) != before+400-50 { // +400 refund, -50 fee
+		t.Fatalf("backer delta = %d", w.st.Balance(backer)-before)
+	}
+	// Double reclaim fails.
+	if rec := w.invoke(t, "backer", cf, 0, "reclaim"); rec.OK {
+		t.Fatal("double reclaim must fail")
+	}
+}
+
+func TestRegistryAndDispatch(t *testing.T) {
+	reg := NewRegistry()
+	if _, err := reg.New("token"); err != nil {
+		t.Fatalf("builtin token missing: %v", err)
+	}
+	if _, err := reg.New("bogus"); !errors.Is(err, ErrUnknownContract) {
+		t.Fatalf("want ErrUnknownContract, got %v", err)
+	}
+	reg.Register("custom", func() Native { return &Notary{} })
+	if _, err := reg.New("custom"); err != nil {
+		t.Fatalf("custom registration: %v", err)
+	}
+}
+
+func TestDeployUnknownNative(t *testing.T) {
+	w := newWorld(t)
+	k := w.key("alice")
+	tx := &types.Transaction{
+		Kind: types.TxDeploy, From: k.Address(), Nonce: 0, Fee: 10,
+		GasLimit: 1000, Data: DeployPayload("does-not-exist"),
+	}
+	if err := tx.Sign(k); err != nil {
+		t.Fatalf("Sign: %v", err)
+	}
+	rec, err := w.st.ApplyTx(tx, w.miner)
+	if err != nil {
+		t.Fatalf("ApplyTx: %v", err)
+	}
+	if rec.OK {
+		t.Fatal("deploying an unregistered native must fail")
+	}
+}
+
+func TestBytecodeStillWorksThroughCombinedExecutor(t *testing.T) {
+	w := newWorld(t)
+	k := w.key("alice")
+	code := vm.MustAssemble("PUSH 0\nPUSH 1\nSSTORE\nSTOP")
+	tx := &types.Transaction{
+		Kind: types.TxDeploy, From: k.Address(), Nonce: 0, Fee: 100,
+		GasLimit: 10000, Data: code,
+	}
+	if err := tx.Sign(k); err != nil {
+		t.Fatalf("Sign: %v", err)
+	}
+	rec, err := w.st.ApplyTx(tx, w.miner)
+	if err != nil || !rec.OK {
+		t.Fatalf("bytecode deploy: %v %+v", err, rec)
+	}
+	inv := &types.Transaction{
+		Kind: types.TxInvoke, From: k.Address(), To: rec.ContractAddress,
+		Nonce: 1, Fee: 50, GasLimit: 10000,
+	}
+	if err := inv.Sign(k); err != nil {
+		t.Fatalf("Sign: %v", err)
+	}
+	rec2, err := w.st.ApplyTx(inv, w.miner)
+	if err != nil || !rec2.OK {
+		t.Fatalf("bytecode invoke: %v %+v", err, rec2)
+	}
+	key := make([]byte, 32)
+	got := w.st.Storage(rec.ContractAddress, key)
+	var word vm.Word
+	copy(word[:], got)
+	if word.Uint64() != 1 {
+		t.Fatalf("bytecode contract storage = %d", word.Uint64())
+	}
+}
+
+func TestCallEncoding(t *testing.T) {
+	data := EncodeCall("transfer", "abc", "5")
+	c, err := DecodeCall(data)
+	if err != nil {
+		t.Fatalf("DecodeCall: %v", err)
+	}
+	if c.Fn != "transfer" || len(c.Args) != 2 || c.Args[1] != "5" {
+		t.Fatalf("call = %+v", c)
+	}
+	if _, err := DecodeCall([]byte("not json")); !errors.Is(err, ErrBadArgs) {
+		t.Fatalf("want ErrBadArgs, got %v", err)
+	}
+	if _, err := DecodeCall([]byte(`{"args":["x"]}`)); !errors.Is(err, ErrBadArgs) {
+		t.Fatalf("empty fn: want ErrBadArgs, got %v", err)
+	}
+}
+
+func TestQueryDoesNotMutate(t *testing.T) {
+	w := newWorld(t)
+	tok := w.deploy(t, "alice", "token")
+	if rec := w.invoke(t, "alice", tok, 0, "init", "100"); !rec.OK {
+		t.Fatalf("init: %+v", rec)
+	}
+	// A query that would mutate (transfer) runs on a copy.
+	bob := w.key("bob").Address()
+	if _, err := w.ex.Query(w.st, tok, w.key("alice").Address(), "transfer", bob.Hex(), "10"); err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if got := w.query(t, tok, "balanceOf", bob.Hex()); got != "0" {
+		t.Fatalf("query mutated state: bob = %s", got)
+	}
+}
+
+func TestUintArgParsing(t *testing.T) {
+	if _, err := uintArg([]string{"12"}, 0); err != nil {
+		t.Fatalf("uintArg: %v", err)
+	}
+	if _, err := uintArg(nil, 0); !errors.Is(err, ErrBadArgs) {
+		t.Fatal("missing arg must error")
+	}
+	if _, err := uintArg([]string{"x"}, 0); !errors.Is(err, ErrBadArgs) {
+		t.Fatal("bad number must error")
+	}
+	if got := strconv.FormatUint(42, 10); got != "42" {
+		t.Fatal("sanity")
+	}
+}

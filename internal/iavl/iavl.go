@@ -1,0 +1,259 @@
+// Package iavl implements an IAVL+ tree: a Merkleized, self-balancing
+// (AVL) binary search tree in which only leaves carry values, as used by
+// Tendermint for application state and named in Section 5.4 of the paper.
+//
+// The tree is persistent (path-copying), so committing state at a block
+// boundary is an O(1) snapshot. Unlike the Merkle Patricia trie, the root
+// hash commits to the tree *shape*, which depends on rebalancing history —
+// matching the real IAVL design.
+package iavl
+
+import (
+	"bytes"
+
+	"dcsledger/internal/cryptoutil"
+)
+
+// Tree is an IAVL+ tree mapping byte-string keys to byte-string values.
+type Tree struct {
+	root *treeNode
+}
+
+// EmptyRoot is the root hash of an empty tree.
+var EmptyRoot = cryptoutil.HashBytes([]byte("iavl/empty"))
+
+// treeNode is either a leaf (height 0, holds value) or an inner node
+// (height > 0, key is the smallest key in the right subtree).
+type treeNode struct {
+	key    []byte
+	value  []byte // leaves only
+	left   *treeNode
+	right  *treeNode
+	height int
+	size   int // number of leaves beneath
+	cached *cryptoutil.Hash
+}
+
+// New returns an empty tree.
+func New() *Tree { return &Tree{} }
+
+// Len returns the number of keys in the tree.
+func (t *Tree) Len() int {
+	if t.root == nil {
+		return 0
+	}
+	return t.root.size
+}
+
+// Height returns the height of the tree (0 for empty or single leaf).
+func (t *Tree) Height() int {
+	if t.root == nil {
+		return 0
+	}
+	return t.root.height
+}
+
+// Get returns the value stored under key.
+func (t *Tree) Get(key []byte) ([]byte, bool) {
+	n := t.root
+	for n != nil {
+		if n.isLeaf() {
+			if bytes.Equal(n.key, key) {
+				return n.value, true
+			}
+			return nil, false
+		}
+		if bytes.Compare(key, n.key) < 0 {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return nil, false
+}
+
+// Set stores value under key and returns the updated tree; the receiver
+// is unmodified.
+func (t *Tree) Set(key, value []byte) *Tree {
+	if value == nil {
+		value = []byte{}
+	}
+	k := append([]byte(nil), key...)
+	return &Tree{root: insert(t.root, k, value)}
+}
+
+// Delete removes key and returns the updated tree; the boolean reports
+// whether the key was present.
+func (t *Tree) Delete(key []byte) (*Tree, bool) {
+	root, deleted := remove(t.root, key)
+	if !deleted {
+		return t, false
+	}
+	return &Tree{root: root}, true
+}
+
+// RootHash returns the tree's commitment.
+func (t *Tree) RootHash() cryptoutil.Hash {
+	if t.root == nil {
+		return EmptyRoot
+	}
+	return t.root.hash()
+}
+
+// Range calls fn for every key/value pair with start <= key < end, in
+// key order. A nil start (end) means unbounded below (above). Iteration
+// stops early if fn returns false.
+func (t *Tree) Range(start, end []byte, fn func(key, value []byte) bool) {
+	iterate(t.root, start, end, fn)
+}
+
+func iterate(n *treeNode, start, end []byte, fn func(k, v []byte) bool) bool {
+	if n == nil {
+		return true
+	}
+	if n.isLeaf() {
+		if start != nil && bytes.Compare(n.key, start) < 0 {
+			return true
+		}
+		if end != nil && bytes.Compare(n.key, end) >= 0 {
+			return true
+		}
+		return fn(n.key, n.value)
+	}
+	// Inner key is the min of the right subtree: prune accordingly.
+	if start == nil || bytes.Compare(start, n.key) < 0 {
+		if !iterate(n.left, start, end, fn) {
+			return false
+		}
+	}
+	if end == nil || bytes.Compare(n.key, end) < 0 {
+		return iterate(n.right, start, end, fn)
+	}
+	return true
+}
+
+func (n *treeNode) isLeaf() bool { return n.height == 0 }
+
+func insert(n *treeNode, key, value []byte) *treeNode {
+	if n == nil {
+		return &treeNode{key: key, value: value, size: 1}
+	}
+	if n.isLeaf() {
+		switch bytes.Compare(key, n.key) {
+		case 0:
+			return &treeNode{key: key, value: value, size: 1}
+		case -1:
+			return makeInner(n.key,
+				&treeNode{key: key, value: value, size: 1}, n)
+		default:
+			return makeInner(key,
+				n, &treeNode{key: key, value: value, size: 1})
+		}
+	}
+	var left, right *treeNode
+	if bytes.Compare(key, n.key) < 0 {
+		left, right = insert(n.left, key, value), n.right
+	} else {
+		left, right = n.left, insert(n.right, key, value)
+	}
+	return balance(makeInner(n.key, left, right))
+}
+
+func remove(n *treeNode, key []byte) (*treeNode, bool) {
+	if n == nil {
+		return nil, false
+	}
+	if n.isLeaf() {
+		if bytes.Equal(n.key, key) {
+			return nil, true
+		}
+		return n, false
+	}
+	if bytes.Compare(key, n.key) < 0 {
+		left, deleted := remove(n.left, key)
+		if !deleted {
+			return n, false
+		}
+		if left == nil {
+			return n.right, true
+		}
+		return balance(makeInner(n.key, left, n.right)), true
+	}
+	right, deleted := remove(n.right, key)
+	if !deleted {
+		return n, false
+	}
+	if right == nil {
+		return n.left, true
+	}
+	return balance(makeInner(minKey(right), n.left, right)), true
+}
+
+func minKey(n *treeNode) []byte {
+	for !n.isLeaf() {
+		n = n.left
+	}
+	return n.key
+}
+
+func makeInner(key []byte, left, right *treeNode) *treeNode {
+	return &treeNode{
+		key:    key,
+		left:   left,
+		right:  right,
+		height: 1 + max(left.height, right.height),
+		size:   left.size + right.size,
+	}
+}
+
+func balanceFactor(n *treeNode) int { return n.left.height - n.right.height }
+
+func balance(n *treeNode) *treeNode {
+	switch bf := balanceFactor(n); {
+	case bf > 1:
+		if balanceFactor(n.left) < 0 {
+			n = makeInner(n.key, rotateLeft(n.left), n.right)
+		}
+		return rotateRight(n)
+	case bf < -1:
+		if balanceFactor(n.right) > 0 {
+			n = makeInner(n.key, n.left, rotateRight(n.right))
+		}
+		return rotateLeft(n)
+	default:
+		return n
+	}
+}
+
+func rotateRight(n *treeNode) *treeNode {
+	l := n.left
+	return makeInner(l.key, l.left, makeInner(n.key, l.right, n.right))
+}
+
+func rotateLeft(n *treeNode) *treeNode {
+	r := n.right
+	return makeInner(r.key, makeInner(n.key, n.left, r.left), r.right)
+}
+
+func (n *treeNode) hash() cryptoutil.Hash {
+	if n.cached != nil {
+		return *n.cached
+	}
+	var h cryptoutil.Hash
+	if n.isLeaf() {
+		h = cryptoutil.HashBytes([]byte{0}, encLen(n.key), n.key, encLen(n.value), n.value)
+	} else {
+		lh, rh := n.left.hash(), n.right.hash()
+		h = cryptoutil.HashBytes([]byte{1},
+			[]byte{byte(n.height)},
+			encLen(n.key), n.key,
+			lh[:], rh[:])
+	}
+	n.cached = &h
+	return h
+}
+
+func encLen(b []byte) []byte {
+	n := len(b)
+	return []byte{byte(n >> 16), byte(n >> 8), byte(n)}
+}

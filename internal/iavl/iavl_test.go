@@ -1,0 +1,250 @@
+package iavl
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 || tr.Height() != 0 {
+		t.Fatal("empty tree should have zero length and height")
+	}
+	if tr.RootHash() != EmptyRoot {
+		t.Fatal("empty root mismatch")
+	}
+	if _, ok := tr.Get([]byte("x")); ok {
+		t.Fatal("Get on empty tree should miss")
+	}
+}
+
+func TestSetGetOverwrite(t *testing.T) {
+	tr := New()
+	for i := 0; i < 20; i++ {
+		tr = tr.Set([]byte(fmt.Sprintf("key%02d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	if tr.Len() != 20 {
+		t.Fatalf("Len = %d, want 20", tr.Len())
+	}
+	for i := 0; i < 20; i++ {
+		got, ok := tr.Get([]byte(fmt.Sprintf("key%02d", i)))
+		if !ok || string(got) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("Get(key%02d) = %q,%v", i, got, ok)
+		}
+	}
+	r1 := tr.RootHash()
+	tr = tr.Set([]byte("key05"), []byte("updated"))
+	if tr.Len() != 20 {
+		t.Fatal("overwrite must not grow the tree")
+	}
+	if got, _ := tr.Get([]byte("key05")); string(got) != "updated" {
+		t.Fatal("overwrite lost")
+	}
+	if tr.RootHash() == r1 {
+		t.Fatal("root must change on overwrite")
+	}
+}
+
+// checkInvariants verifies AVL balance, size bookkeeping, leaf ordering,
+// and inner-key = min(right subtree).
+func checkInvariants(t *testing.T, tr *Tree) {
+	t.Helper()
+	var walk func(n *treeNode) (int, int, [][]byte)
+	walk = func(n *treeNode) (height, size int, keys [][]byte) {
+		if n == nil {
+			return 0, 0, nil
+		}
+		if n.isLeaf() {
+			return 0, 1, [][]byte{n.key}
+		}
+		lh, ls, lk := walk(n.left)
+		rh, rs, rk := walk(n.right)
+		if d := lh - rh; d < -1 || d > 1 {
+			t.Fatalf("AVL violation: balance factor %d", d)
+		}
+		wantH := 1 + max(lh, rh)
+		if n.height != wantH {
+			t.Fatalf("height bookkeeping: %d want %d", n.height, wantH)
+		}
+		if n.size != ls+rs {
+			t.Fatalf("size bookkeeping: %d want %d", n.size, ls+rs)
+		}
+		if !bytes.Equal(n.key, rk[0]) {
+			t.Fatalf("inner key %q != min right key %q", n.key, rk[0])
+		}
+		return wantH, ls + rs, append(lk, rk...)
+	}
+	_, _, keys := walk(tr.root)
+	for i := 1; i < len(keys); i++ {
+		if bytes.Compare(keys[i-1], keys[i]) >= 0 {
+			t.Fatalf("leaves out of order at %d: %q >= %q", i, keys[i-1], keys[i])
+		}
+	}
+}
+
+func TestInvariantsUnderRandomOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tr := New()
+	ref := make(map[string]string)
+	for op := 0; op < 1500; op++ {
+		k := fmt.Sprintf("k%03d", rng.Intn(150))
+		if rng.Intn(3) < 2 {
+			v := fmt.Sprintf("v%d", op)
+			tr = tr.Set([]byte(k), []byte(v))
+			ref[k] = v
+		} else {
+			var deleted bool
+			tr, deleted = tr.Delete([]byte(k))
+			if _, inRef := ref[k]; deleted != inRef {
+				t.Fatalf("op %d: delete mismatch for %q", op, k)
+			}
+			delete(ref, k)
+		}
+	}
+	checkInvariants(t, tr)
+	if tr.Len() != len(ref) {
+		t.Fatalf("Len = %d, ref = %d", tr.Len(), len(ref))
+	}
+	for k, v := range ref {
+		if got, ok := tr.Get([]byte(k)); !ok || string(got) != v {
+			t.Fatalf("Get(%q) = %q,%v want %q", k, got, ok, v)
+		}
+	}
+}
+
+func TestHeightLogarithmic(t *testing.T) {
+	tr := New()
+	const n = 1024
+	for i := 0; i < n; i++ {
+		tr = tr.Set([]byte(fmt.Sprintf("key-%05d", i)), []byte("v"))
+	}
+	maxH := int(1.44*math.Log2(n)) + 2
+	if tr.Height() > maxH {
+		t.Fatalf("height %d exceeds AVL bound %d for %d keys", tr.Height(), maxH, n)
+	}
+}
+
+func TestPersistence(t *testing.T) {
+	t1 := New().Set([]byte("a"), []byte("1"))
+	t2 := t1.Set([]byte("b"), []byte("2"))
+	t3, _ := t2.Delete([]byte("a"))
+	if _, ok := t1.Get([]byte("b")); ok {
+		t.Fatal("snapshot isolation broken on insert")
+	}
+	if _, ok := t2.Get([]byte("a")); !ok {
+		t.Fatal("snapshot isolation broken on delete")
+	}
+	if _, ok := t3.Get([]byte("a")); ok {
+		t.Fatal("delete missing in new version")
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	tr := New()
+	const n = 64
+	for i := 0; i < n; i++ {
+		tr = tr.Set([]byte(fmt.Sprintf("%04d", i)), []byte("v"))
+	}
+	rng := rand.New(rand.NewSource(3))
+	for _, i := range rng.Perm(n) {
+		var ok bool
+		tr, ok = tr.Delete([]byte(fmt.Sprintf("%04d", i)))
+		if !ok {
+			t.Fatalf("delete %d failed", i)
+		}
+		checkInvariants(t, tr)
+	}
+	if tr.Len() != 0 || tr.RootHash() != EmptyRoot {
+		t.Fatal("tree not empty after deleting everything")
+	}
+}
+
+func TestRange(t *testing.T) {
+	tr := New()
+	for i := 0; i < 10; i++ {
+		tr = tr.Set([]byte(fmt.Sprintf("%02d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	var got []string
+	tr.Range([]byte("03"), []byte("07"), func(k, v []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	want := []string{"03", "04", "05", "06"}
+	if len(got) != len(want) {
+		t.Fatalf("Range = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Range = %v, want %v", got, want)
+		}
+	}
+	// Unbounded range yields everything in order.
+	var all []string
+	tr.Range(nil, nil, func(k, v []byte) bool {
+		all = append(all, string(k))
+		return true
+	})
+	if len(all) != 10 || !sort.StringsAreSorted(all) {
+		t.Fatalf("full Range = %v", all)
+	}
+	// Early stop.
+	count := 0
+	tr.Range(nil, nil, func(k, v []byte) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Fatalf("early stop visited %d, want 3", count)
+	}
+}
+
+func TestRootHashDetectsDifferences(t *testing.T) {
+	a := New().Set([]byte("k1"), []byte("v1")).Set([]byte("k2"), []byte("v2"))
+	b := New().Set([]byte("k1"), []byte("v1")).Set([]byte("k2"), []byte("v2"))
+	if a.RootHash() != b.RootHash() {
+		t.Fatal("identical build sequences must agree on root")
+	}
+	c := b.Set([]byte("k2"), []byte("different"))
+	if c.RootHash() == b.RootHash() {
+		t.Fatal("different values must differ in root")
+	}
+}
+
+func TestPropertyModelConformance(t *testing.T) {
+	// Property: after any op sequence, the tree agrees with a map model
+	// and satisfies the AVL height bound.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := New()
+		ref := make(map[string]string)
+		for op := 0; op < 100; op++ {
+			k := fmt.Sprintf("%02d", rng.Intn(40))
+			if rng.Intn(4) < 3 {
+				v := fmt.Sprintf("%d", op)
+				tr = tr.Set([]byte(k), []byte(v))
+				ref[k] = v
+			} else {
+				tr, _ = tr.Delete([]byte(k))
+				delete(ref, k)
+			}
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			got, ok := tr.Get([]byte(k))
+			if !ok || string(got) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

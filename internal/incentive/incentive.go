@@ -1,0 +1,58 @@
+// Package incentive implements the economic layer of public ledgers
+// described in Section 2.4: block subsidies that halve on a fixed
+// schedule (Bitcoin's emission curve) plus the transaction fees the
+// proposer collects. Private/consortium configurations simply use a
+// zero schedule.
+package incentive
+
+// Schedule is a halving block-subsidy emission curve.
+type Schedule struct {
+	// InitialReward is the subsidy at height 1.
+	InitialReward uint64
+	// HalvingInterval is the number of blocks between halvings
+	// (0 = never halve).
+	HalvingInterval uint64
+}
+
+// Bitcoin-like default schedule (values scaled for simulation).
+var DefaultSchedule = Schedule{InitialReward: 50, HalvingInterval: 210_000}
+
+// NoReward is the permissioned-network schedule: no subsidy at all.
+var NoReward = Schedule{}
+
+// RewardAt returns the block subsidy at the given height. Genesis
+// (height 0) mints nothing.
+func (s Schedule) RewardAt(height uint64) uint64 {
+	if height == 0 || s.InitialReward == 0 {
+		return 0
+	}
+	if s.HalvingInterval == 0 {
+		return s.InitialReward
+	}
+	halvings := (height - 1) / s.HalvingInterval
+	if halvings >= 64 {
+		return 0
+	}
+	return s.InitialReward >> halvings
+}
+
+// TotalIssued returns the cumulative subsidy through the given height —
+// the money supply curve.
+func (s Schedule) TotalIssued(height uint64) uint64 {
+	var total uint64
+	if s.HalvingInterval == 0 {
+		return s.InitialReward * height
+	}
+	for h := uint64(1); h <= height; {
+		reward := s.RewardAt(h)
+		if reward == 0 {
+			break
+		}
+		// Blocks remaining in this halving epoch.
+		epochEnd := ((h-1)/s.HalvingInterval + 1) * s.HalvingInterval
+		n := min(height, epochEnd) - h + 1
+		total += reward * n
+		h += n
+	}
+	return total
+}

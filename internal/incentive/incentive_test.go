@@ -1,0 +1,72 @@
+package incentive
+
+import "testing"
+
+func TestRewardAt(t *testing.T) {
+	s := Schedule{InitialReward: 50, HalvingInterval: 10}
+	tests := []struct {
+		height uint64
+		want   uint64
+	}{
+		{height: 0, want: 0},
+		{height: 1, want: 50},
+		{height: 10, want: 50},
+		{height: 11, want: 25},
+		{height: 20, want: 25},
+		{height: 21, want: 12},
+		{height: 31, want: 6},
+		{height: 1000, want: 0}, // 99 halvings → 0
+	}
+	for _, tt := range tests {
+		if got := s.RewardAt(tt.height); got != tt.want {
+			t.Errorf("RewardAt(%d) = %d, want %d", tt.height, got, tt.want)
+		}
+	}
+}
+
+func TestNoHalving(t *testing.T) {
+	s := Schedule{InitialReward: 10}
+	if s.RewardAt(1) != 10 || s.RewardAt(1_000_000) != 10 {
+		t.Fatal("no-halving schedule must be flat")
+	}
+}
+
+func TestNoReward(t *testing.T) {
+	if NoReward.RewardAt(5) != 0 {
+		t.Fatal("NoReward must mint nothing")
+	}
+}
+
+func TestTotalIssued(t *testing.T) {
+	s := Schedule{InitialReward: 50, HalvingInterval: 10}
+	if got := s.TotalIssued(10); got != 500 {
+		t.Fatalf("TotalIssued(10) = %d, want 500", got)
+	}
+	if got := s.TotalIssued(20); got != 500+250 {
+		t.Fatalf("TotalIssued(20) = %d, want 750", got)
+	}
+	if got := s.TotalIssued(15); got != 500+125 {
+		t.Fatalf("TotalIssued(15) = %d, want 625", got)
+	}
+	// Supply converges (geometric series): far future issuance is
+	// bounded by 2 * epoch issuance.
+	if s.TotalIssued(100000) >= 1000 {
+		t.Fatalf("supply must converge below 1000, got %d", s.TotalIssued(100000))
+	}
+	flat := Schedule{InitialReward: 2}
+	if flat.TotalIssued(7) != 14 {
+		t.Fatal("flat schedule issuance")
+	}
+}
+
+func TestSupplyMonotonic(t *testing.T) {
+	s := DefaultSchedule
+	prev := uint64(0)
+	for _, h := range []uint64{1, 10, 100, 1000, 300000, 500000} {
+		got := s.TotalIssued(h)
+		if got < prev {
+			t.Fatalf("TotalIssued not monotonic at %d", h)
+		}
+		prev = got
+	}
+}

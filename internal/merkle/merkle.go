@@ -1,0 +1,139 @@
+// Package merkle implements the hash tree used to commit a block's
+// transactions (Figure 2 of the paper) and the inclusion proofs behind
+// Simple Payment Verification: a light client holding only block headers
+// can verify that a transaction is in a block with an O(log n) proof.
+//
+// Leaf and interior nodes are hashed with distinct domain prefixes so a
+// proof for an interior node can never be passed off as a leaf proof
+// (second-preimage hardening).
+package merkle
+
+import (
+	"errors"
+	"fmt"
+
+	"dcsledger/internal/cryptoutil"
+)
+
+var (
+	// ErrIndexOutOfRange is returned by Prove for an invalid leaf index.
+	ErrIndexOutOfRange = errors.New("merkle: leaf index out of range")
+
+	emptyRoot = cryptoutil.HashBytes([]byte("merkle/empty"))
+)
+
+const (
+	leafPrefix     = byte(0)
+	interiorPrefix = byte(1)
+)
+
+// Tree is a Merkle tree over a fixed set of leaf hashes. When a level has
+// an odd number of nodes the final node is paired with itself, as in the
+// Bitcoin block format.
+type Tree struct {
+	// levels[0] is the hashed leaf row; the last level holds the root.
+	levels [][]cryptoutil.Hash
+	n      int
+}
+
+// NewTree builds a tree over the given leaf hashes. An empty leaf set is
+// allowed and yields the distinguished empty root.
+func NewTree(leaves []cryptoutil.Hash) *Tree {
+	if len(leaves) == 0 {
+		return &Tree{n: 0}
+	}
+	row := make([]cryptoutil.Hash, len(leaves))
+	for i, l := range leaves {
+		row[i] = hashLeaf(l)
+	}
+	levels := [][]cryptoutil.Hash{row}
+	for len(row) > 1 {
+		next := make([]cryptoutil.Hash, (len(row)+1)/2)
+		for i := 0; i < len(row); i += 2 {
+			right := row[i]
+			if i+1 < len(row) {
+				right = row[i+1]
+			}
+			next[i/2] = hashInterior(row[i], right)
+		}
+		levels = append(levels, next)
+		row = next
+	}
+	return &Tree{levels: levels, n: len(leaves)}
+}
+
+// Root computes the Merkle root of the given leaves without retaining the
+// tree.
+func Root(leaves []cryptoutil.Hash) cryptoutil.Hash {
+	return NewTree(leaves).Root()
+}
+
+// Root returns the root hash of the tree.
+func (t *Tree) Root() cryptoutil.Hash {
+	if t.n == 0 {
+		return emptyRoot
+	}
+	top := t.levels[len(t.levels)-1]
+	return top[0]
+}
+
+// Len returns the number of leaves.
+func (t *Tree) Len() int { return t.n }
+
+// Proof is an inclusion proof for one leaf: the authentication path from
+// the leaf to the root. Index bits select left/right at each level.
+type Proof struct {
+	Leaf     cryptoutil.Hash   `json:"leaf"`
+	Index    uint64            `json:"index"`
+	Siblings []cryptoutil.Hash `json:"siblings"`
+}
+
+// Size returns the proof size in bytes, the quantity the SPV experiment
+// (E11) reports.
+func (p Proof) Size() int {
+	return cryptoutil.HashSize*(len(p.Siblings)+1) + 8
+}
+
+// Prove returns the inclusion proof for the leaf at index i.
+func (t *Tree) Prove(i int) (Proof, error) {
+	if i < 0 || i >= t.n {
+		return Proof{}, fmt.Errorf("%w: %d of %d", ErrIndexOutOfRange, i, t.n)
+	}
+	p := Proof{Index: uint64(i)}
+	idx := i
+	for lvl := 0; lvl < len(t.levels)-1; lvl++ {
+		row := t.levels[lvl]
+		sib := idx ^ 1
+		if sib >= len(row) {
+			sib = idx // odd row: node paired with itself
+		}
+		p.Siblings = append(p.Siblings, row[sib])
+		idx /= 2
+	}
+	return p, nil
+}
+
+// VerifyProof checks that the proof's leaf is committed by root. The
+// caller supplies the original (unhashed-by-the-tree) leaf hash in
+// Proof.Leaf.
+func VerifyProof(root cryptoutil.Hash, p Proof) bool {
+	cur := hashLeaf(p.Leaf)
+	idx := p.Index
+	for _, sib := range p.Siblings {
+		if idx&1 == 0 {
+			cur = hashInterior(cur, sib)
+		} else {
+			cur = hashInterior(sib, cur)
+		}
+		idx >>= 1
+	}
+	return cur == root
+}
+
+func hashLeaf(h cryptoutil.Hash) cryptoutil.Hash {
+	return cryptoutil.HashBytes([]byte{leafPrefix}, h[:])
+}
+
+func hashInterior(a, b cryptoutil.Hash) cryptoutil.Hash {
+	return cryptoutil.HashBytes([]byte{interiorPrefix}, a[:], b[:])
+}

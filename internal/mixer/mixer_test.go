@@ -1,0 +1,165 @@
+package mixer
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"dcsledger/internal/cryptoutil"
+	"dcsledger/internal/utxo"
+)
+
+// enroll funds k users with denom-valued coins and enrolls them all.
+func enroll(t *testing.T, set *utxo.Set, r *Round, k int, denom uint64) []cryptoutil.Address {
+	t.Helper()
+	fresh := make([]cryptoutil.Address, k)
+	for i := 0; i < k; i++ {
+		key := cryptoutil.KeyFromSeed([]byte(fmt.Sprintf("user-%d", i)))
+		ops := set.Mint(fmt.Sprintf("fund-%d", i), utxo.TxOut{Value: denom, Owner: key.Address()})
+		freshKey := cryptoutil.KeyFromSeed([]byte(fmt.Sprintf("fresh-%d", i)))
+		fresh[i] = freshKey.Address()
+		if err := r.Join(set, key, ops[0], fresh[i]); err != nil {
+			t.Fatalf("Join %d: %v", i, err)
+		}
+	}
+	return fresh
+}
+
+func TestRoundExecute(t *testing.T) {
+	set := utxo.NewSet()
+	r := NewRound(100, 1)
+	fresh := enroll(t, set, r, 5, 100)
+	tx, truth, err := r.Execute(set, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if len(tx.Ins) != 5 || len(tx.Outs) != 5 {
+		t.Fatalf("tx shape %d-in %d-out", len(tx.Ins), len(tx.Outs))
+	}
+	// Every fresh address got denom - fee.
+	for _, f := range fresh {
+		if got := set.BalanceOf(f); got != 99 {
+			t.Fatalf("fresh addr balance = %d, want 99", got)
+		}
+	}
+	// Ground truth is a permutation.
+	seen := make(map[int]bool)
+	for in, out := range truth {
+		if in < 0 || in >= 5 || out < 0 || out >= 5 || seen[out] {
+			t.Fatalf("truth not a permutation: %v", truth)
+		}
+		seen[out] = true
+	}
+}
+
+func TestJoinRejections(t *testing.T) {
+	set := utxo.NewSet()
+	r := NewRound(100, 1)
+	key := cryptoutil.KeyFromSeed([]byte("u"))
+	fresh := cryptoutil.KeyFromSeed([]byte("f")).Address()
+
+	t.Run("missing input", func(t *testing.T) {
+		ghost := utxo.Outpoint{TxID: cryptoutil.HashBytes([]byte("x"))}
+		if err := r.Join(set, key, ghost, fresh); !errors.Is(err, utxo.ErrMissingInput) {
+			t.Fatalf("want ErrMissingInput, got %v", err)
+		}
+	})
+	t.Run("wrong denomination", func(t *testing.T) {
+		ops := set.Mint("odd", utxo.TxOut{Value: 55, Owner: key.Address()})
+		if err := r.Join(set, key, ops[0], fresh); !errors.Is(err, ErrWrongDenomination) {
+			t.Fatalf("want ErrWrongDenomination, got %v", err)
+		}
+	})
+	t.Run("duplicate", func(t *testing.T) {
+		ops := set.Mint("dup", utxo.TxOut{Value: 100, Owner: key.Address()})
+		if err := r.Join(set, key, ops[0], fresh); err != nil {
+			t.Fatalf("Join: %v", err)
+		}
+		if err := r.Join(set, key, ops[0], fresh); !errors.Is(err, ErrDuplicateInput) {
+			t.Fatalf("want ErrDuplicateInput, got %v", err)
+		}
+	})
+}
+
+func TestExecuteNeedsTwo(t *testing.T) {
+	set := utxo.NewSet()
+	r := NewRound(100, 0)
+	enroll(t, set, r, 1, 100)
+	if _, _, err := r.Execute(set, rand.New(rand.NewSource(1))); !errors.Is(err, ErrTooFew) {
+		t.Fatalf("want ErrTooFew, got %v", err)
+	}
+}
+
+func TestLinkabilityDropsWithParticipants(t *testing.T) {
+	prev := 1.0
+	for _, k := range []int{2, 4, 8, 16} {
+		set := utxo.NewSet()
+		r := NewRound(100, 0)
+		enroll(t, set, r, k, 100)
+		tx, _, err := r.Execute(set, rand.New(rand.NewSource(int64(k))))
+		if err != nil {
+			t.Fatalf("Execute: %v", err)
+		}
+		link := Linkability(tx)
+		want := 1 / float64(k)
+		if math.Abs(link-want) > 1e-9 {
+			t.Fatalf("k=%d linkability %.4f, want %.4f", k, link, want)
+		}
+		if link >= prev {
+			t.Fatalf("linkability must drop with k")
+		}
+		prev = link
+	}
+}
+
+func TestUnmixedSpendFullyLinkable(t *testing.T) {
+	// A plain 1-in/1-out spend is 100% traceable — the paper's Bitcoin
+	// traceability baseline.
+	key := cryptoutil.KeyFromSeed([]byte("victim"))
+	set := utxo.NewSet()
+	ops := set.Mint("plain", utxo.TxOut{Value: 100, Owner: key.Address()})
+	tx := &utxo.Tx{
+		Ins:  []utxo.TxIn{{Prev: ops[0]}},
+		Outs: []utxo.TxOut{{Value: 100, Owner: cryptoutil.KeyFromSeed([]byte("new")).Address()}},
+	}
+	if err := tx.SignInput(0, key); err != nil {
+		t.Fatalf("SignInput: %v", err)
+	}
+	if got := Linkability(tx); got != 1 {
+		t.Fatalf("plain spend linkability = %.2f, want 1", got)
+	}
+}
+
+func TestTraceAttackMatchesTheory(t *testing.T) {
+	set := utxo.NewSet()
+	r := NewRound(100, 0)
+	enroll(t, set, r, 8, 100)
+	rng := rand.New(rand.NewSource(5))
+	tx, truth, err := r.Execute(set, rng)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	rate := TraceAttack(tx, truth, 20_000, rng)
+	if math.Abs(rate-0.125) > 0.02 {
+		t.Fatalf("empirical attack rate %.4f, want ≈0.125", rate)
+	}
+}
+
+func TestChainedLinkability(t *testing.T) {
+	tests := []struct {
+		k, rounds int
+		want      float64
+	}{
+		{k: 4, rounds: 0, want: 1},
+		{k: 4, rounds: 1, want: 0.25},
+		{k: 4, rounds: 3, want: 1.0 / 64},
+		{k: 1, rounds: 5, want: 1},
+	}
+	for _, tt := range tests {
+		if got := ChainedLinkability(tt.k, tt.rounds); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("ChainedLinkability(%d,%d) = %v, want %v", tt.k, tt.rounds, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,339 @@
+// Package mpt implements a Merkle Patricia trie, the authenticated
+// key-value structure Ethereum uses for account state (named in Section
+// 5.4 of the paper as one of the data structures scalable ledgers need).
+//
+// The trie is persistent (path-copying): Set and Delete return logically
+// new tries that share unmodified subtrees, which makes state snapshots
+// at block boundaries O(1). Its root hash is canonical: it depends only
+// on the key-value contents, never on insertion order.
+package mpt
+
+import (
+	"bytes"
+
+	"dcsledger/internal/cryptoutil"
+)
+
+// Trie is a Merkle Patricia trie mapping byte-string keys to byte-string
+// values. The zero value is an empty trie ready to use.
+type Trie struct {
+	root node
+	size int
+}
+
+// EmptyRoot is the root hash of an empty trie.
+var EmptyRoot = cryptoutil.HashBytes([]byte("mpt/empty"))
+
+type node interface {
+	// hash returns the node's commitment, caching it in the node.
+	hash() cryptoutil.Hash
+}
+
+type (
+	leafNode struct {
+		keyEnd []byte // nibbles
+		value  []byte
+		cached *cryptoutil.Hash
+	}
+	extNode struct {
+		path   []byte // nibbles, len >= 1
+		child  node
+		cached *cryptoutil.Hash
+	}
+	branchNode struct {
+		children [16]node
+		value    []byte // value terminating exactly at this branch
+		cached   *cryptoutil.Hash
+	}
+)
+
+// New returns an empty trie.
+func New() *Trie { return &Trie{} }
+
+// Len returns the number of keys in the trie.
+func (t *Trie) Len() int { return t.size }
+
+// Get returns the value stored under key.
+func (t *Trie) Get(key []byte) ([]byte, bool) {
+	n := t.root
+	path := toNibbles(key)
+	for {
+		switch v := n.(type) {
+		case nil:
+			return nil, false
+		case *leafNode:
+			if bytes.Equal(v.keyEnd, path) {
+				return v.value, true
+			}
+			return nil, false
+		case *extNode:
+			if len(path) < len(v.path) || !bytes.Equal(path[:len(v.path)], v.path) {
+				return nil, false
+			}
+			path = path[len(v.path):]
+			n = v.child
+		case *branchNode:
+			if len(path) == 0 {
+				if v.value == nil {
+					return nil, false
+				}
+				return v.value, true
+			}
+			n = v.children[path[0]]
+			path = path[1:]
+		default:
+			return nil, false
+		}
+	}
+}
+
+// Set stores value under key and returns the updated trie. The receiver
+// is unmodified; updated tries share structure with their ancestors.
+// A nil or empty value is stored as an empty (but present) value.
+func (t *Trie) Set(key, value []byte) *Trie {
+	if value == nil {
+		value = []byte{}
+	}
+	_, existed := t.Get(key)
+	root := insert(t.root, toNibbles(key), value)
+	size := t.size
+	if !existed {
+		size++
+	}
+	return &Trie{root: root, size: size}
+}
+
+// Delete removes key and returns the updated trie; the boolean reports
+// whether the key was present.
+func (t *Trie) Delete(key []byte) (*Trie, bool) {
+	root, deleted := remove(t.root, toNibbles(key))
+	if !deleted {
+		return t, false
+	}
+	return &Trie{root: root, size: t.size - 1}, true
+}
+
+// RootHash returns the trie's commitment. Equal content always yields
+// equal roots regardless of the operation order that produced it.
+func (t *Trie) RootHash() cryptoutil.Hash {
+	if t.root == nil {
+		return EmptyRoot
+	}
+	return t.root.hash()
+}
+
+func insert(n node, path []byte, value []byte) node {
+	switch v := n.(type) {
+	case nil:
+		return &leafNode{keyEnd: path, value: value}
+	case *leafNode:
+		cp := commonPrefix(v.keyEnd, path)
+		if cp == len(v.keyEnd) && cp == len(path) {
+			return &leafNode{keyEnd: path, value: value}
+		}
+		br := &branchNode{}
+		attach(br, v.keyEnd[cp:], v.value)
+		attach(br, path[cp:], value)
+		return wrapExt(path[:cp], br)
+	case *extNode:
+		cp := commonPrefix(v.path, path)
+		if cp == len(v.path) {
+			return &extNode{path: v.path, child: insert(v.child, path[cp:], value)}
+		}
+		br := &branchNode{}
+		// Remainder of the extension's own path.
+		rest := v.path[cp:]
+		if len(rest) == 1 {
+			br.children[rest[0]] = v.child
+		} else {
+			br.children[rest[0]] = &extNode{path: rest[1:], child: v.child}
+		}
+		attach(br, path[cp:], value)
+		return wrapExt(path[:cp], br)
+	case *branchNode:
+		nb := v.clone()
+		if len(path) == 0 {
+			nb.value = value
+			return nb
+		}
+		nb.children[path[0]] = insert(v.children[path[0]], path[1:], value)
+		return nb
+	default:
+		return n
+	}
+}
+
+// attach places a value reachable from br along the (possibly empty)
+// remaining path.
+func attach(br *branchNode, path []byte, value []byte) {
+	if len(path) == 0 {
+		br.value = value
+		return
+	}
+	br.children[path[0]] = &leafNode{keyEnd: path[1:], value: value}
+}
+
+func wrapExt(prefix []byte, n node) node {
+	if len(prefix) == 0 {
+		return n
+	}
+	return &extNode{path: prefix, child: n}
+}
+
+func remove(n node, path []byte) (node, bool) {
+	switch v := n.(type) {
+	case nil:
+		return nil, false
+	case *leafNode:
+		if bytes.Equal(v.keyEnd, path) {
+			return nil, true
+		}
+		return n, false
+	case *extNode:
+		if len(path) < len(v.path) || !bytes.Equal(path[:len(v.path)], v.path) {
+			return n, false
+		}
+		child, deleted := remove(v.child, path[len(v.path):])
+		if !deleted {
+			return n, false
+		}
+		return collapseExt(v.path, child), true
+	case *branchNode:
+		nb := v.clone()
+		if len(path) == 0 {
+			if v.value == nil {
+				return n, false
+			}
+			nb.value = nil
+		} else {
+			child, deleted := remove(v.children[path[0]], path[1:])
+			if !deleted {
+				return n, false
+			}
+			nb.children[path[0]] = child
+		}
+		return collapseBranch(nb), true
+	default:
+		return n, false
+	}
+}
+
+// collapseExt merges an extension with its (possibly simplified) child.
+func collapseExt(prefix []byte, child node) node {
+	switch c := child.(type) {
+	case nil:
+		return nil
+	case *leafNode:
+		return &leafNode{keyEnd: concat(prefix, c.keyEnd), value: c.value}
+	case *extNode:
+		return &extNode{path: concat(prefix, c.path), child: c.child}
+	default:
+		return &extNode{path: prefix, child: child}
+	}
+}
+
+// collapseBranch simplifies a branch that lost entries: a branch with only
+// a value becomes a leaf; a branch with a single child merges into it.
+func collapseBranch(b *branchNode) node {
+	var (
+		count   int
+		onlyIdx int
+	)
+	for i, c := range b.children {
+		if c != nil {
+			count++
+			onlyIdx = i
+		}
+	}
+	switch {
+	case count == 0 && b.value == nil:
+		return nil
+	case count == 0:
+		return &leafNode{keyEnd: nil, value: b.value}
+	case count == 1 && b.value == nil:
+		return collapseExt([]byte{byte(onlyIdx)}, b.children[onlyIdx])
+	default:
+		return b
+	}
+}
+
+// Node hashing. Child references are child hashes; content prefixes keep
+// the three node kinds in distinct hash domains.
+
+func (l *leafNode) hash() cryptoutil.Hash {
+	if l.cached != nil {
+		return *l.cached
+	}
+	h := cryptoutil.HashBytes([]byte{2}, encLen(l.keyEnd), l.keyEnd, encLen(l.value), l.value)
+	l.cached = &h
+	return h
+}
+
+func (e *extNode) hash() cryptoutil.Hash {
+	if e.cached != nil {
+		return *e.cached
+	}
+	ch := e.child.hash()
+	h := cryptoutil.HashBytes([]byte{1}, encLen(e.path), e.path, ch[:])
+	e.cached = &h
+	return h
+}
+
+func (b *branchNode) hash() cryptoutil.Hash {
+	if b.cached != nil {
+		return *b.cached
+	}
+	parts := make([][]byte, 0, 18)
+	parts = append(parts, []byte{0})
+	for _, c := range b.children {
+		if c == nil {
+			parts = append(parts, cryptoutil.ZeroHash[:])
+			continue
+		}
+		ch := c.hash()
+		parts = append(parts, append([]byte(nil), ch[:]...))
+	}
+	if b.value != nil {
+		parts = append(parts, []byte{1}, b.value)
+	} else {
+		parts = append(parts, []byte{0})
+	}
+	h := cryptoutil.HashBytes(parts...)
+	b.cached = &h
+	return h
+}
+
+func (b *branchNode) clone() *branchNode {
+	nb := &branchNode{value: b.value}
+	nb.children = b.children
+	return nb
+}
+
+func toNibbles(key []byte) []byte {
+	out := make([]byte, 0, len(key)*2)
+	for _, b := range key {
+		out = append(out, b>>4, b&0x0f)
+	}
+	return out
+}
+
+func commonPrefix(a, b []byte) int {
+	n := min(len(a), len(b))
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+func concat(a, b []byte) []byte {
+	out := make([]byte, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
+}
+
+func encLen(b []byte) []byte {
+	n := len(b)
+	return []byte{byte(n >> 16), byte(n >> 8), byte(n)}
+}

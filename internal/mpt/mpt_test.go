@@ -1,0 +1,235 @@
+package mpt
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyTrie(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Fatal("empty trie should be empty")
+	}
+	if tr.RootHash() != EmptyRoot {
+		t.Fatal("empty trie root should be EmptyRoot")
+	}
+	if _, ok := tr.Get([]byte("missing")); ok {
+		t.Fatal("Get on empty trie should miss")
+	}
+}
+
+func TestSetGet(t *testing.T) {
+	tr := New()
+	tr = tr.Set([]byte("alpha"), []byte("1"))
+	tr = tr.Set([]byte("beta"), []byte("2"))
+	tr = tr.Set([]byte("alphabet"), []byte("3"))
+	tr = tr.Set([]byte("al"), []byte("4"))
+
+	tests := []struct {
+		key  string
+		want string
+		ok   bool
+	}{
+		{key: "alpha", want: "1", ok: true},
+		{key: "beta", want: "2", ok: true},
+		{key: "alphabet", want: "3", ok: true},
+		{key: "al", want: "4", ok: true},
+		{key: "alp", ok: false},
+		{key: "gamma", ok: false},
+		{key: "", ok: false},
+	}
+	for _, tt := range tests {
+		got, ok := tr.Get([]byte(tt.key))
+		if ok != tt.ok {
+			t.Fatalf("Get(%q) ok = %v, want %v", tt.key, ok, tt.ok)
+		}
+		if ok && string(got) != tt.want {
+			t.Fatalf("Get(%q) = %q, want %q", tt.key, got, tt.want)
+		}
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tr.Len())
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	tr := New().Set([]byte("k"), []byte("v1"))
+	r1 := tr.RootHash()
+	tr = tr.Set([]byte("k"), []byte("v2"))
+	if got, _ := tr.Get([]byte("k")); string(got) != "v2" {
+		t.Fatalf("overwrite failed: %q", got)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len after overwrite = %d, want 1", tr.Len())
+	}
+	if tr.RootHash() == r1 {
+		t.Fatal("root must change when a value changes")
+	}
+}
+
+func TestEmptyKeyAndValue(t *testing.T) {
+	tr := New().Set(nil, nil)
+	got, ok := tr.Get(nil)
+	if !ok || len(got) != 0 {
+		t.Fatal("empty key with empty value should be stored and found")
+	}
+	tr, deleted := tr.Delete(nil)
+	if !deleted || tr.Len() != 0 {
+		t.Fatal("empty key should be deletable")
+	}
+}
+
+func TestPersistence(t *testing.T) {
+	t1 := New().Set([]byte("a"), []byte("1"))
+	t2 := t1.Set([]byte("b"), []byte("2"))
+	if _, ok := t1.Get([]byte("b")); ok {
+		t.Fatal("older snapshot must not see later writes")
+	}
+	if _, ok := t2.Get([]byte("a")); !ok {
+		t.Fatal("newer trie must retain old entries")
+	}
+	if t1.RootHash() == t2.RootHash() {
+		t.Fatal("different content must have different roots")
+	}
+}
+
+func TestRootIndependentOfInsertionOrder(t *testing.T) {
+	keys := []string{"cat", "car", "cart", "dog", "do", "done", "", "zebra"}
+	build := func(perm []int) *Trie {
+		tr := New()
+		for _, i := range perm {
+			tr = tr.Set([]byte(keys[i]), []byte(fmt.Sprintf("v%d", i)))
+		}
+		return tr
+	}
+	base := build([]int{0, 1, 2, 3, 4, 5, 6, 7})
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 10; trial++ {
+		perm := rng.Perm(len(keys))
+		if got := build(perm).RootHash(); got != base.RootHash() {
+			t.Fatalf("root depends on insertion order (perm %v)", perm)
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	keys := []string{"a", "ab", "abc", "abd", "b", "ba"}
+	tr := New()
+	for _, k := range keys {
+		tr = tr.Set([]byte(k), []byte("v:"+k))
+	}
+	// Delete a key that forces branch collapse.
+	tr, ok := tr.Delete([]byte("abc"))
+	if !ok {
+		t.Fatal("delete of present key must succeed")
+	}
+	if _, found := tr.Get([]byte("abc")); found {
+		t.Fatal("deleted key still present")
+	}
+	for _, k := range []string{"a", "ab", "abd", "b", "ba"} {
+		if got, found := tr.Get([]byte(k)); !found || string(got) != "v:"+k {
+			t.Fatalf("sibling key %q damaged by delete", k)
+		}
+	}
+	if _, ok := tr.Delete([]byte("missing")); ok {
+		t.Fatal("delete of absent key must report false")
+	}
+}
+
+func TestDeleteRestoresPriorRoot(t *testing.T) {
+	// Inserting then deleting a key must return to the canonical root of
+	// the remaining content.
+	base := New().Set([]byte("x"), []byte("1")).Set([]byte("y"), []byte("2"))
+	withZ := base.Set([]byte("z"), []byte("3"))
+	got, ok := withZ.Delete([]byte("z"))
+	if !ok {
+		t.Fatal("delete failed")
+	}
+	if got.RootHash() != base.RootHash() {
+		t.Fatal("deleting the added key must restore the canonical root")
+	}
+}
+
+func TestDeleteEverything(t *testing.T) {
+	tr := New()
+	keys := []string{"one", "two", "three", "four", "five", "o", "on"}
+	for _, k := range keys {
+		tr = tr.Set([]byte(k), []byte(k))
+	}
+	for _, k := range keys {
+		var ok bool
+		tr, ok = tr.Delete([]byte(k))
+		if !ok {
+			t.Fatalf("delete %q failed", k)
+		}
+	}
+	if tr.Len() != 0 || tr.RootHash() != EmptyRoot {
+		t.Fatal("deleting all keys must return to the empty root")
+	}
+}
+
+func TestAgainstReferenceMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := New()
+	ref := make(map[string]string)
+	keyspace := make([]string, 50)
+	for i := range keyspace {
+		keyspace[i] = fmt.Sprintf("key-%03d", rng.Intn(200))
+	}
+	for op := 0; op < 2000; op++ {
+		k := keyspace[rng.Intn(len(keyspace))]
+		switch rng.Intn(3) {
+		case 0, 1:
+			v := fmt.Sprintf("val-%d", op)
+			tr = tr.Set([]byte(k), []byte(v))
+			ref[k] = v
+		case 2:
+			var deleted bool
+			tr, deleted = tr.Delete([]byte(k))
+			_, inRef := ref[k]
+			if deleted != inRef {
+				t.Fatalf("op %d: delete(%q) = %v, ref has it: %v", op, k, deleted, inRef)
+			}
+			delete(ref, k)
+		}
+	}
+	if tr.Len() != len(ref) {
+		t.Fatalf("Len = %d, ref = %d", tr.Len(), len(ref))
+	}
+	for k, v := range ref {
+		got, ok := tr.Get([]byte(k))
+		if !ok || string(got) != v {
+			t.Fatalf("Get(%q) = %q,%v want %q", k, got, ok, v)
+		}
+	}
+}
+
+func TestPropertyContentDeterminesRoot(t *testing.T) {
+	// Property: two tries built from the same key set (any order, with
+	// overwrites) have equal roots; removing one key changes the root.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		keys := make([][]byte, n)
+		for i := range keys {
+			keys[i] = []byte(fmt.Sprintf("k%d", rng.Intn(30)))
+		}
+		a, b := New(), New()
+		for _, k := range keys {
+			a = a.Set(k, append([]byte("v"), k...))
+		}
+		for _, i := range rng.Perm(n) {
+			b = b.Set(keys[i], append([]byte("v"), keys[i]...))
+		}
+		if a.RootHash() != b.RootHash() {
+			return false
+		}
+		c, _ := a.Delete(keys[0])
+		return c.RootHash() != a.RootHash()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

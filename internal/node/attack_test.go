@@ -1,0 +1,87 @@
+package node
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"dcsledger/internal/consensus"
+	"dcsledger/internal/consensus/pow"
+	"dcsledger/internal/cryptoutil"
+	"dcsledger/internal/p2p"
+)
+
+// attackCluster builds a network where node 0 holds `share` of the
+// total hash power and the other peers split the rest evenly.
+func attackCluster(t *testing.T, peers int, seed int64, share float64) *Cluster {
+	t.Helper()
+	const totalRate = 25.6 // equilibrium difficulty 256 at 10s blocks
+	attackerRate := totalRate * share
+	honestRate := (totalRate - attackerRate) / float64(peers-1)
+	c, err := NewCluster(ClusterConfig{
+		N: peers,
+		Engine: func(i int, key *cryptoutil.KeyPair) consensus.Engine {
+			rate := honestRate
+			if i == 0 {
+				rate = attackerRate
+			}
+			return pow.New(pow.Config{
+				TargetInterval:    10 * time.Second,
+				InitialDifficulty: 256,
+				HashRate:          rate,
+			}, rand.New(rand.NewSource(seed+int64(i)+900)))
+		},
+		ForkChoice: longestFactory(),
+		Rewards:    testRewards(),
+		Seed:       seed,
+	})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	return c
+}
+
+// runSecretMiningAttack partitions node 0 away for a stretch of private
+// mining, heals, and reports whether the honest peers' pre-heal head
+// was reorged out — the §2.4 history-rewrite attack on the real
+// substrate (E10 gives the Monte-Carlo probabilities).
+func runSecretMiningAttack(t *testing.T, share float64, seed int64) bool {
+	t.Helper()
+	c := attackCluster(t, 6, seed, share)
+	c.Start()
+	c.Sim.RunFor(2 * time.Minute) // shared prefix
+
+	ids := c.Net.NodeIDs()
+	attackerID := c.Nodes[0].cfg.ID
+	var honestIDs []p2p.NodeID
+	for _, id := range ids {
+		if id != attackerID {
+			honestIDs = append(honestIDs, id)
+		}
+	}
+	c.Net.Partition([]p2p.NodeID{attackerID}, honestIDs)
+	c.Sim.RunFor(10 * time.Minute) // both sides mine privately
+	honestHead := c.Nodes[1].Chain().Head()
+	c.Net.Heal()
+	c.Sim.RunFor(3 * time.Minute) // chains exchange; fork choice decides
+	c.Stop()
+	c.Sim.RunFor(time.Minute)
+
+	// The attack succeeded if the honest branch tip was reorged away.
+	return !c.Nodes[1].Chain().Contains(honestHead)
+}
+
+func TestMajorityAttackerRewritesHistory(t *testing.T) {
+	// 75% of the hash power: the private chain outgrows the honest one
+	// with overwhelming probability over a 10-minute race.
+	if !runSecretMiningAttack(t, 0.75, 51) {
+		t.Fatal("a 75% attacker should rewrite the honest branch")
+	}
+}
+
+func TestMinorityAttackerFails(t *testing.T) {
+	// 15% of the hash power: the honest branch stays ahead.
+	if runSecretMiningAttack(t, 0.15, 52) {
+		t.Fatal("a 15% attacker should not rewrite the honest branch")
+	}
+}

@@ -1,0 +1,212 @@
+package node
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"dcsledger/internal/consensus"
+	"dcsledger/internal/cryptoutil"
+	"dcsledger/internal/incentive"
+	"dcsledger/internal/p2p"
+	"dcsledger/internal/simclock"
+	"dcsledger/internal/state"
+	"dcsledger/internal/types"
+)
+
+// ClusterConfig describes a simulated network of peers. It is the
+// shared harness for tests, examples, and every experiment in
+// EXPERIMENTS.md.
+type ClusterConfig struct {
+	// N is the number of peers.
+	N int
+	// Miners enables block production on the first Miners peers
+	// (0 = all peers mine).
+	Miners int
+	// Engine builds the per-node proposal engine. The key is the node's
+	// signing identity.
+	Engine func(i int, key *cryptoutil.KeyPair) consensus.Engine
+	// ForkChoice builds the per-node branch selection (shared stateless
+	// instances are fine).
+	ForkChoice func() consensus.ForkChoice
+	// Executor builds the per-node contract executor (optional).
+	Executor func() state.Executor
+	// Alloc funds accounts at genesis.
+	Alloc map[cryptoutil.Address]uint64
+	// Rewards is the block-subsidy schedule.
+	Rewards incentive.Schedule
+	// Seed makes the whole cluster reproducible.
+	Seed int64
+	// Latency is the base link latency (default 50ms).
+	Latency time.Duration
+	// Jitter adds random per-message latency.
+	Jitter time.Duration
+	// DropRate is the per-message loss probability.
+	DropRate float64
+	// Degree is the overlay degree (default 4) and Fanout the gossip
+	// fanout (default 4).
+	Degree, Fanout int
+	// MaxBlockTxs bounds block size in transactions.
+	MaxBlockTxs int
+	// NetworkName tags the genesis block.
+	NetworkName string
+	// Sim supplies an existing simulator; engines that need the shared
+	// clock (PoS slots) are built against it before the cluster exists.
+	// A nil Sim creates a fresh one.
+	Sim *simclock.Simulator
+}
+
+// ClusterKey derives the deterministic signing key of peer i in a
+// cluster built with the given seed — exported so experiment code can
+// compute validator sets (stake tables) before building the cluster.
+func ClusterKey(seed int64, i int) *cryptoutil.KeyPair {
+	return cryptoutil.KeyFromSeed([]byte(fmt.Sprintf("cluster/%d/key/%d", seed, i)))
+}
+
+// Cluster is a simulated network of full peers on one virtual clock.
+type Cluster struct {
+	Sim     *simclock.Simulator
+	Net     *p2p.SimNetwork
+	Genesis *types.Block
+	Nodes   []*Node
+	Keys    []*cryptoutil.KeyPair
+}
+
+// NewCluster builds and wires the peers (call Start to begin mining).
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("node: cluster needs at least one peer")
+	}
+	if cfg.Engine == nil || cfg.ForkChoice == nil {
+		return nil, fmt.Errorf("node: cluster needs Engine and ForkChoice factories")
+	}
+	if cfg.Degree <= 0 {
+		cfg.Degree = 4
+	}
+	if cfg.Fanout <= 0 {
+		cfg.Fanout = 4
+	}
+	if cfg.Latency <= 0 {
+		cfg.Latency = 50 * time.Millisecond
+	}
+	if cfg.NetworkName == "" {
+		cfg.NetworkName = "dcsledger-sim"
+	}
+	sim := cfg.Sim
+	if sim == nil {
+		sim = simclock.NewSimulator()
+	}
+	opts := []p2p.SimOption{p2p.WithLatency(cfg.Latency)}
+	if cfg.Jitter > 0 {
+		opts = append(opts, p2p.WithJitter(cfg.Jitter))
+	}
+	if cfg.DropRate > 0 {
+		opts = append(opts, p2p.WithDropRate(cfg.DropRate))
+	}
+	net := p2p.NewSimNetwork(sim, cfg.Seed, opts...)
+
+	ids := make([]p2p.NodeID, cfg.N)
+	for i := range ids {
+		ids[i] = p2p.NodeName(i)
+	}
+	topoRng := rand.New(rand.NewSource(cfg.Seed + 1))
+	topo := p2p.RandomTopology(ids, cfg.Degree, topoRng)
+
+	c := &Cluster{
+		Sim:     sim,
+		Net:     net,
+		Genesis: NewGenesis(cfg.NetworkName),
+	}
+	for i := 0; i < cfg.N; i++ {
+		key := ClusterKey(cfg.Seed, i)
+		mine := cfg.Miners == 0 || i < cfg.Miners
+		var executor state.Executor
+		if cfg.Executor != nil {
+			executor = cfg.Executor()
+		}
+		n, err := New(Config{
+			ID:          ids[i],
+			Key:         key,
+			Engine:      cfg.Engine(i, key),
+			ForkChoice:  cfg.ForkChoice(),
+			Genesis:     c.Genesis,
+			Alloc:       cfg.Alloc,
+			Executor:    executor,
+			Rewards:     cfg.Rewards,
+			Clock:       sim,
+			Mine:        mine,
+			MaxBlockTxs: cfg.MaxBlockTxs,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ep, err := net.Join(ids[i], n.Mux().Dispatch)
+		if err != nil {
+			return nil, err
+		}
+		g := p2p.NewGossiper(ep, topo[ids[i]], cfg.Fanout,
+			rand.New(rand.NewSource(cfg.Seed+int64(i)*104729)))
+		n.Attach(ep, g)
+		c.Nodes = append(c.Nodes, n)
+		c.Keys = append(c.Keys, key)
+	}
+	return c, nil
+}
+
+// Start begins mining on every configured peer.
+func (c *Cluster) Start() {
+	for _, n := range c.Nodes {
+		n.Start()
+	}
+}
+
+// Stop halts proposal on every peer.
+func (c *Cluster) Stop() {
+	for _, n := range c.Nodes {
+		n.Stop()
+	}
+}
+
+// Addresses lists the peers' account addresses.
+func (c *Cluster) Addresses() []cryptoutil.Address {
+	out := make([]cryptoutil.Address, len(c.Nodes))
+	for i, n := range c.Nodes {
+		out[i] = n.Address()
+	}
+	return out
+}
+
+// ConsistentPrefix returns the length of the longest common main-chain
+// prefix across all peers — the paper's consistency metric: after
+// gossip settles, it should equal every peer's chain height.
+func (c *Cluster) ConsistentPrefix() uint64 {
+	if len(c.Nodes) == 0 {
+		return 0
+	}
+	depth := uint64(0)
+	for h := uint64(0); ; h++ {
+		first, ok := c.Nodes[0].Chain().AtHeight(h)
+		if !ok {
+			return depth
+		}
+		for _, n := range c.Nodes[1:] {
+			got, ok := n.Chain().AtHeight(h)
+			if !ok || got != first {
+				return depth
+			}
+		}
+		depth = h + 1
+	}
+}
+
+// ForkRate returns the fraction of accepted blocks that are off the
+// main chain at node 0 — the stale/uncle rate experiment E3 reports.
+func (c *Cluster) ForkRate() float64 {
+	n := c.Nodes[0]
+	total := n.Tree().Len() - 1 // exclude genesis
+	if total <= 0 {
+		return 0
+	}
+	main := int(n.Chain().Height())
+	return float64(total-main) / float64(total)
+}

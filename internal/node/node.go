@@ -1,0 +1,534 @@
+// Package node assembles the full peer of Figure 1: mempool, consensus
+// engine, branch selection, gossip, chain store, and state execution.
+// One node type covers every configuration of the paper's Section 2.7
+// examples — Bitcoin-like (PoW + longest chain), Ethereum-like
+// (fast PoW + GHOST + contracts), and validator-set (PoS / PoET) — by
+// plugging different Engine/ForkChoice/reward choices into the same
+// substrate ("one size does not fit all" as a configuration knob).
+package node
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"dcsledger/internal/consensus"
+	"dcsledger/internal/consensus/pow"
+	"dcsledger/internal/cryptoutil"
+	"dcsledger/internal/incentive"
+	"dcsledger/internal/p2p"
+	"dcsledger/internal/simclock"
+	"dcsledger/internal/state"
+	"dcsledger/internal/store"
+	"dcsledger/internal/txpool"
+	"dcsledger/internal/types"
+)
+
+// Gossip topics.
+const (
+	TopicTx    = "tx"
+	TopicBlock = "block"
+)
+
+// Direct (non-gossip) message types: the block-fetch protocol that
+// backfills missing ancestors after partitions heal.
+const (
+	msgGetBlock = "node/getblock"
+	msgBlock    = "node/block"
+)
+
+// Validation errors, matchable with errors.Is.
+var (
+	ErrBadTxRoot    = errors.New("node: transaction root mismatch")
+	ErrBadStateRoot = errors.New("node: state root mismatch")
+	ErrKnownBlock   = errors.New("node: block already known")
+)
+
+// Config assembles one peer.
+type Config struct {
+	// ID is the network identity.
+	ID p2p.NodeID
+	// Key signs blocks this node proposes (and derives its address).
+	Key *cryptoutil.KeyPair
+	// Engine is the block-proposal algorithm.
+	Engine consensus.Engine
+	// ForkChoice is the branch-selection algorithm.
+	ForkChoice consensus.ForkChoice
+	// Genesis is the shared genesis block.
+	Genesis *types.Block
+	// Alloc funds accounts at genesis (identical across peers).
+	Alloc map[cryptoutil.Address]uint64
+	// Executor runs contract transactions (optional).
+	Executor state.Executor
+	// Rewards is the block-subsidy schedule.
+	Rewards incentive.Schedule
+	// Clock is the (virtual or wall) time source.
+	Clock simclock.Clock
+	// Mine enables block production.
+	Mine bool
+	// MaxBlockTxs bounds user transactions per block (default 256).
+	MaxBlockTxs int
+	// PoolCapacity bounds the mempool (default txpool.DefaultCapacity).
+	PoolCapacity int
+}
+
+// Metrics counts a node's activity for the experiment harness.
+type Metrics struct {
+	BlocksProposed  uint64
+	BlocksAccepted  uint64
+	BlocksRejected  uint64
+	TxsSubmitted    uint64
+	Reorgs          uint64
+	OrphansBuffered uint64
+}
+
+// Node is one ledger peer. All public entry points serialize on an
+// internal mutex, so the node is safe both on the single-threaded
+// simulator and behind a concurrent TCP transport.
+type Node struct {
+	mu       sync.Mutex
+	cfg      Config
+	self     cryptoutil.Address
+	tree     *store.BlockTree
+	chain    *store.Chain
+	pool     *txpool.Pool
+	states   map[cryptoutil.Hash]*state.State // post-state per block
+	gossiper *p2p.Gossiper
+	tr       p2p.Transport
+	mux      *p2p.Mux
+
+	orphans   map[cryptoutil.Hash][]*types.Block // parent → waiting children
+	requested map[cryptoutil.Hash]time.Time      // ancestor fetches, by request time
+
+	mineTimer *simclock.Timer
+	mineTip   cryptoutil.Hash
+	started   bool
+
+	blockSubs []func(*types.Block)
+
+	metrics Metrics
+}
+
+// New creates a peer. Wire the returned node's Mux into a transport and
+// call Attach with the transport and its gossiper before Start.
+func New(cfg Config) (*Node, error) {
+	if cfg.Genesis == nil {
+		return nil, errors.New("node: nil genesis")
+	}
+	if cfg.Key == nil {
+		return nil, errors.New("node: nil key")
+	}
+	if cfg.Engine == nil || cfg.ForkChoice == nil {
+		return nil, errors.New("node: engine and fork choice required")
+	}
+	if cfg.MaxBlockTxs <= 0 {
+		cfg.MaxBlockTxs = 256
+	}
+	gst := state.New()
+	gst.SetExecutor(cfg.Executor)
+	for a, v := range cfg.Alloc {
+		gst.Credit(a, v)
+	}
+	tree := store.NewBlockTree(cfg.Genesis)
+	n := &Node{
+		cfg:       cfg,
+		self:      cfg.Key.Address(),
+		tree:      tree,
+		chain:     store.NewChain(tree),
+		pool:      txpool.New(cfg.PoolCapacity),
+		states:    map[cryptoutil.Hash]*state.State{cfg.Genesis.Hash(): gst},
+		mux:       p2p.NewMux(),
+		orphans:   make(map[cryptoutil.Hash][]*types.Block),
+		requested: make(map[cryptoutil.Hash]time.Time),
+	}
+	// Difficulty retargeting needs a chain view.
+	if e, ok := cfg.Engine.(interface{ SetHeaderReader(pow.HeaderReader) }); ok {
+		e.SetHeaderReader(headerReader{tree: tree})
+	}
+	return n, nil
+}
+
+// headerReader adapts the block tree to pow.HeaderReader.
+type headerReader struct {
+	tree *store.BlockTree
+}
+
+func (r headerReader) HeaderByHash(h cryptoutil.Hash) (*types.BlockHeader, bool) {
+	b, ok := r.tree.Get(h)
+	if !ok {
+		return nil, false
+	}
+	return &b.Header, true
+}
+
+// Mux is the node's message dispatcher; point the transport handler at
+// Mux().Dispatch.
+func (n *Node) Mux() *p2p.Mux { return n.mux }
+
+// Attach wires the node to its transport and gossiper.
+func (n *Node) Attach(tr p2p.Transport, g *p2p.Gossiper) {
+	n.tr = tr
+	n.gossiper = g
+	n.mux.Handle(p2p.GossipMsgType, g.HandleMessage)
+	n.mux.Handle("node/", n.onDirect)
+	g.Subscribe(TopicTx, n.onTxGossip)
+	g.Subscribe(TopicBlock, n.onBlockGossip)
+}
+
+// Start begins mining if configured. Call after Attach.
+func (n *Node) Start() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.started = true
+	if n.cfg.Mine {
+		n.scheduleMine()
+	}
+}
+
+// Stop cancels any pending proposal.
+func (n *Node) Stop() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.started = false
+	n.mineTimer.Stop()
+}
+
+// Accessors for tests, examples, and the experiment harness.
+
+// Address returns the node's account address.
+func (n *Node) Address() cryptoutil.Address { return n.self }
+
+// Chain returns the node's main-chain view.
+func (n *Node) Chain() *store.Chain { return n.chain }
+
+// Tree returns the node's full block tree.
+func (n *Node) Tree() *store.BlockTree { return n.tree }
+
+// Pool returns the node's mempool.
+func (n *Node) Pool() *txpool.Pool { return n.pool }
+
+// Metrics returns a snapshot of activity counters.
+func (n *Node) Metrics() Metrics {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.metrics
+}
+
+// State returns the state at the current main-chain head.
+func (n *Node) State() *state.State {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.states[n.chain.Head()]
+}
+
+// StateAt returns the post-state of a specific block.
+func (n *Node) StateAt(h cryptoutil.Hash) (*state.State, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st, ok := n.states[h]
+	return st, ok
+}
+
+// Balance is a convenience query against the head state.
+func (n *Node) Balance(a cryptoutil.Address) uint64 {
+	return n.State().Balance(a)
+}
+
+// OnBlock registers an event-notification callback fired for every
+// block that joins the main chain (in chain order, including blocks
+// re-added by reorgs) — the messaging/eventing middleware hook of the
+// paper's Section 5.2. Callbacks run on the node's event path and must
+// not call back into the node.
+func (n *Node) OnBlock(fn func(*types.Block)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.blockSubs = append(n.blockSubs, fn)
+}
+
+// SubmitTx validates a transaction into the mempool and gossips it.
+func (n *Node) SubmitTx(tx *types.Transaction) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if err := n.pool.Add(tx); err != nil {
+		return err
+	}
+	n.metrics.TxsSubmitted++
+	if n.gossiper != nil {
+		n.gossiper.Publish(TopicTx, tx.Encode())
+	}
+	return nil
+}
+
+func (n *Node) onTxGossip(from p2p.NodeID, payload []byte) {
+	if from == n.cfg.ID {
+		return // local publish: already pooled by SubmitTx
+	}
+	tx, err := types.DecodeTransaction(payload)
+	if err != nil {
+		return // malformed gossip: drop
+	}
+	_ = n.pool.Add(tx) // duplicates and invalid txs are fine to drop
+}
+
+func (n *Node) onBlockGossip(from p2p.NodeID, payload []byte) {
+	if from == n.cfg.ID {
+		return // local publish: already integrated by produceBlock
+	}
+	b, err := types.DecodeBlock(payload)
+	if err != nil {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	_ = n.handleBlockFrom(b, from)
+}
+
+// onDirect serves the block-fetch protocol.
+func (n *Node) onDirect(m p2p.Message) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	switch m.Type {
+	case msgGetBlock:
+		h, err := cryptoutil.HashFromHex(string(m.Data))
+		if err != nil {
+			return
+		}
+		if b, ok := n.tree.Get(h); ok && n.tr != nil {
+			_ = n.tr.Send(m.From, p2p.Message{Type: msgBlock, Data: b.Encode()})
+		}
+	case msgBlock:
+		b, err := types.DecodeBlock(m.Data)
+		if err != nil {
+			return
+		}
+		delete(n.requested, b.Hash())
+		_ = n.handleBlockFrom(b, m.From)
+	}
+}
+
+// fetchRetry is how long an unanswered ancestor fetch stays in flight
+// before a later trigger may re-issue it (requests and replies can be
+// lost like any other message).
+const fetchRetry = 5 * time.Second
+
+func (n *Node) requestBlock(from p2p.NodeID, h cryptoutil.Hash) {
+	if n.tr == nil || from == "" {
+		return
+	}
+	now := n.cfg.Clock.Now()
+	if at, ok := n.requested[h]; ok && now.Sub(at) < fetchRetry {
+		return
+	}
+	n.requested[h] = now
+	_ = n.tr.Send(from, p2p.Message{Type: msgGetBlock, Data: []byte(h.Hex())})
+}
+
+// HandleBlock validates and integrates a block received from the
+// network (or locally mined). Unknown-parent blocks are buffered until
+// the parent arrives.
+func (n *Node) HandleBlock(b *types.Block) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.handleBlockFrom(b, "")
+}
+
+func (n *Node) handleBlockFrom(b *types.Block, from p2p.NodeID) error {
+	h := b.Hash()
+	if n.tree.Has(h) {
+		return fmt.Errorf("%w: %s", ErrKnownBlock, h.Short())
+	}
+	if !n.tree.Has(b.Header.ParentHash) {
+		n.orphans[b.Header.ParentHash] = append(n.orphans[b.Header.ParentHash], b)
+		n.metrics.OrphansBuffered++
+		// Walk back toward the fork point via the sender.
+		n.requestBlock(from, b.Header.ParentHash)
+		return nil
+	}
+	if err := n.connect(b); err != nil {
+		n.metrics.BlocksRejected++
+		return err
+	}
+	// Connecting may unblock orphans, recursively.
+	n.adoptOrphans(h)
+	n.afterTreeChange()
+	return nil
+}
+
+func (n *Node) adoptOrphans(parent cryptoutil.Hash) {
+	waiting := n.orphans[parent]
+	if len(waiting) == 0 {
+		return
+	}
+	delete(n.orphans, parent)
+	for _, b := range waiting {
+		if err := n.connect(b); err != nil {
+			n.metrics.BlocksRejected++
+			continue
+		}
+		n.adoptOrphans(b.Hash())
+	}
+}
+
+// connect validates b against its (present) parent and stores it.
+func (n *Node) connect(b *types.Block) error {
+	parent, _ := n.tree.Get(b.Header.ParentHash)
+	if !b.VerifyTxRoot() {
+		return ErrBadTxRoot
+	}
+	if err := n.cfg.Engine.VerifySeal(b, parent); err != nil {
+		return fmt.Errorf("node: %w", err)
+	}
+	parentState, ok := n.states[b.Header.ParentHash]
+	if !ok {
+		return fmt.Errorf("node: no state for parent %s", b.Header.ParentHash.Short())
+	}
+	st := parentState.Copy()
+	n.setExecutorTime(b.Header.Time)
+	if _, err := st.ApplyBlock(b, n.cfg.Rewards.RewardAt(b.Header.Height)); err != nil {
+		return fmt.Errorf("node: %w", err)
+	}
+	if root := st.Commit(); root != b.Header.StateRoot {
+		return fmt.Errorf("%w: computed %s, header %s", ErrBadStateRoot, root.Short(), b.Header.StateRoot.Short())
+	}
+	if err := n.tree.Add(b); err != nil {
+		return err
+	}
+	n.states[b.Hash()] = st
+	n.metrics.BlocksAccepted++
+	return nil
+}
+
+// afterTreeChange re-runs the fork choice, updates the main chain, and
+// reschedules mining if the tip moved.
+func (n *Node) afterTreeChange() {
+	tip, err := n.cfg.ForkChoice.Choose(n.tree)
+	if err != nil || tip == n.chain.Head() {
+		return
+	}
+	removed, added, err := n.chain.SetHead(tip)
+	if err != nil {
+		return
+	}
+	if len(removed) > 0 {
+		n.metrics.Reorgs++
+		// Give reorged-out transactions another chance.
+		for _, h := range removed {
+			if b, ok := n.tree.Get(h); ok {
+				n.pool.Readd(b.Txs)
+			}
+		}
+	}
+	for _, h := range added {
+		if b, ok := n.tree.Get(h); ok {
+			n.pool.RemoveBlockTxs(b)
+			for _, fn := range n.blockSubs {
+				fn(b)
+			}
+		}
+	}
+	if n.started && n.cfg.Mine {
+		n.scheduleMine()
+	}
+}
+
+// scheduleMine arms the proposal timer for the current tip.
+func (n *Node) scheduleMine() {
+	tip := n.chain.Head()
+	if n.mineTip == tip && n.mineTimer != nil {
+		return // already mining on this tip
+	}
+	n.mineTimer.Stop()
+	n.mineTip = tip
+	tipBlock := n.chain.HeadBlock()
+	delay, ok := n.cfg.Engine.Delay(tipBlock, n.self)
+	if !ok {
+		return
+	}
+	n.mineTimer = n.cfg.Clock.After(delay, func() {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		n.mineTimer = nil
+		if !n.started || n.chain.Head() != tip {
+			return // tip moved while waiting
+		}
+		if err := n.produceBlock(); err == nil {
+			n.metrics.BlocksProposed++
+		}
+		// Keep mining on whatever the tip is now.
+		n.mineTip = cryptoutil.ZeroHash
+		if n.started {
+			n.scheduleMine()
+		}
+	})
+}
+
+// produceBlock assembles, seals, adopts, and gossips a new block on the
+// current tip.
+func (n *Node) produceBlock() error {
+	parent := n.chain.HeadBlock()
+	parentHash := parent.Hash()
+	now := n.cfg.Clock.Now().UnixNano()
+	height := parent.Header.Height + 1
+	reward := n.cfg.Rewards.RewardAt(height)
+
+	// Select transactions and build the body.
+	candidates := n.pool.Select(n.cfg.MaxBlockTxs, 0)
+	parentState, ok := n.states[parentHash]
+	if !ok {
+		return fmt.Errorf("node: no state for tip %s", parentHash.Short())
+	}
+	st := parentState.Copy()
+	n.setExecutorTime(now)
+
+	// Filter to transactions that actually apply on this state (wrong
+	// nonces or insufficient balances are left pooled).
+	var (
+		included []*types.Transaction
+		fees     uint64
+	)
+	for _, tx := range candidates {
+		if _, err := st.ApplyTx(tx, n.self); err != nil {
+			continue
+		}
+		included = append(included, tx)
+		fees += tx.Fee
+	}
+
+	// Rebuild final state from scratch so coinbase ordering matches
+	// validation (coinbase subsidy first, then txs).
+	st = parentState.Copy()
+	coinbase := types.NewCoinbase(n.self, reward+fees, height)
+	txs := append([]*types.Transaction{coinbase}, included...)
+	b := types.NewBlock(parentHash, height, now, n.self, txs)
+	if _, err := st.ApplyBlock(b, reward); err != nil {
+		return fmt.Errorf("node: self-apply: %w", err)
+	}
+	b.Header.StateRoot = st.Commit()
+	if err := n.cfg.Engine.Prepare(&b.Header, parent); err != nil {
+		return err
+	}
+	if err := n.cfg.Engine.Seal(b, parent); err != nil {
+		return err
+	}
+	if err := n.handleBlockFrom(b, ""); err != nil {
+		return err
+	}
+	if n.gossiper != nil {
+		n.gossiper.Publish(TopicBlock, b.Encode())
+	}
+	return nil
+}
+
+func (n *Node) setExecutorTime(now int64) {
+	if e, ok := n.cfg.Executor.(interface{ SetNow(int64) }); ok {
+		e.SetNow(now)
+	}
+}
+
+// NewGenesis builds the canonical genesis block shared by a network.
+func NewGenesis(networkName string) *types.Block {
+	g := types.NewBlock(cryptoutil.ZeroHash, 0, 0, cryptoutil.ZeroAddress, nil)
+	g.Header.Extra = []byte(networkName)
+	return g
+}

@@ -1,0 +1,182 @@
+package p2p
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"dcsledger/internal/cryptoutil"
+)
+
+// GossipMsgType is the Message.Type used by the gossip protocol.
+const GossipMsgType = "gossip"
+
+// envelope is the wire format of one gossiped item.
+type envelope struct {
+	ID      cryptoutil.Hash `json:"id"`
+	Topic   string          `json:"topic"`
+	Payload []byte          `json:"payload"`
+	Hops    int             `json:"hops"`
+}
+
+// DeliverFunc receives a gossiped payload exactly once per node.
+type DeliverFunc func(from NodeID, payload []byte)
+
+// Gossiper floods published items to the node's overlay neighbors:
+// push-based epidemic broadcast with duplicate suppression, the
+// mechanism Section 2.3 describes for disseminating transactions and
+// blocks. Each node forwards a newly seen item to min(fanout,
+// |neighbors|) random neighbors.
+type Gossiper struct {
+	tr        Transport
+	neighbors []NodeID
+	fanout    int
+	rng       *rand.Rand
+	seen      map[cryptoutil.Hash]struct{}
+	subs      map[string]DeliverFunc
+	delivered uint64
+}
+
+// NewGossiper creates a gossiper for the node behind tr, forwarding to
+// the given overlay neighbors with the given fanout.
+func NewGossiper(tr Transport, neighbors []NodeID, fanout int, rng *rand.Rand) *Gossiper {
+	if fanout < 1 {
+		fanout = 1
+	}
+	return &Gossiper{
+		tr:        tr,
+		neighbors: append([]NodeID(nil), neighbors...),
+		fanout:    fanout,
+		rng:       rng,
+		seen:      make(map[cryptoutil.Hash]struct{}),
+		subs:      make(map[string]DeliverFunc),
+	}
+}
+
+// Subscribe registers the delivery callback for a topic.
+func (g *Gossiper) Subscribe(topic string, fn DeliverFunc) {
+	g.subs[topic] = fn
+}
+
+// Publish floods payload under topic, delivering locally first.
+func (g *Gossiper) Publish(topic string, payload []byte) {
+	env := envelope{
+		ID:      cryptoutil.HashBytes([]byte("gossip/"+topic), payload),
+		Topic:   topic,
+		Payload: payload,
+	}
+	if _, ok := g.seen[env.ID]; ok {
+		return
+	}
+	g.seen[env.ID] = struct{}{}
+	g.deliver(g.tr.Self(), env)
+	g.forward(env)
+}
+
+// HandleMessage processes an incoming gossip Message; wire it into the
+// node's Mux under GossipMsgType.
+func (g *Gossiper) HandleMessage(m Message) {
+	var env envelope
+	if err := json.Unmarshal(m.Data, &env); err != nil {
+		return // malformed gossip from a faulty peer: drop
+	}
+	if _, ok := g.seen[env.ID]; ok {
+		return
+	}
+	g.seen[env.ID] = struct{}{}
+	g.deliver(m.From, env)
+	env.Hops++
+	g.forward(env)
+}
+
+// Delivered returns how many distinct items this node has delivered.
+func (g *Gossiper) Delivered() uint64 { return g.delivered }
+
+// Neighbors returns the overlay neighbor set.
+func (g *Gossiper) Neighbors() []NodeID {
+	return append([]NodeID(nil), g.neighbors...)
+}
+
+func (g *Gossiper) deliver(from NodeID, env envelope) {
+	g.delivered++
+	if fn, ok := g.subs[env.Topic]; ok {
+		fn(from, env.Payload)
+	}
+}
+
+func (g *Gossiper) forward(env envelope) {
+	data, err := json.Marshal(env)
+	if err != nil {
+		return
+	}
+	targets := g.pickNeighbors()
+	for _, to := range targets {
+		_ = g.tr.Send(to, Message{Type: GossipMsgType, Data: data})
+	}
+}
+
+func (g *Gossiper) pickNeighbors() []NodeID {
+	if len(g.neighbors) <= g.fanout {
+		return g.neighbors
+	}
+	idx := g.rng.Perm(len(g.neighbors))[:g.fanout]
+	out := make([]NodeID, len(idx))
+	for i, j := range idx {
+		out[i] = g.neighbors[j]
+	}
+	return out
+}
+
+// RandomTopology builds a connected undirected overlay over ids: a ring
+// (guaranteeing connectivity) plus random chords until each node has at
+// least the requested degree. Deterministic for a given rng.
+func RandomTopology(ids []NodeID, degree int, rng *rand.Rand) map[NodeID][]NodeID {
+	n := len(ids)
+	adj := make(map[NodeID]map[NodeID]struct{}, n)
+	sorted := append([]NodeID(nil), ids...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, id := range sorted {
+		adj[id] = make(map[NodeID]struct{})
+	}
+	if n <= 1 {
+		return flatten(adj)
+	}
+	link := func(a, b NodeID) {
+		if a != b {
+			adj[a][b] = struct{}{}
+			adj[b][a] = struct{}{}
+		}
+	}
+	// Ring for connectivity.
+	for i, id := range sorted {
+		link(id, sorted[(i+1)%n])
+	}
+	// Random chords up to the requested degree.
+	if degree > n-1 {
+		degree = n - 1
+	}
+	for _, id := range sorted {
+		for attempts := 0; len(adj[id]) < degree && attempts < 10*n; attempts++ {
+			link(id, sorted[rng.Intn(n)])
+		}
+	}
+	return flatten(adj)
+}
+
+func flatten(adj map[NodeID]map[NodeID]struct{}) map[NodeID][]NodeID {
+	out := make(map[NodeID][]NodeID, len(adj))
+	for id, set := range adj {
+		ns := make([]NodeID, 0, len(set))
+		for nb := range set {
+			ns = append(ns, nb)
+		}
+		sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+		out[id] = ns
+	}
+	return out
+}
+
+// NodeName formats the conventional node identifier used across the
+// simulations.
+func NodeName(i int) NodeID { return NodeID(fmt.Sprintf("node-%03d", i)) }

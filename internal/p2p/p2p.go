@@ -1,0 +1,77 @@
+// Package p2p implements the Network layer of the blockchain stack
+// (Section 4.6): node identities, message transports, and the gossip
+// protocol peers use to disseminate transactions and blocks over an
+// unstructured overlay (Section 2.3).
+//
+// Two transports are provided: a deterministic in-memory simulator
+// (SimNetwork) driven by a virtual clock — the substrate for every
+// experiment — and a TCP transport for the real daemon.
+package p2p
+
+import (
+	"strings"
+	"sync"
+)
+
+// NodeID identifies a peer on the network.
+type NodeID string
+
+// Message is the unit of communication between peers. Type routes the
+// message to a protocol handler ("gossip", "pbft/prepare", "sync/req",
+// ...); Data is the protocol-specific payload.
+type Message struct {
+	From NodeID `json:"from"`
+	Type string `json:"type"`
+	Data []byte `json:"data"`
+}
+
+// Handler consumes an incoming message.
+type Handler func(Message)
+
+// Transport lets a node send messages and discover membership.
+type Transport interface {
+	// Self returns this node's identity.
+	Self() NodeID
+	// Send delivers a message to one peer (asynchronously).
+	Send(to NodeID, m Message) error
+	// Peers lists the currently known peers, excluding self.
+	Peers() []NodeID
+}
+
+// Mux dispatches incoming messages to protocol handlers by the longest
+// registered prefix of Message.Type. It is safe for concurrent use.
+type Mux struct {
+	mu     sync.RWMutex
+	routes map[string]Handler
+}
+
+// NewMux returns an empty mux.
+func NewMux() *Mux {
+	return &Mux{routes: make(map[string]Handler)}
+}
+
+// Handle registers a handler for all message types with the given
+// prefix. Registering an existing prefix replaces the handler.
+func (m *Mux) Handle(prefix string, h Handler) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.routes[prefix] = h
+}
+
+// Dispatch routes one message; unroutable messages are dropped.
+func (m *Mux) Dispatch(msg Message) {
+	m.mu.RLock()
+	var (
+		best    Handler
+		bestLen = -1
+	)
+	for prefix, h := range m.routes {
+		if strings.HasPrefix(msg.Type, prefix) && len(prefix) > bestLen {
+			best, bestLen = h, len(prefix)
+		}
+	}
+	m.mu.RUnlock()
+	if best != nil {
+		best(msg)
+	}
+}

@@ -1,0 +1,196 @@
+package p2p
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"dcsledger/internal/simclock"
+)
+
+// Simulated-network errors.
+var (
+	ErrUnknownPeer = errors.New("p2p: unknown peer")
+	ErrDuplicateID = errors.New("p2p: node id already joined")
+)
+
+// SimStats aggregates traffic counters for experiments.
+type SimStats struct {
+	Sent      uint64
+	Delivered uint64
+	Dropped   uint64
+	Bytes     uint64
+}
+
+// SimNetwork is a deterministic in-memory network running on a virtual
+// clock: messages are delivered as scheduled events after a configurable
+// latency, with optional jitter, loss, and partitions. All interaction
+// must happen on the simulator's event loop; the type is intentionally
+// not goroutine-safe.
+type SimNetwork struct {
+	clock *simclock.Simulator
+	rng   *rand.Rand
+
+	endpoints map[NodeID]*SimEndpoint
+	latency   time.Duration
+	jitter    time.Duration
+	linkLat   map[[2]NodeID]time.Duration
+	dropRate  float64
+	partition map[NodeID]int
+
+	stats SimStats
+}
+
+// SimOption configures a SimNetwork.
+type SimOption interface{ apply(*SimNetwork) }
+
+type simOptionFunc func(*SimNetwork)
+
+func (f simOptionFunc) apply(n *SimNetwork) { f(n) }
+
+// WithLatency sets the base one-way delivery latency (default 50ms).
+func WithLatency(d time.Duration) SimOption {
+	return simOptionFunc(func(n *SimNetwork) { n.latency = d })
+}
+
+// WithJitter adds up to d of uniformly random extra latency per message.
+func WithJitter(d time.Duration) SimOption {
+	return simOptionFunc(func(n *SimNetwork) { n.jitter = d })
+}
+
+// WithDropRate makes each message independently lost with probability p.
+func WithDropRate(p float64) SimOption {
+	return simOptionFunc(func(n *SimNetwork) { n.dropRate = p })
+}
+
+// NewSimNetwork creates a simulated network on the given clock, seeded
+// for reproducibility.
+func NewSimNetwork(clock *simclock.Simulator, seed int64, opts ...SimOption) *SimNetwork {
+	n := &SimNetwork{
+		clock:     clock,
+		rng:       rand.New(rand.NewSource(seed)),
+		endpoints: make(map[NodeID]*SimEndpoint),
+		latency:   50 * time.Millisecond,
+		linkLat:   make(map[[2]NodeID]time.Duration),
+		partition: make(map[NodeID]int),
+	}
+	for _, o := range opts {
+		o.apply(n)
+	}
+	return n
+}
+
+// Join registers a node and its message handler, returning its endpoint.
+func (n *SimNetwork) Join(id NodeID, h Handler) (*SimEndpoint, error) {
+	if _, ok := n.endpoints[id]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrDuplicateID, id)
+	}
+	ep := &SimEndpoint{net: n, id: id, handler: h}
+	n.endpoints[id] = ep
+	return ep, nil
+}
+
+// SetHandler replaces a node's handler (used when wiring a node after
+// transport creation).
+func (n *SimNetwork) SetHandler(id NodeID, h Handler) error {
+	ep, ok := n.endpoints[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownPeer, id)
+	}
+	ep.handler = h
+	return nil
+}
+
+// SetLinkLatency overrides latency for the directed link from → to.
+func (n *SimNetwork) SetLinkLatency(from, to NodeID, d time.Duration) {
+	n.linkLat[[2]NodeID{from, to}] = d
+}
+
+// Partition splits the network into groups; messages across group
+// boundaries are dropped until Heal. Nodes not listed stay in group 0.
+func (n *SimNetwork) Partition(groups ...[]NodeID) {
+	n.partition = make(map[NodeID]int)
+	for gi, group := range groups {
+		for _, id := range group {
+			n.partition[id] = gi + 1
+		}
+	}
+}
+
+// Heal removes all partitions.
+func (n *SimNetwork) Heal() {
+	n.partition = make(map[NodeID]int)
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (n *SimNetwork) Stats() SimStats { return n.stats }
+
+// NodeIDs lists all joined nodes.
+func (n *SimNetwork) NodeIDs() []NodeID {
+	out := make([]NodeID, 0, len(n.endpoints))
+	for id := range n.endpoints {
+		out = append(out, id)
+	}
+	return out
+}
+
+func (n *SimNetwork) send(from, to NodeID, m Message) error {
+	dst, ok := n.endpoints[to]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownPeer, to)
+	}
+	n.stats.Sent++
+	n.stats.Bytes += uint64(len(m.Data))
+	if n.partition[from] != n.partition[to] {
+		n.stats.Dropped++
+		return nil // partitioned: silently lost, like the real network
+	}
+	if n.dropRate > 0 && n.rng.Float64() < n.dropRate {
+		n.stats.Dropped++
+		return nil
+	}
+	d := n.latency
+	if ll, ok := n.linkLat[[2]NodeID{from, to}]; ok {
+		d = ll
+	}
+	if n.jitter > 0 {
+		d += time.Duration(n.rng.Int63n(int64(n.jitter)))
+	}
+	m.From = from
+	n.clock.After(d, func() {
+		n.stats.Delivered++
+		if dst.handler != nil {
+			dst.handler(m)
+		}
+	})
+	return nil
+}
+
+// SimEndpoint is one node's attachment to a SimNetwork.
+type SimEndpoint struct {
+	net     *SimNetwork
+	id      NodeID
+	handler Handler
+}
+
+var _ Transport = (*SimEndpoint)(nil)
+
+// Self implements Transport.
+func (e *SimEndpoint) Self() NodeID { return e.id }
+
+// Send implements Transport.
+func (e *SimEndpoint) Send(to NodeID, m Message) error {
+	return e.net.send(e.id, to, m)
+}
+
+// Peers implements Transport: the full membership, excluding self.
+func (e *SimEndpoint) Peers() []NodeID {
+	out := make([]NodeID, 0, len(e.net.endpoints)-1)
+	for id := range e.net.endpoints {
+		if id != e.id {
+			out = append(out, id)
+		}
+	}
+	return out
+}

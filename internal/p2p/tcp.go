@@ -1,0 +1,180 @@
+package p2p
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+)
+
+// ErrClosed is returned by Send after the transport has been closed.
+var ErrClosed = errors.New("p2p: transport closed")
+
+// TCPTransport is the real-network transport used by the ledgerd daemon:
+// length-delimited JSON messages over persistent TCP connections. Peers
+// are added explicitly (static membership, as in a consortium network).
+type TCPTransport struct {
+	self    NodeID
+	ln      net.Listener
+	handler Handler
+
+	mu      sync.Mutex
+	peers   map[NodeID]string // address book
+	conns   map[NodeID]*json.Encoder
+	raw     map[NodeID]net.Conn
+	inbound map[net.Conn]struct{}
+	closed  bool
+
+	wg sync.WaitGroup
+}
+
+var _ Transport = (*TCPTransport)(nil)
+
+// NewTCPTransport starts listening on bindAddr and handles incoming
+// messages with h.
+func NewTCPTransport(self NodeID, bindAddr string, h Handler) (*TCPTransport, error) {
+	ln, err := net.Listen("tcp", bindAddr)
+	if err != nil {
+		return nil, fmt.Errorf("p2p: listen %s: %w", bindAddr, err)
+	}
+	t := &TCPTransport{
+		self:    self,
+		ln:      ln,
+		handler: h,
+		peers:   make(map[NodeID]string),
+		conns:   make(map[NodeID]*json.Encoder),
+		raw:     make(map[NodeID]net.Conn),
+		inbound: make(map[net.Conn]struct{}),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the transport's listening address.
+func (t *TCPTransport) Addr() string { return t.ln.Addr().String() }
+
+// Self implements Transport.
+func (t *TCPTransport) Self() NodeID { return t.self }
+
+// AddPeer records a peer's dialable address.
+func (t *TCPTransport) AddPeer(id NodeID, addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.peers[id] = addr
+}
+
+// Peers implements Transport.
+func (t *TCPTransport) Peers() []NodeID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]NodeID, 0, len(t.peers))
+	for id := range t.peers {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Send implements Transport, dialing on first use and reusing the
+// connection afterwards.
+func (t *TCPTransport) Send(to NodeID, m Message) error {
+	m.From = t.self
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrClosed
+	}
+	enc, ok := t.conns[to]
+	if !ok {
+		addr, known := t.peers[to]
+		if !known {
+			t.mu.Unlock()
+			return fmt.Errorf("%w: %s", ErrUnknownPeer, to)
+		}
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.mu.Unlock()
+			return fmt.Errorf("p2p: dial %s: %w", to, err)
+		}
+		enc = json.NewEncoder(conn)
+		t.conns[to] = enc
+		t.raw[to] = conn
+	}
+	t.mu.Unlock()
+
+	if err := enc.Encode(m); err != nil {
+		t.mu.Lock()
+		if c, ok := t.raw[to]; ok {
+			c.Close()
+		}
+		delete(t.conns, to)
+		delete(t.raw, to)
+		t.mu.Unlock()
+		return fmt.Errorf("p2p: send to %s: %w", to, err)
+	}
+	return nil
+}
+
+// Close shuts the listener and all connections down and waits for the
+// reader goroutines to exit.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	for _, c := range t.raw {
+		c.Close()
+	}
+	for c := range t.inbound {
+		c.Close()
+	}
+	t.mu.Unlock()
+	err := t.ln.Close()
+	t.wg.Wait()
+	return err
+}
+
+func (t *TCPTransport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.inbound[conn] = struct{}{}
+		t.wg.Add(1)
+		t.mu.Unlock()
+		go t.readLoop(conn)
+	}
+}
+
+func (t *TCPTransport) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		conn.Close()
+		t.mu.Lock()
+		delete(t.inbound, conn)
+		t.mu.Unlock()
+	}()
+	dec := json.NewDecoder(conn)
+	for {
+		var m Message
+		if err := dec.Decode(&m); err != nil {
+			return
+		}
+		if t.handler != nil {
+			t.handler(m)
+		}
+	}
+}

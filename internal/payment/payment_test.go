@@ -1,0 +1,278 @@
+package payment
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dcsledger/internal/cryptoutil"
+	"dcsledger/internal/simclock"
+	"dcsledger/internal/state"
+)
+
+func setup(t *testing.T) (*state.State, *cryptoutil.KeyPair, *cryptoutil.KeyPair) {
+	t.Helper()
+	st := state.New()
+	a := cryptoutil.KeyFromSeed([]byte("party-a"))
+	b := cryptoutil.KeyFromSeed([]byte("party-b"))
+	st.Credit(a.Address(), 1000)
+	st.Credit(b.Address(), 1000)
+	return st, a, b
+}
+
+func TestOpenPayClose(t *testing.T) {
+	st, a, b := setup(t)
+	ch, err := Open(st, a, b, 400, 100)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	// Funds left the parties on-chain.
+	if st.Balance(a.Address()) != 600 || st.Balance(b.Address()) != 900 {
+		t.Fatal("deposits not debited")
+	}
+
+	// Many off-chain payments, zero on-chain activity.
+	for i := 0; i < 100; i++ {
+		if _, err := ch.Pay(true, 2); err != nil {
+			t.Fatalf("Pay %d: %v", i, err)
+		}
+	}
+	if _, err := ch.Pay(false, 50); err != nil {
+		t.Fatalf("Pay back: %v", err)
+	}
+	balA, balB := ch.Balances()
+	if balA != 400-200+50 || balB != 100+200-50 {
+		t.Fatalf("balances %d/%d", balA, balB)
+	}
+	if ch.Payments() != 101 {
+		t.Fatalf("payments = %d", ch.Payments())
+	}
+
+	if err := ch.CooperativeClose(st); err != nil {
+		t.Fatalf("CooperativeClose: %v", err)
+	}
+	if st.Balance(a.Address()) != 600+250 || st.Balance(b.Address()) != 900+250 {
+		t.Fatalf("settled balances %d/%d", st.Balance(a.Address()), st.Balance(b.Address()))
+	}
+	if !ch.Closed() {
+		t.Fatal("channel should be closed")
+	}
+	if _, err := ch.Pay(true, 1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+}
+
+func TestOpenInsufficientFunds(t *testing.T) {
+	st, a, b := setup(t)
+	if _, err := Open(st, a, b, 5000, 1); err == nil {
+		t.Fatal("overdraft open must fail")
+	}
+	// Failed open must not leak funds.
+	if st.Balance(a.Address()) != 1000 || st.Balance(b.Address()) != 1000 {
+		t.Fatal("failed open changed balances")
+	}
+	if _, err := Open(st, a, b, 1, 5000); err == nil {
+		t.Fatal("overdraft open must fail")
+	}
+	if st.Balance(a.Address()) != 1000 {
+		t.Fatal("A's deposit must be rolled back when B cannot fund")
+	}
+}
+
+func TestPayInsufficientChannelBalance(t *testing.T) {
+	st, a, b := setup(t)
+	ch, err := Open(st, a, b, 10, 0)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if _, err := ch.Pay(true, 11); !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("want ErrInsufficient, got %v", err)
+	}
+	if _, err := ch.Pay(false, 1); !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("want ErrInsufficient, got %v", err)
+	}
+}
+
+func TestUnilateralCloseWithStaleStateIsChallenged(t *testing.T) {
+	st, a, b := setup(t)
+	sim := simclock.NewSimulator()
+	ch, err := Open(st, a, b, 500, 500)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	stale, err := ch.Pay(true, 100) // A: 400, B: 600
+	if err != nil {
+		t.Fatalf("Pay: %v", err)
+	}
+	latest, err := ch.Pay(true, 300) // A: 100, B: 900
+	if err != nil {
+		t.Fatalf("Pay: %v", err)
+	}
+
+	// A tries to cheat by closing with the stale state.
+	if err := ch.UnilateralClose(sim, stale, time.Hour); err != nil {
+		t.Fatalf("UnilateralClose: %v", err)
+	}
+	// Cannot settle while the challenge window is open.
+	if err := ch.SettleDispute(st, sim); !errors.Is(err, ErrChallengeLive) {
+		t.Fatalf("want ErrChallengeLive, got %v", err)
+	}
+	// B presents the newer state.
+	if err := ch.Challenge(sim, latest); err != nil {
+		t.Fatalf("Challenge: %v", err)
+	}
+	// Stale re-challenge is rejected.
+	if err := ch.Challenge(sim, stale); !errors.Is(err, ErrStaleUpdate) {
+		t.Fatalf("want ErrStaleUpdate, got %v", err)
+	}
+	sim.RunFor(2 * time.Hour)
+	if err := ch.SettleDispute(st, sim); err != nil {
+		t.Fatalf("SettleDispute: %v", err)
+	}
+	if st.Balance(a.Address()) != 500+100 || st.Balance(b.Address()) != 500+900 {
+		t.Fatalf("dispute settled wrong: %d/%d", st.Balance(a.Address()), st.Balance(b.Address()))
+	}
+}
+
+func TestChallengeAfterDeadlineRejected(t *testing.T) {
+	st, a, b := setup(t)
+	sim := simclock.NewSimulator()
+	ch, err := Open(st, a, b, 100, 100)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	stale := ch.latest
+	latest, err := ch.Pay(true, 50)
+	if err != nil {
+		t.Fatalf("Pay: %v", err)
+	}
+	if err := ch.UnilateralClose(sim, stale, time.Minute); err != nil {
+		t.Fatalf("UnilateralClose: %v", err)
+	}
+	sim.RunFor(2 * time.Minute)
+	if err := ch.Challenge(sim, latest); !errors.Is(err, ErrChallengeOver) {
+		t.Fatalf("want ErrChallengeOver, got %v", err)
+	}
+}
+
+func TestVerifyUpdateRejectsForgery(t *testing.T) {
+	st, a, b := setup(t)
+	ch, err := Open(st, a, b, 100, 100)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	u, err := ch.Pay(true, 10)
+	if err != nil {
+		t.Fatalf("Pay: %v", err)
+	}
+	t.Run("tampered balances", func(t *testing.T) {
+		forged := u
+		forged.BalanceA += 5 // breaks capacity conservation
+		if err := ch.VerifyUpdate(forged); !errors.Is(err, ErrBadUpdate) {
+			t.Fatalf("want ErrBadUpdate, got %v", err)
+		}
+	})
+	t.Run("reshuffled balances", func(t *testing.T) {
+		forged := u
+		forged.BalanceA, forged.BalanceB = forged.BalanceB, forged.BalanceA
+		if err := ch.VerifyUpdate(forged); !errors.Is(err, ErrBadUpdate) {
+			t.Fatalf("want ErrBadUpdate (signature), got %v", err)
+		}
+	})
+	t.Run("wrong channel", func(t *testing.T) {
+		forged := u
+		forged.ChannelID = cryptoutil.HashBytes([]byte("other"))
+		if err := ch.VerifyUpdate(forged); !errors.Is(err, ErrBadUpdate) {
+			t.Fatalf("want ErrBadUpdate, got %v", err)
+		}
+	})
+}
+
+func TestRoutePaymentMultiHop(t *testing.T) {
+	// A — B — C: A pays C through B.
+	st := state.New()
+	a := cryptoutil.KeyFromSeed([]byte("a"))
+	b := cryptoutil.KeyFromSeed([]byte("b"))
+	cK := cryptoutil.KeyFromSeed([]byte("c"))
+	for _, k := range []*cryptoutil.KeyPair{a, b, cK} {
+		st.Credit(k.Address(), 1000)
+	}
+	ab, err := Open(st, a, b, 500, 500)
+	if err != nil {
+		t.Fatalf("Open ab: %v", err)
+	}
+	bc, err := Open(st, b, cK, 500, 500)
+	if err != nil {
+		t.Fatalf("Open bc: %v", err)
+	}
+	secret := []byte("the payment secret")
+	lock := HashLock(secret)
+	if err := RoutePayment([]*Channel{ab, bc}, []bool{true, true}, 200, secret, lock); err != nil {
+		t.Fatalf("RoutePayment: %v", err)
+	}
+	abA, abB := ab.Balances()
+	bcB, bcC := bc.Balances()
+	if abA != 300 || abB != 700 || bcB != 300 || bcC != 700 {
+		t.Fatalf("hop balances %d/%d %d/%d", abA, abB, bcB, bcC)
+	}
+}
+
+func TestRoutePaymentFailures(t *testing.T) {
+	st := state.New()
+	a := cryptoutil.KeyFromSeed([]byte("a"))
+	b := cryptoutil.KeyFromSeed([]byte("b"))
+	st.Credit(a.Address(), 100)
+	st.Credit(b.Address(), 100)
+	ch, err := Open(st, a, b, 50, 50)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	secret := []byte("s")
+	lock := HashLock(secret)
+
+	t.Run("wrong preimage", func(t *testing.T) {
+		if err := RoutePayment([]*Channel{ch}, []bool{true}, 10, []byte("wrong"), lock); !errors.Is(err, ErrWrongPreimage) {
+			t.Fatalf("want ErrWrongPreimage, got %v", err)
+		}
+	})
+	t.Run("insufficient hop capacity", func(t *testing.T) {
+		if err := RoutePayment([]*Channel{ch}, []bool{true}, 500, secret, lock); !errors.Is(err, ErrBrokenRoute) {
+			t.Fatalf("want ErrBrokenRoute, got %v", err)
+		}
+		// Atomicity: the failed route must not have moved anything.
+		balA, balB := ch.Balances()
+		if balA != 50 || balB != 50 {
+			t.Fatal("failed route moved funds")
+		}
+	})
+	t.Run("empty path", func(t *testing.T) {
+		if err := RoutePayment(nil, nil, 1, secret, lock); !errors.Is(err, ErrBrokenRoute) {
+			t.Fatalf("want ErrBrokenRoute, got %v", err)
+		}
+	})
+}
+
+func TestOnChainFootprintIsTwoTouches(t *testing.T) {
+	// The E9 claim: a channel's lifetime costs two on-chain operations
+	// (open and close) regardless of how many payments it carries.
+	st, a, b := setup(t)
+	ch, err := Open(st, a, b, 100, 100)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	rootAfterOpen := st.Commit()
+	for i := 0; i < 1000; i++ {
+		if _, err := ch.Pay(i%2 == 0, 1); err != nil {
+			t.Fatalf("Pay: %v", err)
+		}
+	}
+	if st.Commit() != rootAfterOpen {
+		t.Fatal("off-chain payments must not touch the chain state")
+	}
+	if err := ch.CooperativeClose(st); err != nil {
+		t.Fatalf("CooperativeClose: %v", err)
+	}
+	if st.Commit() == rootAfterOpen {
+		t.Fatal("close must settle on-chain")
+	}
+}

@@ -1,0 +1,192 @@
+// Package shard implements horizontal partitioning of the account space
+// (Section 5.4, Plasma-style sharding [38]): accounts are assigned to
+// shards by address hash, intra-shard transfers execute locally in
+// parallel, and cross-shard transfers use a two-phase receipt — debit
+// and receipt emission on the source shard, receipt redemption on the
+// destination shard — with replay protection. Experiment E8 measures
+// the throughput scaling and the cross-shard penalty.
+package shard
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"dcsledger/internal/cryptoutil"
+	"dcsledger/internal/state"
+	"dcsledger/internal/types"
+)
+
+// Sharding errors, matchable with errors.Is.
+var (
+	ErrWrongShard     = errors.New("shard: transaction routed to wrong shard")
+	ErrReceiptReplay  = errors.New("shard: receipt already redeemed")
+	ErrUnknownReceipt = errors.New("shard: receipt not issued by source shard")
+)
+
+// Receipt proves a cross-shard debit so the destination shard can
+// credit exactly once.
+type Receipt struct {
+	ID     cryptoutil.Hash    `json:"id"`
+	From   cryptoutil.Address `json:"from"`
+	To     cryptoutil.Address `json:"to"`
+	Amount uint64             `json:"amount"`
+	Source int                `json:"source"`
+	Dest   int                `json:"dest"`
+}
+
+// Coordinator owns the shard set and routes transactions.
+type Coordinator struct {
+	shards   []*state.State
+	issued   map[cryptoutil.Hash]Receipt
+	redeemed map[cryptoutil.Hash]bool
+	seq      uint64
+
+	// Counters for the E8 harness: per-shard operation loads.
+	Ops []uint64
+	// CrossShardTxs counts two-phase transfers.
+	CrossShardTxs uint64
+}
+
+// New creates a coordinator over n shards.
+func New(n int) *Coordinator {
+	if n < 1 {
+		n = 1
+	}
+	c := &Coordinator{
+		issued:   make(map[cryptoutil.Hash]Receipt),
+		redeemed: make(map[cryptoutil.Hash]bool),
+		Ops:      make([]uint64, n),
+	}
+	for i := 0; i < n; i++ {
+		c.shards = append(c.shards, state.New())
+	}
+	return c
+}
+
+// N returns the shard count.
+func (c *Coordinator) N() int { return len(c.shards) }
+
+// ShardOf maps an address to its home shard.
+func (c *Coordinator) ShardOf(a cryptoutil.Address) int {
+	h := cryptoutil.HashBytes([]byte("shard/route"), a[:])
+	return int(binary.BigEndian.Uint32(h[:4])) % len(c.shards)
+}
+
+// Shard exposes one shard's state (for inspection and funding).
+func (c *Coordinator) Shard(i int) *state.State { return c.shards[i] }
+
+// Credit funds an account on its home shard.
+func (c *Coordinator) Credit(a cryptoutil.Address, amount uint64) {
+	c.shards[c.ShardOf(a)].Credit(a, amount)
+}
+
+// Balance reads an account's balance from its home shard.
+func (c *Coordinator) Balance(a cryptoutil.Address) uint64 {
+	return c.shards[c.ShardOf(a)].Balance(a)
+}
+
+// Transfer executes a (signed) transfer, routing it by sender shard.
+// Intra-shard transfers apply in one step; cross-shard transfers emit
+// and immediately route a receipt. It returns whether the transfer
+// crossed shards.
+func (c *Coordinator) Transfer(tx *types.Transaction) (bool, error) {
+	if err := tx.Verify(); err != nil {
+		return false, fmt.Errorf("shard: %w", err)
+	}
+	src := c.ShardOf(tx.From)
+	dst := c.ShardOf(tx.To)
+	if src == dst {
+		c.Ops[src]++
+		st := c.shards[src]
+		if err := st.Debit(tx.From, tx.Value); err != nil {
+			return false, fmt.Errorf("shard: %w", err)
+		}
+		st.Credit(tx.To, tx.Value)
+		return false, nil
+	}
+	rcpt, err := c.Debit(tx)
+	if err != nil {
+		return true, err
+	}
+	if err := c.Redeem(rcpt); err != nil {
+		return true, err
+	}
+	return true, nil
+}
+
+// Debit performs phase one of a cross-shard transfer: debit on the
+// source shard and receipt issuance.
+func (c *Coordinator) Debit(tx *types.Transaction) (Receipt, error) {
+	src := c.ShardOf(tx.From)
+	dst := c.ShardOf(tx.To)
+	c.Ops[src]++
+	if err := c.shards[src].Debit(tx.From, tx.Value); err != nil {
+		return Receipt{}, fmt.Errorf("shard: %w", err)
+	}
+	c.seq++
+	var seq [8]byte
+	binary.BigEndian.PutUint64(seq[:], c.seq)
+	r := Receipt{
+		ID:     cryptoutil.HashBytes([]byte("shard/receipt"), tx.From[:], tx.To[:], seq[:]),
+		From:   tx.From,
+		To:     tx.To,
+		Amount: tx.Value,
+		Source: src,
+		Dest:   dst,
+	}
+	c.issued[r.ID] = r
+	c.CrossShardTxs++
+	return r, nil
+}
+
+// Redeem performs phase two: credit on the destination shard, exactly
+// once.
+func (c *Coordinator) Redeem(r Receipt) error {
+	want, ok := c.issued[r.ID]
+	if !ok || want != r {
+		return fmt.Errorf("%w: %s", ErrUnknownReceipt, r.ID.Short())
+	}
+	if c.redeemed[r.ID] {
+		return fmt.Errorf("%w: %s", ErrReceiptReplay, r.ID.Short())
+	}
+	c.redeemed[r.ID] = true
+	c.Ops[r.Dest]++
+	c.shards[r.Dest].Credit(r.To, r.Amount)
+	return nil
+}
+
+// TotalSupply sums balances across all shards — conserved by both
+// transfer kinds (minus any receipts issued but not yet redeemed).
+func (c *Coordinator) TotalSupply() uint64 {
+	var total uint64
+	for _, st := range c.shards {
+		for _, a := range st.Addresses() {
+			total += st.Balance(a)
+		}
+	}
+	return total
+}
+
+// Rounds estimates the parallel execution time of the recorded load:
+// with every shard working concurrently, the makespan is the maximum
+// per-shard operation count — the quantity E8 turns into a speedup
+// curve.
+func (c *Coordinator) Rounds() uint64 {
+	var maxOps uint64
+	for _, ops := range c.Ops {
+		if ops > maxOps {
+			maxOps = ops
+		}
+	}
+	return maxOps
+}
+
+// TotalOps sums all shard operations (cross-shard transfers cost two).
+func (c *Coordinator) TotalOps() uint64 {
+	var total uint64
+	for _, ops := range c.Ops {
+		total += ops
+	}
+	return total
+}

@@ -1,0 +1,201 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"dcsledger/internal/cryptoutil"
+	"dcsledger/internal/types"
+)
+
+func signedTransfer(t *testing.T, seed string, to cryptoutil.Address, amount uint64, nonce uint64) *types.Transaction {
+	t.Helper()
+	k := cryptoutil.KeyFromSeed([]byte(seed))
+	tx := types.NewTransfer(k.Address(), to, amount, 0, nonce)
+	if err := tx.Sign(k); err != nil {
+		t.Fatalf("Sign: %v", err)
+	}
+	return tx
+}
+
+func TestRoutingDeterministic(t *testing.T) {
+	c := New(4)
+	a := cryptoutil.KeyFromSeed([]byte("x")).Address()
+	if c.ShardOf(a) != c.ShardOf(a) {
+		t.Fatal("routing must be deterministic")
+	}
+	if c.N() != 4 {
+		t.Fatalf("N = %d", c.N())
+	}
+	// All shards get some accounts (probabilistic but stable for the
+	// fixed derivation).
+	used := make(map[int]bool)
+	for i := 0; i < 64; i++ {
+		used[c.ShardOf(cryptoutil.KeyFromSeed([]byte(fmt.Sprintf("u%d", i))).Address())] = true
+	}
+	if len(used) != 4 {
+		t.Fatalf("only %d shards used", len(used))
+	}
+}
+
+// pairOnShards finds sender/recipient seeds on the same or different
+// shards.
+func pairOnShards(t *testing.T, c *Coordinator, same bool) (string, cryptoutil.Address) {
+	t.Helper()
+	for i := 0; i < 1000; i++ {
+		sSeed := fmt.Sprintf("sender-%d", i)
+		rSeed := fmt.Sprintf("recipient-%d", i)
+		s := cryptoutil.KeyFromSeed([]byte(sSeed)).Address()
+		r := cryptoutil.KeyFromSeed([]byte(rSeed)).Address()
+		if (c.ShardOf(s) == c.ShardOf(r)) == same {
+			return sSeed, r
+		}
+	}
+	t.Fatal("no suitable pair found")
+	return "", cryptoutil.Address{}
+}
+
+func TestIntraShardTransfer(t *testing.T) {
+	c := New(4)
+	seed, to := pairOnShards(t, c, true)
+	from := cryptoutil.KeyFromSeed([]byte(seed)).Address()
+	c.Credit(from, 100)
+	cross, err := c.Transfer(signedTransfer(t, seed, to, 40, 0))
+	if err != nil {
+		t.Fatalf("Transfer: %v", err)
+	}
+	if cross {
+		t.Fatal("same-shard transfer must not be cross-shard")
+	}
+	if c.Balance(from) != 60 || c.Balance(to) != 40 {
+		t.Fatalf("balances %d/%d", c.Balance(from), c.Balance(to))
+	}
+	if c.CrossShardTxs != 0 {
+		t.Fatal("no cross-shard tx should be counted")
+	}
+}
+
+func TestCrossShardTransfer(t *testing.T) {
+	c := New(4)
+	seed, to := pairOnShards(t, c, false)
+	from := cryptoutil.KeyFromSeed([]byte(seed)).Address()
+	c.Credit(from, 100)
+	supply := c.TotalSupply()
+	cross, err := c.Transfer(signedTransfer(t, seed, to, 70, 0))
+	if err != nil {
+		t.Fatalf("Transfer: %v", err)
+	}
+	if !cross {
+		t.Fatal("expected a cross-shard transfer")
+	}
+	if c.Balance(from) != 30 || c.Balance(to) != 70 {
+		t.Fatalf("balances %d/%d", c.Balance(from), c.Balance(to))
+	}
+	if c.TotalSupply() != supply {
+		t.Fatal("cross-shard transfer must conserve supply")
+	}
+	if c.CrossShardTxs != 1 {
+		t.Fatalf("CrossShardTxs = %d", c.CrossShardTxs)
+	}
+}
+
+func TestReceiptReplayRejected(t *testing.T) {
+	c := New(4)
+	seed, to := pairOnShards(t, c, false)
+	from := cryptoutil.KeyFromSeed([]byte(seed)).Address()
+	c.Credit(from, 100)
+	rcpt, err := c.Debit(signedTransfer(t, seed, to, 10, 0))
+	if err != nil {
+		t.Fatalf("Debit: %v", err)
+	}
+	if err := c.Redeem(rcpt); err != nil {
+		t.Fatalf("Redeem: %v", err)
+	}
+	if err := c.Redeem(rcpt); !errors.Is(err, ErrReceiptReplay) {
+		t.Fatalf("want ErrReceiptReplay, got %v", err)
+	}
+	if c.Balance(to) != 10 {
+		t.Fatal("replay must not double-credit")
+	}
+}
+
+func TestForgedReceiptRejected(t *testing.T) {
+	c := New(4)
+	_, to := pairOnShards(t, c, false)
+	forged := Receipt{
+		ID:     cryptoutil.HashBytes([]byte("forged")),
+		To:     to,
+		Amount: 1_000_000,
+		Dest:   c.ShardOf(to),
+	}
+	if err := c.Redeem(forged); !errors.Is(err, ErrUnknownReceipt) {
+		t.Fatalf("want ErrUnknownReceipt, got %v", err)
+	}
+	// Tampered amount on a real receipt is also rejected.
+	seed, to2 := pairOnShards(t, c, false)
+	from := cryptoutil.KeyFromSeed([]byte(seed)).Address()
+	c.Credit(from, 100)
+	rcpt, err := c.Debit(signedTransfer(t, seed, to2, 10, 0))
+	if err != nil {
+		t.Fatalf("Debit: %v", err)
+	}
+	rcpt.Amount = 99
+	if err := c.Redeem(rcpt); !errors.Is(err, ErrUnknownReceipt) {
+		t.Fatalf("want ErrUnknownReceipt for tampered receipt, got %v", err)
+	}
+}
+
+func TestTransferValidation(t *testing.T) {
+	c := New(2)
+	k := cryptoutil.KeyFromSeed([]byte("s"))
+	unsigned := types.NewTransfer(k.Address(), cryptoutil.ZeroAddress, 1, 0, 0)
+	if _, err := c.Transfer(unsigned); err == nil {
+		t.Fatal("unsigned transfer must fail")
+	}
+	signed := signedTransfer(t, "s", cryptoutil.ZeroAddress, 1, 0)
+	if _, err := c.Transfer(signed); err == nil {
+		t.Fatal("transfer without funds must fail")
+	}
+}
+
+func TestParallelSpeedup(t *testing.T) {
+	// The E8 shape: with k shards and no cross-shard traffic, the
+	// makespan (Rounds) is ≈ total/k.
+	load := func(shards int, txs int) (uint64, uint64) {
+		c := New(shards)
+		nonces := make(map[string]uint64)
+		for i := 0; i < txs; i++ {
+			seed := fmt.Sprintf("user-%d", i%50)
+			from := cryptoutil.KeyFromSeed([]byte(seed)).Address()
+			to := cryptoutil.KeyFromSeed([]byte(fmt.Sprintf("peer-%d", i%50))).Address()
+			c.Credit(from, 10)
+			tx := signedTransfer(t, seed, to, 1, nonces[seed])
+			nonces[seed]++
+			if _, err := c.Transfer(tx); err != nil {
+				t.Fatalf("Transfer: %v", err)
+			}
+		}
+		return c.Rounds(), c.TotalOps()
+	}
+	r1, _ := load(1, 400)
+	r8, _ := load(8, 400)
+	if r8*2 >= r1 {
+		t.Fatalf("8 shards should cut the makespan well below half: 1-shard %d, 8-shard %d", r1, r8)
+	}
+}
+
+func TestSingleShardDegeneratesGracefully(t *testing.T) {
+	c := New(1)
+	seed := "solo"
+	from := cryptoutil.KeyFromSeed([]byte(seed)).Address()
+	to := cryptoutil.KeyFromSeed([]byte("dest")).Address()
+	c.Credit(from, 10)
+	cross, err := c.Transfer(signedTransfer(t, seed, to, 5, 0))
+	if err != nil || cross {
+		t.Fatalf("single shard: cross=%v err=%v", cross, err)
+	}
+	if New(0).N() != 1 {
+		t.Fatal("shard count must clamp to 1")
+	}
+}

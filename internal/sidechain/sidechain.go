@@ -1,0 +1,143 @@
+// Package sidechain implements a two-way pegged side chain (Section
+// 5.4, [39]): value is locked to a peg address on the main chain and
+// minted on the side chain against an SPV proof of the lock; burning on
+// the side chain unlocks the main-chain funds against a matching
+// receipt. The side chain can then run with its own (faster, more
+// centralized) parameters — the paper's scalability-through-parallelism
+// angle.
+package sidechain
+
+import (
+	"errors"
+	"fmt"
+
+	"dcsledger/internal/cryptoutil"
+	"dcsledger/internal/state"
+	"dcsledger/internal/types"
+	"dcsledger/internal/wallet"
+)
+
+// Peg errors, matchable with errors.Is.
+var (
+	ErrBadProof      = errors.New("sidechain: lock proof does not verify")
+	ErrWrongTarget   = errors.New("sidechain: transaction does not pay the peg address")
+	ErrAlreadyMinted = errors.New("sidechain: deposit already minted")
+	ErrBurnTooLarge  = errors.New("sidechain: burn exceeds pegged balance")
+	ErrUnknownBurn   = errors.New("sidechain: burn receipt not issued")
+	ErrReplayedBurn  = errors.New("sidechain: burn receipt already redeemed")
+	ErrNotConfirmed  = errors.New("sidechain: lock lacks required confirmations")
+)
+
+// PegAddress is where main-chain deposits are locked.
+var PegAddress = cryptoutil.AddressFromHash(cryptoutil.HashBytes([]byte("sidechain/peg")))
+
+// BurnReceipt certifies a side-chain burn so the main chain can unlock.
+type BurnReceipt struct {
+	ID     cryptoutil.Hash    `json:"id"`
+	Owner  cryptoutil.Address `json:"owner"`
+	Amount uint64             `json:"amount"`
+}
+
+// Peg is the side-chain half of the two-way peg: it verifies main-chain
+// lock proofs against a light client and manages the pegged supply.
+type Peg struct {
+	light *wallet.SPVClient
+	side  *state.State
+	// MinConfirmations guards against minting off a branch that might
+	// reorg away (the trust-by-depth rule again).
+	MinConfirmations uint64
+
+	minted   map[cryptoutil.Hash]bool // main-chain lock tx → minted
+	burns    map[cryptoutil.Hash]BurnReceipt
+	burnSeq  uint64
+	redeemed map[cryptoutil.Hash]bool
+	pegged   uint64
+}
+
+// NewPeg creates the side-chain peg around a main-chain light client
+// and the side-chain state.
+func NewPeg(light *wallet.SPVClient, side *state.State, minConfirmations uint64) *Peg {
+	if minConfirmations == 0 {
+		minConfirmations = 1
+	}
+	return &Peg{
+		light:            light,
+		side:             side,
+		MinConfirmations: minConfirmations,
+		minted:           make(map[cryptoutil.Hash]bool),
+		burns:            make(map[cryptoutil.Hash]BurnReceipt),
+		redeemed:         make(map[cryptoutil.Hash]bool),
+	}
+}
+
+// Pegged returns the total side-chain supply backed by main-chain
+// locks.
+func (p *Peg) Pegged() uint64 { return p.pegged }
+
+// Mint credits tx.From on the side chain after verifying, against the
+// light client, that the lock transaction paying the peg address is
+// committed deep enough on the main chain.
+func (p *Peg) Mint(lockTx *types.Transaction, proof wallet.SPVProof) error {
+	if lockTx.To != PegAddress {
+		return fmt.Errorf("%w: pays %s", ErrWrongTarget, lockTx.To.Short())
+	}
+	id := lockTx.ID()
+	if proof.TxID != id {
+		return fmt.Errorf("%w: proof is for a different transaction", ErrBadProof)
+	}
+	if p.minted[id] {
+		return fmt.Errorf("%w: %s", ErrAlreadyMinted, id.Short())
+	}
+	conf, err := p.light.VerifyTx(proof)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadProof, err)
+	}
+	if conf < p.MinConfirmations {
+		return fmt.Errorf("%w: %d < %d", ErrNotConfirmed, conf, p.MinConfirmations)
+	}
+	p.minted[id] = true
+	p.pegged += lockTx.Value
+	p.side.Credit(lockTx.From, lockTx.Value)
+	return nil
+}
+
+// Burn destroys side-chain funds and issues the receipt that unlocks
+// them on the main chain.
+func (p *Peg) Burn(owner cryptoutil.Address, amount uint64) (BurnReceipt, error) {
+	if amount > p.pegged {
+		return BurnReceipt{}, fmt.Errorf("%w: %d > %d", ErrBurnTooLarge, amount, p.pegged)
+	}
+	if err := p.side.Debit(owner, amount); err != nil {
+		return BurnReceipt{}, fmt.Errorf("sidechain: %w", err)
+	}
+	p.pegged -= amount
+	p.burnSeq++
+	var seq [8]byte
+	seq[7] = byte(p.burnSeq)
+	seq[6] = byte(p.burnSeq >> 8)
+	r := BurnReceipt{
+		ID:     cryptoutil.HashBytes([]byte("sidechain/burn"), owner[:], seq[:]),
+		Owner:  owner,
+		Amount: amount,
+	}
+	p.burns[r.ID] = r
+	return r, nil
+}
+
+// Unlock releases main-chain funds from the peg address against a burn
+// receipt, exactly once.
+func (p *Peg) Unlock(main *state.State, r BurnReceipt) error {
+	want, ok := p.burns[r.ID]
+	if !ok || want != r {
+		return fmt.Errorf("%w: %s", ErrUnknownBurn, r.ID.Short())
+	}
+	if p.redeemed[r.ID] {
+		return fmt.Errorf("%w: %s", ErrReplayedBurn, r.ID.Short())
+	}
+	if err := main.Debit(PegAddress, r.Amount); err != nil {
+		return fmt.Errorf("sidechain: %w", err)
+	}
+	p.redeemed[r.ID] = true
+	main.Credit(r.Owner, r.Amount)
+	return nil
+}

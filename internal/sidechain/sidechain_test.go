@@ -1,0 +1,172 @@
+package sidechain
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"dcsledger/internal/consensus"
+	"dcsledger/internal/consensus/forkchoice"
+	"dcsledger/internal/consensus/pow"
+	"dcsledger/internal/cryptoutil"
+	"dcsledger/internal/incentive"
+	"dcsledger/internal/node"
+	"dcsledger/internal/state"
+	"dcsledger/internal/types"
+	"dcsledger/internal/wallet"
+)
+
+// setupPeg mines a main chain containing a 500-unit lock transaction
+// and wires a peg whose light client has synced the main chain.
+func setupPeg(t *testing.T) (peg *Peg, mainState, side *state.State, proof wallet.SPVProof, lockTx *types.Transaction, alice *wallet.Wallet) {
+	t.Helper()
+	alice = wallet.FromSeed("alice")
+	alloc := map[cryptoutil.Address]uint64{alice.Address(): 10_000}
+	c, err := node.NewCluster(node.ClusterConfig{
+		N: 1,
+		Engine: func(i int, key *cryptoutil.KeyPair) consensus.Engine {
+			return pow.New(pow.Config{
+				TargetInterval:    5 * time.Second,
+				InitialDifficulty: 64,
+				HashRate:          12.8,
+			}, rand.New(rand.NewSource(4)))
+		},
+		ForkChoice: func() consensus.ForkChoice { return forkchoice.LongestChain{} },
+		Alloc:      alloc,
+		Rewards:    incentive.Schedule{InitialReward: 50},
+		Seed:       31,
+	})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	lockTx, err = alice.Transfer(PegAddress, 500, 1)
+	if err != nil {
+		t.Fatalf("Transfer: %v", err)
+	}
+	if err := c.Nodes[0].SubmitTx(lockTx); err != nil {
+		t.Fatalf("SubmitTx: %v", err)
+	}
+	c.Start()
+	c.Sim.RunFor(3 * time.Minute)
+	c.Stop()
+
+	full := c.Nodes[0]
+	light := wallet.NewSPVClient(c.Genesis.Header)
+	if err := light.AddHeaders(full.Chain().Headers(1, 1<<20)); err != nil {
+		t.Fatalf("AddHeaders: %v", err)
+	}
+	proof, err = wallet.ProveTx(full.Chain(), lockTx.ID())
+	if err != nil {
+		t.Fatalf("ProveTx: %v", err)
+	}
+	side = state.New()
+	peg = NewPeg(light, side, 2)
+	return peg, full.State(), side, proof, lockTx, alice
+}
+
+func TestDepositMintBurnUnlock(t *testing.T) {
+	peg, mainState, side, proof, lockTx, alice := setupPeg(t)
+
+	// Mint on the side chain against the SPV proof.
+	if err := peg.Mint(lockTx, proof); err != nil {
+		t.Fatalf("Mint: %v", err)
+	}
+	if side.Balance(alice.Address()) != 500 || peg.Pegged() != 500 {
+		t.Fatalf("side balance %d, pegged %d", side.Balance(alice.Address()), peg.Pegged())
+	}
+	// Double mint rejected.
+	if err := peg.Mint(lockTx, proof); !errors.Is(err, ErrAlreadyMinted) {
+		t.Fatalf("want ErrAlreadyMinted, got %v", err)
+	}
+
+	// Burn on the side chain, unlock on the main chain.
+	rcpt, err := peg.Burn(alice.Address(), 200)
+	if err != nil {
+		t.Fatalf("Burn: %v", err)
+	}
+	if side.Balance(alice.Address()) != 300 || peg.Pegged() != 300 {
+		t.Fatal("burn accounting wrong")
+	}
+	mainBefore := mainState.Balance(alice.Address())
+	if err := peg.Unlock(mainState, rcpt); err != nil {
+		t.Fatalf("Unlock: %v", err)
+	}
+	if mainState.Balance(alice.Address()) != mainBefore+200 {
+		t.Fatal("unlock did not pay out")
+	}
+	if mainState.Balance(PegAddress) != 300 {
+		t.Fatalf("peg address holds %d, want 300", mainState.Balance(PegAddress))
+	}
+	// Replay rejected.
+	if err := peg.Unlock(mainState, rcpt); !errors.Is(err, ErrReplayedBurn) {
+		t.Fatalf("want ErrReplayedBurn, got %v", err)
+	}
+}
+
+func TestMintRejections(t *testing.T) {
+	peg, _, _, proof, lockTx, alice := setupPeg(t)
+
+	t.Run("forged proof", func(t *testing.T) {
+		forged := proof
+		forged.TxID = cryptoutil.HashBytes([]byte("phantom"))
+		if err := peg.Mint(lockTx, forged); !errors.Is(err, ErrBadProof) {
+			t.Fatalf("want ErrBadProof, got %v", err)
+		}
+	})
+	t.Run("wrong recipient", func(t *testing.T) {
+		other, err := alice.Transfer(cryptoutil.KeyFromSeed([]byte("bob")).Address(), 1, 1)
+		if err != nil {
+			t.Fatalf("Transfer: %v", err)
+		}
+		if err := peg.Mint(other, proof); !errors.Is(err, ErrWrongTarget) {
+			t.Fatalf("want ErrWrongTarget, got %v", err)
+		}
+	})
+	t.Run("too few confirmations", func(t *testing.T) {
+		strict, _, _, proof2, lockTx2, _ := setupPeg(t)
+		strict.MinConfirmations = 1 << 30
+		if err := strict.Mint(lockTx2, proof2); !errors.Is(err, ErrNotConfirmed) {
+			t.Fatalf("want ErrNotConfirmed, got %v", err)
+		}
+	})
+}
+
+func TestBurnRejections(t *testing.T) {
+	peg, _, _, proof, lockTx, alice := setupPeg(t)
+	if err := peg.Mint(lockTx, proof); err != nil {
+		t.Fatalf("Mint: %v", err)
+	}
+	if _, err := peg.Burn(alice.Address(), 10_000); !errors.Is(err, ErrBurnTooLarge) {
+		t.Fatalf("want ErrBurnTooLarge, got %v", err)
+	}
+	// Burn by someone without side-chain funds fails.
+	stranger := cryptoutil.KeyFromSeed([]byte("stranger")).Address()
+	if _, err := peg.Burn(stranger, 10); err == nil {
+		t.Fatal("burn without funds must fail")
+	}
+}
+
+func TestUnlockForgedReceipt(t *testing.T) {
+	peg, mainState, _, proof, lockTx, alice := setupPeg(t)
+	if err := peg.Mint(lockTx, proof); err != nil {
+		t.Fatalf("Mint: %v", err)
+	}
+	forged := BurnReceipt{
+		ID:     cryptoutil.HashBytes([]byte("forged")),
+		Owner:  alice.Address(),
+		Amount: 500,
+	}
+	if err := peg.Unlock(mainState, forged); !errors.Is(err, ErrUnknownBurn) {
+		t.Fatalf("want ErrUnknownBurn, got %v", err)
+	}
+	// Tampered amount on a real receipt also fails.
+	rcpt, err := peg.Burn(alice.Address(), 100)
+	if err != nil {
+		t.Fatalf("Burn: %v", err)
+	}
+	rcpt.Amount = 500
+	if err := peg.Unlock(mainState, rcpt); !errors.Is(err, ErrUnknownBurn) {
+		t.Fatalf("want ErrUnknownBurn for tampered receipt, got %v", err)
+	}
+}

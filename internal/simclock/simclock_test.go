@@ -1,0 +1,164 @@
+package simclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAfterOrdering(t *testing.T) {
+	s := NewSimulator()
+	var order []int
+	s.After(3*time.Second, func() { order = append(order, 3) })
+	s.After(1*time.Second, func() { order = append(order, 1) })
+	s.After(2*time.Second, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if got := s.Now().Sub(time.Unix(0, 0).UTC()); got != 3*time.Second {
+		t.Fatalf("clock advanced to %v", got)
+	}
+}
+
+func TestFIFOAmongEqualTimestamps(t *testing.T) {
+	s := NewSimulator()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.After(time.Second, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-timestamp events fired out of order: %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := NewSimulator()
+	var fired []string
+	s.After(time.Second, func() {
+		fired = append(fired, "outer")
+		s.After(time.Second, func() {
+			fired = append(fired, "inner")
+		})
+	})
+	s.Run()
+	if len(fired) != 2 || fired[1] != "inner" {
+		t.Fatalf("fired = %v", fired)
+	}
+	if got := s.Now().Sub(time.Unix(0, 0).UTC()); got != 2*time.Second {
+		t.Fatalf("clock = %v, want 2s", got)
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	s := NewSimulator()
+	fired := false
+	timer := s.After(time.Second, func() { fired = true })
+	timer.Stop()
+	timer.Stop() // double-stop is safe
+	s.Run()
+	if fired {
+		t.Fatal("stopped timer must not fire")
+	}
+	if s.Processed() != 0 {
+		t.Fatalf("processed = %d, want 0", s.Processed())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := NewSimulator()
+	var fired []int
+	s.After(1*time.Second, func() { fired = append(fired, 1) })
+	s.After(5*time.Second, func() { fired = append(fired, 5) })
+	s.RunUntil(s.Now().Add(3 * time.Second))
+	if len(fired) != 1 || fired[0] != 1 {
+		t.Fatalf("fired = %v", fired)
+	}
+	if got := s.Now().Sub(time.Unix(0, 0).UTC()); got != 3*time.Second {
+		t.Fatalf("clock = %v, want 3s", got)
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", s.Pending())
+	}
+	s.Run()
+	if len(fired) != 2 {
+		t.Fatal("remaining event should fire on Run")
+	}
+}
+
+func TestRunForAdvancesIdleClock(t *testing.T) {
+	s := NewSimulator()
+	s.RunFor(time.Minute)
+	if got := s.Now().Sub(time.Unix(0, 0).UTC()); got != time.Minute {
+		t.Fatalf("clock = %v, want 1m", got)
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	s := NewSimulator()
+	fired := false
+	s.After(-5*time.Second, func() { fired = true })
+	s.Step()
+	if !fired {
+		t.Fatal("negative-delay event should fire immediately")
+	}
+	if !s.Now().Equal(time.Unix(0, 0).UTC()) {
+		t.Fatal("clock must not go backward")
+	}
+}
+
+func TestAtInPastClamped(t *testing.T) {
+	s := NewSimulator()
+	s.RunFor(time.Hour)
+	fired := false
+	s.At(time.Unix(0, 0), func() { fired = true })
+	s.Run()
+	if !fired {
+		t.Fatal("past event should fire")
+	}
+	if s.Now().Before(time.Unix(0, 0).Add(time.Hour)) {
+		t.Fatal("clock must not go backward")
+	}
+}
+
+func TestWallClock(t *testing.T) {
+	var w Wall
+	before := time.Now()
+	if w.Now().Before(before) {
+		t.Fatal("wall clock should not run behind")
+	}
+	done := make(chan struct{})
+	w.After(time.Millisecond, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("wall timer did not fire")
+	}
+	// Stopped wall timer does not fire.
+	timer := w.After(50*time.Millisecond, func() { t.Error("stopped wall timer fired") })
+	timer.Stop()
+	time.Sleep(80 * time.Millisecond)
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []int {
+		s := NewSimulator()
+		var out []int
+		for i := 0; i < 50; i++ {
+			i := i
+			d := time.Duration((i*37)%13) * time.Second
+			s.After(d, func() { out = append(out, i) })
+		}
+		s.Run()
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("simulator runs must be deterministic")
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package state
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"dcsledger/internal/cryptoutil"
+)
+
+// snapshot is the wire form of a full state export, used by fast-sync
+// (Section 5.4's bootstrap problem: joining peers should not need the
+// whole blockchain).
+type snapshot struct {
+	Accounts map[string]Account           `json:"accounts"`
+	Code     map[string]string            `json:"code"`
+	Storage  map[string]map[string]string `json:"storage"`
+}
+
+// EncodeSnapshot serializes the complete state. The result is
+// verifiable: DecodeSnapshot(...).Commit() equals this state's Commit().
+func (s *State) EncodeSnapshot() ([]byte, error) {
+	snap := snapshot{
+		Accounts: make(map[string]Account, len(s.accounts)),
+		Code:     make(map[string]string, len(s.code)),
+		Storage:  make(map[string]map[string]string, len(s.storage)),
+	}
+	for a, acc := range s.accounts {
+		snap.Accounts[a.Hex()] = acc
+	}
+	for h, code := range s.code {
+		snap.Code[h.Hex()] = hex.EncodeToString(code)
+	}
+	for a, m := range s.storage {
+		if len(m) == 0 {
+			continue
+		}
+		slots := make(map[string]string, len(m))
+		for k, v := range m {
+			slots[hex.EncodeToString([]byte(k))] = hex.EncodeToString(v)
+		}
+		snap.Storage[a.Hex()] = slots
+	}
+	data, err := json.Marshal(snap)
+	if err != nil {
+		return nil, fmt.Errorf("state: encode snapshot: %w", err)
+	}
+	return data, nil
+}
+
+// DecodeSnapshot reconstructs a state from EncodeSnapshot output.
+func DecodeSnapshot(data []byte) (*State, error) {
+	var snap snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("state: decode snapshot: %w", err)
+	}
+	s := New()
+	for ah, acc := range snap.Accounts {
+		a, err := cryptoutil.AddressFromHex(ah)
+		if err != nil {
+			return nil, fmt.Errorf("state: snapshot account: %w", err)
+		}
+		s.accounts[a] = acc
+	}
+	for hh, codeHex := range snap.Code {
+		h, err := cryptoutil.HashFromHex(hh)
+		if err != nil {
+			return nil, fmt.Errorf("state: snapshot code hash: %w", err)
+		}
+		code, err := hex.DecodeString(codeHex)
+		if err != nil {
+			return nil, fmt.Errorf("state: snapshot code: %w", err)
+		}
+		s.code[h] = code
+	}
+	for ah, slots := range snap.Storage {
+		a, err := cryptoutil.AddressFromHex(ah)
+		if err != nil {
+			return nil, fmt.Errorf("state: snapshot storage addr: %w", err)
+		}
+		m := make(map[string][]byte, len(slots))
+		for kh, vh := range slots {
+			k, err := hex.DecodeString(kh)
+			if err != nil {
+				return nil, fmt.Errorf("state: snapshot slot key: %w", err)
+			}
+			v, err := hex.DecodeString(vh)
+			if err != nil {
+				return nil, fmt.Errorf("state: snapshot slot value: %w", err)
+			}
+			m[string(k)] = v
+		}
+		s.storage[a] = m
+	}
+	return s, nil
+}

@@ -1,0 +1,75 @@
+package state
+
+import (
+	"testing"
+)
+
+func populated() *State {
+	s := New()
+	_, a := keyAddr("snap-a")
+	_, b := keyAddr("snap-b")
+	s.Credit(a, 100)
+	s.Credit(b, 250)
+	s.SetCode(a, []byte("native:token"))
+	s.SetStorage(a, []byte("slot"), []byte("value"))
+	s.SetStorage(a, []byte("other"), []byte{1, 2, 3})
+	return s
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := populated()
+	data, err := s.EncodeSnapshot()
+	if err != nil {
+		t.Fatalf("EncodeSnapshot: %v", err)
+	}
+	got, err := DecodeSnapshot(data)
+	if err != nil {
+		t.Fatalf("DecodeSnapshot: %v", err)
+	}
+	if got.Commit() != s.Commit() {
+		t.Fatal("snapshot round trip changed the state root")
+	}
+	_, a := keyAddr("snap-a")
+	if got.Balance(a) != 100 || string(got.Code(a)) != "native:token" {
+		t.Fatal("snapshot lost account data")
+	}
+	if string(got.Storage(a, []byte("slot"))) != "value" {
+		t.Fatal("snapshot lost storage")
+	}
+}
+
+func TestSnapshotTamperDetectedByRoot(t *testing.T) {
+	s := populated()
+	data, err := s.EncodeSnapshot()
+	if err != nil {
+		t.Fatalf("EncodeSnapshot: %v", err)
+	}
+	// An attacker inflating a balance produces a different root.
+	tampered := populated()
+	_, b := keyAddr("snap-b")
+	tampered.Credit(b, 1)
+	data2, err := tampered.EncodeSnapshot()
+	if err != nil {
+		t.Fatalf("EncodeSnapshot: %v", err)
+	}
+	s1, err := DecodeSnapshot(data)
+	if err != nil {
+		t.Fatalf("DecodeSnapshot: %v", err)
+	}
+	s2, err := DecodeSnapshot(data2)
+	if err != nil {
+		t.Fatalf("DecodeSnapshot: %v", err)
+	}
+	if s1.Commit() == s2.Commit() {
+		t.Fatal("tampered snapshot must have a different root")
+	}
+}
+
+func TestDecodeSnapshotErrors(t *testing.T) {
+	if _, err := DecodeSnapshot([]byte("not json")); err == nil {
+		t.Fatal("garbage must fail")
+	}
+	if _, err := DecodeSnapshot([]byte(`{"accounts":{"zz":{}}}`)); err == nil {
+		t.Fatal("bad address must fail")
+	}
+}

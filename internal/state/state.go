@@ -1,0 +1,325 @@
+// Package state implements the account-model world state of the ledger:
+// balances, nonces, contract code, and contract storage. State is
+// committed to an authenticated Merkle Patricia trie so that every block
+// header carries a verifiable state root (the Data layer of the paper's
+// stack).
+package state
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"dcsledger/internal/cryptoutil"
+	"dcsledger/internal/mpt"
+	"dcsledger/internal/types"
+)
+
+// Application errors. They are matchable with errors.Is so the mempool
+// and block validator can distinguish permanently invalid transactions
+// from not-yet-valid ones.
+var (
+	ErrInsufficientBalance = errors.New("state: insufficient balance")
+	ErrBadNonce            = errors.New("state: bad nonce")
+	ErrNoExecutor          = errors.New("state: no contract executor configured")
+	ErrUnknownKind         = errors.New("state: unknown transaction kind")
+	ErrBadCoinbase         = errors.New("state: invalid coinbase")
+)
+
+// Account is the per-address record.
+type Account struct {
+	Balance uint64          `json:"balance"`
+	Nonce   uint64          `json:"nonce"`
+	Code    cryptoutil.Hash `json:"code,omitempty"` // hash of contract code, zero for EOAs
+}
+
+// Executor runs contract deployments and invocations against the state.
+// It is implemented by the vm package (and by native contract registries)
+// and injected by the node to keep this package free of a contract-layer
+// dependency.
+type Executor interface {
+	// Deploy creates a contract from tx.Data, returning its address and
+	// the gas consumed.
+	Deploy(st *State, tx *types.Transaction) (cryptoutil.Address, uint64, error)
+	// Invoke calls the contract at tx.To with input tx.Data, returning
+	// the gas consumed.
+	Invoke(st *State, tx *types.Transaction) (uint64, error)
+}
+
+// Receipt records the outcome of applying one transaction.
+type Receipt struct {
+	TxID            cryptoutil.Hash    `json:"txId"`
+	OK              bool               `json:"ok"`
+	GasUsed         uint64             `json:"gasUsed"`
+	ContractAddress cryptoutil.Address `json:"contractAddress,omitempty"`
+	Err             string             `json:"err,omitempty"`
+}
+
+// State is the mutable world state. It is not safe for concurrent use;
+// each node owns its state and copies it for speculative execution.
+type State struct {
+	accounts map[cryptoutil.Address]Account
+	code     map[cryptoutil.Hash][]byte
+	storage  map[cryptoutil.Address]map[string][]byte
+	executor Executor
+}
+
+// New returns an empty state.
+func New() *State {
+	return &State{
+		accounts: make(map[cryptoutil.Address]Account),
+		code:     make(map[cryptoutil.Hash][]byte),
+		storage:  make(map[cryptoutil.Address]map[string][]byte),
+	}
+}
+
+// SetExecutor installs the contract executor used for deploy/invoke
+// transactions.
+func (s *State) SetExecutor(e Executor) { s.executor = e }
+
+// Executor returns the installed contract executor, if any.
+func (s *State) Executor() Executor { return s.executor }
+
+// Account returns the record for addr (zero value if absent).
+func (s *State) Account(addr cryptoutil.Address) Account { return s.accounts[addr] }
+
+// Balance returns the balance of addr.
+func (s *State) Balance(addr cryptoutil.Address) uint64 { return s.accounts[addr].Balance }
+
+// Nonce returns the next expected nonce of addr.
+func (s *State) Nonce(addr cryptoutil.Address) uint64 { return s.accounts[addr].Nonce }
+
+// Credit adds amount to addr's balance.
+func (s *State) Credit(addr cryptoutil.Address, amount uint64) {
+	a := s.accounts[addr]
+	a.Balance += amount
+	s.accounts[addr] = a
+}
+
+// Debit removes amount from addr's balance.
+func (s *State) Debit(addr cryptoutil.Address, amount uint64) error {
+	a := s.accounts[addr]
+	if a.Balance < amount {
+		return fmt.Errorf("%w: %s has %d, needs %d", ErrInsufficientBalance, addr.Short(), a.Balance, amount)
+	}
+	a.Balance -= amount
+	s.accounts[addr] = a
+	return nil
+}
+
+// SetCode stores contract code and binds it to addr.
+func (s *State) SetCode(addr cryptoutil.Address, code []byte) {
+	h := cryptoutil.HashBytes([]byte("state/code"), code)
+	s.code[h] = append([]byte(nil), code...)
+	a := s.accounts[addr]
+	a.Code = h
+	s.accounts[addr] = a
+}
+
+// Code returns the contract code bound to addr.
+func (s *State) Code(addr cryptoutil.Address) []byte {
+	return s.code[s.accounts[addr].Code]
+}
+
+// IsContract reports whether addr has code.
+func (s *State) IsContract(addr cryptoutil.Address) bool {
+	return !s.accounts[addr].Code.IsZero()
+}
+
+// SetStorage writes a contract storage slot.
+func (s *State) SetStorage(addr cryptoutil.Address, key, value []byte) {
+	m := s.storage[addr]
+	if m == nil {
+		m = make(map[string][]byte)
+		s.storage[addr] = m
+	}
+	m[string(key)] = append([]byte(nil), value...)
+}
+
+// Storage reads a contract storage slot.
+func (s *State) Storage(addr cryptoutil.Address, key []byte) []byte {
+	return s.storage[addr][string(key)]
+}
+
+// DeleteStorage clears one slot.
+func (s *State) DeleteStorage(addr cryptoutil.Address, key []byte) {
+	delete(s.storage[addr], string(key))
+}
+
+// Copy returns a deep copy for speculative execution.
+func (s *State) Copy() *State {
+	ns := New()
+	ns.executor = s.executor
+	for a, acc := range s.accounts {
+		ns.accounts[a] = acc
+	}
+	for h, c := range s.code {
+		ns.code[h] = c // code is immutable once stored
+	}
+	for a, m := range s.storage {
+		nm := make(map[string][]byte, len(m))
+		for k, v := range m {
+			nm[k] = v // values are replaced wholesale, never mutated
+		}
+		ns.storage[a] = nm
+	}
+	return ns
+}
+
+// ApplyTx applies one transaction, paying fees to proposer. Returns a
+// receipt; a non-nil error means the transaction is invalid and must not
+// be included in a block (receipts with OK=false are included failures,
+// e.g. a contract that ran out of gas: the fee is still paid).
+func (s *State) ApplyTx(tx *types.Transaction, proposer cryptoutil.Address) (*Receipt, error) {
+	rec := &Receipt{TxID: tx.ID()}
+	switch tx.Kind {
+	case types.TxCoinbase:
+		return nil, fmt.Errorf("%w: coinbase outside block application", ErrBadCoinbase)
+	case types.TxTransfer, types.TxDeploy, types.TxInvoke:
+	default:
+		return nil, fmt.Errorf("%w: %v", ErrUnknownKind, tx.Kind)
+	}
+	if err := tx.Verify(); err != nil {
+		return nil, fmt.Errorf("state: %w", err)
+	}
+	acc := s.accounts[tx.From]
+	if tx.Nonce != acc.Nonce {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrBadNonce, tx.Nonce, acc.Nonce)
+	}
+	if acc.Balance < tx.Cost() {
+		return nil, fmt.Errorf("%w: %s has %d, tx costs %d", ErrInsufficientBalance, tx.From.Short(), acc.Balance, tx.Cost())
+	}
+
+	// Take cost and bump the nonce up front; contract failure reverts
+	// contract effects but keeps the fee (gas is paid for work done).
+	acc.Balance -= tx.Cost()
+	acc.Nonce++
+	s.accounts[tx.From] = acc
+	s.Credit(proposer, tx.Fee)
+
+	switch tx.Kind {
+	case types.TxTransfer:
+		s.Credit(tx.To, tx.Value)
+		rec.OK = true
+	case types.TxDeploy, types.TxInvoke:
+		if s.executor == nil {
+			// Refund value (not the fee) and report failure.
+			s.Credit(tx.From, tx.Value)
+			rec.Err = ErrNoExecutor.Error()
+			return rec, nil
+		}
+		snapshot := s.Copy()
+		var err error
+		if tx.Kind == types.TxDeploy {
+			rec.ContractAddress, rec.GasUsed, err = s.executor.Deploy(s, tx)
+			if err == nil {
+				s.Credit(rec.ContractAddress, tx.Value) // endowment
+			}
+		} else {
+			s.Credit(tx.To, tx.Value) // value transferred to the contract
+			rec.GasUsed, err = s.executor.Invoke(s, tx)
+		}
+		if err != nil {
+			// Revert every contract effect (the snapshot already has the
+			// cost debit and fee credit), then refund the undelivered value.
+			*s = *snapshot
+			rec.Err = err.Error()
+			rec.ContractAddress = cryptoutil.ZeroAddress
+			s.Credit(tx.From, tx.Value)
+			return rec, nil
+		}
+		rec.OK = true
+	}
+	return rec, nil
+}
+
+// ApplyBlock applies a full block: the leading coinbase (whose value must
+// equal expectedReward plus the block's total fees) followed by every
+// user transaction. It mutates the state; callers copy first if they may
+// need to roll back.
+func (s *State) ApplyBlock(b *types.Block, expectedReward uint64) ([]*Receipt, error) {
+	if len(b.Txs) == 0 || b.Txs[0].Kind != types.TxCoinbase {
+		return nil, fmt.Errorf("%w: block must start with a coinbase", ErrBadCoinbase)
+	}
+	var fees uint64
+	for _, tx := range b.Txs[1:] {
+		if tx.Kind == types.TxCoinbase {
+			return nil, fmt.Errorf("%w: coinbase not at position 0", ErrBadCoinbase)
+		}
+		fees += tx.Fee
+	}
+	cb := b.Txs[0]
+	if cb.Value != expectedReward+fees {
+		return nil, fmt.Errorf("%w: coinbase value %d, want reward %d + fees %d",
+			ErrBadCoinbase, cb.Value, expectedReward, fees)
+	}
+	if cb.Nonce != b.Header.Height {
+		return nil, fmt.Errorf("%w: coinbase nonce %d, want height %d", ErrBadCoinbase, cb.Nonce, b.Header.Height)
+	}
+	if !cb.From.IsZero() {
+		return nil, fmt.Errorf("%w: coinbase sender must be the zero address", ErrBadCoinbase)
+	}
+	receipts := make([]*Receipt, 0, len(b.Txs))
+	// The coinbase mints only the subsidy; fees reach the proposer as
+	// each user transaction is applied (minting the full coinbase value
+	// would double-count them).
+	s.Credit(cb.To, expectedReward)
+	receipts = append(receipts, &Receipt{TxID: cb.ID(), OK: true})
+	for i, tx := range b.Txs[1:] {
+		rec, err := s.ApplyTx(tx, b.Header.Proposer)
+		if err != nil {
+			return nil, fmt.Errorf("state: tx %d: %w", i+1, err)
+		}
+		receipts = append(receipts, rec)
+	}
+	return receipts, nil
+}
+
+// Commit returns the authenticated root of the entire state: a Merkle
+// Patricia trie over accounts, each account's entry committing its
+// balance, nonce, code hash, and a nested storage-trie root.
+func (s *State) Commit() cryptoutil.Hash {
+	tr := mpt.New()
+	for addr, acc := range s.accounts {
+		tr = tr.Set(addr[:], s.encodeAccount(addr, acc))
+	}
+	return tr.RootHash()
+}
+
+// Len returns the number of accounts with records.
+func (s *State) Len() int { return len(s.accounts) }
+
+// Addresses returns all account addresses (order unspecified).
+func (s *State) Addresses() []cryptoutil.Address {
+	out := make([]cryptoutil.Address, 0, len(s.accounts))
+	for a := range s.accounts {
+		out = append(out, a)
+	}
+	return out
+}
+
+func (s *State) encodeAccount(addr cryptoutil.Address, acc Account) []byte {
+	var buf bytes.Buffer
+	var b8 [8]byte
+	binary.BigEndian.PutUint64(b8[:], acc.Balance)
+	buf.Write(b8[:])
+	binary.BigEndian.PutUint64(b8[:], acc.Nonce)
+	buf.Write(b8[:])
+	buf.Write(acc.Code[:])
+	sr := s.storageRoot(addr)
+	buf.Write(sr[:])
+	return buf.Bytes()
+}
+
+func (s *State) storageRoot(addr cryptoutil.Address) cryptoutil.Hash {
+	m := s.storage[addr]
+	if len(m) == 0 {
+		return mpt.EmptyRoot
+	}
+	tr := mpt.New()
+	for k, v := range m {
+		tr = tr.Set([]byte(k), v)
+	}
+	return tr.RootHash()
+}

@@ -1,0 +1,227 @@
+// Package store holds the persistence layer of a peer: the block tree
+// (all blocks ever received, including branches — the raw material for
+// branch-selection algorithms), the main-chain index derived from a fork
+// choice, and the off-chain store of Section 4.5 (bulk data kept outside
+// the blockchain, anchored on-chain by hash).
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"dcsledger/internal/cryptoutil"
+	"dcsledger/internal/types"
+)
+
+// Block tree errors, matchable with errors.Is.
+var (
+	ErrUnknownParent = errors.New("store: unknown parent block")
+	ErrUnknownBlock  = errors.New("store: unknown block")
+	ErrDuplicate     = errors.New("store: duplicate block")
+	ErrBadHeight     = errors.New("store: height must be parent height + 1")
+	ErrHasGenesis    = errors.New("store: genesis already set")
+)
+
+// BlockTree stores every received block, indexed by hash, with a
+// child index so branch-selection algorithms can walk the tree. It is
+// safe for concurrent use.
+type BlockTree struct {
+	mu       sync.RWMutex
+	blocks   map[cryptoutil.Hash]*types.Block
+	children map[cryptoutil.Hash][]cryptoutil.Hash
+	genesis  cryptoutil.Hash
+}
+
+// NewBlockTree creates a block tree rooted at the given genesis block.
+func NewBlockTree(genesis *types.Block) *BlockTree {
+	t := &BlockTree{
+		blocks:   make(map[cryptoutil.Hash]*types.Block),
+		children: make(map[cryptoutil.Hash][]cryptoutil.Hash),
+	}
+	h := genesis.Hash()
+	t.blocks[h] = genesis
+	t.genesis = h
+	return t
+}
+
+// Genesis returns the genesis block hash.
+func (t *BlockTree) Genesis() cryptoutil.Hash {
+	return t.genesis
+}
+
+// Add inserts a block whose parent must already be present.
+func (t *BlockTree) Add(b *types.Block) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	h := b.Hash()
+	if _, ok := t.blocks[h]; ok {
+		return fmt.Errorf("%w: %s", ErrDuplicate, h.Short())
+	}
+	parent, ok := t.blocks[b.Header.ParentHash]
+	if !ok {
+		return fmt.Errorf("%w: %s (parent of %s)", ErrUnknownParent, b.Header.ParentHash.Short(), h.Short())
+	}
+	if b.Header.Height != parent.Header.Height+1 {
+		return fmt.Errorf("%w: got %d, parent at %d", ErrBadHeight, b.Header.Height, parent.Header.Height)
+	}
+	t.blocks[h] = b
+	t.children[b.Header.ParentHash] = append(t.children[b.Header.ParentHash], h)
+	return nil
+}
+
+// Get returns the block with the given hash.
+func (t *BlockTree) Get(h cryptoutil.Hash) (*types.Block, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	b, ok := t.blocks[h]
+	return b, ok
+}
+
+// Has reports whether the block is in the tree.
+func (t *BlockTree) Has(h cryptoutil.Hash) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	_, ok := t.blocks[h]
+	return ok
+}
+
+// Len returns the number of blocks in the tree (including genesis).
+func (t *BlockTree) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.blocks)
+}
+
+// Children returns the direct children of h.
+func (t *BlockTree) Children(h cryptoutil.Hash) []cryptoutil.Hash {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]cryptoutil.Hash, len(t.children[h]))
+	copy(out, t.children[h])
+	return out
+}
+
+// Tips returns the hashes of all leaf blocks (chain tips of every
+// branch).
+func (t *BlockTree) Tips() []cryptoutil.Hash {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []cryptoutil.Hash
+	for h := range t.blocks {
+		if len(t.children[h]) == 0 {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// PathFromGenesis returns the block hashes from genesis to h inclusive.
+func (t *BlockTree) PathFromGenesis(h cryptoutil.Hash) ([]cryptoutil.Hash, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var rev []cryptoutil.Hash
+	cur := h
+	for {
+		b, ok := t.blocks[cur]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrUnknownBlock, cur.Short())
+		}
+		rev = append(rev, cur)
+		if cur == t.genesis {
+			break
+		}
+		cur = b.Header.ParentHash
+	}
+	// Reverse in place.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, nil
+}
+
+// Ancestor reports whether a is an ancestor of (or equal to) b.
+func (t *BlockTree) Ancestor(a, b cryptoutil.Hash) (bool, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	cur := b
+	for {
+		if cur == a {
+			return true, nil
+		}
+		blk, ok := t.blocks[cur]
+		if !ok {
+			return false, fmt.Errorf("%w: %s", ErrUnknownBlock, cur.Short())
+		}
+		if cur == t.genesis {
+			return false, nil
+		}
+		cur = blk.Header.ParentHash
+	}
+}
+
+// CommonAncestor returns the deepest block that is an ancestor of both a
+// and b.
+func (t *BlockTree) CommonAncestor(a, b cryptoutil.Hash) (cryptoutil.Hash, error) {
+	pa, err := t.PathFromGenesis(a)
+	if err != nil {
+		return cryptoutil.ZeroHash, err
+	}
+	pb, err := t.PathFromGenesis(b)
+	if err != nil {
+		return cryptoutil.ZeroHash, err
+	}
+	n := min(len(pa), len(pb))
+	last := t.genesis
+	for i := 0; i < n && pa[i] == pb[i]; i++ {
+		last = pa[i]
+	}
+	return last, nil
+}
+
+// SubtreeSize returns the number of blocks in the subtree rooted at h
+// (including h itself). It is the weight function of the GHOST branch
+// selection rule.
+func (t *BlockTree) SubtreeSize(h cryptoutil.Hash) (int, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if _, ok := t.blocks[h]; !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownBlock, h.Short())
+	}
+	count := 0
+	stack := []cryptoutil.Hash{h}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		count++
+		stack = append(stack, t.children[cur]...)
+	}
+	return count, nil
+}
+
+// Height returns the height of block h.
+func (t *BlockTree) Height(h cryptoutil.Hash) (uint64, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	b, ok := t.blocks[h]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownBlock, h.Short())
+	}
+	return b.Header.Height, nil
+}
+
+// TotalDifficulty sums header difficulty from genesis to h: the
+// heaviest-chain weight used by difficulty-aware longest-chain selection.
+func (t *BlockTree) TotalDifficulty(h cryptoutil.Hash) (uint64, error) {
+	path, err := t.PathFromGenesis(h)
+	if err != nil {
+		return 0, err
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var sum uint64
+	for _, hh := range path {
+		sum += t.blocks[hh].Header.Difficulty
+	}
+	return sum, nil
+}

@@ -1,0 +1,169 @@
+package store
+
+import (
+	"sync"
+
+	"dcsledger/internal/cryptoutil"
+	"dcsledger/internal/types"
+)
+
+// Chain is the main-chain view over a block tree: the branch currently
+// selected by the fork-choice rule, indexed by height. It also answers
+// the "block age" question the paper ties trust to (Section 2.2) via
+// Confirmations.
+type Chain struct {
+	mu       sync.RWMutex
+	tree     *BlockTree
+	byHeight []cryptoutil.Hash
+	txIndex  map[cryptoutil.Hash]txLocation
+}
+
+type txLocation struct {
+	block cryptoutil.Hash
+	index int
+}
+
+// NewChain creates a main-chain view with the genesis block as head.
+func NewChain(tree *BlockTree) *Chain {
+	c := &Chain{tree: tree, txIndex: make(map[cryptoutil.Hash]txLocation)}
+	c.setHeadLocked(tree.Genesis())
+	return c
+}
+
+// Tree returns the underlying block tree.
+func (c *Chain) Tree() *BlockTree { return c.tree }
+
+// SetHead re-points the main chain at the branch ending in tip,
+// rebuilding the height and transaction indexes. It returns the hashes
+// that left the main chain (the reorged-out blocks) and those that
+// joined it, which callers use to return transactions to the mempool and
+// replay state.
+func (c *Chain) SetHead(tip cryptoutil.Hash) (removed, added []cryptoutil.Hash, err error) {
+	path, err := c.tree.PathFromGenesis(tip)
+	if err != nil {
+		return nil, nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old := c.byHeight
+	// Find divergence point.
+	n := min(len(old), len(path))
+	div := 0
+	for div < n && old[div] == path[div] {
+		div++
+	}
+	removed = append(removed, old[div:]...)
+	added = append(added, path[div:]...)
+	c.byHeight = path
+	for _, h := range removed {
+		b, _ := c.tree.Get(h)
+		for _, tx := range b.Txs {
+			delete(c.txIndex, tx.ID())
+		}
+	}
+	for _, h := range added {
+		b, _ := c.tree.Get(h)
+		for i, tx := range b.Txs {
+			c.txIndex[tx.ID()] = txLocation{block: h, index: i}
+		}
+	}
+	return removed, added, nil
+}
+
+func (c *Chain) setHeadLocked(tip cryptoutil.Hash) {
+	path, err := c.tree.PathFromGenesis(tip)
+	if err != nil {
+		return
+	}
+	c.byHeight = path
+	for _, h := range path {
+		b, _ := c.tree.Get(h)
+		for i, tx := range b.Txs {
+			c.txIndex[tx.ID()] = txLocation{block: h, index: i}
+		}
+	}
+}
+
+// Head returns the current main-chain tip hash.
+func (c *Chain) Head() cryptoutil.Hash {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.byHeight[len(c.byHeight)-1]
+}
+
+// HeadBlock returns the current main-chain tip block.
+func (c *Chain) HeadBlock() *types.Block {
+	b, _ := c.tree.Get(c.Head())
+	return b
+}
+
+// Height returns the main-chain height (genesis = 0).
+func (c *Chain) Height() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return uint64(len(c.byHeight) - 1)
+}
+
+// AtHeight returns the main-chain block hash at the given height.
+func (c *Chain) AtHeight(h uint64) (cryptoutil.Hash, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if h >= uint64(len(c.byHeight)) {
+		return cryptoutil.ZeroHash, false
+	}
+	return c.byHeight[h], true
+}
+
+// Contains reports whether block h is on the main chain.
+func (c *Chain) Contains(h cryptoutil.Hash) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	b, ok := c.tree.Get(h)
+	if !ok {
+		return false
+	}
+	ht := b.Header.Height
+	return ht < uint64(len(c.byHeight)) && c.byHeight[ht] == h
+}
+
+// Confirmations returns how many blocks follow h on the main chain,
+// plus one (so the tip has 1 confirmation). Zero means not on the main
+// chain — the paper's "trust grows with block age" quantity.
+func (c *Chain) Confirmations(h cryptoutil.Hash) uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	b, ok := c.tree.Get(h)
+	if !ok {
+		return 0
+	}
+	ht := b.Header.Height
+	if ht >= uint64(len(c.byHeight)) || c.byHeight[ht] != h {
+		return 0
+	}
+	return uint64(len(c.byHeight)) - ht
+}
+
+// FindTx locates a transaction on the main chain, returning its block
+// hash and index within the block.
+func (c *Chain) FindTx(txID cryptoutil.Hash) (blockHash cryptoutil.Hash, index int, ok bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	loc, ok := c.txIndex[txID]
+	if !ok {
+		return cryptoutil.ZeroHash, 0, false
+	}
+	return loc.block, loc.index, true
+}
+
+// Headers returns the main-chain headers from height `from` (inclusive),
+// at most limit entries — the feed an SPV client or fast-sync peer pulls.
+func (c *Chain) Headers(from uint64, limit int) []types.BlockHeader {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []types.BlockHeader
+	for h := from; h < uint64(len(c.byHeight)) && len(out) < limit; h++ {
+		b, _ := c.tree.Get(c.byHeight[h])
+		out = append(out, b.Header)
+	}
+	return out
+}

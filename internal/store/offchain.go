@@ -1,0 +1,90 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"dcsledger/internal/cryptoutil"
+)
+
+// Off-chain store errors.
+var (
+	ErrBlobMissing   = errors.New("store: off-chain blob missing")
+	ErrBlobCorrupted = errors.New("store: off-chain blob does not match anchor")
+)
+
+// OffChainStore keeps bulk data outside the blockchain while the chain
+// stores only the anchoring hash (Section 4.5). The trade-off the paper
+// describes is explicit in the API: Get can fail with ErrBlobMissing —
+// off-chain data is not durable — whereas integrity is still verifiable
+// against the on-chain anchor.
+type OffChainStore struct {
+	mu    sync.RWMutex
+	blobs map[cryptoutil.Hash][]byte
+}
+
+// NewOffChainStore returns an empty off-chain store.
+func NewOffChainStore() *OffChainStore {
+	return &OffChainStore{blobs: make(map[cryptoutil.Hash][]byte)}
+}
+
+// Put stores a blob and returns its anchor hash — the value to record
+// on-chain.
+func (s *OffChainStore) Put(blob []byte) cryptoutil.Hash {
+	h := cryptoutil.HashBytes([]byte("offchain"), blob)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.blobs[h] = append([]byte(nil), blob...)
+	return h
+}
+
+// Get retrieves the blob for an anchor, verifying integrity.
+func (s *OffChainStore) Get(anchor cryptoutil.Hash) ([]byte, error) {
+	s.mu.RLock()
+	blob, ok := s.blobs[anchor]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrBlobMissing, anchor.Short())
+	}
+	if cryptoutil.HashBytes([]byte("offchain"), blob) != anchor {
+		return nil, fmt.Errorf("%w: %s", ErrBlobCorrupted, anchor.Short())
+	}
+	return blob, nil
+}
+
+// Drop deletes a blob, modeling the paper's durability caveat: off-chain
+// data may disappear while its on-chain anchor persists.
+func (s *OffChainStore) Drop(anchor cryptoutil.Hash) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.blobs, anchor)
+}
+
+// Corrupt overwrites a stored blob in place without updating its anchor,
+// for failure-injection tests.
+func (s *OffChainStore) Corrupt(anchor cryptoutil.Hash, data []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.blobs[anchor]; ok {
+		s.blobs[anchor] = append([]byte(nil), data...)
+	}
+}
+
+// Size returns the total bytes held off-chain.
+func (s *OffChainStore) Size() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	total := 0
+	for _, b := range s.blobs {
+		total += len(b)
+	}
+	return total
+}
+
+// Len returns the number of stored blobs.
+func (s *OffChainStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.blobs)
+}

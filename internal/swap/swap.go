@@ -1,0 +1,162 @@
+// Package swap implements atomic cross-chain swaps (Section 4.6's
+// cross-blockchain interoperation, Herlihy [31]): hash-time-locked
+// contracts on two independent ledgers let two parties trade assets
+// with no trusted intermediary. Either both legs complete or both
+// refund — experiment E18 checks the full outcome matrix.
+package swap
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"dcsledger/internal/cryptoutil"
+	"dcsledger/internal/state"
+)
+
+// HTLC errors, matchable with errors.Is.
+var (
+	ErrUnknownLock   = errors.New("swap: unknown HTLC")
+	ErrWrongPreimage = errors.New("swap: preimage does not match hash lock")
+	ErrExpired       = errors.New("swap: HTLC deadline passed")
+	ErrNotExpired    = errors.New("swap: HTLC deadline not reached")
+	ErrSettled       = errors.New("swap: HTLC already settled")
+)
+
+// HashLock derives the lock for a secret.
+func HashLock(secret []byte) cryptoutil.Hash {
+	return cryptoutil.HashBytes([]byte("swap/htlc"), secret)
+}
+
+// HTLC is one hash-time-locked escrow on a ledger.
+type HTLC struct {
+	ID        cryptoutil.Hash    `json:"id"`
+	Sender    cryptoutil.Address `json:"sender"`
+	Recipient cryptoutil.Address `json:"recipient"`
+	Amount    uint64             `json:"amount"`
+	Lock      cryptoutil.Hash    `json:"lock"`
+	Deadline  time.Time          `json:"deadline"`
+	Claimed   bool               `json:"claimed"`
+	Refunded  bool               `json:"refunded"`
+	// Preimage becomes public on claim — the cross-chain signal the
+	// protocol relies on.
+	Preimage []byte `json:"preimage,omitempty"`
+}
+
+// Manager tracks the HTLCs of one ledger. It is safe for concurrent
+// use.
+type Manager struct {
+	mu     sync.Mutex
+	st     *state.State
+	escrow cryptoutil.Address
+	locks  map[cryptoutil.Hash]*HTLC
+}
+
+// NewManager attaches HTLC support to a ledger state.
+func NewManager(st *state.State, chainName string) *Manager {
+	return &Manager{
+		st:     st,
+		escrow: cryptoutil.AddressFromHash(cryptoutil.HashBytes([]byte("swap/escrow/" + chainName))),
+		locks:  make(map[cryptoutil.Hash]*HTLC),
+	}
+}
+
+// Lock escrows amount from sender, claimable by recipient with the
+// preimage of lock until deadline, refundable to sender afterwards.
+func (m *Manager) Lock(sender, recipient cryptoutil.Address, amount uint64, lock cryptoutil.Hash, deadline time.Time) (*HTLC, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.st.Debit(sender, amount); err != nil {
+		return nil, fmt.Errorf("swap: %w", err)
+	}
+	m.st.Credit(m.escrow, amount)
+	h := &HTLC{
+		ID: cryptoutil.HashBytes([]byte("swap/id"), sender[:], recipient[:], lock[:],
+			[]byte(deadline.UTC().Format(time.RFC3339Nano))),
+		Sender:    sender,
+		Recipient: recipient,
+		Amount:    amount,
+		Lock:      lock,
+		Deadline:  deadline,
+	}
+	m.locks[h.ID] = h
+	return h, nil
+}
+
+// Claim releases the escrow to the recipient given the correct
+// preimage before the deadline, publishing the preimage.
+func (m *Manager) Claim(id cryptoutil.Hash, preimage []byte, now time.Time) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.locks[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownLock, id.Short())
+	}
+	if h.Claimed || h.Refunded {
+		return ErrSettled
+	}
+	if now.After(h.Deadline) {
+		return fmt.Errorf("%w: %s", ErrExpired, h.Deadline)
+	}
+	if HashLock(preimage) != h.Lock {
+		return ErrWrongPreimage
+	}
+	if err := m.st.Debit(m.escrow, h.Amount); err != nil {
+		return fmt.Errorf("swap: %w", err)
+	}
+	m.st.Credit(h.Recipient, h.Amount)
+	h.Claimed = true
+	h.Preimage = append([]byte(nil), preimage...)
+	return nil
+}
+
+// Refund returns the escrow to the sender after the deadline.
+func (m *Manager) Refund(id cryptoutil.Hash, now time.Time) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.locks[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownLock, id.Short())
+	}
+	if h.Claimed || h.Refunded {
+		return ErrSettled
+	}
+	if !now.After(h.Deadline) {
+		return fmt.Errorf("%w: %s", ErrNotExpired, h.Deadline)
+	}
+	if err := m.st.Debit(m.escrow, h.Amount); err != nil {
+		return fmt.Errorf("swap: %w", err)
+	}
+	m.st.Credit(h.Sender, h.Amount)
+	h.Refunded = true
+	return nil
+}
+
+// Get returns a (copy of a) tracked HTLC — this is how the
+// counterparty reads the revealed preimage off the chain.
+func (m *Manager) Get(id cryptoutil.Hash) (HTLC, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.locks[id]
+	if !ok {
+		return HTLC{}, false
+	}
+	return *h, true
+}
+
+// Outcome summarizes one swap run for the E18 matrix.
+type Outcome struct {
+	AliceGotAsset2 bool
+	BobGotAsset1   bool
+	AliceRefunded  bool
+	BobRefunded    bool
+}
+
+// Atomic reports whether the outcome preserved atomicity: both legs
+// completed, or neither did.
+func (o Outcome) Atomic() bool {
+	completed := o.AliceGotAsset2 && o.BobGotAsset1
+	aborted := !o.AliceGotAsset2 && !o.BobGotAsset1
+	return completed || aborted
+}

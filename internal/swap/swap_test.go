@@ -1,0 +1,202 @@
+package swap
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dcsledger/internal/cryptoutil"
+	"dcsledger/internal/state"
+)
+
+// twoChains sets up the canonical swap scenario: Alice holds 100 on
+// chain 1, Bob holds 100 on chain 2, and they want to trade.
+type scenario struct {
+	chain1, chain2 *Manager
+	st1, st2       *state.State
+	alice, bob     cryptoutil.Address
+	secret         []byte
+	lock           cryptoutil.Hash
+	t0             time.Time
+}
+
+func newScenario(t *testing.T) *scenario {
+	t.Helper()
+	s := &scenario{
+		st1:    state.New(),
+		st2:    state.New(),
+		alice:  cryptoutil.KeyFromSeed([]byte("alice")).Address(),
+		bob:    cryptoutil.KeyFromSeed([]byte("bob")).Address(),
+		secret: []byte("alice's secret"),
+		t0:     time.Unix(0, 0),
+	}
+	s.lock = HashLock(s.secret)
+	s.st1.Credit(s.alice, 100)
+	s.st2.Credit(s.bob, 100)
+	s.chain1 = NewManager(s.st1, "chain-1")
+	s.chain2 = NewManager(s.st2, "chain-2")
+	return s
+}
+
+// lockBoth performs the standard setup: Alice locks on chain 1 with a
+// long deadline, Bob locks on chain 2 with a shorter one.
+func (s *scenario) lockBoth(t *testing.T) (h1, h2 *HTLC) {
+	t.Helper()
+	var err error
+	h1, err = s.chain1.Lock(s.alice, s.bob, 100, s.lock, s.t0.Add(2*time.Hour))
+	if err != nil {
+		t.Fatalf("alice lock: %v", err)
+	}
+	h2, err = s.chain2.Lock(s.bob, s.alice, 100, s.lock, s.t0.Add(time.Hour))
+	if err != nil {
+		t.Fatalf("bob lock: %v", err)
+	}
+	return h1, h2
+}
+
+func TestHappySwap(t *testing.T) {
+	s := newScenario(t)
+	h1, h2 := s.lockBoth(t)
+
+	// Alice claims Bob's asset on chain 2, revealing the secret.
+	if err := s.chain2.Claim(h2.ID, s.secret, s.t0.Add(10*time.Minute)); err != nil {
+		t.Fatalf("alice claim: %v", err)
+	}
+	// Bob reads the preimage from chain 2 and claims on chain 1.
+	published, ok := s.chain2.Get(h2.ID)
+	if !ok || published.Preimage == nil {
+		t.Fatal("claim must publish the preimage")
+	}
+	if err := s.chain1.Claim(h1.ID, published.Preimage, s.t0.Add(20*time.Minute)); err != nil {
+		t.Fatalf("bob claim: %v", err)
+	}
+
+	o := Outcome{
+		AliceGotAsset2: s.st2.Balance(s.alice) == 100,
+		BobGotAsset1:   s.st1.Balance(s.bob) == 100,
+	}
+	if !o.Atomic() || !o.AliceGotAsset2 || !o.BobGotAsset1 {
+		t.Fatalf("outcome %+v", o)
+	}
+}
+
+func TestAliceAbortsBothRefund(t *testing.T) {
+	s := newScenario(t)
+	h1, h2 := s.lockBoth(t)
+
+	// Alice never claims. After each deadline, both refund.
+	if err := s.chain2.Refund(h2.ID, s.t0.Add(61*time.Minute)); err != nil {
+		t.Fatalf("bob refund: %v", err)
+	}
+	if err := s.chain1.Refund(h1.ID, s.t0.Add(121*time.Minute)); err != nil {
+		t.Fatalf("alice refund: %v", err)
+	}
+	o := Outcome{
+		AliceGotAsset2: s.st2.Balance(s.alice) > 0,
+		BobGotAsset1:   s.st1.Balance(s.bob) > 0,
+		AliceRefunded:  s.st1.Balance(s.alice) == 100,
+		BobRefunded:    s.st2.Balance(s.bob) == 100,
+	}
+	if !o.Atomic() || !o.AliceRefunded || !o.BobRefunded {
+		t.Fatalf("outcome %+v", o)
+	}
+}
+
+func TestBobNeverLocksAliceRefunds(t *testing.T) {
+	s := newScenario(t)
+	h1, err := s.chain1.Lock(s.alice, s.bob, 100, s.lock, s.t0.Add(time.Hour))
+	if err != nil {
+		t.Fatalf("lock: %v", err)
+	}
+	// Bob never locks; Alice refunds after her deadline.
+	if err := s.chain1.Refund(h1.ID, s.t0.Add(2*time.Hour)); err != nil {
+		t.Fatalf("refund: %v", err)
+	}
+	if s.st1.Balance(s.alice) != 100 {
+		t.Fatal("alice must be made whole")
+	}
+}
+
+func TestClaimRejections(t *testing.T) {
+	s := newScenario(t)
+	h1, _ := s.lockBoth(t)
+
+	t.Run("wrong preimage", func(t *testing.T) {
+		if err := s.chain1.Claim(h1.ID, []byte("guess"), s.t0); !errors.Is(err, ErrWrongPreimage) {
+			t.Fatalf("want ErrWrongPreimage, got %v", err)
+		}
+	})
+	t.Run("after deadline", func(t *testing.T) {
+		if err := s.chain1.Claim(h1.ID, s.secret, s.t0.Add(3*time.Hour)); !errors.Is(err, ErrExpired) {
+			t.Fatalf("want ErrExpired, got %v", err)
+		}
+	})
+	t.Run("unknown id", func(t *testing.T) {
+		ghost := cryptoutil.HashBytes([]byte("ghost"))
+		if err := s.chain1.Claim(ghost, s.secret, s.t0); !errors.Is(err, ErrUnknownLock) {
+			t.Fatalf("want ErrUnknownLock, got %v", err)
+		}
+	})
+}
+
+func TestRefundRejections(t *testing.T) {
+	s := newScenario(t)
+	h1, _ := s.lockBoth(t)
+
+	t.Run("before deadline", func(t *testing.T) {
+		if err := s.chain1.Refund(h1.ID, s.t0.Add(time.Minute)); !errors.Is(err, ErrNotExpired) {
+			t.Fatalf("want ErrNotExpired, got %v", err)
+		}
+	})
+	t.Run("after claim", func(t *testing.T) {
+		if err := s.chain1.Claim(h1.ID, s.secret, s.t0.Add(time.Minute)); err != nil {
+			t.Fatalf("claim: %v", err)
+		}
+		if err := s.chain1.Refund(h1.ID, s.t0.Add(3*time.Hour)); !errors.Is(err, ErrSettled) {
+			t.Fatalf("want ErrSettled, got %v", err)
+		}
+	})
+}
+
+func TestDoubleClaimRejected(t *testing.T) {
+	s := newScenario(t)
+	h1, _ := s.lockBoth(t)
+	if err := s.chain1.Claim(h1.ID, s.secret, s.t0.Add(time.Minute)); err != nil {
+		t.Fatalf("claim: %v", err)
+	}
+	if err := s.chain1.Claim(h1.ID, s.secret, s.t0.Add(2*time.Minute)); !errors.Is(err, ErrSettled) {
+		t.Fatalf("want ErrSettled, got %v", err)
+	}
+}
+
+func TestLockNeedsFunds(t *testing.T) {
+	s := newScenario(t)
+	if _, err := s.chain1.Lock(s.bob /* has nothing on chain 1 */, s.alice, 50, s.lock, s.t0.Add(time.Hour)); err == nil {
+		t.Fatal("lock without funds must fail")
+	}
+}
+
+// TestLateClaimCannotBreakAtomicity covers the deadline-ordering attack:
+// Bob's deadline (chain 2) must be earlier than Alice's (chain 1). If
+// Alice claims at the last moment on chain 2, Bob still has an hour to
+// claim on chain 1.
+func TestLateClaimCannotBreakAtomicity(t *testing.T) {
+	s := newScenario(t)
+	h1, h2 := s.lockBoth(t)
+	// Alice claims at 59 minutes, just before Bob's lock expires.
+	if err := s.chain2.Claim(h2.ID, s.secret, s.t0.Add(59*time.Minute)); err != nil {
+		t.Fatalf("alice claim: %v", err)
+	}
+	// Bob reacts at 90 minutes — still inside his chain-1 window.
+	published, _ := s.chain2.Get(h2.ID)
+	if err := s.chain1.Claim(h1.ID, published.Preimage, s.t0.Add(90*time.Minute)); err != nil {
+		t.Fatalf("bob claim: %v", err)
+	}
+	o := Outcome{
+		AliceGotAsset2: s.st2.Balance(s.alice) == 100,
+		BobGotAsset1:   s.st1.Balance(s.bob) == 100,
+	}
+	if !o.Atomic() {
+		t.Fatalf("atomicity broken: %+v", o)
+	}
+}

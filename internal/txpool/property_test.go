@@ -1,0 +1,76 @@
+package txpool
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dcsledger/internal/cryptoutil"
+	"dcsledger/internal/types"
+)
+
+// TestPropertySelectionApplicable: whatever lands in the pool, Select's
+// output keeps every sender's transactions in ascending nonce order —
+// the invariant block building relies on.
+func TestPropertySelectionApplicable(t *testing.T) {
+	keys := make([]*cryptoutil.KeyPair, 4)
+	for i := range keys {
+		keys[i] = cryptoutil.KeyFromSeed([]byte{byte(i), 's'})
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := New(0)
+		nonces := make(map[int]uint64)
+		for i := 0; i < 40; i++ {
+			ki := rng.Intn(len(keys))
+			tx := types.NewTransfer(keys[ki].Address(), cryptoutil.ZeroAddress,
+				1, uint64(rng.Intn(50)), nonces[ki])
+			nonces[ki]++
+			if err := tx.Sign(keys[ki]); err != nil {
+				return false
+			}
+			if err := p.Add(tx); err != nil {
+				return false
+			}
+		}
+		sel := p.Select(rng.Intn(40)+1, 0)
+		lastNonce := make(map[cryptoutil.Address]int64)
+		for _, tx := range sel {
+			prev, seen := lastNonce[tx.From]
+			if seen && int64(tx.Nonce) <= prev {
+				return false
+			}
+			lastNonce[tx.From] = int64(tx.Nonce)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyPoolNeverExceedsCapacity: adds can evict but never grow
+// the pool past its bound.
+func TestPropertyPoolNeverExceedsCapacity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		capN := rng.Intn(10) + 2
+		p := New(capN)
+		for i := 0; i < 50; i++ {
+			k := cryptoutil.KeyFromSeed([]byte(fmt.Sprintf("cap/%d/%d", seed, i)))
+			tx := types.NewTransfer(k.Address(), cryptoutil.ZeroAddress, 1, uint64(rng.Intn(100)), 0)
+			if err := tx.Sign(k); err != nil {
+				return false
+			}
+			_ = p.Add(tx)
+			if p.Len() > capN {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,202 @@
+// Package txpool implements the mempool: the set of pending transactions
+// a peer has heard over gossip but not yet seen committed in a block.
+// Block proposers draw from it with fee-priority selection — the market
+// mechanism behind the paper's transaction-fee incentives (Section 2.4).
+package txpool
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"dcsledger/internal/cryptoutil"
+	"dcsledger/internal/types"
+)
+
+// Pool errors, matchable with errors.Is.
+var (
+	ErrDuplicate = errors.New("txpool: transaction already pooled")
+	ErrFull      = errors.New("txpool: pool full and fee too low")
+	ErrCoinbase  = errors.New("txpool: coinbase transactions are not pooled")
+)
+
+// DefaultCapacity bounds the pool when no explicit capacity is given.
+const DefaultCapacity = 4096
+
+// Pool is a fee-prioritized mempool, safe for concurrent use.
+type Pool struct {
+	mu  sync.Mutex
+	txs map[cryptoutil.Hash]*types.Transaction
+	cap int
+}
+
+// New creates a pool holding at most capacity transactions
+// (DefaultCapacity if capacity <= 0).
+func New(capacity int) *Pool {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Pool{
+		txs: make(map[cryptoutil.Hash]*types.Transaction),
+		cap: capacity,
+	}
+}
+
+// Add validates and inserts a transaction. When the pool is full the
+// lowest-fee transaction is evicted if the newcomer pays more; otherwise
+// ErrFull is returned.
+func (p *Pool) Add(tx *types.Transaction) error {
+	if tx.Kind == types.TxCoinbase {
+		return ErrCoinbase
+	}
+	if err := tx.Verify(); err != nil {
+		return fmt.Errorf("txpool: %w", err)
+	}
+	id := tx.ID()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.txs[id]; ok {
+		return fmt.Errorf("%w: %s", ErrDuplicate, id.Short())
+	}
+	if len(p.txs) >= p.cap {
+		victim, minFee := p.cheapestLocked()
+		if tx.Fee <= minFee {
+			return fmt.Errorf("%w: fee %d <= floor %d", ErrFull, tx.Fee, minFee)
+		}
+		delete(p.txs, victim)
+	}
+	p.txs[id] = tx
+	return nil
+}
+
+func (p *Pool) cheapestLocked() (cryptoutil.Hash, uint64) {
+	var (
+		victim cryptoutil.Hash
+		minFee = ^uint64(0)
+	)
+	for id, tx := range p.txs {
+		if tx.Fee < minFee {
+			minFee = tx.Fee
+			victim = id
+		}
+	}
+	return victim, minFee
+}
+
+// Has reports whether the pool contains the transaction.
+func (p *Pool) Has(id cryptoutil.Hash) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, ok := p.txs[id]
+	return ok
+}
+
+// Len returns the number of pooled transactions.
+func (p *Pool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.txs)
+}
+
+// Select returns up to maxTxs transactions totalling at most maxBytes of
+// encoded size, highest fee first; ties and same-sender sequences are
+// ordered by nonce so selected batches stay applicable. maxBytes <= 0
+// means unlimited. Selected transactions remain pooled until Remove.
+func (p *Pool) Select(maxTxs, maxBytes int) []*types.Transaction {
+	p.mu.Lock()
+	all := make([]*types.Transaction, 0, len(p.txs))
+	for _, tx := range p.txs {
+		all = append(all, tx)
+	}
+	p.mu.Unlock()
+
+	// Two-phase ordering (a single comparator mixing fee and per-sender
+	// nonce is not transitive): global fee priority first, then each
+	// sender's transactions are rearranged into nonce order within the
+	// slots that sender occupies, so selected batches stay applicable.
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Fee != b.Fee {
+			return a.Fee > b.Fee
+		}
+		ai, bi := a.ID(), b.ID()
+		return bytes.Compare(ai[:], bi[:]) < 0
+	})
+	slots := make(map[cryptoutil.Address][]int, 8)
+	for i, tx := range all {
+		slots[tx.From] = append(slots[tx.From], i)
+	}
+	for _, idxs := range slots {
+		if len(idxs) < 2 {
+			continue
+		}
+		group := make([]*types.Transaction, len(idxs))
+		for k, i := range idxs {
+			group[k] = all[i]
+		}
+		sort.Slice(group, func(a, b int) bool { return group[a].Nonce < group[b].Nonce })
+		for k, i := range idxs {
+			all[i] = group[k]
+		}
+	}
+
+	var (
+		out   []*types.Transaction
+		bytes int
+	)
+	for _, tx := range all {
+		if maxTxs > 0 && len(out) >= maxTxs {
+			break
+		}
+		sz := len(tx.Encode())
+		if maxBytes > 0 && bytes+sz > maxBytes {
+			continue
+		}
+		out = append(out, tx)
+		bytes += sz
+	}
+	return out
+}
+
+// Remove deletes the given transactions (typically after block commit).
+func (p *Pool) Remove(ids ...cryptoutil.Hash) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, id := range ids {
+		delete(p.txs, id)
+	}
+}
+
+// RemoveBlockTxs deletes every transaction included in block b.
+func (p *Pool) RemoveBlockTxs(b *types.Block) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, tx := range b.Txs {
+		delete(p.txs, tx.ID())
+	}
+}
+
+// Readd returns reorged-out transactions to the pool, ignoring ones that
+// no longer verify or duplicate pooled entries.
+func (p *Pool) Readd(txs []*types.Transaction) {
+	for _, tx := range txs {
+		if tx.Kind == types.TxCoinbase {
+			continue
+		}
+		_ = p.Add(tx) // best effort: duplicates and full pool are fine
+	}
+}
+
+// MinFee returns the lowest fee currently pooled (0 if empty): the fee
+// floor a new transaction must beat when the pool is full.
+func (p *Pool) MinFee() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.txs) == 0 {
+		return 0
+	}
+	_, fee := p.cheapestLocked()
+	return fee
+}

@@ -1,0 +1,194 @@
+package txpool
+
+import (
+	"errors"
+	"testing"
+
+	"dcsledger/internal/cryptoutil"
+	"dcsledger/internal/types"
+)
+
+func tx(t *testing.T, seed string, nonce, fee uint64) *types.Transaction {
+	t.Helper()
+	k := cryptoutil.KeyFromSeed([]byte(seed))
+	to := cryptoutil.KeyFromSeed([]byte("recipient")).Address()
+	tr := types.NewTransfer(k.Address(), to, 10, fee, nonce)
+	if err := tr.Sign(k); err != nil {
+		t.Fatalf("Sign: %v", err)
+	}
+	return tr
+}
+
+func TestAddHasLen(t *testing.T) {
+	p := New(0)
+	tr := tx(t, "a", 0, 1)
+	if err := p.Add(tr); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if !p.Has(tr.ID()) || p.Len() != 1 {
+		t.Fatal("pool should contain the tx")
+	}
+}
+
+func TestAddRejects(t *testing.T) {
+	p := New(0)
+	t.Run("coinbase", func(t *testing.T) {
+		cb := types.NewCoinbase(cryptoutil.ZeroAddress, 50, 1)
+		if err := p.Add(cb); !errors.Is(err, ErrCoinbase) {
+			t.Fatalf("want ErrCoinbase, got %v", err)
+		}
+	})
+	t.Run("unsigned", func(t *testing.T) {
+		bad := types.NewTransfer(cryptoutil.ZeroAddress, cryptoutil.ZeroAddress, 1, 1, 0)
+		if err := p.Add(bad); !errors.Is(err, types.ErrNoSignature) {
+			t.Fatalf("want ErrNoSignature, got %v", err)
+		}
+	})
+	t.Run("duplicate", func(t *testing.T) {
+		tr := tx(t, "a", 0, 1)
+		if err := p.Add(tr); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+		if err := p.Add(tr); !errors.Is(err, ErrDuplicate) {
+			t.Fatalf("want ErrDuplicate, got %v", err)
+		}
+	})
+}
+
+func TestCapacityEviction(t *testing.T) {
+	p := New(3)
+	low := tx(t, "low", 0, 1)
+	mid1 := tx(t, "mid1", 0, 5)
+	mid2 := tx(t, "mid2", 0, 6)
+	for _, tr := range []*types.Transaction{low, mid1, mid2} {
+		if err := p.Add(tr); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	// A cheap newcomer is refused.
+	cheap := tx(t, "cheap", 0, 1)
+	if err := p.Add(cheap); !errors.Is(err, ErrFull) {
+		t.Fatalf("want ErrFull, got %v", err)
+	}
+	// A rich newcomer evicts the cheapest.
+	rich := tx(t, "rich", 0, 10)
+	if err := p.Add(rich); err != nil {
+		t.Fatalf("Add rich: %v", err)
+	}
+	if p.Has(low.ID()) {
+		t.Fatal("lowest-fee tx should have been evicted")
+	}
+	if !p.Has(rich.ID()) || p.Len() != 3 {
+		t.Fatal("rich tx should be pooled at capacity")
+	}
+	if p.MinFee() != 5 {
+		t.Fatalf("MinFee = %d, want 5", p.MinFee())
+	}
+}
+
+func TestSelectFeePriority(t *testing.T) {
+	p := New(0)
+	fees := []uint64{3, 9, 1, 7, 5}
+	for i, f := range fees {
+		if err := p.Add(tx(t, string(rune('a'+i)), 0, f)); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	sel := p.Select(3, 0)
+	if len(sel) != 3 {
+		t.Fatalf("Select = %d txs", len(sel))
+	}
+	want := []uint64{9, 7, 5}
+	for i, tr := range sel {
+		if tr.Fee != want[i] {
+			t.Fatalf("Select[%d].Fee = %d, want %d", i, tr.Fee, want[i])
+		}
+	}
+	// Selection must not remove.
+	if p.Len() != 5 {
+		t.Fatal("Select must not drain the pool")
+	}
+}
+
+func TestSelectNonceOrderPerSender(t *testing.T) {
+	p := New(0)
+	// Same sender, later nonce pays more: nonce order must still win so
+	// the batch stays applicable.
+	t0 := tx(t, "same", 0, 1)
+	t1 := tx(t, "same", 1, 100)
+	if err := p.Add(t1); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if err := p.Add(t0); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	sel := p.Select(2, 0)
+	if len(sel) != 2 || sel[0].Nonce != 0 || sel[1].Nonce != 1 {
+		t.Fatalf("same-sender selection out of nonce order: %v", []uint64{sel[0].Nonce, sel[1].Nonce})
+	}
+}
+
+func TestSelectByteBudget(t *testing.T) {
+	p := New(0)
+	for i := 0; i < 5; i++ {
+		if err := p.Add(tx(t, string(rune('a'+i)), 0, uint64(i+1))); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	one := p.Select(0, len(tx(t, "z", 0, 1).Encode())+10)
+	if len(one) != 1 {
+		t.Fatalf("byte budget should admit exactly 1 tx, got %d", len(one))
+	}
+	all := p.Select(0, 0)
+	if len(all) != 5 {
+		t.Fatalf("unlimited budget should admit all, got %d", len(all))
+	}
+}
+
+func TestRemoveAndBlockRemoval(t *testing.T) {
+	p := New(0)
+	t1 := tx(t, "a", 0, 1)
+	t2 := tx(t, "b", 0, 2)
+	if err := p.Add(t1); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if err := p.Add(t2); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	p.Remove(t1.ID())
+	if p.Has(t1.ID()) || !p.Has(t2.ID()) {
+		t.Fatal("Remove removed the wrong tx")
+	}
+	b := types.NewBlock(cryptoutil.ZeroHash, 1, 0, cryptoutil.ZeroAddress, []*types.Transaction{t2})
+	p.RemoveBlockTxs(b)
+	if p.Len() != 0 {
+		t.Fatal("RemoveBlockTxs should empty the pool")
+	}
+}
+
+func TestReadd(t *testing.T) {
+	p := New(0)
+	t1 := tx(t, "a", 0, 1)
+	cb := types.NewCoinbase(cryptoutil.ZeroAddress, 50, 1)
+	unsigned := types.NewTransfer(cryptoutil.ZeroAddress, cryptoutil.ZeroAddress, 1, 1, 0)
+	p.Readd([]*types.Transaction{t1, cb, unsigned})
+	if p.Len() != 1 || !p.Has(t1.ID()) {
+		t.Fatal("Readd should re-pool only the valid user tx")
+	}
+}
+
+func TestSelectDeterministic(t *testing.T) {
+	p := New(0)
+	for i := 0; i < 8; i++ {
+		if err := p.Add(tx(t, string(rune('a'+i)), 0, 5)); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	a := p.Select(8, 0)
+	b := p.Select(8, 0)
+	for i := range a {
+		if a[i].ID() != b[i].ID() {
+			t.Fatal("equal-fee selection must be deterministic")
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package types
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"dcsledger/internal/cryptoutil"
+	"dcsledger/internal/merkle"
+)
+
+// BlockHeader is the fixed-size commitment at the head of every block
+// (Figure 2 of the paper: previous hash, nonce, tree root hash — plus the
+// fields modern chains add: height, time, difficulty, state root,
+// proposer, and a consensus-specific Extra payload).
+type BlockHeader struct {
+	ParentHash cryptoutil.Hash    `json:"parentHash"`
+	Height     uint64             `json:"height"`
+	Time       int64              `json:"time"` // unix nanoseconds, virtual in simulations
+	Difficulty uint64             `json:"difficulty"`
+	Nonce      uint64             `json:"nonce"`
+	TxRoot     cryptoutil.Hash    `json:"txRoot"`
+	StateRoot  cryptoutil.Hash    `json:"stateRoot"`
+	Proposer   cryptoutil.Address `json:"proposer"`
+	// Extra carries consensus-specific evidence: a PoS selection proof, a
+	// PoET wait certificate, PBFT commit signatures, or a Bitcoin-NG
+	// microblock signature.
+	Extra []byte `json:"extra,omitempty"`
+}
+
+// Encode returns the canonical encoding of the header. The proof-of-work
+// puzzle and the header hash are both computed over this encoding.
+func (h *BlockHeader) Encode() []byte {
+	var buf bytes.Buffer
+	buf.Write(h.ParentHash[:])
+	writeUint64(&buf, h.Height)
+	writeUint64(&buf, uint64(h.Time))
+	writeUint64(&buf, h.Difficulty)
+	writeUint64(&buf, h.Nonce)
+	buf.Write(h.TxRoot[:])
+	buf.Write(h.StateRoot[:])
+	buf.Write(h.Proposer[:])
+	writeBytes(&buf, h.Extra)
+	return buf.Bytes()
+}
+
+// Hash returns the block identifier: the hash of the canonical header
+// encoding.
+func (h *BlockHeader) Hash() cryptoutil.Hash {
+	return cryptoutil.HashBytes([]byte("dcsledger/block"), h.Encode())
+}
+
+// DecodeBlockHeader parses a header from its canonical encoding.
+func DecodeBlockHeader(b []byte) (*BlockHeader, error) {
+	r := bytes.NewReader(b)
+	h, err := readHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("types: %d trailing bytes after header", r.Len())
+	}
+	return h, nil
+}
+
+func readHeader(r *bytes.Reader) (*BlockHeader, error) {
+	var h BlockHeader
+	if _, err := io.ReadFull(r, h.ParentHash[:]); err != nil {
+		return nil, fmt.Errorf("types: read parent hash: %w", err)
+	}
+	var err error
+	if h.Height, err = readUint64(r); err != nil {
+		return nil, err
+	}
+	t, err := readUint64(r)
+	if err != nil {
+		return nil, err
+	}
+	h.Time = int64(t)
+	if h.Difficulty, err = readUint64(r); err != nil {
+		return nil, err
+	}
+	if h.Nonce, err = readUint64(r); err != nil {
+		return nil, err
+	}
+	if _, err := io.ReadFull(r, h.TxRoot[:]); err != nil {
+		return nil, fmt.Errorf("types: read tx root: %w", err)
+	}
+	if _, err := io.ReadFull(r, h.StateRoot[:]); err != nil {
+		return nil, fmt.Errorf("types: read state root: %w", err)
+	}
+	if _, err := io.ReadFull(r, h.Proposer[:]); err != nil {
+		return nil, fmt.Errorf("types: read proposer: %w", err)
+	}
+	if h.Extra, err = readBytes(r); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}
+
+// Block bundles a header with its transaction body.
+type Block struct {
+	Header BlockHeader    `json:"header"`
+	Txs    []*Transaction `json:"txs"`
+}
+
+// NewBlock assembles a block over the given transactions, filling in the
+// transaction Merkle root. The caller sets consensus fields (difficulty,
+// nonce, extra) and the state root.
+func NewBlock(parent cryptoutil.Hash, height uint64, t int64, proposer cryptoutil.Address, txs []*Transaction) *Block {
+	b := &Block{
+		Header: BlockHeader{
+			ParentHash: parent,
+			Height:     height,
+			Time:       t,
+			Proposer:   proposer,
+		},
+		Txs: txs,
+	}
+	b.Header.TxRoot = b.ComputeTxRoot()
+	return b
+}
+
+// Hash returns the block's identifier (the header hash).
+func (b *Block) Hash() cryptoutil.Hash { return b.Header.Hash() }
+
+// ComputeTxRoot returns the Merkle root over the block's transaction IDs.
+func (b *Block) ComputeTxRoot() cryptoutil.Hash {
+	return merkle.Root(TxHashes(b.Txs))
+}
+
+// VerifyTxRoot checks that the header's TxRoot commits the body.
+func (b *Block) VerifyTxRoot() bool {
+	return b.Header.TxRoot == b.ComputeTxRoot()
+}
+
+// TxProof produces the SPV inclusion proof for the i-th transaction.
+func (b *Block) TxProof(i int) (merkle.Proof, error) {
+	tree := merkle.NewTree(TxHashes(b.Txs))
+	p, err := tree.Prove(i)
+	if err != nil {
+		return merkle.Proof{}, err
+	}
+	p.Leaf = b.Txs[i].ID()
+	return p, nil
+}
+
+// Encode returns the canonical encoding of the whole block.
+func (b *Block) Encode() []byte {
+	var buf bytes.Buffer
+	writeBytes(&buf, b.Header.Encode())
+	writeUint64(&buf, uint64(len(b.Txs)))
+	for _, tx := range b.Txs {
+		writeBytes(&buf, tx.Encode())
+	}
+	return buf.Bytes()
+}
+
+// Size returns the encoded size of the block in bytes.
+func (b *Block) Size() int { return len(b.Encode()) }
+
+// DecodeBlock parses a block from its canonical encoding.
+func DecodeBlock(data []byte) (*Block, error) {
+	r := bytes.NewReader(data)
+	hb, err := readBytes(r)
+	if err != nil {
+		return nil, err
+	}
+	h, err := DecodeBlockHeader(hb)
+	if err != nil {
+		return nil, err
+	}
+	n, err := readUint64(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxFieldLen {
+		return nil, fmt.Errorf("%w: %d txs", ErrTooLarge, n)
+	}
+	b := &Block{Header: *h}
+	if n > 0 {
+		b.Txs = make([]*Transaction, 0, n)
+	}
+	for i := uint64(0); i < n; i++ {
+		tb, err := readBytes(r)
+		if err != nil {
+			return nil, err
+		}
+		tx, err := DecodeTransaction(tb)
+		if err != nil {
+			return nil, fmt.Errorf("types: tx %d: %w", i, err)
+		}
+		b.Txs = append(b.Txs, tx)
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("types: %d trailing bytes after block", r.Len())
+	}
+	return b, nil
+}

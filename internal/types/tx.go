@@ -1,0 +1,266 @@
+// Package types defines the ledger's wire-level data structures — accounts,
+// transactions, block headers, and blocks — together with their canonical
+// deterministic encodings. Every hash in the system is computed over these
+// encodings, so the encoding rules here are consensus-critical.
+package types
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"dcsledger/internal/cryptoutil"
+)
+
+// TxKind distinguishes the transaction families carried by the ledger.
+type TxKind uint8
+
+const (
+	// TxTransfer moves value between accounts (Blockchain 1.0).
+	TxTransfer TxKind = iota + 1
+	// TxDeploy creates a smart contract; Data holds the code (Blockchain 2.0).
+	TxDeploy
+	// TxInvoke calls a smart contract at To; Data holds the input.
+	TxInvoke
+	// TxCoinbase mints the block reward to the proposer. It is only valid
+	// as the first transaction of a block and carries no signature.
+	TxCoinbase
+)
+
+// String implements fmt.Stringer.
+func (k TxKind) String() string {
+	switch k {
+	case TxTransfer:
+		return "transfer"
+	case TxDeploy:
+		return "deploy"
+	case TxInvoke:
+		return "invoke"
+	case TxCoinbase:
+		return "coinbase"
+	default:
+		return fmt.Sprintf("TxKind(%d)", uint8(k))
+	}
+}
+
+// Encoding and validation errors.
+var (
+	ErrBadSignature = errors.New("types: invalid transaction signature")
+	ErrNoSignature  = errors.New("types: transaction is unsigned")
+	ErrBadKind      = errors.New("types: unknown transaction kind")
+	ErrFromMismatch = errors.New("types: sender does not match public key")
+	ErrTooLarge     = errors.New("types: encoded field too large")
+)
+
+// maxFieldLen bounds variable-length fields during decoding so a hostile
+// peer cannot force huge allocations.
+const maxFieldLen = 1 << 24
+
+// Transaction is an account-model transaction. Fee is the total fee the
+// sender offers; the block producer collects it (Section 2.4 incentives).
+type Transaction struct {
+	Kind     TxKind             `json:"kind"`
+	From     cryptoutil.Address `json:"from"`
+	To       cryptoutil.Address `json:"to"`
+	Value    uint64             `json:"value"`
+	Fee      uint64             `json:"fee"`
+	Nonce    uint64             `json:"nonce"`
+	GasLimit uint64             `json:"gasLimit"`
+	Data     []byte             `json:"data,omitempty"`
+	PubKey   []byte             `json:"pubKey,omitempty"`
+	Sig      []byte             `json:"sig,omitempty"`
+}
+
+// NewTransfer builds an unsigned value transfer.
+func NewTransfer(from, to cryptoutil.Address, value, fee, nonce uint64) *Transaction {
+	return &Transaction{
+		Kind:  TxTransfer,
+		From:  from,
+		To:    to,
+		Value: value,
+		Fee:   fee,
+		Nonce: nonce,
+	}
+}
+
+// NewCoinbase builds the block-reward transaction for a proposer.
+func NewCoinbase(to cryptoutil.Address, reward uint64, height uint64) *Transaction {
+	return &Transaction{
+		Kind:  TxCoinbase,
+		To:    to,
+		Value: reward,
+		Nonce: height, // makes each coinbase unique per height
+	}
+}
+
+// SigningDigest returns the hash a sender signs: the canonical encoding of
+// everything except PubKey and Sig.
+func (tx *Transaction) SigningDigest() cryptoutil.Hash {
+	var buf bytes.Buffer
+	tx.encodeTo(&buf, false)
+	return cryptoutil.HashBytes([]byte("dcsledger/tx"), buf.Bytes())
+}
+
+// ID returns the transaction identifier: the hash of the full canonical
+// encoding, including the signature.
+func (tx *Transaction) ID() cryptoutil.Hash {
+	var buf bytes.Buffer
+	tx.encodeTo(&buf, true)
+	return cryptoutil.HashBytes([]byte("dcsledger/txid"), buf.Bytes())
+}
+
+// Sign attaches the key's signature and public key to the transaction.
+// The From address must already match the key.
+func (tx *Transaction) Sign(k *cryptoutil.KeyPair) error {
+	if tx.From != k.Address() {
+		return ErrFromMismatch
+	}
+	sig, err := k.Sign(tx.SigningDigest())
+	if err != nil {
+		return fmt.Errorf("sign tx: %w", err)
+	}
+	tx.PubKey = k.PublicKey()
+	tx.Sig = sig
+	return nil
+}
+
+// Verify checks the structural validity and signature of the transaction.
+// Coinbase transactions are unsigned by design and always pass signature
+// checks; their contextual validity (reward amount, position) is enforced
+// at block validation.
+func (tx *Transaction) Verify() error {
+	switch tx.Kind {
+	case TxTransfer, TxDeploy, TxInvoke:
+	case TxCoinbase:
+		return nil
+	default:
+		return fmt.Errorf("%w: %d", ErrBadKind, tx.Kind)
+	}
+	if len(tx.Sig) == 0 || len(tx.PubKey) == 0 {
+		return ErrNoSignature
+	}
+	if cryptoutil.PubKeyToAddress(tx.PubKey) != tx.From {
+		return ErrFromMismatch
+	}
+	if !cryptoutil.Verify(tx.PubKey, tx.SigningDigest(), tx.Sig) {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// Cost returns the total balance the sender needs: value plus fee.
+func (tx *Transaction) Cost() uint64 { return tx.Value + tx.Fee }
+
+// Encode writes the full canonical encoding of the transaction.
+func (tx *Transaction) Encode() []byte {
+	var buf bytes.Buffer
+	tx.encodeTo(&buf, true)
+	return buf.Bytes()
+}
+
+// DecodeTransaction parses a transaction from its canonical encoding.
+func DecodeTransaction(b []byte) (*Transaction, error) {
+	r := bytes.NewReader(b)
+	tx, err := readTransaction(r)
+	if err != nil {
+		return nil, err
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("types: %d trailing bytes after transaction", r.Len())
+	}
+	return tx, nil
+}
+
+func (tx *Transaction) encodeTo(w *bytes.Buffer, includeSig bool) {
+	w.WriteByte(byte(tx.Kind))
+	w.Write(tx.From[:])
+	w.Write(tx.To[:])
+	writeUint64(w, tx.Value)
+	writeUint64(w, tx.Fee)
+	writeUint64(w, tx.Nonce)
+	writeUint64(w, tx.GasLimit)
+	writeBytes(w, tx.Data)
+	if includeSig {
+		writeBytes(w, tx.PubKey)
+		writeBytes(w, tx.Sig)
+	}
+}
+
+func readTransaction(r *bytes.Reader) (*Transaction, error) {
+	var tx Transaction
+	kind, err := r.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("types: read kind: %w", err)
+	}
+	tx.Kind = TxKind(kind)
+	if _, err := io.ReadFull(r, tx.From[:]); err != nil {
+		return nil, fmt.Errorf("types: read from: %w", err)
+	}
+	if _, err := io.ReadFull(r, tx.To[:]); err != nil {
+		return nil, fmt.Errorf("types: read to: %w", err)
+	}
+	for _, dst := range []*uint64{&tx.Value, &tx.Fee, &tx.Nonce, &tx.GasLimit} {
+		if *dst, err = readUint64(r); err != nil {
+			return nil, err
+		}
+	}
+	if tx.Data, err = readBytes(r); err != nil {
+		return nil, err
+	}
+	if tx.PubKey, err = readBytes(r); err != nil {
+		return nil, err
+	}
+	if tx.Sig, err = readBytes(r); err != nil {
+		return nil, err
+	}
+	return &tx, nil
+}
+
+// TxHashes returns the IDs of a transaction slice, in order, for Merkle
+// root computation.
+func TxHashes(txs []*Transaction) []cryptoutil.Hash {
+	out := make([]cryptoutil.Hash, len(txs))
+	for i, tx := range txs {
+		out[i] = tx.ID()
+	}
+	return out
+}
+
+func writeUint64(w *bytes.Buffer, v uint64) {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	w.Write(b[:])
+}
+
+func readUint64(r *bytes.Reader) (uint64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, fmt.Errorf("types: read uint64: %w", err)
+	}
+	return binary.BigEndian.Uint64(b[:]), nil
+}
+
+func writeBytes(w *bytes.Buffer, b []byte) {
+	writeUint64(w, uint64(len(b)))
+	w.Write(b)
+}
+
+func readBytes(r *bytes.Reader) ([]byte, error) {
+	n, err := readUint64(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxFieldLen {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, n)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]byte, n)
+	if _, err := io.ReadFull(r, out); err != nil {
+		return nil, fmt.Errorf("types: read bytes: %w", err)
+	}
+	return out, nil
+}

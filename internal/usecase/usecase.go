@@ -1,0 +1,251 @@
+// Package usecase implements the Application-layer methodology of
+// Section 5.1: the paper's use-case template as a typed structure, and
+// a rule-based advisor that maps a filled template to a recommended
+// platform configuration — ledger type, consensus family, and the DCS
+// balance — following the trade-offs of Sections 2.7 and 5.4.
+package usecase
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Validation errors.
+var ErrIncomplete = errors.New("usecase: template incomplete")
+
+// ActorRole classifies participants per the paper's template questions.
+type ActorRole int
+
+// Actor roles.
+const (
+	// RoleSubmitter sends transactions.
+	RoleSubmitter ActorRole = iota + 1
+	// RoleContractAuthor creates smart contracts.
+	RoleContractAuthor
+	// RoleMaintainer maintains the blockchain (verifies, stores).
+	RoleMaintainer
+	// RoleQuerier only reads.
+	RoleQuerier
+)
+
+// Actor is one participant class.
+type Actor struct {
+	Name    string    `json:"name"`
+	Role    ActorRole `json:"role"`
+	Known   bool      `json:"known"`   // identity known to the network?
+	Trusted bool      `json:"trusted"` // trusted by the other actors?
+	Count   int       `json:"count"`   // expected population
+}
+
+// DataObject describes something stored or executed on-chain.
+type DataObject struct {
+	Name string `json:"name"`
+	// Confidential data must not leave a defined boundary (Section 5.3).
+	Confidential bool `json:"confidential"`
+	// Bulky objects (documents, sensor archives) favor off-chain
+	// storage with on-chain anchors (Section 4.5).
+	Bulky bool `json:"bulky"`
+	// Executable objects are smart contracts.
+	Executable bool `json:"executable"`
+}
+
+// Performance captures the template's requirement questions.
+type Performance struct {
+	ExpectedTPS      float64 `json:"expectedTps"`
+	MaxLatencySec    float64 `json:"maxLatencySec"`
+	AnnualGrowthPct  float64 `json:"annualGrowthPct"`
+	GlobalUserbase   bool    `json:"globalUserbase"`
+	RegulatoryBounds bool    `json:"regulatoryBounds"` // data-residency constraints
+}
+
+// UseCase is the filled Section 5.1 template.
+type UseCase struct {
+	Name        string       `json:"name"`
+	Intent      string       `json:"intent"`
+	Actors      []Actor      `json:"actors"`
+	DataObjects []DataObject `json:"dataObjects"`
+	Performance Performance  `json:"performance"`
+}
+
+// Validate checks the template answers every section.
+func (u *UseCase) Validate() error {
+	var missing []string
+	if u.Name == "" {
+		missing = append(missing, "name")
+	}
+	if u.Intent == "" {
+		missing = append(missing, "intent")
+	}
+	if len(u.Actors) == 0 {
+		missing = append(missing, "actors")
+	}
+	hasMaintainer := false
+	for _, a := range u.Actors {
+		if a.Role == RoleMaintainer {
+			hasMaintainer = true
+		}
+	}
+	if len(u.Actors) > 0 && !hasMaintainer {
+		missing = append(missing, "a maintainer actor")
+	}
+	if len(u.DataObjects) == 0 {
+		missing = append(missing, "data objects")
+	}
+	if u.Performance.ExpectedTPS <= 0 {
+		missing = append(missing, "expected throughput")
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("%w: missing %s", ErrIncomplete, strings.Join(missing, ", "))
+	}
+	return nil
+}
+
+// LedgerType is the public/consortium/private axis (Section 2.1).
+type LedgerType int
+
+// Ledger types.
+const (
+	Public LedgerType = iota + 1
+	Consortium
+	Private
+)
+
+// String implements fmt.Stringer.
+func (l LedgerType) String() string {
+	switch l {
+	case Public:
+		return "public"
+	case Consortium:
+		return "consortium"
+	case Private:
+		return "private"
+	default:
+		return fmt.Sprintf("LedgerType(%d)", int(l))
+	}
+}
+
+// DCS names the two properties the recommended design prioritizes
+// (Section 2.7's pick-two conjecture).
+type DCS string
+
+// DCS balances.
+const (
+	DC DCS = "decentralization+consistency"
+	CS DCS = "consistency+scalability"
+	DS DCS = "decentralization+scalability"
+)
+
+// Recommendation is the advisor's output.
+type Recommendation struct {
+	Ledger         LedgerType `json:"ledger"`
+	Consensus      string     `json:"consensus"`
+	ForkChoice     string     `json:"forkChoice,omitempty"`
+	Balance        DCS        `json:"balance"`
+	SmartContracts bool       `json:"smartContracts"`
+	OffChainData   bool       `json:"offChainData"`
+	Channels       bool       `json:"channels"`
+	PaymentChannel bool       `json:"paymentChannels"`
+	Sharding       bool       `json:"sharding"`
+	Generation     string     `json:"generation"` // 1.0 / 2.0 / 3.0
+	Reasons        []string   `json:"reasons"`
+}
+
+// Advise maps a validated template to a platform recommendation using
+// the paper's decision logic.
+func Advise(u UseCase) (Recommendation, error) {
+	if err := u.Validate(); err != nil {
+		return Recommendation{}, err
+	}
+	var (
+		rec    Recommendation
+		reason = func(format string, args ...any) {
+			rec.Reasons = append(rec.Reasons, fmt.Sprintf(format, args...))
+		}
+	)
+
+	// 1. Trust model → ledger type (Section 2.1).
+	maintainersKnown, maintainersTrusted := true, true
+	for _, a := range u.Actors {
+		if a.Role != RoleMaintainer {
+			continue
+		}
+		maintainersKnown = maintainersKnown && a.Known
+		maintainersTrusted = maintainersTrusted && a.Trusted
+	}
+	switch {
+	case !maintainersKnown:
+		rec.Ledger = Public
+		reason("maintainers are anonymous: a public ledger with incentives is required")
+	case maintainersTrusted:
+		rec.Ledger = Private
+		reason("maintainers are known and mutually trusted: a private ledger suffices")
+	default:
+		rec.Ledger = Consortium
+		reason("maintainers are known but do not fully trust each other: consortium ledger")
+	}
+
+	// 2. Throughput → consensus family (Section 2.7).
+	switch rec.Ledger {
+	case Public:
+		rec.Balance = DC
+		if u.Performance.ExpectedTPS > 100 {
+			rec.Consensus = "pos"
+			rec.ForkChoice = "ghost"
+			reason("public network above ~100 tps: proof-of-stake with GHOST to tolerate short block intervals")
+		} else {
+			rec.Consensus = "pow"
+			rec.ForkChoice = "longest-chain"
+			reason("modest public throughput: proof-of-work with Nakamoto consensus is battle-tested")
+		}
+		if u.Performance.ExpectedTPS > 1000 {
+			rec.Sharding = true
+			rec.PaymentChannel = true
+			rec.Balance = DS
+			reason("thousands of tps on a public network: shard the state and move hot paths to payment channels (consistency weakens to eventual)")
+		}
+	case Consortium:
+		rec.Balance = CS
+		rec.Consensus = "ordering+pbft"
+		reason("consortium: ordering service with PBFT validation trades open membership for >10K tps")
+	case Private:
+		rec.Balance = CS
+		rec.Consensus = "raft-ordering"
+		reason("private single-org deployment: crash-fault-tolerant ordering is enough")
+	}
+
+	// 3. Data objects → contract layer and data layer features.
+	for _, d := range u.DataObjects {
+		if d.Executable {
+			rec.SmartContracts = true
+			reason("object %q executes on-chain: smart-contract support required", d.Name)
+		}
+		if d.Bulky {
+			rec.OffChainData = true
+			reason("object %q is bulky: store off-chain, anchor hash on-chain", d.Name)
+		}
+		if d.Confidential {
+			if rec.Ledger == Public {
+				reason("object %q is confidential on a public ledger: use a mixer or zero-knowledge techniques", d.Name)
+			} else {
+				rec.Channels = true
+				reason("object %q is confidential: isolate it in a channel privacy domain", d.Name)
+			}
+		}
+	}
+	if u.Performance.RegulatoryBounds && rec.Ledger != Public {
+		rec.Channels = true
+		reason("regulatory data-residency bounds: channels keep data inside the declared boundary")
+	}
+
+	// 4. Generation classification (Section 3).
+	switch {
+	case rec.Ledger != Public:
+		rec.Generation = "3.0"
+	case rec.SmartContracts:
+		rec.Generation = "2.0"
+	default:
+		rec.Generation = "1.0"
+	}
+	return rec, nil
+}

@@ -1,0 +1,154 @@
+package usecase
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// cryptocurrencyCase is a Blockchain 1.0 public-money template.
+func cryptocurrencyCase() UseCase {
+	return UseCase{
+		Name:   "p2p-cash",
+		Intent: "peer-to-peer electronic cash without intermediaries",
+		Actors: []Actor{
+			{Name: "users", Role: RoleSubmitter, Known: false, Trusted: false, Count: 1_000_000},
+			{Name: "miners", Role: RoleMaintainer, Known: false, Trusted: false, Count: 10_000},
+		},
+		DataObjects: []DataObject{
+			{Name: "transactions"},
+		},
+		Performance: Performance{ExpectedTPS: 7, MaxLatencySec: 3600, GlobalUserbase: true},
+	}
+}
+
+// supplyChainCase is a Blockchain 3.0 consortium template.
+func supplyChainCase() UseCase {
+	return UseCase{
+		Name:   "food-supply-chain",
+		Intent: "trace produce from farm to shelf across competing companies",
+		Actors: []Actor{
+			{Name: "producers", Role: RoleSubmitter, Known: true, Trusted: false, Count: 200},
+			{Name: "auditors", Role: RoleQuerier, Known: true, Trusted: true, Count: 5},
+			{Name: "consortium peers", Role: RoleMaintainer, Known: true, Trusted: false, Count: 12},
+			{Name: "integrators", Role: RoleContractAuthor, Known: true, Trusted: false, Count: 3},
+		},
+		DataObjects: []DataObject{
+			{Name: "shipment records", Confidential: true},
+			{Name: "quality certificates", Bulky: true},
+			{Name: "handover workflow", Executable: true},
+		},
+		Performance: Performance{ExpectedTPS: 2000, MaxLatencySec: 2, RegulatoryBounds: true},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	uc := cryptocurrencyCase()
+	if err := uc.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*UseCase)
+		want   string
+	}{
+		{name: "no name", mutate: func(u *UseCase) { u.Name = "" }, want: "name"},
+		{name: "no intent", mutate: func(u *UseCase) { u.Intent = "" }, want: "intent"},
+		{name: "no actors", mutate: func(u *UseCase) { u.Actors = nil }, want: "actors"},
+		{name: "no maintainer", mutate: func(u *UseCase) { u.Actors = u.Actors[:1] }, want: "maintainer"},
+		{name: "no data", mutate: func(u *UseCase) { u.DataObjects = nil }, want: "data objects"},
+		{name: "no tps", mutate: func(u *UseCase) { u.Performance.ExpectedTPS = 0 }, want: "throughput"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			u := cryptocurrencyCase()
+			tt.mutate(&u)
+			err := u.Validate()
+			if !errors.Is(err, ErrIncomplete) {
+				t.Fatalf("want ErrIncomplete, got %v", err)
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Fatalf("error %q should mention %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestAdviseCryptocurrency(t *testing.T) {
+	rec, err := Advise(cryptocurrencyCase())
+	if err != nil {
+		t.Fatalf("Advise: %v", err)
+	}
+	if rec.Ledger != Public {
+		t.Fatalf("ledger = %s, want public", rec.Ledger)
+	}
+	if rec.Consensus != "pow" || rec.Balance != DC {
+		t.Fatalf("consensus %s, balance %s", rec.Consensus, rec.Balance)
+	}
+	if rec.Generation != "1.0" || rec.SmartContracts {
+		t.Fatalf("generation %s, contracts %v", rec.Generation, rec.SmartContracts)
+	}
+	if len(rec.Reasons) == 0 {
+		t.Fatal("advice must come with reasons")
+	}
+}
+
+func TestAdviseSupplyChain(t *testing.T) {
+	rec, err := Advise(supplyChainCase())
+	if err != nil {
+		t.Fatalf("Advise: %v", err)
+	}
+	if rec.Ledger != Consortium {
+		t.Fatalf("ledger = %s, want consortium", rec.Ledger)
+	}
+	if rec.Consensus != "ordering+pbft" || rec.Balance != CS {
+		t.Fatalf("consensus %s, balance %s", rec.Consensus, rec.Balance)
+	}
+	if !rec.SmartContracts || !rec.OffChainData || !rec.Channels {
+		t.Fatalf("feature flags: %+v", rec)
+	}
+	if rec.Generation != "3.0" {
+		t.Fatalf("generation = %s", rec.Generation)
+	}
+}
+
+func TestAdviseHighThroughputPublic(t *testing.T) {
+	uc := cryptocurrencyCase()
+	uc.Performance.ExpectedTPS = 5000
+	rec, err := Advise(uc)
+	if err != nil {
+		t.Fatalf("Advise: %v", err)
+	}
+	if rec.Consensus != "pos" || rec.ForkChoice != "ghost" {
+		t.Fatalf("high-tps public should use pos+ghost, got %s+%s", rec.Consensus, rec.ForkChoice)
+	}
+	if !rec.Sharding || !rec.PaymentChannel || rec.Balance != DS {
+		t.Fatalf("scaling features missing: %+v", rec)
+	}
+}
+
+func TestAdvisePrivate(t *testing.T) {
+	uc := supplyChainCase()
+	for i := range uc.Actors {
+		uc.Actors[i].Trusted = true
+	}
+	rec, err := Advise(uc)
+	if err != nil {
+		t.Fatalf("Advise: %v", err)
+	}
+	if rec.Ledger != Private || rec.Consensus != "raft-ordering" {
+		t.Fatalf("trusted maintainers should yield private raft, got %s/%s", rec.Ledger, rec.Consensus)
+	}
+}
+
+func TestAdviseRejectsIncomplete(t *testing.T) {
+	if _, err := Advise(UseCase{}); !errors.Is(err, ErrIncomplete) {
+		t.Fatalf("want ErrIncomplete, got %v", err)
+	}
+}
+
+func TestLedgerTypeString(t *testing.T) {
+	if Public.String() != "public" || Consortium.String() != "consortium" || Private.String() != "private" {
+		t.Fatal("strings changed")
+	}
+}

@@ -1,0 +1,229 @@
+package utxo
+
+import (
+	"errors"
+	"testing"
+
+	"dcsledger/internal/cryptoutil"
+)
+
+func fund(t *testing.T, s *Set, seed string, value uint64) (*cryptoutil.KeyPair, Outpoint) {
+	t.Helper()
+	k := cryptoutil.KeyFromSeed([]byte(seed))
+	ops := s.Mint("fund/"+seed, TxOut{Value: value, Owner: k.Address()})
+	return k, ops[0]
+}
+
+func TestMintAndBalance(t *testing.T) {
+	s := NewSet()
+	k, _ := fund(t, s, "alice", 100)
+	if got := s.BalanceOf(k.Address()); got != 100 {
+		t.Fatalf("BalanceOf = %d", got)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if len(s.OutpointsOf(k.Address())) != 1 {
+		t.Fatal("OutpointsOf should list the minted output")
+	}
+}
+
+func TestSimpleSpend(t *testing.T) {
+	s := NewSet()
+	alice, op := fund(t, s, "alice", 100)
+	bob := cryptoutil.KeyFromSeed([]byte("bob"))
+
+	tx := &Tx{
+		Ins: []TxIn{{Prev: op}},
+		Outs: []TxOut{
+			{Value: 60, Owner: bob.Address()},
+			{Value: 38, Owner: alice.Address()}, // change
+		},
+	}
+	if err := tx.SignInput(0, alice); err != nil {
+		t.Fatalf("SignInput: %v", err)
+	}
+	fee, err := s.Apply(tx)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if fee != 2 {
+		t.Fatalf("fee = %d, want 2", fee)
+	}
+	if s.BalanceOf(bob.Address()) != 60 || s.BalanceOf(alice.Address()) != 38 {
+		t.Fatalf("balances %d/%d", s.BalanceOf(bob.Address()), s.BalanceOf(alice.Address()))
+	}
+	// The spent output is gone.
+	if _, ok := s.Get(op); ok {
+		t.Fatal("spent outpoint must be removed")
+	}
+}
+
+func TestDoubleSpendAcrossTxs(t *testing.T) {
+	s := NewSet()
+	alice, op := fund(t, s, "alice", 100)
+	mk := func() *Tx {
+		tx := &Tx{Ins: []TxIn{{Prev: op}}, Outs: []TxOut{{Value: 100, Owner: alice.Address()}}}
+		if err := tx.SignInput(0, alice); err != nil {
+			t.Fatalf("SignInput: %v", err)
+		}
+		return tx
+	}
+	if _, err := s.Apply(mk()); err != nil {
+		t.Fatalf("first spend: %v", err)
+	}
+	if _, err := s.Apply(mk()); !errors.Is(err, ErrMissingInput) {
+		t.Fatalf("second spend of same output: want ErrMissingInput, got %v", err)
+	}
+}
+
+func TestDoubleSpendWithinTx(t *testing.T) {
+	s := NewSet()
+	alice, op := fund(t, s, "alice", 100)
+	tx := &Tx{
+		Ins:  []TxIn{{Prev: op}, {Prev: op}},
+		Outs: []TxOut{{Value: 200, Owner: alice.Address()}},
+	}
+	if err := tx.SignInput(0, alice); err != nil {
+		t.Fatalf("SignInput: %v", err)
+	}
+	if err := tx.SignInput(1, alice); err != nil {
+		t.Fatalf("SignInput: %v", err)
+	}
+	if _, err := s.Apply(tx); !errors.Is(err, ErrDoubleSpend) {
+		t.Fatalf("want ErrDoubleSpend, got %v", err)
+	}
+}
+
+func TestRejections(t *testing.T) {
+	s := NewSet()
+	alice, op := fund(t, s, "alice", 100)
+	mallory := cryptoutil.KeyFromSeed([]byte("mallory"))
+
+	t.Run("wrong owner", func(t *testing.T) {
+		tx := &Tx{Ins: []TxIn{{Prev: op}}, Outs: []TxOut{{Value: 1, Owner: mallory.Address()}}}
+		if err := tx.SignInput(0, mallory); err != nil {
+			t.Fatalf("SignInput: %v", err)
+		}
+		if _, err := s.Validate(tx); !errors.Is(err, ErrWrongOwner) {
+			t.Fatalf("want ErrWrongOwner, got %v", err)
+		}
+	})
+	t.Run("tampered output", func(t *testing.T) {
+		tx := &Tx{Ins: []TxIn{{Prev: op}}, Outs: []TxOut{{Value: 1, Owner: alice.Address()}}}
+		if err := tx.SignInput(0, alice); err != nil {
+			t.Fatalf("SignInput: %v", err)
+		}
+		tx.Outs[0].Value = 100 // mutate after signing
+		if _, err := s.Validate(tx); !errors.Is(err, ErrBadSignature) {
+			t.Fatalf("want ErrBadSignature, got %v", err)
+		}
+	})
+	t.Run("value overflow", func(t *testing.T) {
+		tx := &Tx{Ins: []TxIn{{Prev: op}}, Outs: []TxOut{{Value: 101, Owner: alice.Address()}}}
+		if err := tx.SignInput(0, alice); err != nil {
+			t.Fatalf("SignInput: %v", err)
+		}
+		if _, err := s.Validate(tx); !errors.Is(err, ErrValueOverflow) {
+			t.Fatalf("want ErrValueOverflow, got %v", err)
+		}
+	})
+	t.Run("no inputs", func(t *testing.T) {
+		tx := &Tx{Outs: []TxOut{{Value: 1, Owner: alice.Address()}}}
+		if _, err := s.Validate(tx); !errors.Is(err, ErrNoInputs) {
+			t.Fatalf("want ErrNoInputs, got %v", err)
+		}
+	})
+	t.Run("no outputs", func(t *testing.T) {
+		tx := &Tx{Ins: []TxIn{{Prev: op}}}
+		if _, err := s.Validate(tx); !errors.Is(err, ErrNoOutputs) {
+			t.Fatalf("want ErrNoOutputs, got %v", err)
+		}
+	})
+	t.Run("missing input", func(t *testing.T) {
+		ghost := Outpoint{TxID: cryptoutil.HashBytes([]byte("ghost")), Index: 0}
+		tx := &Tx{Ins: []TxIn{{Prev: ghost}}, Outs: []TxOut{{Value: 1, Owner: alice.Address()}}}
+		if err := tx.SignInput(0, alice); err != nil {
+			t.Fatalf("SignInput: %v", err)
+		}
+		if _, err := s.Validate(tx); !errors.Is(err, ErrMissingInput) {
+			t.Fatalf("want ErrMissingInput, got %v", err)
+		}
+	})
+}
+
+func TestMultiInputMultiOutputCoinJoin(t *testing.T) {
+	// The CoinJoin shape the mixer uses: many senders, one transaction.
+	s := NewSet()
+	alice, opA := fund(t, s, "alice", 50)
+	bob, opB := fund(t, s, "bob", 50)
+	outA := cryptoutil.KeyFromSeed([]byte("alice-fresh")).Address()
+	outB := cryptoutil.KeyFromSeed([]byte("bob-fresh")).Address()
+
+	tx := &Tx{
+		Ins:  []TxIn{{Prev: opA}, {Prev: opB}},
+		Outs: []TxOut{{Value: 50, Owner: outB}, {Value: 50, Owner: outA}},
+	}
+	if err := tx.SignInput(0, alice); err != nil {
+		t.Fatalf("SignInput: %v", err)
+	}
+	if err := tx.SignInput(1, bob); err != nil {
+		t.Fatalf("SignInput: %v", err)
+	}
+	if _, err := s.Apply(tx); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if s.BalanceOf(outA) != 50 || s.BalanceOf(outB) != 50 {
+		t.Fatal("coinjoin outputs missing")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+}
+
+func TestValidateDoesNotMutate(t *testing.T) {
+	s := NewSet()
+	alice, op := fund(t, s, "alice", 10)
+	tx := &Tx{Ins: []TxIn{{Prev: op}}, Outs: []TxOut{{Value: 10, Owner: alice.Address()}}}
+	if err := tx.SignInput(0, alice); err != nil {
+		t.Fatalf("SignInput: %v", err)
+	}
+	if _, err := s.Validate(tx); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if _, ok := s.Get(op); !ok {
+		t.Fatal("Validate must not spend")
+	}
+}
+
+func TestCopyIsolation(t *testing.T) {
+	s := NewSet()
+	alice, op := fund(t, s, "alice", 10)
+	c := s.Copy()
+	tx := &Tx{Ins: []TxIn{{Prev: op}}, Outs: []TxOut{{Value: 10, Owner: alice.Address()}}}
+	if err := tx.SignInput(0, alice); err != nil {
+		t.Fatalf("SignInput: %v", err)
+	}
+	if _, err := c.Apply(tx); err != nil {
+		t.Fatalf("Apply on copy: %v", err)
+	}
+	if _, ok := s.Get(op); !ok {
+		t.Fatal("apply on copy must not affect original")
+	}
+}
+
+func TestTxIDBindsSignatures(t *testing.T) {
+	s := NewSet()
+	alice, op := fund(t, s, "alice", 10)
+	tx1 := &Tx{Ins: []TxIn{{Prev: op}}, Outs: []TxOut{{Value: 10, Owner: alice.Address()}}}
+	tx2 := &Tx{Ins: []TxIn{{Prev: op}}, Outs: []TxOut{{Value: 10, Owner: alice.Address()}}}
+	if tx1.SigningDigest() != tx2.SigningDigest() {
+		t.Fatal("signing digests of identical bodies must match")
+	}
+	if err := tx1.SignInput(0, alice); err != nil {
+		t.Fatalf("SignInput: %v", err)
+	}
+	if tx1.ID() == tx2.ID() {
+		t.Fatal("ID must commit to signatures")
+	}
+}

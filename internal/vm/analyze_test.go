@@ -1,0 +1,203 @@
+package vm
+
+import (
+	"testing"
+
+	"dcsledger/internal/state"
+)
+
+func analyzeSrc(t *testing.T, src string) *Report {
+	t.Helper()
+	return Analyze(MustAssemble(src))
+}
+
+func hasIssue(r *Report, kind IssueKind) bool {
+	for _, i := range r.Issues {
+		if i.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+func TestAnalyzeCleanProgram(t *testing.T) {
+	r := analyzeSrc(t, `
+		PUSH 0
+		SLOAD
+		PUSH 1
+		ADD
+		PUSH 0
+		SWAP
+		SSTORE
+		STOP
+	`)
+	if !r.OK() {
+		t.Fatalf("clean program flagged: %v", r.Issues)
+	}
+	if r.Instructions != 8 {
+		t.Fatalf("instructions = %d", r.Instructions)
+	}
+	if r.HasLoop {
+		t.Fatal("no loop in straight-line code")
+	}
+	if !r.Writes {
+		t.Fatal("SSTORE must be flagged as a state write")
+	}
+	// The gas bound matches actual execution cost.
+	want := gasCost[PUSH]*3 + gasCost[SLOAD] + gasCost[ADD] + gasCost[SWAP] + gasCost[SSTORE] + gasCost[STOP]
+	if r.GasBound != want {
+		t.Fatalf("GasBound = %d, want %d", r.GasBound, want)
+	}
+}
+
+func TestAnalyzeReadOnlyProgram(t *testing.T) {
+	r := analyzeSrc(t, "PUSH 0\nSLOAD\nRETURN")
+	if !r.OK() || r.Writes {
+		t.Fatalf("read-only query misanalyzed: %+v", r)
+	}
+}
+
+func TestAnalyzeDetectsUnderflow(t *testing.T) {
+	r := analyzeSrc(t, "ADD\nSTOP")
+	if !hasIssue(r, IssueUnderflow) {
+		t.Fatalf("underflow not detected: %v", r.Issues)
+	}
+	// Underflow on only one branch is still reachable → flagged.
+	r = analyzeSrc(t, `
+		PUSH 0
+		ARG
+		PUSH @bad
+		JUMPI
+		STOP
+	bad:
+		ADD
+		STOP
+	`)
+	if !hasIssue(r, IssueUnderflow) {
+		t.Fatalf("branch underflow not detected: %v", r.Issues)
+	}
+}
+
+func TestAnalyzeDetectsMissingTerminator(t *testing.T) {
+	r := analyzeSrc(t, "PUSH 1\nPUSH 2\nADD")
+	if !hasIssue(r, IssueNoTerminator) {
+		t.Fatalf("fall-off-end not detected: %v", r.Issues)
+	}
+}
+
+func TestAnalyzeDetectsBadJumpTarget(t *testing.T) {
+	// Jump into the middle of a PUSH immediate.
+	code := MustAssemble("PUSH 2\nJUMP\nSTOP")
+	r := Analyze(code)
+	if !hasIssue(r, IssueBadJump) {
+		t.Fatalf("mid-immediate jump not detected: %v", r.Issues)
+	}
+	// Dynamic jump (target computed, not a preceding PUSH).
+	r = analyzeSrc(t, "PUSH 1\nPUSH 2\nADD\nJUMP")
+	if !hasIssue(r, IssueBadJump) {
+		t.Fatalf("dynamic jump not flagged: %v", r.Issues)
+	}
+}
+
+func TestAnalyzeDetectsLoop(t *testing.T) {
+	r := analyzeSrc(t, `
+	loop:
+		PUSH 0
+		POP
+		PUSH @loop
+		JUMP
+	`)
+	if !r.HasLoop {
+		t.Fatal("loop not detected")
+	}
+	if r.GasBound != 0 {
+		t.Fatalf("looping code must have no static gas bound, got %d", r.GasBound)
+	}
+}
+
+func TestAnalyzeBranchGasBoundTakesWorstCase(t *testing.T) {
+	// if-else where one branch is much more expensive.
+	r := analyzeSrc(t, `
+		PUSH 0
+		ARG
+		PUSH @expensive
+		JUMPI
+		STOP
+	expensive:
+		PUSH 1
+		PUSH 2
+		SSTORE
+		STOP
+	`)
+	if !r.OK() {
+		t.Fatalf("issues: %v", r.Issues)
+	}
+	cheap := gasCost[PUSH]*2 + gasCost[ARG] + gasCost[JUMPI] + gasCost[STOP]
+	expensive := gasCost[PUSH]*2 + gasCost[ARG] + gasCost[JUMPI] +
+		gasCost[PUSH]*2 + gasCost[SSTORE] + gasCost[STOP]
+	if r.GasBound != max(cheap, expensive) {
+		t.Fatalf("GasBound = %d, want %d", r.GasBound, expensive)
+	}
+	// And the bound is a true upper bound: execute the expensive path.
+	st := state.New()
+	env := &Env{State: st, Args: []Word{WordFromUint64(1)}, GasLimit: 1 << 20}
+	res, err := Execute(MustAssemble(`
+		PUSH 0
+		ARG
+		PUSH @expensive
+		JUMPI
+		STOP
+	expensive:
+		PUSH 1
+		PUSH 2
+		SSTORE
+		STOP
+	`), env)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if res.GasUsed > r.GasBound {
+		t.Fatalf("execution used %d, bound said %d", res.GasUsed, r.GasBound)
+	}
+}
+
+func TestAnalyzeRawBytecodeIssues(t *testing.T) {
+	tests := []struct {
+		name string
+		code []byte
+		want IssueKind
+	}{
+		{name: "empty", code: nil, want: IssueNoTerminator},
+		{name: "unknown opcode", code: []byte{250}, want: IssueUnknownOp},
+		{name: "truncated push", code: []byte{byte(PUSH), 1, 2}, want: IssueTruncated},
+		{name: "truncated pushw", code: append([]byte{byte(PUSHW)}, make([]byte, 5)...), want: IssueTruncated},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			r := Analyze(tt.code)
+			if !hasIssue(r, tt.want) {
+				t.Fatalf("want %s, got %v", tt.want, r.Issues)
+			}
+		})
+	}
+}
+
+func TestAnalyzeBuiltinContractsPass(t *testing.T) {
+	// The analyzer accepts the programs this repository itself uses.
+	for name, src := range map[string]string{
+		"counter": counterSrc,
+		"query":   querySrc,
+	} {
+		r := Analyze(MustAssemble(src))
+		if !r.OK() {
+			t.Fatalf("%s flagged: %v", name, r.Issues)
+		}
+	}
+}
+
+func TestIssueString(t *testing.T) {
+	s := Issue{Kind: IssueBadJump, Offset: 9, Detail: "x"}.String()
+	if s == "" {
+		t.Fatal("empty issue string")
+	}
+}

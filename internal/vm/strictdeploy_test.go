@@ -1,0 +1,79 @@
+package vm
+
+import (
+	"errors"
+	"testing"
+
+	"dcsledger/internal/cryptoutil"
+	"dcsledger/internal/state"
+	"dcsledger/internal/types"
+)
+
+func TestStrictDeployRejectsBrokenContracts(t *testing.T) {
+	st := state.New()
+	ex := NewExecutor()
+	ex.StrictDeploy = true
+	st.SetExecutor(ex)
+	k := cryptoutil.KeyFromSeed([]byte("dev"))
+	miner := cryptoutil.KeyFromSeed([]byte("miner")).Address()
+	st.Credit(k.Address(), 1_000_000)
+
+	deploy := func(nonce uint64, code []byte) *state.Receipt {
+		t.Helper()
+		tx := &types.Transaction{
+			Kind: types.TxDeploy, From: k.Address(), Nonce: nonce,
+			Fee: 100, GasLimit: 100_000, Data: code,
+		}
+		if err := tx.Sign(k); err != nil {
+			t.Fatalf("Sign: %v", err)
+		}
+		rec, err := st.ApplyTx(tx, miner)
+		if err != nil {
+			t.Fatalf("ApplyTx: %v", err)
+		}
+		return rec
+	}
+
+	// A contract that underflows the stack is refused before it ever
+	// reaches the chain.
+	rec := deploy(0, MustAssemble("ADD\nSTOP"))
+	if rec.OK {
+		t.Fatal("strict deploy must reject an underflowing contract")
+	}
+	// A clean contract still deploys.
+	rec = deploy(1, MustAssemble("PUSH 0\nPUSH 1\nSSTORE\nSTOP"))
+	if !rec.OK {
+		t.Fatalf("clean contract rejected: %+v", rec)
+	}
+	// Without strict mode the broken contract would have been accepted
+	// (and failed at invoke time, costing its caller gas).
+	lax := NewExecutor()
+	st2 := state.New()
+	st2.SetExecutor(lax)
+	st2.Credit(k.Address(), 1_000_000)
+	tx := &types.Transaction{
+		Kind: types.TxDeploy, From: k.Address(), Nonce: 0,
+		Fee: 100, GasLimit: 100_000, Data: MustAssemble("ADD\nSTOP"),
+	}
+	if err := tx.Sign(k); err != nil {
+		t.Fatalf("Sign: %v", err)
+	}
+	rec2, err := st2.ApplyTx(tx, miner)
+	if err != nil || !rec2.OK {
+		t.Fatalf("lax deploy should accept: %v %+v", err, rec2)
+	}
+}
+
+func TestErrRejectedByAnalysisMatchable(t *testing.T) {
+	st := state.New()
+	ex := NewExecutor()
+	ex.StrictDeploy = true
+	tx := &types.Transaction{
+		Kind: types.TxDeploy, From: cryptoutil.ZeroAddress,
+		GasLimit: 100_000, Data: MustAssemble("ADD\nSTOP"),
+	}
+	_, _, err := ex.Deploy(st, tx)
+	if !errors.Is(err, ErrRejectedByAnalysis) {
+		t.Fatalf("want ErrRejectedByAnalysis, got %v", err)
+	}
+}

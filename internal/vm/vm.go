@@ -1,0 +1,471 @@
+// Package vm implements the Contract layer's execution engine: a
+// 256-bit-word stack virtual machine ("SVM") with gas metering, contract
+// storage, value transfer, and events. It plays the role the EVM plays
+// in the paper's Ethereum examples (Section 2.5): executing a
+// transaction costs gas paid to the block producer, while constant
+// (read-only) calls — like the paper's say() — are free and run without
+// a transaction.
+package vm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/big"
+
+	"dcsledger/internal/cryptoutil"
+)
+
+// Execution errors, matchable with errors.Is.
+var (
+	ErrOutOfGas       = errors.New("vm: out of gas")
+	ErrStackUnderflow = errors.New("vm: stack underflow")
+	ErrStackOverflow  = errors.New("vm: stack overflow")
+	ErrBadJump        = errors.New("vm: jump to invalid destination")
+	ErrBadOpcode      = errors.New("vm: unknown opcode")
+	ErrReverted       = errors.New("vm: execution reverted")
+	ErrWriteProtected = errors.New("vm: state write in constant call")
+	ErrDivByZero      = errors.New("vm: division by zero")
+	ErrTruncatedCode  = errors.New("vm: truncated immediate operand")
+)
+
+// Word is the VM's 256-bit machine word.
+type Word [32]byte
+
+// WordFromUint64 builds a word from an integer.
+func WordFromUint64(v uint64) Word {
+	var w Word
+	binary.BigEndian.PutUint64(w[24:], v)
+	return w
+}
+
+// WordFromAddress left-pads an address into a word.
+func WordFromAddress(a cryptoutil.Address) Word {
+	var w Word
+	copy(w[12:], a[:])
+	return w
+}
+
+// Uint64 truncates the word to its low 64 bits.
+func (w Word) Uint64() uint64 { return binary.BigEndian.Uint64(w[24:]) }
+
+// Address extracts the address embedded by WordFromAddress.
+func (w Word) Address() cryptoutil.Address {
+	var a cryptoutil.Address
+	copy(a[:], w[12:])
+	return a
+}
+
+// IsZero reports whether all bits are clear.
+func (w Word) IsZero() bool { return w == Word{} }
+
+func (w Word) big() *big.Int { return new(big.Int).SetBytes(w[:]) }
+
+func wordFromBig(v *big.Int) Word {
+	var w Word
+	v.Mod(v, two256)
+	v.FillBytes(w[:])
+	return w
+}
+
+var two256 = new(big.Int).Lsh(big.NewInt(1), 256)
+
+// Op is a bytecode opcode.
+type Op byte
+
+// Opcodes. PUSH carries an 8-byte immediate; PUSHW a 32-byte one.
+const (
+	STOP Op = iota + 1
+	PUSH
+	PUSHW
+	POP
+	DUP
+	SWAP
+	ADD
+	SUB
+	MUL
+	DIV
+	MOD
+	LT
+	GT
+	EQ
+	ISZERO
+	AND
+	OR
+	XOR
+	NOT
+	JUMP
+	JUMPI
+	SLOAD
+	SSTORE
+	CALLER
+	ADDRESS
+	CALLVALUE
+	BALANCE
+	TIMESTAMP
+	ARG
+	ARGLEN
+	TRANSFER
+	LOG
+	RETURN
+	REVERT
+)
+
+var opNames = map[Op]string{
+	STOP: "STOP", PUSH: "PUSH", PUSHW: "PUSHW", POP: "POP", DUP: "DUP",
+	SWAP: "SWAP", ADD: "ADD", SUB: "SUB", MUL: "MUL", DIV: "DIV",
+	MOD: "MOD", LT: "LT", GT: "GT", EQ: "EQ", ISZERO: "ISZERO",
+	AND: "AND", OR: "OR", XOR: "XOR", NOT: "NOT", JUMP: "JUMP",
+	JUMPI: "JUMPI", SLOAD: "SLOAD", SSTORE: "SSTORE", CALLER: "CALLER",
+	ADDRESS: "ADDRESS", CALLVALUE: "CALLVALUE", BALANCE: "BALANCE",
+	TIMESTAMP: "TIMESTAMP", ARG: "ARG", ARGLEN: "ARGLEN",
+	TRANSFER: "TRANSFER", LOG: "LOG", RETURN: "RETURN", REVERT: "REVERT",
+}
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("Op(%d)", byte(o))
+}
+
+// gasCost is the per-opcode gas schedule.
+var gasCost = map[Op]uint64{
+	STOP: 0, PUSH: 3, PUSHW: 3, POP: 2, DUP: 3, SWAP: 3,
+	ADD: 3, SUB: 3, MUL: 5, DIV: 5, MOD: 5,
+	LT: 3, GT: 3, EQ: 3, ISZERO: 3, AND: 3, OR: 3, XOR: 3, NOT: 3,
+	JUMP: 8, JUMPI: 10,
+	SLOAD: 50, SSTORE: 200,
+	CALLER: 2, ADDRESS: 2, CALLVALUE: 2, BALANCE: 20, TIMESTAMP: 2,
+	ARG: 3, ARGLEN: 2,
+	TRANSFER: 100, LOG: 30,
+	RETURN: 0, REVERT: 0,
+}
+
+// StateAccess is the slice of world state the VM touches. The state
+// package's State satisfies it.
+type StateAccess interface {
+	Storage(addr cryptoutil.Address, key []byte) []byte
+	SetStorage(addr cryptoutil.Address, key, value []byte)
+	Balance(addr cryptoutil.Address) uint64
+	Debit(addr cryptoutil.Address, amount uint64) error
+	Credit(addr cryptoutil.Address, amount uint64)
+}
+
+// Event is an emitted log entry.
+type Event struct {
+	Contract cryptoutil.Address `json:"contract"`
+	Topic    Word               `json:"topic"`
+	Value    Word               `json:"value"`
+}
+
+// Env is the execution environment of one call.
+type Env struct {
+	State    StateAccess
+	Self     cryptoutil.Address
+	Caller   cryptoutil.Address
+	Value    uint64
+	Time     int64
+	Args     []Word
+	GasLimit uint64
+	// ReadOnly forbids SSTORE/TRANSFER/LOG (constant calls).
+	ReadOnly bool
+}
+
+// Result is the outcome of one execution.
+type Result struct {
+	Return  Word
+	HasRet  bool
+	GasUsed uint64
+	Events  []Event
+}
+
+const maxStack = 1024
+
+// Execute runs bytecode in the given environment.
+func Execute(code []byte, env *Env) (*Result, error) {
+	res := &Result{}
+	var stack []Word
+	pc := 0
+
+	pop := func() (Word, error) {
+		if len(stack) == 0 {
+			return Word{}, fmt.Errorf("%w at pc %d", ErrStackUnderflow, pc)
+		}
+		w := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		return w, nil
+	}
+	pop2 := func() (Word, Word, error) {
+		b, err := pop()
+		if err != nil {
+			return Word{}, Word{}, err
+		}
+		a, err := pop()
+		if err != nil {
+			return Word{}, Word{}, err
+		}
+		return a, b, nil
+	}
+	push := func(w Word) error {
+		if len(stack) >= maxStack {
+			return fmt.Errorf("%w at pc %d", ErrStackOverflow, pc)
+		}
+		stack = append(stack, w)
+		return nil
+	}
+
+	for pc < len(code) {
+		op := Op(code[pc])
+		cost, known := gasCost[op]
+		if !known {
+			return res, fmt.Errorf("%w: %d at pc %d", ErrBadOpcode, code[pc], pc)
+		}
+		if res.GasUsed+cost > env.GasLimit {
+			res.GasUsed = env.GasLimit
+			return res, fmt.Errorf("%w: need %d at pc %d (%s)", ErrOutOfGas, res.GasUsed+cost, pc, op)
+		}
+		res.GasUsed += cost
+		pc++
+
+		switch op {
+		case STOP:
+			return res, nil
+		case PUSH:
+			if pc+8 > len(code) {
+				return res, ErrTruncatedCode
+			}
+			if err := push(WordFromUint64(binary.BigEndian.Uint64(code[pc : pc+8]))); err != nil {
+				return res, err
+			}
+			pc += 8
+		case PUSHW:
+			if pc+32 > len(code) {
+				return res, ErrTruncatedCode
+			}
+			var w Word
+			copy(w[:], code[pc:pc+32])
+			if err := push(w); err != nil {
+				return res, err
+			}
+			pc += 32
+		case POP:
+			if _, err := pop(); err != nil {
+				return res, err
+			}
+		case DUP:
+			w, err := pop()
+			if err != nil {
+				return res, err
+			}
+			if err := push(w); err != nil {
+				return res, err
+			}
+			if err := push(w); err != nil {
+				return res, err
+			}
+		case SWAP:
+			a, b, err := pop2()
+			if err != nil {
+				return res, err
+			}
+			if err := push(b); err != nil {
+				return res, err
+			}
+			if err := push(a); err != nil {
+				return res, err
+			}
+		case ADD, SUB, MUL, DIV, MOD, AND, OR, XOR:
+			a, b, err := pop2()
+			if err != nil {
+				return res, err
+			}
+			w, err := arith(op, a, b)
+			if err != nil {
+				return res, fmt.Errorf("%w at pc %d", err, pc-1)
+			}
+			if err := push(w); err != nil {
+				return res, err
+			}
+		case LT, GT, EQ:
+			a, b, err := pop2()
+			if err != nil {
+				return res, err
+			}
+			cmp := a.big().Cmp(b.big())
+			truth := (op == LT && cmp < 0) || (op == GT && cmp > 0) || (op == EQ && cmp == 0)
+			if err := push(boolWord(truth)); err != nil {
+				return res, err
+			}
+		case ISZERO:
+			a, err := pop()
+			if err != nil {
+				return res, err
+			}
+			if err := push(boolWord(a.IsZero())); err != nil {
+				return res, err
+			}
+		case NOT:
+			a, err := pop()
+			if err != nil {
+				return res, err
+			}
+			for i := range a {
+				a[i] = ^a[i]
+			}
+			if err := push(a); err != nil {
+				return res, err
+			}
+		case JUMP, JUMPI:
+			dest, err := pop()
+			if err != nil {
+				return res, err
+			}
+			taken := true
+			if op == JUMPI {
+				cond, err := pop()
+				if err != nil {
+					return res, err
+				}
+				taken = !cond.IsZero()
+			}
+			if taken {
+				d := dest.Uint64()
+				if d >= uint64(len(code)) {
+					return res, fmt.Errorf("%w: %d", ErrBadJump, d)
+				}
+				pc = int(d)
+			}
+		case SLOAD:
+			k, err := pop()
+			if err != nil {
+				return res, err
+			}
+			var w Word
+			copy(w[:], env.State.Storage(env.Self, k[:]))
+			if err := push(w); err != nil {
+				return res, err
+			}
+		case SSTORE:
+			k, v, err := pop2()
+			if err != nil {
+				return res, err
+			}
+			if env.ReadOnly {
+				return res, ErrWriteProtected
+			}
+			env.State.SetStorage(env.Self, k[:], v[:])
+		case CALLER:
+			if err := push(WordFromAddress(env.Caller)); err != nil {
+				return res, err
+			}
+		case ADDRESS:
+			if err := push(WordFromAddress(env.Self)); err != nil {
+				return res, err
+			}
+		case CALLVALUE:
+			if err := push(WordFromUint64(env.Value)); err != nil {
+				return res, err
+			}
+		case BALANCE:
+			a, err := pop()
+			if err != nil {
+				return res, err
+			}
+			if err := push(WordFromUint64(env.State.Balance(a.Address()))); err != nil {
+				return res, err
+			}
+		case TIMESTAMP:
+			if err := push(WordFromUint64(uint64(env.Time))); err != nil {
+				return res, err
+			}
+		case ARG:
+			i, err := pop()
+			if err != nil {
+				return res, err
+			}
+			var w Word
+			if idx := i.Uint64(); idx < uint64(len(env.Args)) {
+				w = env.Args[idx]
+			}
+			if err := push(w); err != nil {
+				return res, err
+			}
+		case ARGLEN:
+			if err := push(WordFromUint64(uint64(len(env.Args)))); err != nil {
+				return res, err
+			}
+		case TRANSFER:
+			to, amount, err := pop2()
+			if err != nil {
+				return res, err
+			}
+			if env.ReadOnly {
+				return res, ErrWriteProtected
+			}
+			amt := amount.Uint64()
+			if err := env.State.Debit(env.Self, amt); err != nil {
+				return res, fmt.Errorf("vm: transfer: %w", err)
+			}
+			env.State.Credit(to.Address(), amt)
+		case LOG:
+			topic, value, err := pop2()
+			if err != nil {
+				return res, err
+			}
+			if env.ReadOnly {
+				return res, ErrWriteProtected
+			}
+			res.Events = append(res.Events, Event{Contract: env.Self, Topic: topic, Value: value})
+		case RETURN:
+			w, err := pop()
+			if err != nil {
+				return res, err
+			}
+			res.Return = w
+			res.HasRet = true
+			return res, nil
+		case REVERT:
+			return res, ErrReverted
+		}
+	}
+	return res, nil
+}
+
+func arith(op Op, a, b Word) (Word, error) {
+	x, y := a.big(), b.big()
+	switch op {
+	case ADD:
+		return wordFromBig(x.Add(x, y)), nil
+	case SUB:
+		return wordFromBig(x.Sub(x, y)), nil
+	case MUL:
+		return wordFromBig(x.Mul(x, y)), nil
+	case DIV:
+		if y.Sign() == 0 {
+			return Word{}, ErrDivByZero
+		}
+		return wordFromBig(x.Div(x, y)), nil
+	case MOD:
+		if y.Sign() == 0 {
+			return Word{}, ErrDivByZero
+		}
+		return wordFromBig(x.Mod(x, y)), nil
+	case AND:
+		return wordFromBig(x.And(x, y)), nil
+	case OR:
+		return wordFromBig(x.Or(x, y)), nil
+	case XOR:
+		return wordFromBig(x.Xor(x, y)), nil
+	default:
+		return Word{}, fmt.Errorf("%w: %s", ErrBadOpcode, op)
+	}
+}
+
+func boolWord(b bool) Word {
+	if b {
+		return WordFromUint64(1)
+	}
+	return Word{}
+}

@@ -1,0 +1,223 @@
+package wallet
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"dcsledger/internal/consensus"
+	"dcsledger/internal/consensus/forkchoice"
+	"dcsledger/internal/consensus/pow"
+	"dcsledger/internal/cryptoutil"
+	"dcsledger/internal/incentive"
+	"dcsledger/internal/node"
+	"dcsledger/internal/types"
+)
+
+func TestTransactionBuilders(t *testing.T) {
+	w := FromSeed("alice")
+	to := FromSeed("bob").Address()
+
+	tr, err := w.Transfer(to, 100, 2)
+	if err != nil {
+		t.Fatalf("Transfer: %v", err)
+	}
+	if err := tr.Verify(); err != nil {
+		t.Fatalf("built transfer invalid: %v", err)
+	}
+	if tr.Nonce != 0 {
+		t.Fatalf("first nonce = %d", tr.Nonce)
+	}
+
+	dep, err := w.Deploy([]byte("code"), 0, 10, 1000)
+	if err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	if dep.Kind != types.TxDeploy || dep.Nonce != 1 {
+		t.Fatalf("deploy tx = %+v", dep)
+	}
+	inv, err := w.Invoke(to, []byte("input"), 5, 1, 500)
+	if err != nil {
+		t.Fatalf("Invoke: %v", err)
+	}
+	if inv.Kind != types.TxInvoke || inv.Nonce != 2 {
+		t.Fatalf("invoke tx = %+v", inv)
+	}
+	w.SetNonce(10)
+	if w.NextNonce() != 10 {
+		t.Fatal("SetNonce not honored")
+	}
+}
+
+// minedChain spins a single-node PoW chain with one committed transfer
+// and returns the cluster plus the tx id.
+func minedChain(t *testing.T) (*node.Cluster, cryptoutil.Hash) {
+	t.Helper()
+	alice := FromSeed("alice")
+	bob := FromSeed("bob")
+	c, err := node.NewCluster(node.ClusterConfig{
+		N: 1,
+		Engine: func(i int, key *cryptoutil.KeyPair) consensus.Engine {
+			return pow.New(pow.Config{
+				TargetInterval:    10 * time.Second,
+				InitialDifficulty: 64,
+				HashRate:          6.4,
+			}, rand.New(rand.NewSource(7)))
+		},
+		ForkChoice: func() consensus.ForkChoice { return forkchoice.LongestChain{} },
+		Alloc:      map[cryptoutil.Address]uint64{alice.Address(): 1000},
+		Rewards:    incentive.Schedule{InitialReward: 50},
+		Seed:       42,
+	})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	tx, err := alice.Transfer(bob.Address(), 100, 1)
+	if err != nil {
+		t.Fatalf("Transfer: %v", err)
+	}
+	if err := c.Nodes[0].SubmitTx(tx); err != nil {
+		t.Fatalf("SubmitTx: %v", err)
+	}
+	c.Start()
+	c.Sim.RunFor(3 * time.Minute)
+	c.Stop()
+	if c.Nodes[0].Balance(bob.Address()) != 100 {
+		t.Fatal("setup: transfer not mined")
+	}
+	return c, tx.ID()
+}
+
+func TestSPVEndToEnd(t *testing.T) {
+	c, txID := minedChain(t)
+	full := c.Nodes[0]
+
+	// The light client syncs headers only.
+	light := NewSPVClient(c.Genesis.Header)
+	light.CheckSeal = func(h *types.BlockHeader) error {
+		if !pow.CheckHeader(h) {
+			return errors.New("bad pow")
+		}
+		return nil
+	}
+	headers := full.Chain().Headers(1, 1<<20)
+	if err := light.AddHeaders(headers); err != nil {
+		t.Fatalf("AddHeaders: %v", err)
+	}
+	if light.Height() != full.Chain().Height() {
+		t.Fatalf("light height %d vs full %d", light.Height(), full.Chain().Height())
+	}
+
+	// The full node proves; the light client verifies.
+	proof, err := ProveTx(full.Chain(), txID)
+	if err != nil {
+		t.Fatalf("ProveTx: %v", err)
+	}
+	conf, err := light.VerifyTx(proof)
+	if err != nil {
+		t.Fatalf("VerifyTx: %v", err)
+	}
+	if conf == 0 {
+		t.Fatal("confirmed tx must have confirmations")
+	}
+
+	// The light client's storage is a small fraction of the full chain.
+	fullBytes := 0
+	for h := uint64(0); h <= full.Chain().Height(); h++ {
+		bh, _ := full.Chain().AtHeight(h)
+		b, _ := full.Tree().Get(bh)
+		fullBytes += b.Size()
+	}
+	if light.StorageBytes() >= fullBytes {
+		t.Fatalf("SPV storage %d not smaller than full %d", light.StorageBytes(), fullBytes)
+	}
+}
+
+func TestSPVRejectsForgedProof(t *testing.T) {
+	c, txID := minedChain(t)
+	full := c.Nodes[0]
+	light := NewSPVClient(c.Genesis.Header)
+	if err := light.AddHeaders(full.Chain().Headers(1, 1<<20)); err != nil {
+		t.Fatalf("AddHeaders: %v", err)
+	}
+	proof, err := ProveTx(full.Chain(), txID)
+	if err != nil {
+		t.Fatalf("ProveTx: %v", err)
+	}
+
+	t.Run("claimed different tx", func(t *testing.T) {
+		forged := proof
+		forged.TxID = cryptoutil.HashBytes([]byte("phantom payment"))
+		if _, err := light.VerifyTx(forged); !errors.Is(err, ErrBadProof) {
+			t.Fatalf("want ErrBadProof, got %v", err)
+		}
+	})
+	t.Run("wrong height", func(t *testing.T) {
+		forged := proof
+		forged.Height = 0
+		if _, err := light.VerifyTx(forged); !errors.Is(err, ErrBadProof) {
+			t.Fatalf("want ErrBadProof, got %v", err)
+		}
+	})
+	t.Run("height beyond chain", func(t *testing.T) {
+		forged := proof
+		forged.Height = 10_000
+		if _, err := light.VerifyTx(forged); !errors.Is(err, ErrUnknownHeader) {
+			t.Fatalf("want ErrUnknownHeader, got %v", err)
+		}
+	})
+}
+
+func TestSPVRejectsBrokenHeaderChain(t *testing.T) {
+	c, _ := minedChain(t)
+	full := c.Nodes[0]
+	light := NewSPVClient(c.Genesis.Header)
+	headers := full.Chain().Headers(1, 1<<20)
+	// Skip a header: linkage breaks.
+	if err := light.AddHeaders(headers[1:]); !errors.Is(err, ErrBrokenHeaderChain) {
+		t.Fatalf("want ErrBrokenHeaderChain, got %v", err)
+	}
+	// Tampered header: linkage breaks at the next one.
+	bad := make([]types.BlockHeader, len(headers))
+	copy(bad, headers)
+	bad[0].Time ^= 1
+	if err := light.AddHeaders(bad); !errors.Is(err, ErrBrokenHeaderChain) {
+		t.Fatalf("want ErrBrokenHeaderChain, got %v", err)
+	}
+}
+
+func TestSPVCheckSealRejects(t *testing.T) {
+	c, _ := minedChain(t)
+	full := c.Nodes[0]
+	light := NewSPVClient(c.Genesis.Header)
+	light.CheckSeal = func(h *types.BlockHeader) error {
+		return errors.New("always suspicious")
+	}
+	if err := light.AddHeaders(full.Chain().Headers(1, 2)); err == nil {
+		t.Fatal("CheckSeal failure must propagate")
+	}
+}
+
+func TestProveTxUnknown(t *testing.T) {
+	c, _ := minedChain(t)
+	if _, err := ProveTx(c.Nodes[0].Chain(), cryptoutil.HashBytes([]byte("missing"))); !errors.Is(err, ErrTxNotFound) {
+		t.Fatalf("want ErrTxNotFound, got %v", err)
+	}
+}
+
+func TestAddHeadersIdempotent(t *testing.T) {
+	c, _ := minedChain(t)
+	full := c.Nodes[0]
+	light := NewSPVClient(c.Genesis.Header)
+	headers := full.Chain().Headers(1, 1<<20)
+	if err := light.AddHeaders(headers); err != nil {
+		t.Fatalf("AddHeaders: %v", err)
+	}
+	if err := light.AddHeaders(headers); err != nil {
+		t.Fatalf("re-adding known headers must be a no-op: %v", err)
+	}
+	if light.Height() != full.Chain().Height() {
+		t.Fatal("height changed on duplicate add")
+	}
+}

@@ -1,0 +1,229 @@
+package workflow
+
+import (
+	"errors"
+	"testing"
+
+	"dcsledger/internal/contract"
+	"dcsledger/internal/cryptoutil"
+	"dcsledger/internal/state"
+)
+
+func addr(seed string) cryptoutil.Address {
+	return cryptoutil.KeyFromSeed([]byte(seed)).Address()
+}
+
+// supplyChainModel mirrors Figure 3's modeling-layer example: an order
+// is validated, agreed, produced, shipped, and received.
+func supplyChainModel() *Model {
+	return &Model{
+		Name:    "supply-chain",
+		States:  []string{"submitted", "validated", "agreed", "produced", "shipped", "received"},
+		Initial: "submitted",
+		Transitions: []Transition{
+			{From: "submitted", To: "validated", Action: "validate", Role: "supplier"},
+			{From: "validated", To: "agreed", Action: "agree", Role: "buyer"},
+			{From: "agreed", To: "produced", Action: "produce", Role: "supplier"},
+			{From: "produced", To: "shipped", Action: "ship", Role: "carrier"},
+			{From: "shipped", To: "received", Action: "receive", Role: "buyer"},
+		},
+		Roles: map[string]cryptoutil.Address{
+			"supplier": addr("supplier"),
+			"buyer":    addr("buyer"),
+			"carrier":  addr("carrier"),
+		},
+	}
+}
+
+func TestValidateAcceptsSoundModel(t *testing.T) {
+	if err := supplyChainModel().Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Model)
+	}{
+		{name: "empty name", mutate: func(m *Model) { m.Name = "" }},
+		{name: "no states", mutate: func(m *Model) { m.States = nil }},
+		{name: "duplicate state", mutate: func(m *Model) { m.States = append(m.States, "agreed") }},
+		{name: "bad initial", mutate: func(m *Model) { m.Initial = "nowhere" }},
+		{name: "unknown state in transition", mutate: func(m *Model) {
+			m.Transitions[0].To = "mars"
+		}},
+		{name: "unknown role", mutate: func(m *Model) {
+			m.Transitions[0].Role = "ghost"
+		}},
+		{name: "empty action", mutate: func(m *Model) { m.Transitions[0].Action = "" }},
+		{name: "ambiguous action", mutate: func(m *Model) {
+			m.Transitions = append(m.Transitions, Transition{
+				From: "submitted", To: "agreed", Action: "validate", Role: "buyer",
+			})
+		}},
+		{name: "unreachable state", mutate: func(m *Model) {
+			m.States = append(m.States, "limbo")
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			m := supplyChainModel()
+			tt.mutate(m)
+			if err := m.Validate(); !errors.Is(err, ErrInvalidModel) {
+				t.Fatalf("want ErrInvalidModel, got %v", err)
+			}
+		})
+	}
+}
+
+func ctxFor(st *state.State, caller cryptoutil.Address) *contract.Context {
+	return &contract.Context{
+		State:  st,
+		Self:   addr("process-instance"),
+		Caller: caller,
+	}
+}
+
+func compile(t *testing.T) contract.Native {
+	t.Helper()
+	c, err := supplyChainModel().Compile()
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return c
+}
+
+func TestHappyPath(t *testing.T) {
+	c := compile(t)
+	st := state.New()
+	steps := []struct {
+		role   string
+		action string
+		after  string
+	}{
+		{role: "supplier", action: "validate", after: "validated"},
+		{role: "buyer", action: "agree", after: "agreed"},
+		{role: "supplier", action: "produce", after: "produced"},
+		{role: "carrier", action: "ship", after: "shipped"},
+		{role: "buyer", action: "receive", after: "received"},
+	}
+	for _, s := range steps {
+		if _, err := c.Invoke(ctxFor(st, addr(s.role)), "fire", []string{s.action}); err != nil {
+			t.Fatalf("fire %s: %v", s.action, err)
+		}
+		got, err := c.Invoke(ctxFor(st, addr("anyone")), "state", nil)
+		if err != nil {
+			t.Fatalf("state: %v", err)
+		}
+		if string(got) != s.after {
+			t.Fatalf("after %s state = %s, want %s", s.action, got, s.after)
+		}
+	}
+	// History recorded every step.
+	n, err := c.Invoke(ctxFor(st, addr("anyone")), "steps", nil)
+	if err != nil || string(n) != "5" {
+		t.Fatalf("steps = %s (%v)", n, err)
+	}
+	h0, err := c.Invoke(ctxFor(st, addr("anyone")), "history", []string{"0"})
+	if err != nil {
+		t.Fatalf("history: %v", err)
+	}
+	want := "validate:validated:" + addr("supplier").Hex()
+	if string(h0) != want {
+		t.Fatalf("history[0] = %s, want %s", h0, want)
+	}
+	// Terminal state: nothing more may fire.
+	if _, err := c.Invoke(ctxFor(st, addr("buyer")), "fire", []string{"receive"}); !errors.Is(err, ErrFinished) {
+		t.Fatalf("want ErrFinished, got %v", err)
+	}
+}
+
+func TestRoleEnforcement(t *testing.T) {
+	c := compile(t)
+	st := state.New()
+	// The buyer cannot validate (supplier's action).
+	if _, err := c.Invoke(ctxFor(st, addr("buyer")), "fire", []string{"validate"}); !errors.Is(err, ErrWrongRole) {
+		t.Fatalf("want ErrWrongRole, got %v", err)
+	}
+	// A stranger cannot either.
+	if _, err := c.Invoke(ctxFor(st, addr("stranger")), "fire", []string{"validate"}); !errors.Is(err, ErrWrongRole) {
+		t.Fatalf("want ErrWrongRole, got %v", err)
+	}
+}
+
+func TestOrderEnforcement(t *testing.T) {
+	c := compile(t)
+	st := state.New()
+	// Shipping before production is rejected.
+	if _, err := c.Invoke(ctxFor(st, addr("carrier")), "fire", []string{"ship"}); !errors.Is(err, ErrNoTransition) {
+		t.Fatalf("want ErrNoTransition, got %v", err)
+	}
+	// Unknown actions are distinguished from out-of-order ones.
+	if _, err := c.Invoke(ctxFor(st, addr("carrier")), "fire", []string{"teleport"}); !errors.Is(err, ErrUnknownAction) {
+		t.Fatalf("want ErrUnknownAction, got %v", err)
+	}
+}
+
+func TestCompileRejectsInvalid(t *testing.T) {
+	m := supplyChainModel()
+	m.Initial = "bogus"
+	if _, err := m.Compile(); !errors.Is(err, ErrInvalidModel) {
+		t.Fatalf("want ErrInvalidModel, got %v", err)
+	}
+}
+
+func TestUnknownFunction(t *testing.T) {
+	c := compile(t)
+	st := state.New()
+	if _, err := c.Invoke(ctxFor(st, addr("x")), "frobnicate", nil); !errors.Is(err, ErrUnknownAction) {
+		t.Fatalf("want ErrUnknownAction, got %v", err)
+	}
+}
+
+func TestTerminalDetection(t *testing.T) {
+	m := supplyChainModel()
+	if m.Terminal("submitted") {
+		t.Fatal("submitted has outgoing transitions")
+	}
+	if !m.Terminal("received") {
+		t.Fatal("received is terminal")
+	}
+}
+
+func TestModelCanLoop(t *testing.T) {
+	// Rework loops (produce → reject → produce) are legal models.
+	m := &Model{
+		Name:    "loop",
+		States:  []string{"draft", "review"},
+		Initial: "draft",
+		Transitions: []Transition{
+			{From: "draft", To: "review", Action: "submit", Role: "author"},
+			{From: "review", To: "draft", Action: "reject", Role: "editor"},
+		},
+		Roles: map[string]cryptoutil.Address{
+			"author": addr("author"),
+			"editor": addr("editor"),
+		},
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	c, err := m.Compile()
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	st := state.New()
+	for i := 0; i < 3; i++ {
+		if _, err := c.Invoke(ctxFor(st, addr("author")), "fire", []string{"submit"}); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		if _, err := c.Invoke(ctxFor(st, addr("editor")), "fire", []string{"reject"}); err != nil {
+			t.Fatalf("reject %d: %v", i, err)
+		}
+	}
+	n, err := c.Invoke(ctxFor(st, addr("x")), "steps", nil)
+	if err != nil || string(n) != "6" {
+		t.Fatalf("steps = %s (%v)", n, err)
+	}
+}
