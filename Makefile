@@ -1,0 +1,28 @@
+# Build and verification targets. `make tier1` is the gate every
+# change must pass; `make race` additionally runs the race detector
+# over the concurrency-sensitive packages (networking + node), so no
+# future networking change lands with a data race.
+
+GO ?= go
+
+.PHONY: all build vet test race tier1 ci
+
+all: tier1
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector gate for the packages exercised by concurrent TCP
+# traffic: the transport/gossip layer and the full node.
+race:
+	$(GO) test -race -count=1 ./internal/p2p ./internal/node ./internal/metrics
+
+tier1: build test
+
+ci: build vet test race

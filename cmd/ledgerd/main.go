@@ -31,6 +31,7 @@ import (
 	"dcsledger/internal/contract"
 	"dcsledger/internal/cryptoutil"
 	"dcsledger/internal/incentive"
+	"dcsledger/internal/metrics"
 	"dcsledger/internal/node"
 	"dcsledger/internal/p2p"
 	"dcsledger/internal/simclock"
@@ -86,6 +87,8 @@ func run() error {
 		interval = flag.Duration("interval", 10*time.Second, "target block interval")
 		network  = flag.String("network", "dcsledger-devnet", "network name (genesis tag)")
 		keySeed  = flag.String("keyseed", "", "deterministic key seed (default: derive from -id)")
+		dialTO   = flag.Duration("dial-timeout", p2p.DefaultDialTimeout, "p2p dial timeout per connection attempt")
+		sendQ    = flag.Int("send-queue", p2p.DefaultQueueSize, "p2p per-peer outbound queue size")
 		peers    = peerList{}
 		alloc    = allocList{}
 	)
@@ -121,7 +124,12 @@ func run() error {
 		return err
 	}
 
-	tr, err := p2p.NewTCPTransport(p2p.NodeID(*id), *listen, n.Mux().Dispatch)
+	reg := metrics.NewRegistry()
+	tr, err := p2p.NewTCPTransportConfig(p2p.NodeID(*id), *listen, n.Mux().Dispatch, p2p.TCPConfig{
+		DialTimeout: *dialTO,
+		QueueSize:   *sendQ,
+		Registry:    reg,
+	})
 	if err != nil {
 		return err
 	}
@@ -133,13 +141,15 @@ func run() error {
 	}
 	g := p2p.NewGossiper(tr, neighbors, len(neighbors),
 		rand.New(rand.NewSource(time.Now().UnixNano()+2)))
+	g.RegisterMetrics(reg)
+	n.RegisterMetrics(reg)
 	n.Attach(tr, g)
 	n.Start()
 	defer n.Stop()
 	log.Printf("p2p on %s, %d peers; http on %s; mining=%v interval=%s",
 		tr.Addr(), len(neighbors), *httpAddr, *mine, *interval)
 
-	srv := &http.Server{Addr: *httpAddr, Handler: apiHandler(n, executor)}
+	srv := &http.Server{Addr: *httpAddr, Handler: apiHandler(n, executor, reg)}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 
@@ -154,9 +164,11 @@ func run() error {
 	}
 }
 
-// apiHandler exposes the node over HTTP for ledgercli.
-func apiHandler(n *node.Node, executor *contract.Executor) http.Handler {
+// apiHandler exposes the node over HTTP for ledgercli, plus the
+// operator-facing GET /metrics endpoint (Prometheus text format).
+func apiHandler(n *node.Node, executor *contract.Executor, reg *metrics.Registry) http.Handler {
 	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", metrics.Handler(reg))
 	writeJSON := func(w http.ResponseWriter, v any) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(v)

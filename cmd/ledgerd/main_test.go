@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -15,6 +16,7 @@ import (
 	"dcsledger/internal/contract"
 	"dcsledger/internal/cryptoutil"
 	"dcsledger/internal/incentive"
+	"dcsledger/internal/metrics"
 	"dcsledger/internal/node"
 	"dcsledger/internal/simclock"
 	"dcsledger/internal/wallet"
@@ -41,7 +43,9 @@ func testServer(t *testing.T, alloc map[cryptoutil.Address]uint64) (*httptest.Se
 	if err != nil {
 		t.Fatalf("node.New: %v", err)
 	}
-	srv := httptest.NewServer(apiHandler(n, executor))
+	reg := metrics.NewRegistry()
+	n.RegisterMetrics(reg)
+	srv := httptest.NewServer(apiHandler(n, executor, reg))
 	t.Cleanup(srv.Close)
 	return srv, n
 }
@@ -133,6 +137,44 @@ func TestHTTPAPI(t *testing.T) {
 	}
 	if code := getJSON(t, srv.URL+"/block?height=0", nil); code != http.StatusOK {
 		t.Fatal("genesis block fetch failed")
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	alice := wallet.FromSeed("alice")
+	srv, n := testServer(t, map[cryptoutil.Address]uint64{alice.Address(): 1000})
+
+	tx, err := alice.Transfer(wallet.FromSeed("bob").Address(), 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SubmitTx(tx); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics code %d", resp.StatusCode)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	for _, want := range []string{
+		"node_txs_submitted_total 1\n",
+		"node_mempool_size 1\n",
+		"node_chain_height 0\n",
+		"node_block_tree_size 1\n",
+		"node_blocks_proposed_total 0\n",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, body)
+		}
 	}
 }
 

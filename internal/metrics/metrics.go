@@ -1,0 +1,167 @@
+// Package metrics is a dependency-free, allocation-light metrics
+// registry for the daemon and the network layer: atomic counters and
+// gauges plus callback gauges, exposed in the Prometheus text format
+// over HTTP (untyped samples — `name value` lines — which every
+// Prometheus-compatible scraper accepts).
+//
+// The paper's DCS trade-offs (Section 4) are only observable if the
+// running system exports its network and consensus activity; this
+// package is the substrate the TCP transport, gossip layer, node, and
+// ledgerd daemon all report into.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add increases the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value (may go up and down).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add shifts the gauge by delta (use negative deltas to decrease).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Registry holds named metrics. All methods are safe for concurrent
+// use; Counter/Gauge lookups are get-or-create, so hot paths can cache
+// the returned pointer and update it lock-free.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	funcs    map[string]func() int64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		funcs:    make(map[string]func() int64),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// RegisterFunc registers a callback gauge: fn is invoked at snapshot
+// time. Useful for exporting values owned by another subsystem (e.g.
+// node consensus counters) without double bookkeeping. Re-registering
+// a name replaces the callback.
+func (r *Registry) RegisterFunc(name string, fn func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.funcs[name] = fn
+}
+
+// Snapshot returns a consistent-enough view of every metric. Callback
+// gauges are evaluated outside the registry lock, so callbacks may
+// themselves take locks (and may even touch this registry).
+func (r *Registry) Snapshot() map[string]int64 {
+	r.mu.RLock()
+	out := make(map[string]int64, len(r.counters)+len(r.gauges)+len(r.funcs))
+	fns := make(map[string]func() int64, len(r.funcs))
+	for name, c := range r.counters {
+		out[name] = int64(c.Value())
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	for name, fn := range r.funcs {
+		fns[name] = fn
+	}
+	r.mu.RUnlock()
+	for name, fn := range fns {
+		out[name] = fn()
+	}
+	return out
+}
+
+// WriteTo writes the metrics in the Prometheus text exposition format
+// (one `name value` line per metric, sorted by name).
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var written int64
+	for _, name := range names {
+		n, err := fmt.Fprintf(w, "%s %d\n", name, snap[name])
+		written += int64(n)
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// Handler serves the registry in the Prometheus text format — wire it
+// under GET /metrics.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = r.WriteTo(w)
+	})
+}

@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("sends_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("sends_total") != c {
+		t.Fatal("Counter must be get-or-create stable")
+	}
+	g := r.Gauge("conns")
+	g.Set(3)
+	g.Add(-1)
+	if got := g.Value(); got != 2 {
+		t.Fatalf("gauge = %d, want 2", got)
+	}
+	if r.Gauge("conns") != g {
+		t.Fatal("Gauge must be get-or-create stable")
+	}
+}
+
+func TestRegisterFuncAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(7)
+	r.Gauge("b").Set(-2)
+	r.RegisterFunc("c", func() int64 { return 42 })
+	snap := r.Snapshot()
+	if snap["a"] != 7 || snap["b"] != -2 || snap["c"] != 42 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+}
+
+func TestFuncGaugeMayTouchRegistry(t *testing.T) {
+	// Callback gauges run outside the registry lock, so a callback may
+	// read other metrics without deadlocking.
+	r := NewRegistry()
+	r.Counter("base").Add(10)
+	r.RegisterFunc("derived", func() int64 { return int64(r.Counter("base").Value()) * 2 })
+	if snap := r.Snapshot(); snap["derived"] != 20 {
+		t.Fatalf("derived = %d", snap["derived"])
+	}
+}
+
+func TestHandlerOutput(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("p2p_sent_total").Add(3)
+	r.Gauge("p2p_conns").Set(1)
+	rec := httptest.NewRecorder()
+	Handler(r).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	if !strings.Contains(body, "p2p_sent_total 3\n") || !strings.Contains(body, "p2p_conns 1\n") {
+		t.Fatalf("body = %q", body)
+	}
+	// Sorted output: "p2p_conns" before "p2p_sent_total".
+	if strings.Index(body, "p2p_conns") > strings.Index(body, "p2p_sent_total") {
+		t.Fatalf("output not sorted: %q", body)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("hot").Inc()
+				r.Gauge("g").Add(1)
+				_ = r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("hot").Value(); got != 8000 {
+		t.Fatalf("hot = %d, want 8000", got)
+	}
+}

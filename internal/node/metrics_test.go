@@ -1,0 +1,46 @@
+package node
+
+import (
+	"testing"
+	"time"
+
+	"dcsledger/internal/metrics"
+)
+
+// TestRegisterMetrics exports a mining node's counters through the
+// metrics registry and checks they reflect real activity.
+func TestRegisterMetrics(t *testing.T) {
+	c := powCluster(t, 3, 7, nil)
+	reg := metrics.NewRegistry()
+	c.Nodes[0].RegisterMetrics(reg)
+
+	// Before any activity: zero counters, genesis-only gauges.
+	snap := reg.Snapshot()
+	if snap["node_blocks_accepted_total"] != 0 || snap["node_chain_height"] != 0 {
+		t.Fatalf("pre-run snapshot %v", snap)
+	}
+	if snap["node_block_tree_size"] != 1 {
+		t.Fatalf("tree size %d, want 1 (genesis)", snap["node_block_tree_size"])
+	}
+
+	c.Start()
+	c.Sim.RunFor(3 * time.Minute)
+	c.Stop()
+	c.Sim.RunFor(30 * time.Second)
+
+	snap = reg.Snapshot()
+	if snap["node_blocks_accepted_total"] == 0 {
+		t.Fatalf("no blocks accepted: %v", snap)
+	}
+	if snap["node_chain_height"] == 0 {
+		t.Fatalf("chain height still 0: %v", snap)
+	}
+	m := c.Nodes[0].Metrics()
+	if snap["node_blocks_accepted_total"] != int64(m.BlocksAccepted) ||
+		snap["node_blocks_proposed_total"] != int64(m.BlocksProposed) {
+		t.Fatalf("snapshot %v diverges from Metrics %+v", snap, m)
+	}
+	if snap["node_chain_height"] != int64(c.Nodes[0].Chain().Height()) {
+		t.Fatalf("height gauge %d != chain %d", snap["node_chain_height"], c.Nodes[0].Chain().Height())
+	}
+}

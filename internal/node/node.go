@@ -17,6 +17,7 @@ import (
 	"dcsledger/internal/consensus/pow"
 	"dcsledger/internal/cryptoutil"
 	"dcsledger/internal/incentive"
+	"dcsledger/internal/metrics"
 	"dcsledger/internal/p2p"
 	"dcsledger/internal/simclock"
 	"dcsledger/internal/state"
@@ -213,6 +214,33 @@ func (n *Node) Metrics() Metrics {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.metrics
+}
+
+// RegisterMetrics exports the node's activity counters plus live
+// chain/mempool gauges into reg as callback gauges, for the daemon's
+// GET /metrics endpoint. Callbacks take the node lock at snapshot
+// time, so registration is cheap and values are always current.
+func (n *Node) RegisterMetrics(reg *metrics.Registry) {
+	snap := func(field func(Metrics) uint64) func() int64 {
+		return func() int64 { return int64(field(n.Metrics())) }
+	}
+	reg.RegisterFunc("node_blocks_proposed_total", snap(func(m Metrics) uint64 { return m.BlocksProposed }))
+	reg.RegisterFunc("node_blocks_accepted_total", snap(func(m Metrics) uint64 { return m.BlocksAccepted }))
+	reg.RegisterFunc("node_blocks_rejected_total", snap(func(m Metrics) uint64 { return m.BlocksRejected }))
+	reg.RegisterFunc("node_txs_submitted_total", snap(func(m Metrics) uint64 { return m.TxsSubmitted }))
+	reg.RegisterFunc("node_reorgs_total", snap(func(m Metrics) uint64 { return m.Reorgs }))
+	reg.RegisterFunc("node_orphans_buffered_total", snap(func(m Metrics) uint64 { return m.OrphansBuffered }))
+	reg.RegisterFunc("node_chain_height", func() int64 {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		return int64(n.chain.Height())
+	})
+	reg.RegisterFunc("node_block_tree_size", func() int64 {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		return int64(n.tree.Len())
+	})
+	reg.RegisterFunc("node_mempool_size", func() int64 { return int64(n.pool.Len()) })
 }
 
 // State returns the state at the current main-chain head.

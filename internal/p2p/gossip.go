@@ -5,8 +5,11 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"dcsledger/internal/cryptoutil"
+	"dcsledger/internal/metrics"
 )
 
 // GossipMsgType is the Message.Type used by the gossip protocol.
@@ -23,19 +26,38 @@ type envelope struct {
 // DeliverFunc receives a gossiped payload exactly once per node.
 type DeliverFunc func(from NodeID, payload []byte)
 
+// GossipStats snapshots a gossiper's activity counters.
+type GossipStats struct {
+	Delivered  uint64 // distinct items delivered locally
+	Duplicates uint64 // items suppressed as already seen
+	Forwarded  uint64 // copies forwarded to neighbors
+}
+
 // Gossiper floods published items to the node's overlay neighbors:
 // push-based epidemic broadcast with duplicate suppression, the
 // mechanism Section 2.3 describes for disseminating transactions and
 // blocks. Each node forwards a newly seen item to min(fanout,
 // |neighbors|) random neighbors.
+//
+// Gossiper is safe for concurrent use: HandleMessage may be invoked
+// from many TCP reader goroutines while Publish runs on the node's
+// application path. The mutex guards the seen-set, subscriptions,
+// neighbor list, and rng; delivery callbacks and transport sends run
+// outside the lock, so a callback may re-enter the gossiper (or take
+// the node lock) without deadlocking.
 type Gossiper struct {
-	tr        Transport
+	tr     Transport
+	fanout int
+
+	mu        sync.Mutex
 	neighbors []NodeID
-	fanout    int
 	rng       *rand.Rand
 	seen      map[cryptoutil.Hash]struct{}
 	subs      map[string]DeliverFunc
-	delivered uint64
+
+	delivered  atomic.Uint64
+	duplicates atomic.Uint64
+	forwarded  atomic.Uint64
 }
 
 // NewGossiper creates a gossiper for the node behind tr, forwarding to
@@ -56,7 +78,23 @@ func NewGossiper(tr Transport, neighbors []NodeID, fanout int, rng *rand.Rand) *
 
 // Subscribe registers the delivery callback for a topic.
 func (g *Gossiper) Subscribe(topic string, fn DeliverFunc) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	g.subs[topic] = fn
+}
+
+// markSeen atomically records env.ID in the seen-set, reporting
+// whether this call was the first to see it. The check-and-set must be
+// one critical section so two concurrent readers holding the same item
+// cannot both deliver it.
+func (g *Gossiper) markSeen(id cryptoutil.Hash) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.seen[id]; ok {
+		return false
+	}
+	g.seen[id] = struct{}{}
+	return true
 }
 
 // Publish floods payload under topic, delivering locally first.
@@ -66,41 +104,67 @@ func (g *Gossiper) Publish(topic string, payload []byte) {
 		Topic:   topic,
 		Payload: payload,
 	}
-	if _, ok := g.seen[env.ID]; ok {
+	if !g.markSeen(env.ID) {
+		g.duplicates.Add(1)
 		return
 	}
-	g.seen[env.ID] = struct{}{}
 	g.deliver(g.tr.Self(), env)
 	g.forward(env)
 }
 
 // HandleMessage processes an incoming gossip Message; wire it into the
-// node's Mux under GossipMsgType.
+// node's Mux under GossipMsgType. Safe to call from concurrent
+// transport reader goroutines.
 func (g *Gossiper) HandleMessage(m Message) {
 	var env envelope
 	if err := json.Unmarshal(m.Data, &env); err != nil {
 		return // malformed gossip from a faulty peer: drop
 	}
-	if _, ok := g.seen[env.ID]; ok {
+	if !g.markSeen(env.ID) {
+		g.duplicates.Add(1)
 		return
 	}
-	g.seen[env.ID] = struct{}{}
 	g.deliver(m.From, env)
 	env.Hops++
 	g.forward(env)
 }
 
 // Delivered returns how many distinct items this node has delivered.
-func (g *Gossiper) Delivered() uint64 { return g.delivered }
+func (g *Gossiper) Delivered() uint64 { return g.delivered.Load() }
 
-// Neighbors returns the overlay neighbor set.
+// Stats returns a snapshot of the gossip counters.
+func (g *Gossiper) Stats() GossipStats {
+	return GossipStats{
+		Delivered:  g.delivered.Load(),
+		Duplicates: g.duplicates.Load(),
+		Forwarded:  g.forwarded.Load(),
+	}
+}
+
+// RegisterMetrics exports the gossip counters into reg as callback
+// gauges (gossip_delivered_total, gossip_duplicate_total,
+// gossip_forwarded_total).
+func (g *Gossiper) RegisterMetrics(reg *metrics.Registry) {
+	reg.RegisterFunc("gossip_delivered_total", func() int64 { return int64(g.delivered.Load()) })
+	reg.RegisterFunc("gossip_duplicate_total", func() int64 { return int64(g.duplicates.Load()) })
+	reg.RegisterFunc("gossip_forwarded_total", func() int64 { return int64(g.forwarded.Load()) })
+}
+
+// Neighbors returns a copy of the overlay neighbor set.
 func (g *Gossiper) Neighbors() []NodeID {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	return append([]NodeID(nil), g.neighbors...)
 }
 
+// deliver runs outside g.mu: the subscriber callback may call back
+// into the gossiper or take the node's lock.
 func (g *Gossiper) deliver(from NodeID, env envelope) {
-	g.delivered++
-	if fn, ok := g.subs[env.Topic]; ok {
+	g.delivered.Add(1)
+	g.mu.Lock()
+	fn := g.subs[env.Topic]
+	g.mu.Unlock()
+	if fn != nil {
 		fn(from, env.Payload)
 	}
 }
@@ -112,13 +176,19 @@ func (g *Gossiper) forward(env envelope) {
 	}
 	targets := g.pickNeighbors()
 	for _, to := range targets {
+		g.forwarded.Add(1)
 		_ = g.tr.Send(to, Message{Type: GossipMsgType, Data: data})
 	}
 }
 
+// pickNeighbors selects min(fanout, |neighbors|) random forwarding
+// targets. It always returns a fresh slice — never the internal
+// neighbor list — so callers cannot mutate overlay state.
 func (g *Gossiper) pickNeighbors() []NodeID {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	if len(g.neighbors) <= g.fanout {
-		return g.neighbors
+		return append([]NodeID(nil), g.neighbors...)
 	}
 	idx := g.rng.Perm(len(g.neighbors))[:g.fanout]
 	out := make([]NodeID, len(idx))

@@ -1,0 +1,201 @@
+package p2p
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dcsledger/internal/cryptoutil"
+	"dcsledger/internal/metrics"
+)
+
+// nullTransport is a concurrency-safe Transport stub that counts sends.
+type nullTransport struct {
+	self  NodeID
+	peers []NodeID
+	sent  atomic.Uint64
+}
+
+func (n *nullTransport) Self() NodeID               { return n.self }
+func (n *nullTransport) Send(NodeID, Message) error { n.sent.Add(1); return nil }
+func (n *nullTransport) Peers() []NodeID            { return n.peers }
+
+// TestGossipConcurrentPublishAndHandle hammers one gossiper from many
+// goroutines mixing Publish and HandleMessage (the paths invoked
+// concurrently by TCP reader goroutines via Mux.Dispatch). Run with
+// -race: the seed gossiper mutated seen/subs/delivered unsynchronized.
+func TestGossipConcurrentPublishAndHandle(t *testing.T) {
+	tr := &nullTransport{self: "self", peers: []NodeID{"b", "c", "d"}}
+	g := NewGossiper(tr, []NodeID{"b", "c", "d"}, 2, rand.New(rand.NewSource(1)))
+
+	var delivered atomic.Uint64
+	g.Subscribe("t", func(NodeID, []byte) { delivered.Add(1) })
+
+	const (
+		workers = 8
+		items   = 200
+	)
+	envFor := func(w, k int) []byte {
+		payload := []byte(fmt.Sprintf("h-%d-%d", w, k))
+		data, err := json.Marshal(envelope{
+			ID:      cryptoutil.HashBytes([]byte("gossip/t"), payload),
+			Topic:   "t",
+			Payload: payload,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < items; k++ {
+				if w%2 == 0 {
+					g.Publish("t", []byte(fmt.Sprintf("p-%d-%d", w, k)))
+				} else {
+					// Every odd worker injects the same envelopes, so
+					// all but one handler call is a duplicate.
+					g.HandleMessage(Message{From: "peer", Type: GossipMsgType, Data: envFor(1, k)})
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Distinct items: workers/2 publishers × items unique payloads,
+	// plus `items` distinct injected envelopes (shared by all odd
+	// workers).
+	want := uint64(workers/2*items + items)
+	if got := g.Delivered(); got != want {
+		t.Fatalf("delivered %d, want %d", got, want)
+	}
+	if got := delivered.Load(); got != want {
+		t.Fatalf("callback delivered %d, want %d", got, want)
+	}
+	st := g.Stats()
+	if st.Duplicates == 0 {
+		t.Fatal("expected duplicate suppressions > 0")
+	}
+	// Each first-seen item is forwarded to fanout=2 neighbors.
+	if st.Forwarded != 2*want {
+		t.Fatalf("forwarded %d, want %d", st.Forwarded, 2*want)
+	}
+	if tr.sent.Load() != 2*want {
+		t.Fatalf("transport sends %d, want %d", tr.sent.Load(), 2*want)
+	}
+}
+
+// TestPickNeighborsReturnsCopy guards against the seed bug where the
+// internal neighbor slice leaked by reference when |neighbors| <=
+// fanout, letting callers mutate overlay state.
+func TestPickNeighborsReturnsCopy(t *testing.T) {
+	tr := &nullTransport{self: "self"}
+	g := NewGossiper(tr, []NodeID{"b", "c"}, 4, rand.New(rand.NewSource(1)))
+	picked := g.pickNeighbors()
+	if len(picked) != 2 {
+		t.Fatalf("picked %v", picked)
+	}
+	picked[0] = "mutated"
+	if ns := g.Neighbors(); ns[0] != "b" || ns[1] != "c" {
+		t.Fatalf("internal neighbors mutated: %v", ns)
+	}
+	// Neighbors() must also return a copy.
+	ns := g.Neighbors()
+	ns[0] = "mutated"
+	if again := g.Neighbors(); again[0] != "b" {
+		t.Fatalf("Neighbors leaked internal slice: %v", again)
+	}
+}
+
+// TestGossipOverConcurrentTCPMesh runs real gossip over the TCP
+// transport: three nodes publish concurrently and everyone must
+// deliver every distinct item exactly once, race-clean.
+func TestGossipOverConcurrentTCPMesh(t *testing.T) {
+	const (
+		nodes   = 3
+		perNode = 50
+	)
+	cfg := TCPConfig{QueueSize: 4096}
+
+	trs := make([]*TCPTransport, nodes)
+	gs := make([]*Gossiper, nodes)
+	counts := make([]atomic.Uint64, nodes)
+	for i := 0; i < nodes; i++ {
+		i := i
+		mux := NewMux()
+		tr, err := NewTCPTransportConfig(NodeName(i), "127.0.0.1:0", mux.Dispatch, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tr.Close()
+		trs[i] = tr
+		var neighbors []NodeID
+		for j := 0; j < nodes; j++ {
+			if j != i {
+				neighbors = append(neighbors, NodeName(j))
+			}
+		}
+		g := NewGossiper(tr, neighbors, len(neighbors), rand.New(rand.NewSource(int64(i+1))))
+		g.Subscribe("tx", func(NodeID, []byte) { counts[i].Add(1) })
+		mux.Handle(GossipMsgType, g.HandleMessage)
+		gs[i] = g
+	}
+	for i := 0; i < nodes; i++ {
+		for j := 0; j < nodes; j++ {
+			if i != j {
+				trs[i].AddPeer(NodeName(j), trs[j].Addr())
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < nodes; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < perNode; k++ {
+				gs[i].Publish("tx", []byte(fmt.Sprintf("item-%d-%d", i, k)))
+			}
+		}()
+	}
+	wg.Wait()
+
+	want := uint64(nodes * perNode)
+	for i := 0; i < nodes; i++ {
+		i := i
+		waitFor(t, 10*time.Second, func() bool { return counts[i].Load() == want },
+			fmt.Sprintf("node %d delivered %d/%d", i, counts[i].Load(), want))
+	}
+	for i, tr := range trs {
+		if st := tr.Stats(); st.RecvErrors != 0 {
+			t.Fatalf("node %d: %d decode errors", i, st.RecvErrors)
+		}
+		if d := gs[i].Delivered(); d != want {
+			t.Fatalf("node %d delivered %d, want %d", i, d, want)
+		}
+	}
+}
+
+// TestGossipRegisterMetrics exports gossip counters through a registry.
+func TestGossipRegisterMetrics(t *testing.T) {
+	tr := &nullTransport{self: "self"}
+	g := NewGossiper(tr, []NodeID{"b"}, 1, rand.New(rand.NewSource(1)))
+	reg := metrics.NewRegistry()
+	g.RegisterMetrics(reg)
+	g.Publish("t", []byte("one"))
+	g.Publish("t", []byte("one")) // duplicate
+	snap := reg.Snapshot()
+	if snap["gossip_delivered_total"] != 1 || snap["gossip_duplicate_total"] != 1 || snap["gossip_forwarded_total"] != 1 {
+		t.Fatalf("snapshot %v", snap)
+	}
+}

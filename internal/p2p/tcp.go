@@ -1,52 +1,182 @@
 package p2p
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"math/rand"
 	"net"
 	"sort"
 	"sync"
+	"time"
+
+	"dcsledger/internal/metrics"
 )
 
-// ErrClosed is returned by Send after the transport has been closed.
-var ErrClosed = errors.New("p2p: transport closed")
+// Transport errors.
+var (
+	// ErrClosed is returned by Send after the transport has been closed.
+	ErrClosed = errors.New("p2p: transport closed")
+	// ErrQueueFull is returned by Send when a peer's bounded outbound
+	// queue is full; the message is counted as dropped, not delivered.
+	// Gossip redundancy is expected to absorb such drops.
+	ErrQueueFull = errors.New("p2p: peer send queue full")
+)
 
-// TCPTransport is the real-network transport used by the ledgerd daemon:
-// length-delimited JSON messages over persistent TCP connections. Peers
-// are added explicitly (static membership, as in a consortium network).
+// Default TCPConfig values.
+const (
+	DefaultDialTimeout  = 3 * time.Second
+	DefaultWriteTimeout = 10 * time.Second
+	DefaultQueueSize    = 256
+	DefaultBackoffBase  = 50 * time.Millisecond
+	DefaultBackoffMax   = 5 * time.Second
+	DefaultMaxAttempts  = 4
+)
+
+// TCPConfig tunes the TCP transport. The zero value selects sane
+// defaults for every field.
+type TCPConfig struct {
+	// DialTimeout bounds each connection attempt (default 3s).
+	DialTimeout time.Duration
+	// WriteTimeout bounds each message write (default 10s; 0 keeps the
+	// default, negative disables deadlines).
+	WriteTimeout time.Duration
+	// QueueSize bounds each peer's outbound queue (default 256). When
+	// the queue is full, Send drops the message and returns
+	// ErrQueueFull instead of blocking the caller.
+	QueueSize int
+	// BackoffBase / BackoffMax shape the exponential reconnect backoff
+	// (defaults 50ms / 5s). Each failed dial sleeps a jittered backoff
+	// in [b/2, b] before the writer retries.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// MaxAttempts is how many connect-and-write attempts one message
+	// gets before it is dropped (default 4). Backoff state persists
+	// across messages, so a dead peer costs at most MaxAttempts dials
+	// per queued message.
+	MaxAttempts int
+	// Registry receives transport counters (p2p_*). Nil creates a
+	// private registry, readable via Stats / Registry.
+	Registry *metrics.Registry
+}
+
+func (c TCPConfig) withDefaults() TCPConfig {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = DefaultDialTimeout
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = DefaultWriteTimeout
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = DefaultQueueSize
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = DefaultBackoffBase
+	}
+	if c.BackoffMax < c.BackoffBase {
+		c.BackoffMax = DefaultBackoffMax
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = DefaultMaxAttempts
+	}
+	if c.Registry == nil {
+		c.Registry = metrics.NewRegistry()
+	}
+	return c
+}
+
+// TCPStats is a snapshot of the transport's activity counters.
+type TCPStats struct {
+	Enqueued      uint64 // messages accepted by Send
+	Sent          uint64 // messages written to a peer connection
+	Dropped       uint64 // messages dropped (queue full or retries exhausted)
+	SendErrors    uint64 // write failures (each triggers a reconnect)
+	DialFailures  uint64 // failed connection attempts
+	Reconnects    uint64 // successful dials after a previous connection
+	Recv          uint64 // messages received on inbound connections
+	RecvErrors    uint64 // inbound decode failures (excluding EOF/close)
+	OutboundConns int64  // currently established outbound connections
+	InboundConns  int64  // currently accepted inbound connections
+	PeerWriters   int64  // live per-peer writer goroutines
+}
+
+// TCPTransport is the real-network transport used by the ledgerd
+// daemon: length-delimited JSON messages over persistent TCP
+// connections. Peers are added explicitly (static membership, as in a
+// consortium network).
+//
+// Concurrency model: Send never performs I/O. Each peer gets a
+// dedicated writer goroutine that exclusively owns the peer's
+// connection and json.Encoder, draining a bounded queue — so
+// concurrent Sends can never interleave bytes on the wire. The writer
+// dials lazily with a bounded timeout and reconnects with jittered
+// exponential backoff; when the queue is full, Send drops the message
+// (counted) rather than stalling the caller.
 type TCPTransport struct {
 	self    NodeID
 	ln      net.Listener
 	handler Handler
+	cfg     TCPConfig
+
+	ctx    context.Context
+	cancel context.CancelFunc
 
 	mu      sync.Mutex
 	peers   map[NodeID]string // address book
-	conns   map[NodeID]*json.Encoder
-	raw     map[NodeID]net.Conn
+	writers map[NodeID]*peerWriter
 	inbound map[net.Conn]struct{}
 	closed  bool
 
 	wg sync.WaitGroup
+
+	// Hot-path counters (registered in cfg.Registry).
+	cEnqueued, cSent, cDropped, cSendErrors *metrics.Counter
+	cDialFailures, cReconnects              *metrics.Counter
+	cRecv, cRecvErrors                      *metrics.Counter
+	gOutbound, gInbound, gWriters           *metrics.Gauge
 }
 
 var _ Transport = (*TCPTransport)(nil)
 
-// NewTCPTransport starts listening on bindAddr and handles incoming
-// messages with h.
+// NewTCPTransport starts listening on bindAddr with default TCPConfig
+// and handles incoming messages with h.
 func NewTCPTransport(self NodeID, bindAddr string, h Handler) (*TCPTransport, error) {
+	return NewTCPTransportConfig(self, bindAddr, h, TCPConfig{})
+}
+
+// NewTCPTransportConfig starts listening on bindAddr with an explicit
+// configuration.
+func NewTCPTransportConfig(self NodeID, bindAddr string, h Handler, cfg TCPConfig) (*TCPTransport, error) {
 	ln, err := net.Listen("tcp", bindAddr)
 	if err != nil {
 		return nil, fmt.Errorf("p2p: listen %s: %w", bindAddr, err)
 	}
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
 	t := &TCPTransport{
 		self:    self,
 		ln:      ln,
 		handler: h,
+		cfg:     cfg,
+		ctx:     ctx,
+		cancel:  cancel,
 		peers:   make(map[NodeID]string),
-		conns:   make(map[NodeID]*json.Encoder),
-		raw:     make(map[NodeID]net.Conn),
+		writers: make(map[NodeID]*peerWriter),
 		inbound: make(map[net.Conn]struct{}),
+
+		cEnqueued:     cfg.Registry.Counter("p2p_enqueued_total"),
+		cSent:         cfg.Registry.Counter("p2p_sent_total"),
+		cDropped:      cfg.Registry.Counter("p2p_dropped_total"),
+		cSendErrors:   cfg.Registry.Counter("p2p_send_errors_total"),
+		cDialFailures: cfg.Registry.Counter("p2p_dial_failures_total"),
+		cReconnects:   cfg.Registry.Counter("p2p_reconnects_total"),
+		cRecv:         cfg.Registry.Counter("p2p_recv_total"),
+		cRecvErrors:   cfg.Registry.Counter("p2p_recv_errors_total"),
+		gOutbound:     cfg.Registry.Gauge("p2p_conns_outbound"),
+		gInbound:      cfg.Registry.Gauge("p2p_conns_inbound"),
+		gWriters:      cfg.Registry.Gauge("p2p_peer_writers"),
 	}
 	t.wg.Add(1)
 	go t.acceptLoop()
@@ -59,7 +189,29 @@ func (t *TCPTransport) Addr() string { return t.ln.Addr().String() }
 // Self implements Transport.
 func (t *TCPTransport) Self() NodeID { return t.self }
 
-// AddPeer records a peer's dialable address.
+// Registry returns the metrics registry the transport reports into.
+func (t *TCPTransport) Registry() *metrics.Registry { return t.cfg.Registry }
+
+// Stats returns a snapshot of the transport counters.
+func (t *TCPTransport) Stats() TCPStats {
+	return TCPStats{
+		Enqueued:      t.cEnqueued.Value(),
+		Sent:          t.cSent.Value(),
+		Dropped:       t.cDropped.Value(),
+		SendErrors:    t.cSendErrors.Value(),
+		DialFailures:  t.cDialFailures.Value(),
+		Reconnects:    t.cReconnects.Value(),
+		Recv:          t.cRecv.Value(),
+		RecvErrors:    t.cRecvErrors.Value(),
+		OutboundConns: t.gOutbound.Value(),
+		InboundConns:  t.gInbound.Value(),
+		PeerWriters:   t.gWriters.Value(),
+	}
+}
+
+// AddPeer records a peer's dialable address. Re-adding a peer updates
+// the address; an existing writer picks the new address up on its next
+// (re)connect.
 func (t *TCPTransport) AddPeer(id NodeID, addr string) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -78,8 +230,17 @@ func (t *TCPTransport) Peers() []NodeID {
 	return out
 }
 
-// Send implements Transport, dialing on first use and reusing the
-// connection afterwards.
+func (t *TCPTransport) peerAddr(id NodeID) (string, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	addr, ok := t.peers[id]
+	return addr, ok
+}
+
+// Send implements Transport. It enqueues the message on the peer's
+// bounded outbound queue and returns immediately — all dialing and I/O
+// happens on the peer's writer goroutine. A full queue drops the
+// message and returns ErrQueueFull.
 func (t *TCPTransport) Send(to NodeID, m Message) error {
 	m.From = t.self
 	t.mu.Lock()
@@ -87,39 +248,36 @@ func (t *TCPTransport) Send(to NodeID, m Message) error {
 		t.mu.Unlock()
 		return ErrClosed
 	}
-	enc, ok := t.conns[to]
+	w, ok := t.writers[to]
 	if !ok {
-		addr, known := t.peers[to]
-		if !known {
+		if _, known := t.peers[to]; !known {
 			t.mu.Unlock()
 			return fmt.Errorf("%w: %s", ErrUnknownPeer, to)
 		}
-		conn, err := net.Dial("tcp", addr)
-		if err != nil {
-			t.mu.Unlock()
-			return fmt.Errorf("p2p: dial %s: %w", to, err)
+		w = &peerWriter{
+			t:     t,
+			id:    to,
+			queue: make(chan Message, t.cfg.QueueSize),
 		}
-		enc = json.NewEncoder(conn)
-		t.conns[to] = enc
-		t.raw[to] = conn
+		t.writers[to] = w
+		t.gWriters.Add(1)
+		t.wg.Add(1)
+		go w.run()
 	}
 	t.mu.Unlock()
 
-	if err := enc.Encode(m); err != nil {
-		t.mu.Lock()
-		if c, ok := t.raw[to]; ok {
-			c.Close()
-		}
-		delete(t.conns, to)
-		delete(t.raw, to)
-		t.mu.Unlock()
-		return fmt.Errorf("p2p: send to %s: %w", to, err)
+	select {
+	case w.queue <- m:
+		t.cEnqueued.Inc()
+		return nil
+	default:
+		t.cDropped.Inc()
+		return fmt.Errorf("%w: %s", ErrQueueFull, to)
 	}
-	return nil
 }
 
-// Close shuts the listener and all connections down and waits for the
-// reader goroutines to exit.
+// Close shuts the listener, writers, and all connections down and
+// waits for every transport goroutine to exit.
 func (t *TCPTransport) Close() error {
 	t.mu.Lock()
 	if t.closed {
@@ -127,16 +285,23 @@ func (t *TCPTransport) Close() error {
 		return nil
 	}
 	t.closed = true
-	for _, c := range t.raw {
-		c.Close()
+	for _, w := range t.writers {
+		w.closeConnLocked()
 	}
 	for c := range t.inbound {
 		c.Close()
 	}
 	t.mu.Unlock()
+	t.cancel() // unblocks writer dials and backoff sleeps
 	err := t.ln.Close()
 	t.wg.Wait()
 	return err
+}
+
+func (t *TCPTransport) isClosed() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.closed
 }
 
 func (t *TCPTransport) acceptLoop() {
@@ -153,6 +318,7 @@ func (t *TCPTransport) acceptLoop() {
 			return
 		}
 		t.inbound[conn] = struct{}{}
+		t.gInbound.Add(1)
 		t.wg.Add(1)
 		t.mu.Unlock()
 		go t.readLoop(conn)
@@ -165,16 +331,153 @@ func (t *TCPTransport) readLoop(conn net.Conn) {
 		conn.Close()
 		t.mu.Lock()
 		delete(t.inbound, conn)
+		t.gInbound.Add(-1)
 		t.mu.Unlock()
 	}()
 	dec := json.NewDecoder(conn)
 	for {
 		var m Message
 		if err := dec.Decode(&m); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !t.isClosed() {
+				t.cRecvErrors.Inc()
+			}
 			return
 		}
+		t.cRecv.Inc()
 		if t.handler != nil {
 			t.handler(m)
 		}
+	}
+}
+
+// peerWriter owns one peer's outbound connection. Exactly one
+// goroutine (run) touches conn/enc/backoff, so no locking is needed
+// beyond the transport-level mu used when Close tears the conn down.
+type peerWriter struct {
+	t     *TCPTransport
+	id    NodeID
+	queue chan Message
+
+	// Owned by the run goroutine.
+	conn          net.Conn
+	enc           *json.Encoder
+	backoff       time.Duration
+	everConnected bool
+
+	// connMu lets Close nil the connection out from under a writer
+	// that is blocked in Encode.
+	connMu sync.Mutex
+}
+
+func (w *peerWriter) run() {
+	defer w.t.wg.Done()
+	defer func() {
+		w.closeConn()
+		w.t.gWriters.Add(-1)
+	}()
+	for {
+		select {
+		case <-w.t.ctx.Done():
+			return
+		case m := <-w.queue:
+			w.write(m)
+		}
+	}
+}
+
+// write delivers one message, connecting (and reconnecting) as needed.
+// After cfg.MaxAttempts failed connect-or-write attempts the message
+// is dropped so one dead peer cannot wedge the queue forever.
+func (w *peerWriter) write(m Message) {
+	t := w.t
+	for attempt := 0; attempt < t.cfg.MaxAttempts; attempt++ {
+		if t.ctx.Err() != nil {
+			return
+		}
+		if w.enc == nil && !w.connect() {
+			continue
+		}
+		if t.cfg.WriteTimeout > 0 {
+			_ = w.conn.SetWriteDeadline(time.Now().Add(t.cfg.WriteTimeout))
+		}
+		if err := w.enc.Encode(m); err != nil {
+			t.cSendErrors.Inc()
+			w.closeConn()
+			continue
+		}
+		t.cSent.Inc()
+		return
+	}
+	t.cDropped.Inc()
+}
+
+// connect performs one dial attempt; on failure it sleeps a jittered
+// exponential backoff (interruptible by Close) and reports false.
+func (w *peerWriter) connect() bool {
+	t := w.t
+	addr, ok := t.peerAddr(w.id)
+	if !ok {
+		w.sleepBackoff()
+		return false
+	}
+	d := net.Dialer{Timeout: t.cfg.DialTimeout}
+	conn, err := d.DialContext(t.ctx, "tcp", addr)
+	if err != nil {
+		t.cDialFailures.Inc()
+		w.sleepBackoff()
+		return false
+	}
+	w.connMu.Lock()
+	w.conn, w.enc = conn, json.NewEncoder(conn)
+	w.connMu.Unlock()
+	w.backoff = 0
+	if w.everConnected {
+		t.cReconnects.Inc()
+	}
+	w.everConnected = true
+	t.gOutbound.Add(1)
+	return true
+}
+
+func (w *peerWriter) closeConn() {
+	w.connMu.Lock()
+	defer w.connMu.Unlock()
+	if w.conn != nil {
+		w.conn.Close()
+		w.conn, w.enc = nil, nil
+		w.t.gOutbound.Add(-1)
+	}
+}
+
+// closeConnLocked closes the underlying conn without clearing the
+// writer's fields; called by Close (which also cancels the context) to
+// unblock a writer stuck in Encode. The writer's own closeConn (via
+// its run defer) does the bookkeeping.
+func (w *peerWriter) closeConnLocked() {
+	w.connMu.Lock()
+	defer w.connMu.Unlock()
+	if w.conn != nil {
+		w.conn.Close()
+	}
+}
+
+func (w *peerWriter) sleepBackoff() {
+	t := w.t
+	if w.backoff <= 0 {
+		w.backoff = t.cfg.BackoffBase
+	} else {
+		w.backoff *= 2
+		if w.backoff > t.cfg.BackoffMax {
+			w.backoff = t.cfg.BackoffMax
+		}
+	}
+	// Jitter in [backoff/2, backoff] to decorrelate reconnect storms.
+	half := w.backoff / 2
+	d := half + time.Duration(rand.Int63n(int64(half)+1))
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-t.ctx.Done():
+	case <-timer.C:
 	}
 }
