@@ -19,10 +19,14 @@ test:
 	$(GO) test ./...
 
 # Race-detector gate for the packages exercised by concurrent TCP
-# traffic: the transport/gossip layer and the full node.
+# traffic: the transport/gossip layer, the full node, and the state /
+# mempool / tx packages they share (copy-on-write state layers are read
+# lock-free by HTTP handlers; batched signature verification fans out
+# across goroutines).
 race:
-	$(GO) test -race -count=1 ./internal/p2p ./internal/node ./internal/metrics
+	$(GO) test -race -count=1 ./internal/p2p ./internal/node ./internal/metrics \
+		./internal/state ./internal/txpool ./internal/types
 
-tier1: build test
+tier1: build vet test
 
 ci: build vet test race

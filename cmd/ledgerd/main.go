@@ -89,8 +89,11 @@ func run() error {
 		keySeed  = flag.String("keyseed", "", "deterministic key seed (default: derive from -id)")
 		dialTO   = flag.Duration("dial-timeout", p2p.DefaultDialTimeout, "p2p dial timeout per connection attempt")
 		sendQ    = flag.Int("send-queue", p2p.DefaultQueueSize, "p2p per-peer outbound queue size")
-		peers    = peerList{}
-		alloc    = allocList{}
+		retain   = flag.Int("state-retention", node.DefaultStateRetention,
+			"blocks below the head that keep a materialized state (-1 = archive, keep all)")
+		maxOrph = flag.Int("max-orphans", node.DefaultMaxOrphans, "max buffered unknown-parent blocks")
+		peers   = peerList{}
+		alloc   = allocList{}
 	)
 	flag.Var(peers, "peer", "peer as id=host:port (repeatable)")
 	flag.Var(alloc, "alloc", "genesis allocation addrhex=amount (repeatable)")
@@ -116,9 +119,11 @@ func run() error {
 		Genesis:    node.NewGenesis(*network),
 		Alloc:      alloc,
 		Executor:   executor,
-		Rewards:    incentive.Schedule{InitialReward: 50, HalvingInterval: 210_000},
-		Clock:      simclock.Wall{},
-		Mine:       *mine,
+		Rewards:        incentive.Schedule{InitialReward: 50, HalvingInterval: 210_000},
+		Clock:          simclock.Wall{},
+		Mine:           *mine,
+		StateRetention: *retain,
+		MaxOrphans:     *maxOrph,
 	})
 	if err != nil {
 		return err

@@ -46,6 +46,17 @@ var (
 	ErrKnownBlock   = errors.New("node: block already known")
 )
 
+// DefaultStateRetention is how many blocks below the fork-choice head
+// keep a fully materialized post-state. Deeper states are pruned and
+// rebuilt on demand by replaying blocks from the nearest retained
+// ancestor (or genesis), so memory stays O(window × accounts) instead
+// of O(chain × accounts) while reorgs of any depth still succeed.
+const DefaultStateRetention = 128
+
+// DefaultMaxOrphans bounds the unknown-parent block buffer so a spammy
+// peer cannot grow it without bound.
+const DefaultMaxOrphans = 512
+
 // Config assembles one peer.
 type Config struct {
 	// ID is the network identity.
@@ -72,6 +83,13 @@ type Config struct {
 	MaxBlockTxs int
 	// PoolCapacity bounds the mempool (default txpool.DefaultCapacity).
 	PoolCapacity int
+	// StateRetention is how many blocks below the head keep a
+	// materialized post-state (0 = DefaultStateRetention, negative =
+	// retain everything, i.e. an archive node).
+	StateRetention int
+	// MaxOrphans bounds the unknown-parent block buffer
+	// (0 = DefaultMaxOrphans).
+	MaxOrphans int
 }
 
 // Metrics counts a node's activity for the experiment harness.
@@ -82,6 +100,9 @@ type Metrics struct {
 	TxsSubmitted    uint64
 	Reorgs          uint64
 	OrphansBuffered uint64
+	OrphansEvicted  uint64
+	StatesPruned    uint64
+	StateRebuilds   uint64
 }
 
 // Node is one ledger peer. All public entry points serialize on an
@@ -94,13 +115,29 @@ type Node struct {
 	tree     *store.BlockTree
 	chain    *store.Chain
 	pool     *txpool.Pool
-	states   map[cryptoutil.Hash]*state.State // post-state per block
 	gossiper *p2p.Gossiper
 	tr       p2p.Transport
 	mux      *p2p.Mux
 
-	orphans   map[cryptoutil.Hash][]*types.Block // parent → waiting children
-	requested map[cryptoutil.Hash]time.Time      // ancestor fetches, by request time
+	// State lifecycle: materialized post-states are kept only for
+	// blocks within StateRetention of the head; baseState (the genesis
+	// post-state) is pinned forever as the replay root for rebuilding
+	// pruned states. anchorHeight is the monotonic lower edge of the
+	// retention window; lastFlatten is where the window base was last
+	// flattened into a parentless layer.
+	states       map[cryptoutil.Hash]*state.State
+	baseState    *state.State
+	anchorHeight uint64
+	lastFlatten  uint64
+
+	// Orphan buffer: blocks whose parent has not arrived yet, deduped
+	// by hash, capped, evicted oldest-first.
+	orphans     map[cryptoutil.Hash][]cryptoutil.Hash // parent → waiting child hashes
+	orphanPool  map[cryptoutil.Hash]*types.Block      // hash → buffered block
+	orphanOrder []cryptoutil.Hash                     // arrival order for eviction
+
+	requested    map[cryptoutil.Hash]time.Time // ancestor fetches, by request time
+	lastReqSweep time.Time
 
 	mineTimer *simclock.Timer
 	mineTip   cryptoutil.Hash
@@ -126,6 +163,12 @@ func New(cfg Config) (*Node, error) {
 	if cfg.MaxBlockTxs <= 0 {
 		cfg.MaxBlockTxs = 256
 	}
+	if cfg.StateRetention == 0 {
+		cfg.StateRetention = DefaultStateRetention
+	}
+	if cfg.MaxOrphans <= 0 {
+		cfg.MaxOrphans = DefaultMaxOrphans
+	}
 	gst := state.New()
 	gst.SetExecutor(cfg.Executor)
 	for a, v := range cfg.Alloc {
@@ -133,15 +176,17 @@ func New(cfg Config) (*Node, error) {
 	}
 	tree := store.NewBlockTree(cfg.Genesis)
 	n := &Node{
-		cfg:       cfg,
-		self:      cfg.Key.Address(),
-		tree:      tree,
-		chain:     store.NewChain(tree),
-		pool:      txpool.New(cfg.PoolCapacity),
-		states:    map[cryptoutil.Hash]*state.State{cfg.Genesis.Hash(): gst},
-		mux:       p2p.NewMux(),
-		orphans:   make(map[cryptoutil.Hash][]*types.Block),
-		requested: make(map[cryptoutil.Hash]time.Time),
+		cfg:        cfg,
+		self:       cfg.Key.Address(),
+		tree:       tree,
+		chain:      store.NewChain(tree),
+		pool:       txpool.New(cfg.PoolCapacity),
+		states:     map[cryptoutil.Hash]*state.State{cfg.Genesis.Hash(): gst},
+		baseState:  gst,
+		mux:        p2p.NewMux(),
+		orphans:    make(map[cryptoutil.Hash][]cryptoutil.Hash),
+		orphanPool: make(map[cryptoutil.Hash]*types.Block),
+		requested:  make(map[cryptoutil.Hash]time.Time),
 	}
 	// Difficulty retargeting needs a chain view.
 	if e, ok := cfg.Engine.(interface{ SetHeaderReader(pow.HeaderReader) }); ok {
@@ -230,6 +275,15 @@ func (n *Node) RegisterMetrics(reg *metrics.Registry) {
 	reg.RegisterFunc("node_txs_submitted_total", snap(func(m Metrics) uint64 { return m.TxsSubmitted }))
 	reg.RegisterFunc("node_reorgs_total", snap(func(m Metrics) uint64 { return m.Reorgs }))
 	reg.RegisterFunc("node_orphans_buffered_total", snap(func(m Metrics) uint64 { return m.OrphansBuffered }))
+	reg.RegisterFunc("node_orphans_evicted_total", snap(func(m Metrics) uint64 { return m.OrphansEvicted }))
+	reg.RegisterFunc("node_states_pruned_total", snap(func(m Metrics) uint64 { return m.StatesPruned }))
+	reg.RegisterFunc("node_state_rebuilds_total", snap(func(m Metrics) uint64 { return m.StateRebuilds }))
+	reg.RegisterFunc("node_states_retained", func() int64 {
+		return int64(n.StatesRetained())
+	})
+	reg.RegisterFunc("node_orphan_buffer_size", func() int64 {
+		return int64(n.OrphanCount())
+	})
 	reg.RegisterFunc("node_chain_height", func() int64 {
 		n.mu.Lock()
 		defer n.mu.Unlock()
@@ -247,15 +301,138 @@ func (n *Node) RegisterMetrics(reg *metrics.Registry) {
 func (n *Node) State() *state.State {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.states[n.chain.Head()]
+	st, err := n.stateOfLocked(n.chain.Head())
+	if err != nil {
+		return nil
+	}
+	return st
 }
 
-// StateAt returns the post-state of a specific block.
+// StateAt returns the post-state of a specific block. For blocks whose
+// materialized state was pruned it is rebuilt by replaying forward from
+// the nearest retained ancestor (counted in Metrics.StateRebuilds).
 func (n *Node) StateAt(h cryptoutil.Hash) (*state.State, bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	st, ok := n.states[h]
-	return st, ok
+	st, err := n.stateOfLocked(h)
+	if err != nil {
+		return nil, false
+	}
+	return st, true
+}
+
+// StatesRetained returns how many materialized per-block states the
+// node currently holds — the node_states_retained gauge. With retention
+// window W and a linear chain this converges to W+1.
+func (n *Node) StatesRetained() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.states)
+}
+
+// OrphanCount returns how many unknown-parent blocks are buffered.
+func (n *Node) OrphanCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.orphanPool)
+}
+
+// stateOfLocked returns the post-state of block h, rebuilding it by
+// forward replay from the nearest materialized ancestor if it was
+// pruned. Caller holds n.mu.
+func (n *Node) stateOfLocked(h cryptoutil.Hash) (*state.State, error) {
+	if st, ok := n.states[h]; ok {
+		return st, nil
+	}
+	return n.rebuildStateLocked(h)
+}
+
+// rebuildStateLocked replays blocks from the nearest retained ancestor
+// (ultimately the pinned genesis state) up to and including block h.
+// The blocks being replayed were all fully validated when they first
+// connected, so only the final state root is re-checked.
+func (n *Node) rebuildStateLocked(h cryptoutil.Hash) (*state.State, error) {
+	var pending []*types.Block // h first, then successively deeper ancestors
+	base := n.baseState
+	genesis := n.tree.Genesis()
+	for cur := h; cur != genesis; {
+		if st, ok := n.states[cur]; ok {
+			base = st
+			break
+		}
+		b, ok := n.tree.Get(cur)
+		if !ok {
+			return nil, fmt.Errorf("node: unknown block %s", cur.Short())
+		}
+		pending = append(pending, b)
+		cur = b.Header.ParentHash
+	}
+	st := base.Copy()
+	for i := len(pending) - 1; i >= 0; i-- {
+		b := pending[i]
+		n.setExecutorTime(b.Header.Time)
+		if _, err := st.ApplyBlock(b, n.cfg.Rewards.RewardAt(b.Header.Height)); err != nil {
+			return nil, fmt.Errorf("node: replay %s: %w", b.Hash().Short(), err)
+		}
+	}
+	if len(pending) > 0 {
+		target := pending[0]
+		if root := st.Commit(); root != target.Header.StateRoot {
+			return nil, fmt.Errorf("%w: replayed %s, header %s", ErrBadStateRoot, root.Short(), target.Header.StateRoot.Short())
+		}
+		n.metrics.StateRebuilds++
+		// Cache the rebuild only when it falls inside the retention
+		// window, so deep historical queries don't regrow the map.
+		if target.Header.Height >= n.anchorHeight {
+			n.states[h] = st
+		}
+	}
+	return st, nil
+}
+
+// retention returns the configured window (-1 = unlimited).
+func (n *Node) retention() int { return n.cfg.StateRetention }
+
+// pruneStatesLocked drops materialized states deeper than the retention
+// window below the head and periodically flattens the window's base
+// state so pruned ancestor layers become garbage-collectable. Caller
+// holds n.mu.
+func (n *Node) pruneStatesLocked() {
+	w := n.retention()
+	if w < 0 {
+		return // archive node
+	}
+	head := n.chain.Height()
+	if head <= uint64(w) {
+		return
+	}
+	anchorH := head - uint64(w)
+	if anchorH <= n.anchorHeight {
+		return // window edge is monotonic: reorgs never re-grow the map
+	}
+	n.anchorHeight = anchorH
+	for h := range n.states {
+		b, ok := n.tree.Get(h)
+		if !ok || b.Header.Height < anchorH {
+			delete(n.states, h)
+			n.metrics.StatesPruned++
+		}
+	}
+	// Flatten the canonical block at the window edge every ~W/2 blocks:
+	// amortized O(accounts/stride) per block, and it cuts the diff-layer
+	// chains so everything below the anchor can be collected.
+	stride := uint64(w) / 2
+	if stride == 0 {
+		stride = 1
+	}
+	if anchorH-n.lastFlatten >= stride {
+		if ah, ok := n.chain.AtHeight(anchorH); ok {
+			if st, ok := n.states[ah]; ok && st.Depth() > 0 {
+				n.states[ah] = st.Flatten()
+			}
+			n.lastFlatten = anchorH
+		}
+	}
 }
 
 // Balance is a convenience query against the head state.
@@ -352,6 +529,26 @@ func (n *Node) requestBlock(from p2p.NodeID, h cryptoutil.Hash) {
 	_ = n.tr.Send(from, p2p.Message{Type: msgGetBlock, Data: []byte(h.Hex())})
 }
 
+// expireRequestedLocked drops in-flight fetch entries whose retry
+// window has passed, so requests a peer never answers (or blocks that
+// arrived via gossip instead of a msgBlock reply) cannot leak map
+// entries forever. Swept at most once per fetchRetry interval.
+func (n *Node) expireRequestedLocked() {
+	if n.cfg.Clock == nil || len(n.requested) == 0 {
+		return
+	}
+	now := n.cfg.Clock.Now()
+	if now.Sub(n.lastReqSweep) < fetchRetry {
+		return
+	}
+	n.lastReqSweep = now
+	for h, at := range n.requested {
+		if now.Sub(at) >= fetchRetry {
+			delete(n.requested, h)
+		}
+	}
+}
+
 // HandleBlock validates and integrates a block received from the
 // network (or locally mined). Unknown-parent blocks are buffered until
 // the parent arrives.
@@ -362,13 +559,13 @@ func (n *Node) HandleBlock(b *types.Block) error {
 }
 
 func (n *Node) handleBlockFrom(b *types.Block, from p2p.NodeID) error {
+	n.expireRequestedLocked()
 	h := b.Hash()
 	if n.tree.Has(h) {
 		return fmt.Errorf("%w: %s", ErrKnownBlock, h.Short())
 	}
 	if !n.tree.Has(b.Header.ParentHash) {
-		n.orphans[b.Header.ParentHash] = append(n.orphans[b.Header.ParentHash], b)
-		n.metrics.OrphansBuffered++
+		n.bufferOrphanLocked(b, h)
 		// Walk back toward the fork point via the sender.
 		n.requestBlock(from, b.Header.ParentHash)
 		return nil
@@ -377,39 +574,119 @@ func (n *Node) handleBlockFrom(b *types.Block, from p2p.NodeID) error {
 		n.metrics.BlocksRejected++
 		return err
 	}
-	// Connecting may unblock orphans, recursively.
+	// Connecting may unblock buffered descendants.
 	n.adoptOrphans(h)
 	n.afterTreeChange()
 	return nil
 }
 
-func (n *Node) adoptOrphans(parent cryptoutil.Hash) {
-	waiting := n.orphans[parent]
-	if len(waiting) == 0 {
+// bufferOrphanLocked stores an unknown-parent block, deduplicating by
+// hash and evicting the oldest buffered orphan when the cap is hit.
+func (n *Node) bufferOrphanLocked(b *types.Block, h cryptoutil.Hash) {
+	if _, dup := n.orphanPool[h]; dup {
 		return
 	}
-	delete(n.orphans, parent)
-	for _, b := range waiting {
-		if err := n.connect(b); err != nil {
-			n.metrics.BlocksRejected++
+	for len(n.orphanPool) >= n.cfg.MaxOrphans {
+		n.evictOldestOrphanLocked()
+	}
+	// Compact stale order entries (adopted orphans leave gaps) so the
+	// arrival-order list stays proportional to the pool.
+	if len(n.orphanOrder) > 4*n.cfg.MaxOrphans {
+		live := n.orphanOrder[:0:0]
+		for _, oh := range n.orphanOrder {
+			if _, ok := n.orphanPool[oh]; ok {
+				live = append(live, oh)
+			}
+		}
+		n.orphanOrder = live
+	}
+	n.orphanPool[h] = b
+	n.orphanOrder = append(n.orphanOrder, h)
+	n.orphans[b.Header.ParentHash] = append(n.orphans[b.Header.ParentHash], h)
+	n.metrics.OrphansBuffered++
+}
+
+// evictOldestOrphanLocked removes the oldest still-buffered orphan.
+func (n *Node) evictOldestOrphanLocked() {
+	for len(n.orphanOrder) > 0 {
+		h := n.orphanOrder[0]
+		n.orphanOrder = n.orphanOrder[1:]
+		b, ok := n.orphanPool[h]
+		if !ok {
+			continue // already adopted or evicted; stale order entry
+		}
+		n.removeOrphanLocked(b, h)
+		n.metrics.OrphansEvicted++
+		return
+	}
+	// Order list exhausted: rebuild invariantly empty structures.
+	n.orphanOrder = nil
+}
+
+// removeOrphanLocked unlinks an orphan from the pool and its parent's
+// waiting list.
+func (n *Node) removeOrphanLocked(b *types.Block, h cryptoutil.Hash) {
+	delete(n.orphanPool, h)
+	waiting := n.orphans[b.Header.ParentHash]
+	for i, wh := range waiting {
+		if wh == h {
+			waiting = append(waiting[:i], waiting[i+1:]...)
+			break
+		}
+	}
+	if len(waiting) == 0 {
+		delete(n.orphans, b.Header.ParentHash)
+	} else {
+		n.orphans[b.Header.ParentHash] = waiting
+	}
+}
+
+// adoptOrphans connects every buffered descendant of parent using an
+// iterative worklist, so an arbitrarily long buffered chain cannot
+// overflow the stack.
+func (n *Node) adoptOrphans(parent cryptoutil.Hash) {
+	queue := []cryptoutil.Hash{parent}
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		waiting := n.orphans[p]
+		if len(waiting) == 0 {
 			continue
 		}
-		n.adoptOrphans(b.Hash())
+		delete(n.orphans, p)
+		for _, h := range waiting {
+			b, ok := n.orphanPool[h]
+			if !ok {
+				continue // evicted since buffering
+			}
+			delete(n.orphanPool, h)
+			if err := n.connect(b); err != nil {
+				n.metrics.BlocksRejected++
+				continue
+			}
+			queue = append(queue, h)
+		}
 	}
 }
 
 // connect validates b against its (present) parent and stores it.
+// Transaction signatures are verified fanned out across CPU cores
+// before the sequential state apply; the parent state is rebuilt by
+// replay if it was pruned.
 func (n *Node) connect(b *types.Block) error {
 	parent, _ := n.tree.Get(b.Header.ParentHash)
 	if !b.VerifyTxRoot() {
 		return ErrBadTxRoot
 	}
+	if err := types.VerifyBatch(b.Txs); err != nil {
+		return fmt.Errorf("node: %w", err)
+	}
 	if err := n.cfg.Engine.VerifySeal(b, parent); err != nil {
 		return fmt.Errorf("node: %w", err)
 	}
-	parentState, ok := n.states[b.Header.ParentHash]
-	if !ok {
-		return fmt.Errorf("node: no state for parent %s", b.Header.ParentHash.Short())
+	parentState, err := n.stateOfLocked(b.Header.ParentHash)
+	if err != nil {
+		return fmt.Errorf("node: no state for parent %s: %w", b.Header.ParentHash.Short(), err)
 	}
 	st := parentState.Copy()
 	n.setExecutorTime(b.Header.Time)
@@ -422,7 +699,11 @@ func (n *Node) connect(b *types.Block) error {
 	if err := n.tree.Add(b); err != nil {
 		return err
 	}
-	n.states[b.Hash()] = st
+	h := b.Hash()
+	n.states[h] = st
+	// The block arrived, however it got here: any in-flight fetch for
+	// it is satisfied (msgBlock replies and gossip arrivals alike).
+	delete(n.requested, h)
 	n.metrics.BlocksAccepted++
 	return nil
 }
@@ -455,6 +736,7 @@ func (n *Node) afterTreeChange() {
 			}
 		}
 	}
+	n.pruneStatesLocked()
 	if n.started && n.cfg.Mine {
 		n.scheduleMine()
 	}
@@ -502,9 +784,9 @@ func (n *Node) produceBlock() error {
 
 	// Select transactions and build the body.
 	candidates := n.pool.Select(n.cfg.MaxBlockTxs, 0)
-	parentState, ok := n.states[parentHash]
-	if !ok {
-		return fmt.Errorf("node: no state for tip %s", parentHash.Short())
+	parentState, err := n.stateOfLocked(parentHash)
+	if err != nil {
+		return fmt.Errorf("node: no state for tip %s: %w", parentHash.Short(), err)
 	}
 	st := parentState.Copy()
 	n.setExecutorTime(now)

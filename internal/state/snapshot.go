@@ -17,29 +17,37 @@ type snapshot struct {
 	Storage  map[string]map[string]string `json:"storage"`
 }
 
-// EncodeSnapshot serializes the complete state. The result is
-// verifiable: DecodeSnapshot(...).Commit() equals this state's Commit().
+// EncodeSnapshot serializes the complete state (merged across all diff
+// layers). The result is verifiable: DecodeSnapshot(...).Commit()
+// equals this state's Commit().
 func (s *State) EncodeSnapshot() ([]byte, error) {
 	snap := snapshot{
 		Accounts: make(map[string]Account, len(s.accounts)),
 		Code:     make(map[string]string, len(s.code)),
 		Storage:  make(map[string]map[string]string, len(s.storage)),
 	}
-	for a, acc := range s.accounts {
+	s.forEachAccount(func(a cryptoutil.Address, acc Account) {
 		snap.Accounts[a.Hex()] = acc
-	}
-	for h, code := range s.code {
-		snap.Code[h.Hex()] = hex.EncodeToString(code)
-	}
-	for a, m := range s.storage {
-		if len(m) == 0 {
-			continue
+	})
+	for cur := s; cur != nil; cur = cur.parent {
+		for h, code := range cur.code {
+			if _, ok := snap.Code[h.Hex()]; ok {
+				continue
+			}
+			snap.Code[h.Hex()] = hex.EncodeToString(code)
 		}
-		slots := make(map[string]string, len(m))
-		for k, v := range m {
+	}
+	for _, a := range s.storageAddrs() {
+		var slots map[string]string
+		s.forEachStorage(a, func(k string, v []byte) {
+			if slots == nil {
+				slots = make(map[string]string)
+			}
 			slots[hex.EncodeToString([]byte(k))] = hex.EncodeToString(v)
+		})
+		if slots != nil {
+			snap.Storage[a.Hex()] = slots
 		}
-		snap.Storage[a.Hex()] = slots
 	}
 	data, err := json.Marshal(snap)
 	if err != nil {

@@ -3,6 +3,13 @@
 // committed to an authenticated Merkle Patricia trie so that every block
 // header carries a verifiable state root (the Data layer of the paper's
 // stack).
+//
+// States form copy-on-write diff layers: Copy returns an overlay that
+// records only the accounts/slots written through it and reads through
+// to its parent for everything else, so copying a large state is O(1)
+// instead of O(accounts). A layer must be treated as frozen once it has
+// children (the node freezes every per-block post-state after Commit);
+// Flatten collapses a layer chain back into a single materialized base.
 package state
 
 import (
@@ -58,14 +65,22 @@ type Receipt struct {
 
 // State is the mutable world state. It is not safe for concurrent use;
 // each node owns its state and copies it for speculative execution.
+//
+// A State is either a base layer (parent == nil, fully materialized) or
+// a diff layer: its maps hold only entries written through this layer,
+// and reads fall through to the parent chain. Deleted storage slots are
+// recorded as tombstones so the parent's value stays shadowed.
 type State struct {
-	accounts map[cryptoutil.Address]Account
-	code     map[cryptoutil.Hash][]byte
-	storage  map[cryptoutil.Address]map[string][]byte
-	executor Executor
+	parent     *State
+	accounts   map[cryptoutil.Address]Account
+	code       map[cryptoutil.Hash][]byte
+	storage    map[cryptoutil.Address]map[string][]byte
+	storageDel map[cryptoutil.Address]map[string]struct{}
+	executor   Executor
+	depth      int // number of parent layers below this one
 }
 
-// New returns an empty state.
+// New returns an empty base state.
 func New() *State {
 	return &State{
 		accounts: make(map[cryptoutil.Address]Account),
@@ -81,25 +96,36 @@ func (s *State) SetExecutor(e Executor) { s.executor = e }
 // Executor returns the installed contract executor, if any.
 func (s *State) Executor() Executor { return s.executor }
 
+// Depth returns the number of diff layers below this state (0 for a
+// base layer). Exposed for tests and the node's pruning heuristics.
+func (s *State) Depth() int { return s.depth }
+
 // Account returns the record for addr (zero value if absent).
-func (s *State) Account(addr cryptoutil.Address) Account { return s.accounts[addr] }
+func (s *State) Account(addr cryptoutil.Address) Account {
+	for cur := s; cur != nil; cur = cur.parent {
+		if acc, ok := cur.accounts[addr]; ok {
+			return acc
+		}
+	}
+	return Account{}
+}
 
 // Balance returns the balance of addr.
-func (s *State) Balance(addr cryptoutil.Address) uint64 { return s.accounts[addr].Balance }
+func (s *State) Balance(addr cryptoutil.Address) uint64 { return s.Account(addr).Balance }
 
 // Nonce returns the next expected nonce of addr.
-func (s *State) Nonce(addr cryptoutil.Address) uint64 { return s.accounts[addr].Nonce }
+func (s *State) Nonce(addr cryptoutil.Address) uint64 { return s.Account(addr).Nonce }
 
 // Credit adds amount to addr's balance.
 func (s *State) Credit(addr cryptoutil.Address, amount uint64) {
-	a := s.accounts[addr]
+	a := s.Account(addr)
 	a.Balance += amount
 	s.accounts[addr] = a
 }
 
 // Debit removes amount from addr's balance.
 func (s *State) Debit(addr cryptoutil.Address, amount uint64) error {
-	a := s.accounts[addr]
+	a := s.Account(addr)
 	if a.Balance < amount {
 		return fmt.Errorf("%w: %s has %d, needs %d", ErrInsufficientBalance, addr.Short(), a.Balance, amount)
 	}
@@ -112,19 +138,28 @@ func (s *State) Debit(addr cryptoutil.Address, amount uint64) error {
 func (s *State) SetCode(addr cryptoutil.Address, code []byte) {
 	h := cryptoutil.HashBytes([]byte("state/code"), code)
 	s.code[h] = append([]byte(nil), code...)
-	a := s.accounts[addr]
+	a := s.Account(addr)
 	a.Code = h
 	s.accounts[addr] = a
 }
 
 // Code returns the contract code bound to addr.
 func (s *State) Code(addr cryptoutil.Address) []byte {
-	return s.code[s.accounts[addr].Code]
+	h := s.Account(addr).Code
+	if h.IsZero() {
+		return nil
+	}
+	for cur := s; cur != nil; cur = cur.parent {
+		if c, ok := cur.code[h]; ok {
+			return c
+		}
+	}
+	return nil
 }
 
 // IsContract reports whether addr has code.
 func (s *State) IsContract(addr cryptoutil.Address) bool {
-	return !s.accounts[addr].Code.IsZero()
+	return !s.Account(addr).Code.IsZero()
 }
 
 // SetStorage writes a contract storage slot.
@@ -135,36 +170,179 @@ func (s *State) SetStorage(addr cryptoutil.Address, key, value []byte) {
 		s.storage[addr] = m
 	}
 	m[string(key)] = append([]byte(nil), value...)
+	if d := s.storageDel[addr]; d != nil {
+		delete(d, string(key))
+	}
 }
 
 // Storage reads a contract storage slot.
 func (s *State) Storage(addr cryptoutil.Address, key []byte) []byte {
-	return s.storage[addr][string(key)]
+	k := string(key)
+	for cur := s; cur != nil; cur = cur.parent {
+		if m := cur.storage[addr]; m != nil {
+			if v, ok := m[k]; ok {
+				return v
+			}
+		}
+		if d := cur.storageDel[addr]; d != nil {
+			if _, ok := d[k]; ok {
+				return nil
+			}
+		}
+	}
+	return nil
 }
 
 // DeleteStorage clears one slot.
 func (s *State) DeleteStorage(addr cryptoutil.Address, key []byte) {
-	delete(s.storage[addr], string(key))
+	k := string(key)
+	if m := s.storage[addr]; m != nil {
+		delete(m, k)
+	}
+	if s.parent == nil {
+		return // base layer: nothing below to shadow
+	}
+	d := s.storageDel[addr]
+	if d == nil {
+		d = make(map[string]struct{})
+		if s.storageDel == nil {
+			s.storageDel = make(map[cryptoutil.Address]map[string]struct{})
+		}
+		s.storageDel[addr] = d
+	}
+	d[k] = struct{}{}
 }
 
-// Copy returns a deep copy for speculative execution.
+// Copy returns a copy-on-write diff layer over s: writes go to the new
+// layer, reads fall through. The receiver must not be mutated while the
+// returned layer is in use (treat it as frozen); this is O(1) versus
+// the old deep copy's O(accounts).
 func (s *State) Copy() *State {
+	return &State{
+		parent:   s,
+		accounts: make(map[cryptoutil.Address]Account),
+		code:     make(map[cryptoutil.Hash][]byte),
+		storage:  make(map[cryptoutil.Address]map[string][]byte),
+		executor: s.executor,
+		depth:    s.depth + 1,
+	}
+}
+
+// Flatten merges the whole layer chain into a fresh, parentless base
+// state whose Commit equals the receiver's. The node flattens the
+// oldest retained per-block state on prune so dropped ancestors become
+// garbage-collectable.
+func (s *State) Flatten() *State {
 	ns := New()
 	ns.executor = s.executor
-	for a, acc := range s.accounts {
+	s.forEachAccount(func(a cryptoutil.Address, acc Account) {
 		ns.accounts[a] = acc
-	}
-	for h, c := range s.code {
-		ns.code[h] = c // code is immutable once stored
-	}
-	for a, m := range s.storage {
-		nm := make(map[string][]byte, len(m))
-		for k, v := range m {
-			nm[k] = v // values are replaced wholesale, never mutated
+	})
+	seenCode := make(map[cryptoutil.Hash]struct{})
+	for cur := s; cur != nil; cur = cur.parent {
+		for h, c := range cur.code {
+			if _, ok := seenCode[h]; ok {
+				continue
+			}
+			seenCode[h] = struct{}{}
+			ns.code[h] = c // code is immutable once stored
 		}
-		ns.storage[a] = nm
+	}
+	for _, addr := range s.storageAddrs() {
+		var m map[string][]byte
+		s.forEachStorage(addr, func(k string, v []byte) {
+			if m == nil {
+				m = make(map[string][]byte)
+			}
+			m[k] = v
+		})
+		if m != nil {
+			ns.storage[addr] = m
+		}
 	}
 	return ns
+}
+
+// absorb folds a child diff layer (created by Copy of s) back into s.
+// It is the success path of speculative contract execution: effects are
+// staged on the child and only merged when the contract completes.
+func (s *State) absorb(child *State) {
+	for a, acc := range child.accounts {
+		s.accounts[a] = acc
+	}
+	for h, c := range child.code {
+		s.code[h] = c
+	}
+	for a, dels := range child.storageDel {
+		for k := range dels {
+			s.DeleteStorage(a, []byte(k))
+		}
+	}
+	for a, m := range child.storage {
+		sm := s.storage[a]
+		if sm == nil {
+			sm = make(map[string][]byte, len(m))
+			s.storage[a] = sm
+		}
+		for k, v := range m {
+			sm[k] = v
+			if d := s.storageDel[a]; d != nil {
+				delete(d, k)
+			}
+		}
+	}
+}
+
+// forEachAccount visits every live account exactly once, newest layer
+// first.
+func (s *State) forEachAccount(fn func(cryptoutil.Address, Account)) {
+	seen := make(map[cryptoutil.Address]struct{})
+	for cur := s; cur != nil; cur = cur.parent {
+		for a, acc := range cur.accounts {
+			if _, ok := seen[a]; ok {
+				continue
+			}
+			seen[a] = struct{}{}
+			fn(a, acc)
+		}
+	}
+}
+
+// forEachStorage visits every live slot of addr exactly once.
+func (s *State) forEachStorage(addr cryptoutil.Address, fn func(string, []byte)) {
+	seen := make(map[string]struct{})
+	for cur := s; cur != nil; cur = cur.parent {
+		if m := cur.storage[addr]; m != nil {
+			for k, v := range m {
+				if _, ok := seen[k]; ok {
+					continue
+				}
+				seen[k] = struct{}{}
+				fn(k, v)
+			}
+		}
+		if d := cur.storageDel[addr]; d != nil {
+			for k := range d {
+				seen[k] = struct{}{} // shadow anything below
+			}
+		}
+	}
+}
+
+// storageAddrs returns every address with storage writes anywhere in
+// the layer chain (order unspecified).
+func (s *State) storageAddrs() []cryptoutil.Address {
+	seen := make(map[cryptoutil.Address]struct{})
+	for cur := s; cur != nil; cur = cur.parent {
+		for a := range cur.storage {
+			seen[a] = struct{}{}
+		}
+	}
+	out := make([]cryptoutil.Address, 0, len(seen))
+	for a := range seen {
+		out = append(out, a)
+	}
+	return out
 }
 
 // ApplyTx applies one transaction, paying fees to proposer. Returns a
@@ -183,7 +361,7 @@ func (s *State) ApplyTx(tx *types.Transaction, proposer cryptoutil.Address) (*Re
 	if err := tx.Verify(); err != nil {
 		return nil, fmt.Errorf("state: %w", err)
 	}
-	acc := s.accounts[tx.From]
+	acc := s.Account(tx.From)
 	if tx.Nonce != acc.Nonce {
 		return nil, fmt.Errorf("%w: got %d, want %d", ErrBadNonce, tx.Nonce, acc.Nonce)
 	}
@@ -209,26 +387,28 @@ func (s *State) ApplyTx(tx *types.Transaction, proposer cryptoutil.Address) (*Re
 			rec.Err = ErrNoExecutor.Error()
 			return rec, nil
 		}
-		snapshot := s.Copy()
+		// Stage contract effects on a scratch diff layer; merge only on
+		// success so a failed contract reverts by simply dropping the
+		// layer (the cost debit and fee credit above stay on s).
+		work := s.Copy()
 		var err error
 		if tx.Kind == types.TxDeploy {
-			rec.ContractAddress, rec.GasUsed, err = s.executor.Deploy(s, tx)
+			rec.ContractAddress, rec.GasUsed, err = s.executor.Deploy(work, tx)
 			if err == nil {
-				s.Credit(rec.ContractAddress, tx.Value) // endowment
+				work.Credit(rec.ContractAddress, tx.Value) // endowment
 			}
 		} else {
-			s.Credit(tx.To, tx.Value) // value transferred to the contract
-			rec.GasUsed, err = s.executor.Invoke(s, tx)
+			work.Credit(tx.To, tx.Value) // value transferred to the contract
+			rec.GasUsed, err = s.executor.Invoke(work, tx)
 		}
 		if err != nil {
-			// Revert every contract effect (the snapshot already has the
-			// cost debit and fee credit), then refund the undelivered value.
-			*s = *snapshot
+			// Drop every contract effect, then refund the undelivered value.
 			rec.Err = err.Error()
 			rec.ContractAddress = cryptoutil.ZeroAddress
 			s.Credit(tx.From, tx.Value)
 			return rec, nil
 		}
+		s.absorb(work)
 		rec.OK = true
 	}
 	return rec, nil
@@ -281,21 +461,25 @@ func (s *State) ApplyBlock(b *types.Block, expectedReward uint64) ([]*Receipt, e
 // balance, nonce, code hash, and a nested storage-trie root.
 func (s *State) Commit() cryptoutil.Hash {
 	tr := mpt.New()
-	for addr, acc := range s.accounts {
+	s.forEachAccount(func(addr cryptoutil.Address, acc Account) {
 		tr = tr.Set(addr[:], s.encodeAccount(addr, acc))
-	}
+	})
 	return tr.RootHash()
 }
 
 // Len returns the number of accounts with records.
-func (s *State) Len() int { return len(s.accounts) }
+func (s *State) Len() int {
+	n := 0
+	s.forEachAccount(func(cryptoutil.Address, Account) { n++ })
+	return n
+}
 
 // Addresses returns all account addresses (order unspecified).
 func (s *State) Addresses() []cryptoutil.Address {
 	out := make([]cryptoutil.Address, 0, len(s.accounts))
-	for a := range s.accounts {
+	s.forEachAccount(func(a cryptoutil.Address, _ Account) {
 		out = append(out, a)
-	}
+	})
 	return out
 }
 
@@ -313,13 +497,14 @@ func (s *State) encodeAccount(addr cryptoutil.Address, acc Account) []byte {
 }
 
 func (s *State) storageRoot(addr cryptoutil.Address) cryptoutil.Hash {
-	m := s.storage[addr]
-	if len(m) == 0 {
-		return mpt.EmptyRoot
-	}
 	tr := mpt.New()
-	for k, v := range m {
+	n := 0
+	s.forEachStorage(addr, func(k string, v []byte) {
 		tr = tr.Set([]byte(k), v)
+		n++
+	})
+	if n == 0 {
+		return mpt.EmptyRoot
 	}
 	return tr.RootHash()
 }

@@ -71,14 +71,21 @@ func (p *Pool) Add(tx *types.Transaction) error {
 	return nil
 }
 
+// cheapestLocked picks the eviction victim: the lowest-fee transaction,
+// with fee ties broken by largest tx hash. The tie-break matters — map
+// iteration order is randomized, and a nondeterministic victim would
+// break the simulator's seed-reproducibility guarantee.
 func (p *Pool) cheapestLocked() (cryptoutil.Hash, uint64) {
 	var (
 		victim cryptoutil.Hash
 		minFee = ^uint64(0)
+		found  bool
 	)
 	for id, tx := range p.txs {
-		if tx.Fee < minFee {
-			minFee = tx.Fee
+		switch {
+		case !found || tx.Fee < minFee:
+			victim, minFee, found = id, tx.Fee, true
+		case tx.Fee == minFee && bytes.Compare(id[:], victim[:]) > 0:
 			victim = id
 		}
 	}

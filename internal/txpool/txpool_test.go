@@ -192,3 +192,45 @@ func TestSelectDeterministic(t *testing.T) {
 		}
 	}
 }
+
+func TestEvictionDeterministicOnFeeTies(t *testing.T) {
+	// Same transactions, two insertion orders: the full pool must evict
+	// the same victim regardless of map iteration order, or the
+	// simulator loses seed-reproducibility.
+	// Build the transactions once: signatures are randomized, so re-signing
+	// the same payload yields a different tx ID. Both insertion orders must
+	// share the exact same signed objects for the comparison to be valid.
+	base := make([]*types.Transaction, 4)
+	for i := range base {
+		base[i] = tx(t, string(rune('a'+i)), 0, 5) // equal fees
+	}
+	rich := tx(t, "whale", 0, 50)
+	mk := func(order []int) map[cryptoutil.Hash]bool {
+		p := New(4)
+		for _, i := range order {
+			if err := p.Add(base[i]); err != nil {
+				t.Fatalf("Add: %v", err)
+			}
+		}
+		if err := p.Add(rich); err != nil {
+			t.Fatalf("Add rich: %v", err)
+		}
+		got := make(map[cryptoutil.Hash]bool)
+		for _, tr := range p.Select(10, 0) {
+			got[tr.ID()] = true
+		}
+		return got
+	}
+	for trial := 0; trial < 8; trial++ {
+		a := mk([]int{0, 1, 2, 3})
+		b := mk([]int{3, 1, 0, 2})
+		if len(a) != len(b) {
+			t.Fatalf("pool sizes differ: %d vs %d", len(a), len(b))
+		}
+		for id := range a {
+			if !b[id] {
+				t.Fatal("eviction victim depends on insertion/map order")
+			}
+		}
+	}
+}

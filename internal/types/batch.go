@@ -1,0 +1,63 @@
+package types
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// VerifyBatch verifies the signatures of txs fanned out across all CPU
+// cores, returning an error naming a failing transaction (workers stop
+// early once any failure is observed). Signature
+// checking dominates block-validation latency; fanning it out before
+// the sequential state apply cuts connect latency roughly by the core
+// count. Successful verifications are memoized on each transaction, so
+// the subsequent sequential ApplyBlock pays nothing for signatures.
+func VerifyBatch(txs []*Transaction) error {
+	if len(txs) == 0 {
+		return nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(txs) {
+		workers = len(txs)
+	}
+	if workers <= 1 || len(txs) < 4 {
+		for i, tx := range txs {
+			if err := tx.Verify(); err != nil {
+				return fmt.Errorf("types: tx %d: %w", i, err)
+			}
+		}
+		return nil
+	}
+
+	errs := make([]error, len(txs))
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(txs) || failed.Load() {
+					return
+				}
+				if err := txs[i].Verify(); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("types: tx %d: %w", i, err)
+		}
+	}
+	return nil
+}

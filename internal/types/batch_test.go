@@ -1,0 +1,95 @@
+package types
+
+import (
+	"errors"
+	"testing"
+
+	"dcsledger/internal/cryptoutil"
+)
+
+func signedTransfers(tb testing.TB, n int) []*Transaction {
+	tb.Helper()
+	k := cryptoutil.KeyFromSeed([]byte("batch"))
+	txs := make([]*Transaction, n)
+	for i := range txs {
+		txs[i] = NewTransfer(k.Address(), cryptoutil.ZeroAddress, 1, uint64(i), uint64(i))
+		if err := txs[i].Sign(k); err != nil {
+			tb.Fatalf("Sign: %v", err)
+		}
+	}
+	return txs
+}
+
+func TestVerifyBatchValid(t *testing.T) {
+	txs := signedTransfers(t, 33)
+	// Mix in a coinbase (unsigned by design) like a real block body.
+	txs = append([]*Transaction{NewCoinbase(cryptoutil.ZeroAddress, 5, 1)}, txs...)
+	if err := VerifyBatch(txs); err != nil {
+		t.Fatalf("VerifyBatch: %v", err)
+	}
+	// Memoization: sequential re-verify must also pass (and be cheap).
+	for _, tx := range txs {
+		if err := tx.Verify(); err != nil {
+			t.Fatalf("re-Verify: %v", err)
+		}
+	}
+}
+
+func TestVerifyBatchCatchesBadSignature(t *testing.T) {
+	txs := signedTransfers(t, 17)
+	txs[9].Sig[0] ^= 0xff
+	err := VerifyBatch(txs)
+	if err == nil {
+		t.Fatal("VerifyBatch must reject a corrupted signature")
+	}
+	if !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("err = %v, want ErrBadSignature", err)
+	}
+}
+
+func TestVerifyBatchEmptyAndSmall(t *testing.T) {
+	if err := VerifyBatch(nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	if err := VerifyBatch(signedTransfers(t, 2)); err != nil {
+		t.Fatalf("small batch: %v", err)
+	}
+	unsigned := NewTransfer(cryptoutil.ZeroAddress, cryptoutil.ZeroAddress, 1, 1, 0)
+	if err := VerifyBatch([]*Transaction{unsigned}); !errors.Is(err, ErrNoSignature) {
+		t.Fatalf("err = %v, want ErrNoSignature", err)
+	}
+}
+
+func TestSignResetsVerifyMemo(t *testing.T) {
+	k := cryptoutil.KeyFromSeed([]byte("memo"))
+	tx := NewTransfer(k.Address(), cryptoutil.ZeroAddress, 1, 1, 0)
+	if err := tx.Sign(k); err != nil {
+		t.Fatalf("Sign: %v", err)
+	}
+	if err := tx.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	// Re-signing a modified payload must force a fresh verification.
+	tx.Value = 2
+	if err := tx.Sign(k); err != nil {
+		t.Fatalf("re-Sign: %v", err)
+	}
+	if err := tx.Verify(); err != nil {
+		t.Fatalf("Verify after re-sign: %v", err)
+	}
+}
+
+func BenchmarkVerifyBatch256(b *testing.B) {
+	txs := signedTransfers(b, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Fresh memo each round so the benchmark measures verification.
+		for _, tx := range txs {
+			tx.sigOK = 0
+		}
+		if err := VerifyBatch(txs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

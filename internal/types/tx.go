@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"dcsledger/internal/cryptoutil"
 )
@@ -71,6 +72,12 @@ type Transaction struct {
 	Data     []byte             `json:"data,omitempty"`
 	PubKey   []byte             `json:"pubKey,omitempty"`
 	Sig      []byte             `json:"sig,omitempty"`
+
+	// sigOK memoizes a successful signature verification (1 = verified),
+	// accessed atomically so VerifyBatch workers and the sequential
+	// apply path can share it. Transactions are treated as immutable
+	// once signed/decoded; Sign resets the memo.
+	sigOK uint32
 }
 
 // NewTransfer builds an unsigned value transfer.
@@ -123,6 +130,7 @@ func (tx *Transaction) Sign(k *cryptoutil.KeyPair) error {
 	}
 	tx.PubKey = k.PublicKey()
 	tx.Sig = sig
+	atomic.StoreUint32(&tx.sigOK, 0) // new signature: drop any stale memo
 	return nil
 }
 
@@ -130,6 +138,10 @@ func (tx *Transaction) Sign(k *cryptoutil.KeyPair) error {
 // Coinbase transactions are unsigned by design and always pass signature
 // checks; their contextual validity (reward amount, position) is enforced
 // at block validation.
+//
+// A successful verification is memoized, so re-verifying the same
+// (immutable) transaction — e.g. sequentially applying a block whose
+// signatures VerifyBatch already checked in parallel — is free.
 func (tx *Transaction) Verify() error {
 	switch tx.Kind {
 	case TxTransfer, TxDeploy, TxInvoke:
@@ -137,6 +149,9 @@ func (tx *Transaction) Verify() error {
 		return nil
 	default:
 		return fmt.Errorf("%w: %d", ErrBadKind, tx.Kind)
+	}
+	if atomic.LoadUint32(&tx.sigOK) == 1 {
+		return nil
 	}
 	if len(tx.Sig) == 0 || len(tx.PubKey) == 0 {
 		return ErrNoSignature
@@ -147,6 +162,7 @@ func (tx *Transaction) Verify() error {
 	if !cryptoutil.Verify(tx.PubKey, tx.SigningDigest(), tx.Sig) {
 		return ErrBadSignature
 	}
+	atomic.StoreUint32(&tx.sigOK, 1)
 	return nil
 }
 
