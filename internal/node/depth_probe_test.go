@@ -1,0 +1,22 @@
+package node
+
+import (
+	"testing"
+
+	"dcsledger/internal/cryptoutil"
+)
+
+func TestProbeHeadDepth(t *testing.T) {
+	const W = 8
+	n, genesis := lifecycleNode(t, W, 0)
+	bd := newChainBuilder(t, genesis)
+	miner := cryptoutil.KeyFromSeed([]byte("depth-probe")).Address()
+	blocks := bd.chain(genesis, 200, miner)
+	for _, b := range blocks {
+		if err := n.HandleBlock(b); err != nil {
+			t.Fatalf("HandleBlock h=%d: %v", b.Header.Height, err)
+		}
+	}
+	st := n.State()
+	t.Logf("head depth after 200 blocks = %d (retention window %d)", st.Depth(), W)
+}
