@@ -7,11 +7,18 @@
 //	dcsbench -list
 //	dcsbench -e E3
 //	dcsbench -e all -scale 0.5
+//	dcsbench -stages -trace-file trace.jsonl
+//
+// -stages runs the per-stage pipeline latency comparison (PoW network
+// vs ordering-service pipeline) instead of the numbered experiments,
+// printing one latency table per run; -trace-file additionally dumps
+// the raw spans as JSONL.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -32,6 +39,8 @@ func run(args []string) error {
 		experiment = fs.String("e", "all", "experiment id (E1..E18) or 'all'")
 		scale      = fs.Float64("scale", 1.0, "workload scale in (0,1]")
 		list       = fs.Bool("list", false, "list experiments and exit")
+		stages     = fs.Bool("stages", false, "run the per-stage pipeline latency comparison (PoW vs ordering)")
+		traceFn    = fs.String("trace-file", "", "with -stages: write raw trace spans to this JSONL file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -44,6 +53,9 @@ func run(args []string) error {
 	}
 	if *scale <= 0 || *scale > 1 {
 		return fmt.Errorf("scale %v out of (0,1]", *scale)
+	}
+	if *stages {
+		return runStages(*scale, *traceFn)
 	}
 	var ids []string
 	if strings.EqualFold(*experiment, "all") {
@@ -66,5 +78,32 @@ func run(args []string) error {
 		fmt.Println(table.String())
 		fmt.Printf("(%s completed in %s)\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+	return nil
+}
+
+// runStages executes the pipeline latency comparison and prints its
+// per-stage tables, optionally dumping the raw spans as JSONL.
+func runStages(scale float64, traceFn string) error {
+	var traceOut io.Writer
+	if traceFn != "" {
+		f, err := os.Create(traceFn)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		traceOut = f
+	}
+	start := time.Now()
+	tables, err := bench.StageLatency(scale, traceOut)
+	if err != nil {
+		return err
+	}
+	for _, t := range tables {
+		fmt.Println(t.String())
+	}
+	if traceFn != "" {
+		fmt.Printf("trace spans written to %s\n", traceFn)
+	}
+	fmt.Printf("(stages completed in %s)\n", time.Since(start).Round(time.Millisecond))
 	return nil
 }

@@ -19,6 +19,7 @@ import (
 	"log"
 	"math/rand"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -33,6 +34,7 @@ import (
 	"dcsledger/internal/incentive"
 	"dcsledger/internal/metrics"
 	"dcsledger/internal/node"
+	"dcsledger/internal/obs"
 	"dcsledger/internal/p2p"
 	"dcsledger/internal/simclock"
 	"dcsledger/internal/types"
@@ -92,6 +94,9 @@ func run() error {
 		retain   = flag.Int("state-retention", node.DefaultStateRetention,
 			"blocks below the head that keep a materialized state (-1 = archive, keep all)")
 		maxOrph = flag.Int("max-orphans", node.DefaultMaxOrphans, "max buffered unknown-parent blocks")
+		pprofOn = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the http api")
+		traceFn = flag.String("trace-file", "", "append pipeline trace spans to this JSONL file")
+		traceN  = flag.Int("trace-buf", obs.DefaultRingCapacity, "pipeline trace ring capacity (spans kept for GET /trace)")
 		peers   = peerList{}
 		alloc   = allocList{}
 	)
@@ -106,6 +111,29 @@ func run() error {
 	key := cryptoutil.KeyFromSeed([]byte(seed))
 	log.Printf("node %s, address %s", *id, key.Address())
 
+	// Pipeline observability: a bounded span ring served at GET /trace,
+	// optionally streamed to a JSONL file, plus per-stage latency
+	// histograms registered under GET /metrics.
+	reg := metrics.NewRegistry()
+	tracer := obs.NewTracer(*traceN)
+	tracer.SetRun(*id)
+	if *traceFn != "" {
+		f, err := os.OpenFile(*traceFn, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("trace-file: %w", err)
+		}
+		defer f.Close()
+		tracer.SetSink(f)
+		log.Printf("tracing pipeline spans to %s", *traceFn)
+	}
+	fc := &forkchoice.Instrumented{
+		Inner:  forkchoice.LongestChain{},
+		Tracer: tracer,
+		Hist:   reg.Histogram("forkchoice_choose_seconds"),
+		Peer:   *id,
+	}
+	reg.RegisterFunc("forkchoice_switches_total", func() int64 { return int64(fc.Switches()) })
+
 	executor := contract.NewExecutor(contract.NewRegistry())
 	n, err := node.New(node.Config{
 		ID:  p2p.NodeID(*id),
@@ -115,10 +143,10 @@ func run() error {
 			InitialDifficulty: 4096,
 			HashRate:          4096 / interval.Seconds(),
 		}, rand.New(rand.NewSource(time.Now().UnixNano()))),
-		ForkChoice: forkchoice.LongestChain{},
-		Genesis:    node.NewGenesis(*network),
-		Alloc:      alloc,
-		Executor:   executor,
+		ForkChoice:     fc,
+		Genesis:        node.NewGenesis(*network),
+		Alloc:          alloc,
+		Executor:       executor,
 		Rewards:        incentive.Schedule{InitialReward: 50, HalvingInterval: 210_000},
 		Clock:          simclock.Wall{},
 		Mine:           *mine,
@@ -128,12 +156,13 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	n.SetTracer(tracer)
 
-	reg := metrics.NewRegistry()
 	tr, err := p2p.NewTCPTransportConfig(p2p.NodeID(*id), *listen, n.Mux().Dispatch, p2p.TCPConfig{
 		DialTimeout: *dialTO,
 		QueueSize:   *sendQ,
 		Registry:    reg,
+		Tracer:      tracer,
 	})
 	if err != nil {
 		return err
@@ -154,7 +183,7 @@ func run() error {
 	log.Printf("p2p on %s, %d peers; http on %s; mining=%v interval=%s",
 		tr.Addr(), len(neighbors), *httpAddr, *mine, *interval)
 
-	srv := &http.Server{Addr: *httpAddr, Handler: apiHandler(n, executor, reg)}
+	srv := &http.Server{Addr: *httpAddr, Handler: apiHandler(n, executor, reg, tracer, *pprofOn)}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 
@@ -170,10 +199,21 @@ func run() error {
 }
 
 // apiHandler exposes the node over HTTP for ledgercli, plus the
-// operator-facing GET /metrics endpoint (Prometheus text format).
-func apiHandler(n *node.Node, executor *contract.Executor, reg *metrics.Registry) http.Handler {
+// operator-facing GET /metrics (Prometheus text format) and GET /trace
+// (pipeline span JSONL; ?summary=1 for per-stage stats) endpoints.
+// With pprofOn the standard net/http/pprof handlers are mounted under
+// /debug/pprof/ for CPU/heap/goroutine profiling of a live peer.
+func apiHandler(n *node.Node, executor *contract.Executor, reg *metrics.Registry, tracer *obs.Tracer, pprofOn bool) http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("GET /metrics", metrics.Handler(reg))
+	mux.Handle("GET /trace", obs.Handler(tracer))
+	if pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	writeJSON := func(w http.ResponseWriter, v any) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(v)

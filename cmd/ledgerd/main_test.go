@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -18,7 +19,9 @@ import (
 	"dcsledger/internal/incentive"
 	"dcsledger/internal/metrics"
 	"dcsledger/internal/node"
+	"dcsledger/internal/obs"
 	"dcsledger/internal/simclock"
+	"dcsledger/internal/types"
 	"dcsledger/internal/wallet"
 )
 
@@ -45,7 +48,9 @@ func testServer(t *testing.T, alloc map[cryptoutil.Address]uint64) (*httptest.Se
 	}
 	reg := metrics.NewRegistry()
 	n.RegisterMetrics(reg)
-	srv := httptest.NewServer(apiHandler(n, executor, reg))
+	tracer := obs.NewTracer(64)
+	n.SetTracer(tracer)
+	srv := httptest.NewServer(apiHandler(n, executor, reg, tracer, true))
 	t.Cleanup(srv.Close)
 	return srv, n
 }
@@ -176,6 +181,138 @@ func TestMetricsEndpoint(t *testing.T) {
 			t.Fatalf("/metrics missing %q in:\n%s", want, body)
 		}
 	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("/metrics Content-Type = %q, want text format version 0.0.4", ct)
+	}
+	// The pipeline latency histogram families registered by the node
+	// must render with Prometheus histogram series even before any
+	// observations.
+	for _, fam := range []string{
+		"node_block_verify_seconds",
+		"node_block_connect_seconds",
+		"node_state_apply_seconds",
+		"node_state_rebuild_seconds",
+		"node_block_propose_seconds",
+		"txpool_inclusion_age_seconds",
+	} {
+		for _, series := range []string{
+			fam + `_bucket{le="+Inf"} 0` + "\n",
+			fam + "_count 0\n",
+		} {
+			if !strings.Contains(body, series) {
+				t.Fatalf("/metrics missing histogram series %q", series)
+			}
+		}
+	}
+	// Families must render in sorted order (byte-stable scrapes).
+	// Histogram series (_bucket/_sum/_count) collapse to their family.
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	var fams []string
+	for _, ln := range lines {
+		name, _, _ := strings.Cut(ln, "{")
+		name, _, _ = strings.Cut(name, " ")
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if fam, ok := strings.CutSuffix(name, suffix); ok && strings.HasSuffix(fam, "_seconds") {
+				name = fam
+				break
+			}
+		}
+		if len(fams) == 0 || fams[len(fams)-1] != name {
+			fams = append(fams, name)
+		}
+	}
+	if !sort.StringsAreSorted(fams) {
+		t.Fatalf("/metrics families not sorted: %v", fams)
+	}
+}
+
+func TestTraceAndPprofEndpoints(t *testing.T) {
+	alice := wallet.FromSeed("alice")
+	srv, n := testServer(t, map[cryptoutil.Address]uint64{alice.Address(): 1000})
+
+	// Mine one block so the pipeline records spans.
+	if err := n.HandleBlock(mustMine(t, n)); err == nil {
+		t.Log("mined block connected")
+	}
+
+	resp, err := http.Get(srv.URL + "/trace")
+	if err != nil {
+		t.Fatalf("GET /trace: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/trace code %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "ndjson") {
+		t.Fatalf("/trace Content-Type = %q", ct)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var span struct {
+			Stage string `json:"stage"`
+		}
+		if err := json.Unmarshal([]byte(line), &span); err != nil {
+			t.Fatalf("non-JSONL trace line %q: %v", line, err)
+		}
+		seen[span.Stage] = true
+	}
+	for _, stage := range []string{"block_verify", "state_apply", "block_connect"} {
+		if !seen[stage] {
+			t.Fatalf("trace missing stage %q (saw %v)", stage, seen)
+		}
+	}
+
+	// Summary view aggregates per stage.
+	var summary struct {
+		Total  uint64         `json:"total"`
+		Stages map[string]any `json:"stages"`
+	}
+	if code := getJSON(t, srv.URL+"/trace?summary=1", &summary); code != http.StatusOK {
+		t.Fatalf("/trace?summary=1 code %d", code)
+	}
+	if _, ok := summary.Stages["block_connect"]; !ok {
+		t.Fatalf("summary missing block_connect: %v", summary.Stages)
+	}
+
+	// pprof index is mounted when enabled.
+	if code := getJSON(t, srv.URL+"/debug/pprof/", nil); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ code %d", code)
+	}
+}
+
+// mustMine seals one block on the node's tip outside the node (the test
+// drives HandleBlock directly so no timers are involved).
+func mustMine(t *testing.T, n *node.Node) *types.Block {
+	t.Helper()
+	parent := n.Chain().HeadBlock()
+	key := cryptoutil.KeyFromSeed([]byte("api-test"))
+	coinbase := types.NewCoinbase(key.Address(), 50, 1)
+	b := types.NewBlock(parent.Hash(), 1, time.Now().UnixNano(), key.Address(), []*types.Transaction{coinbase})
+	st, ok := n.StateAt(parent.Hash())
+	if !ok {
+		t.Fatal("no tip state")
+	}
+	st = st.Copy()
+	if _, err := st.ApplyBlock(b, 50); err != nil {
+		t.Fatalf("self-apply: %v", err)
+	}
+	b.Header.StateRoot = st.Commit()
+	eng := pow.New(pow.Config{TargetInterval: time.Second, InitialDifficulty: 64, HashRate: 64},
+		rand.New(rand.NewSource(2)))
+	if err := eng.Prepare(&b.Header, parent); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Seal(b, parent); err != nil {
+		t.Fatal(err)
+	}
+	return b
 }
 
 func TestFlagParsers(t *testing.T) {

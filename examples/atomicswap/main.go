@@ -1,4 +1,4 @@
-// Atomic swap: cross-blockchain interoperation (Section 4.6 of the
+// Command atomicswap demonstrates cross-blockchain interoperation (Section 4.6 of the
 // paper, Herlihy's HTLC construction). Alice trades her asset on chain
 // one for Bob's on chain two with no intermediary; the hash-time locks
 // make cheating pointless — we run the honest exchange and then an

@@ -1,4 +1,4 @@
-// Crowdfunding: a Blockchain 2.0 ÐApp (Section 3.2 of the paper). A
+// Command crowdfunding runs a Blockchain 2.0 ÐApp (Section 3.2 of the paper). A
 // founder deploys the crowdfund contract on a mining network, backers
 // contribute before the deadline, and the founder claims once the goal
 // is met — every step a gas-paying transaction, every read a free

@@ -1,4 +1,4 @@
-// Lightning: off-chain payment channels (Sections 5.2/5.4 of the
+// Command lightning demonstrates off-chain payment channels (Sections 5.2/5.4 of the
 // paper). Two on-chain transactions bracket thousands of instant
 // off-chain payments, a fraud attempt is defeated by the challenge
 // window, and a multi-hop HTLC payment crosses a small channel graph.

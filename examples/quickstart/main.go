@@ -1,5 +1,5 @@
-// Quickstart: spin up a simulated 8-peer proof-of-work network, move
-// money, and verify a payment with an SPV light client — the complete
+// Command quickstart spins up a simulated 8-peer proof-of-work network, moves
+// money, and verifies a payment with an SPV light client — the complete
 // Figure-1 architecture in one file.
 //
 //	go run ./examples/quickstart

@@ -1,4 +1,4 @@
-// Supply chain: a Blockchain 3.0 consortium deployment (Section 3.3)
+// Command supplychain runs a Blockchain 3.0 consortium deployment (Section 3.3)
 // touching every layer of the paper's stack (Figure 3):
 //
 //   - Modeling layer: the farm-to-shelf workflow as a state machine,

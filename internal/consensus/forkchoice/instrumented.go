@@ -1,0 +1,75 @@
+package forkchoice
+
+import (
+	"sync/atomic"
+	"time"
+
+	"dcsledger/internal/consensus"
+	"dcsledger/internal/cryptoutil"
+	"dcsledger/internal/metrics"
+	"dcsledger/internal/obs"
+	"dcsledger/internal/store"
+)
+
+// Instrumented decorates any ForkChoice with pipeline observability:
+// every Choose is timed into an optional latency histogram, recorded as
+// a fork_choice span on an optional tracer, and tip switches (the
+// decision changing from the previous call's answer) are counted. The
+// zero-value extras are all optional — a bare
+// &Instrumented{Inner: GHOST{}} is a transparent pass-through — so the
+// same wrapper serves the daemon (histogram + /metrics), the benchmark
+// harness (tracer), and tests.
+type Instrumented struct {
+	// Inner is the wrapped branch-selection rule.
+	Inner consensus.ForkChoice
+	// Tracer receives one fork_choice span per Choose (nil = off).
+	Tracer *obs.Tracer
+	// Hist receives each Choose latency (nil = off).
+	Hist *metrics.Histogram
+	// Peer labels the spans (the observing node's ID).
+	Peer string
+
+	last     atomic.Value // cryptoutil.Hash: previous Choose answer
+	switches atomic.Uint64
+}
+
+var _ consensus.ForkChoice = (*Instrumented)(nil)
+
+// Name implements consensus.ForkChoice, delegating to the wrapped rule
+// so experiment labels stay stable under instrumentation.
+func (i *Instrumented) Name() string { return i.Inner.Name() }
+
+// Choose implements consensus.ForkChoice: runs the wrapped rule, records
+// its latency, and counts a switch when the chosen tip differs from the
+// previous successful call's.
+func (i *Instrumented) Choose(tree *store.BlockTree) (cryptoutil.Hash, error) {
+	start := time.Now()
+	tip, err := i.Inner.Choose(tree)
+	if err != nil {
+		return tip, err
+	}
+	dur := time.Since(start)
+	if i.Hist != nil {
+		i.Hist.ObserveDuration(dur)
+	}
+	switched := uint64(0)
+	if prev, ok := i.last.Load().(cryptoutil.Hash); ok && prev != tip {
+		i.switches.Add(1)
+		switched = 1
+	}
+	i.last.Store(tip)
+	i.Tracer.Record(obs.Span{
+		Stage: obs.StageForkChoice,
+		Start: start.UnixNano(),
+		Dur:   int64(dur),
+		Peer:  i.Peer,
+		N:     switched,
+	})
+	return tip, nil
+}
+
+// Switches returns how many times the decision changed tips across
+// successful Choose calls — the fork-churn signal behind the paper's
+// consistency-vs-scalability trade-off (stale branches under short
+// block intervals).
+func (i *Instrumented) Switches() uint64 { return i.switches.Load() }

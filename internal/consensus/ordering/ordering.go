@@ -20,6 +20,7 @@ import (
 
 	"dcsledger/internal/consensus/pbft"
 	"dcsledger/internal/consensus/raft"
+	"dcsledger/internal/obs"
 	"dcsledger/internal/simclock"
 	"dcsledger/internal/types"
 )
@@ -68,6 +69,9 @@ type Solo struct {
 	subs    []DeliverFunc
 	timer   *simclock.Timer
 	stopped bool
+
+	tracer  *obs.Tracer
+	firstAt time.Time // clock time the current batch's first tx arrived
 }
 
 // NewSolo creates a solo orderer.
@@ -83,6 +87,16 @@ func (s *Solo) Subscribe(fn DeliverFunc) {
 	s.subs = append(s.subs, fn)
 }
 
+// SetTracer wires the pipeline event tracer: each batch cut records an
+// ordering_cut span whose duration is the (clock) time the batch's
+// oldest transaction waited before the cut — the batching latency the
+// Timeout knob bounds. Call before Submit traffic starts.
+func (s *Solo) SetTracer(tr *obs.Tracer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tracer = tr
+}
+
 // Submit implements the orderer interface.
 func (s *Solo) Submit(tx *types.Transaction) error {
 	s.mu.Lock()
@@ -91,6 +105,9 @@ func (s *Solo) Submit(tx *types.Transaction) error {
 		return ErrStopped
 	}
 	s.buf = append(s.buf, tx)
+	if len(s.buf) == 1 {
+		s.firstAt = s.clock.Now()
+	}
 	if len(s.buf) >= s.cfg.MaxTxs {
 		s.cutLocked()
 		return nil
@@ -130,6 +147,14 @@ func (s *Solo) cutLocked() {
 	s.seq++
 	b := Batch{Seq: s.seq, Txs: s.buf}
 	s.buf = nil
+	s.tracer.Record(obs.Span{
+		Stage:  obs.StageOrderingCut,
+		Start:  s.firstAt.UnixNano(),
+		Dur:    int64(s.clock.Now().Sub(s.firstAt)),
+		Peer:   "solo",
+		Height: b.Seq,
+		N:      uint64(len(b.Txs)),
+	})
 	for _, fn := range s.subs {
 		fn(b)
 	}
@@ -149,6 +174,9 @@ type Raft struct {
 	timer   *simclock.Timer
 	seq     uint64
 	stopped bool
+
+	tracer  *obs.Tracer
+	firstAt time.Time // clock time the current batch's first tx arrived
 }
 
 // NewRaft creates a replicated orderer. Construction is two-phase
@@ -188,6 +216,14 @@ func (r *Raft) Subscribe(fn DeliverFunc) {
 	r.subs = append(r.subs, fn)
 }
 
+// SetTracer wires the pipeline event tracer: each batch cut at the
+// leader records an ordering_cut span (see Solo.SetTracer).
+func (r *Raft) SetTracer(tr *obs.Tracer) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tracer = tr
+}
+
 // IsLeader reports whether this orderer currently leads the cluster.
 func (r *Raft) IsLeader() bool { return r.node.IsLeader() }
 
@@ -203,6 +239,9 @@ func (r *Raft) Submit(tx *types.Transaction) error {
 		return fmt.Errorf("%w (leader: %s)", ErrNotLeader, r.node.Leader())
 	}
 	r.buf = append(r.buf, tx)
+	if len(r.buf) == 1 {
+		r.firstAt = r.clock.Now()
+	}
 	if len(r.buf) >= r.cfg.MaxTxs {
 		return r.cutLocked()
 	}
@@ -246,6 +285,14 @@ func (r *Raft) cutLocked() error {
 	if _, err := r.node.Propose(data); err != nil {
 		return fmt.Errorf("ordering: %w", err)
 	}
+	r.tracer.Record(obs.Span{
+		Stage:  obs.StageOrderingCut,
+		Start:  r.firstAt.UnixNano(),
+		Dur:    int64(r.clock.Now().Sub(r.firstAt)),
+		Peer:   "raft",
+		Height: b.Seq,
+		N:      uint64(len(b.Txs)),
+	})
 	r.buf = nil
 	return nil
 }

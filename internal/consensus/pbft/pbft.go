@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"dcsledger/internal/cryptoutil"
+	"dcsledger/internal/obs"
 	"dcsledger/internal/p2p"
 	"dcsledger/internal/simclock"
 )
@@ -86,6 +87,7 @@ type instance struct {
 	committed  bool
 	executed   bool
 	commitSent bool
+	startedAt  time.Time // clock time this replica saw the pre-prepare
 }
 
 // Node is one PBFT replica.
@@ -112,6 +114,7 @@ type Node struct {
 	stopped         bool
 
 	executedOps uint64
+	tracer      *obs.Tracer
 }
 
 // NewNode creates a PBFT replica. replicas must list the full cluster in
@@ -150,6 +153,16 @@ func NewNode(id p2p.NodeID, replicas []p2p.NodeID, tr p2p.Transport, clock simcl
 
 // F returns the number of Byzantine faults the cluster tolerates.
 func (n *Node) F() int { return n.f }
+
+// SetTracer wires the pipeline event tracer: each operation this
+// replica executes records a pbft_round span whose duration is the
+// (clock) time from this replica's pre-prepare to execution — the
+// three-phase round latency. Call before protocol traffic starts.
+func (n *Node) SetTracer(tr *obs.Tracer) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.tracer = tr
+}
 
 // View returns the current view number.
 func (n *Node) View() uint64 {
@@ -308,6 +321,7 @@ func (n *Node) assignLocked(op []byte) {
 	inst.digest = digest
 	inst.op = op
 	inst.prePrep = true
+	inst.startedAt = n.clock.Now()
 	inst.prepares[n.id] = true
 	n.broadcast("pre-prepare", pp)
 	// The primary's own prepare is implicit in the pre-prepare; peers
@@ -346,6 +360,7 @@ func (n *Node) onPrePrepare(from p2p.NodeID, pp prePrepare) {
 	inst.prePrep = true
 	inst.digest = pp.Digest
 	inst.op = pp.Op
+	inst.startedAt = n.clock.Now()
 	if pp.Seq > n.maxSeq {
 		n.maxSeq = pp.Seq
 	}
@@ -423,6 +438,16 @@ func (n *Node) executeReadyLocked() {
 		if !n.executedDigests[inst.digest] {
 			n.executedDigests[inst.digest] = true
 			n.executedOps++
+			if n.tracer != nil && !inst.startedAt.IsZero() {
+				n.tracer.Record(obs.Span{
+					Stage:  obs.StagePBFTRound,
+					Start:  inst.startedAt.UnixNano(),
+					Dur:    int64(n.clock.Now().Sub(inst.startedAt)),
+					Peer:   string(n.id),
+					Height: n.lastExec,
+					N:      uint64(len(inst.op)),
+				})
+			}
 			if n.apply != nil {
 				n.apply(n.lastExec, inst.op)
 			}

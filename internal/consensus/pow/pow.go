@@ -23,6 +23,7 @@ import (
 
 	"dcsledger/internal/consensus"
 	"dcsledger/internal/cryptoutil"
+	"dcsledger/internal/obs"
 	"dcsledger/internal/types"
 )
 
@@ -124,6 +125,7 @@ type Engine struct {
 	cfg    Config
 	rng    *rand.Rand
 	reader HeaderReader
+	tracer *obs.Tracer
 }
 
 var _ consensus.Engine = (*Engine)(nil)
@@ -151,6 +153,13 @@ func (e *Engine) Name() string { return "pow" }
 // SetHeaderReader wires the chain view used for windowed retargeting.
 // Without one the engine falls back to single-interval retargeting.
 func (e *Engine) SetHeaderReader(r HeaderReader) { e.reader = r }
+
+// SetTracer wires the pipeline event tracer: each Seal records a
+// pow_seal span whose duration is the wall time of the real preimage
+// search and whose N is the number of hash attempts. The node
+// propagates its tracer here via Node.SetTracer; call before mining
+// starts.
+func (e *Engine) SetTracer(tr *obs.Tracer) { e.tracer = tr }
 
 // Prepare implements consensus.Engine: difficulty is constant within a
 // retarget window and adjusts at window boundaries from the average
@@ -204,15 +213,26 @@ func (e *Engine) Delay(parent *types.Block, self cryptoutil.Address) (time.Durat
 }
 
 // Seal implements consensus.Engine: performs the real preimage search.
+// When a tracer is attached, the search is recorded as a pow_seal span
+// (wall duration of the solve; N = hash attempts).
 func (e *Engine) Seal(b *types.Block, parent *types.Block) error {
 	if b.Header.Difficulty == 0 {
 		if err := e.Prepare(&b.Header, parent); err != nil {
 			return err
 		}
 	}
-	if _, err := Solve(&b.Header, 64*RealWorkCap); err != nil {
+	start := time.Now()
+	attempts, err := Solve(&b.Header, 64*RealWorkCap)
+	if err != nil {
 		return err
 	}
+	e.tracer.Record(obs.Span{
+		Stage:  obs.StagePowSeal,
+		Start:  start.UnixNano(),
+		Dur:    int64(time.Since(start)),
+		Height: b.Header.Height,
+		N:      attempts,
+	})
 	return nil
 }
 

@@ -55,6 +55,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	funcs    map[string]func() int64
+	hists    map[string]*Histogram
 }
 
 // NewRegistry returns an empty registry.
@@ -63,6 +64,7 @@ func NewRegistry() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		funcs:    make(map[string]func() int64),
+		hists:    make(map[string]*Histogram),
 	}
 }
 
@@ -104,6 +106,41 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
+// Histogram returns the histogram registered under name, creating it
+// with the given bucket bounds (DefBuckets when none) on first use.
+// Hot paths should cache the returned pointer; Observe is lock-free.
+func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	h = NewHistogram(name, bounds...)
+	r.hists[name] = h
+	return h
+}
+
+// RegisterHistogram adds an externally constructed histogram to the
+// registry (so a component can create its histograms standalone and
+// attach them to the daemon registry later). An existing histogram with
+// the same name is kept — the caller's pointer still records, but the
+// first-registered family is what renders, preventing duplicate series.
+func (r *Registry) RegisterHistogram(h *Histogram) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if existing, ok := r.hists[h.Name()]; ok {
+		return existing
+	}
+	r.hists[h.Name()] = h
+	return h
+}
+
 // RegisterFunc registers a callback gauge: fn is invoked at snapshot
 // time. Useful for exporting values owned by another subsystem (e.g.
 // node consensus counters) without double bookkeeping. Re-registering
@@ -137,17 +174,38 @@ func (r *Registry) Snapshot() map[string]int64 {
 	return out
 }
 
-// WriteTo writes the metrics in the Prometheus text exposition format
-// (one `name value` line per metric, sorted by name).
+// WriteTo writes the metrics in the Prometheus text exposition format.
+// All families — counters, gauges, callback gauges, and histograms —
+// are merged and rendered in one pass sorted by family name, so scrapes
+// are byte-stable for a given set of values (golden-testable) and
+// histogram `_bucket/_sum/_count` series stay grouped.
 func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 	snap := r.Snapshot()
-	names := make([]string, 0, len(snap))
+	r.mu.RLock()
+	hists := make(map[string]*Histogram, len(r.hists))
+	for name, h := range r.hists {
+		hists[name] = h
+	}
+	r.mu.RUnlock()
+
+	names := make([]string, 0, len(snap)+len(hists))
 	for name := range snap {
+		names = append(names, name)
+	}
+	for name := range hists {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 	var written int64
 	for _, name := range names {
+		if h, ok := hists[name]; ok {
+			n, err := h.writeTo(w)
+			written += n
+			if err != nil {
+				return written, err
+			}
+			continue
+		}
 		n, err := fmt.Fprintf(w, "%s %d\n", name, snap[name])
 		written += int64(n)
 		if err != nil {
@@ -158,7 +216,9 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 }
 
 // Handler serves the registry in the Prometheus text format — wire it
-// under GET /metrics.
+// under GET /metrics. The Content-Type carries the text-format version
+// (`text/plain; version=0.0.4`) and families render in sorted order, so
+// scrapes are stable across requests.
 func Handler(r *Registry) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

@@ -261,9 +261,12 @@ func TestDeepOrphanChainAdoption(t *testing.T) {
 // fakeTransport records sends so tests can observe the fetch protocol.
 type fakeTransport struct{ sent []p2p.Message }
 
-func (f *fakeTransport) Self() p2p.NodeID                    { return "self" }
-func (f *fakeTransport) Send(_ p2p.NodeID, m p2p.Message) error { f.sent = append(f.sent, m); return nil }
-func (f *fakeTransport) Peers() []p2p.NodeID                 { return []p2p.NodeID{"peer"} }
+func (f *fakeTransport) Self() p2p.NodeID { return "self" }
+func (f *fakeTransport) Send(_ p2p.NodeID, m p2p.Message) error {
+	f.sent = append(f.sent, m)
+	return nil
+}
+func (f *fakeTransport) Peers() []p2p.NodeID { return []p2p.NodeID{"peer"} }
 
 func TestRequestedMapExpiryAndClearOnConnect(t *testing.T) {
 	sim := simclock.NewSimulator()

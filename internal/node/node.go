@@ -18,6 +18,7 @@ import (
 	"dcsledger/internal/cryptoutil"
 	"dcsledger/internal/incentive"
 	"dcsledger/internal/metrics"
+	"dcsledger/internal/obs"
 	"dcsledger/internal/p2p"
 	"dcsledger/internal/simclock"
 	"dcsledger/internal/state"
@@ -146,6 +147,18 @@ type Node struct {
 	blockSubs []func(*types.Block)
 
 	metrics Metrics
+
+	// Pipeline observability: latency histograms for each hot-path
+	// stage (created at New, exported via RegisterMetrics) and an
+	// optional event tracer (SetTracer). The tracer may be nil; all
+	// obs.Tracer methods are nil-safe.
+	tracer     *obs.Tracer
+	hVerify    *metrics.Histogram // block_verify: txroot + sig batch + seal
+	hConnect   *metrics.Histogram // block_connect: full validate-and-store
+	hApply     *metrics.Histogram // state_apply: ApplyBlock + root commit
+	hRebuild   *metrics.Histogram // state_rebuild: pruned-state replay
+	hPropose   *metrics.Histogram // block_propose: assembly + seal + adopt
+	hInclusion *metrics.Histogram // tx admit→inclusion age (virtual time)
 }
 
 // New creates a peer. Wire the returned node's Mux into a transport and
@@ -188,11 +201,42 @@ func New(cfg Config) (*Node, error) {
 		orphanPool: make(map[cryptoutil.Hash]*types.Block),
 		requested:  make(map[cryptoutil.Hash]time.Time),
 	}
+	n.hVerify = metrics.NewHistogram("node_block_verify_seconds")
+	n.hConnect = metrics.NewHistogram("node_block_connect_seconds")
+	n.hApply = metrics.NewHistogram("node_state_apply_seconds")
+	n.hRebuild = metrics.NewHistogram("node_state_rebuild_seconds")
+	n.hPropose = metrics.NewHistogram("node_block_propose_seconds")
+	n.hInclusion = metrics.NewHistogram("txpool_inclusion_age_seconds", metrics.WideBuckets...)
+	if cfg.Clock != nil {
+		// Admit→inclusion ages run on the node's clock, so simulated
+		// networks report virtual latencies (the quantity the paper's
+		// throughput claims are about) and the daemon reports wall time.
+		n.pool.Instrument(cfg.Clock.Now, func(age time.Duration) {
+			n.hInclusion.ObserveDuration(age)
+			n.tracer.Record(obs.Span{
+				Stage: obs.StageTxInclusion,
+				Dur:   int64(age),
+				Peer:  string(cfg.ID),
+			})
+		})
+	}
 	// Difficulty retargeting needs a chain view.
 	if e, ok := cfg.Engine.(interface{ SetHeaderReader(pow.HeaderReader) }); ok {
 		e.SetHeaderReader(headerReader{tree: tree})
 	}
 	return n, nil
+}
+
+// SetTracer wires the pipeline event tracer. Call before Start (and
+// before concurrent traffic); the tracer is also propagated to the
+// consensus engine when it supports one (e.g. pow records seal spans).
+func (n *Node) SetTracer(tr *obs.Tracer) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.tracer = tr
+	if e, ok := n.cfg.Engine.(interface{ SetTracer(*obs.Tracer) }); ok {
+		e.SetTracer(tr)
+	}
 }
 
 // headerReader adapts the block tree to pow.HeaderReader.
@@ -295,6 +339,12 @@ func (n *Node) RegisterMetrics(reg *metrics.Registry) {
 		return int64(n.tree.Len())
 	})
 	reg.RegisterFunc("node_mempool_size", func() int64 { return int64(n.pool.Len()) })
+	reg.RegisterHistogram(n.hVerify)
+	reg.RegisterHistogram(n.hConnect)
+	reg.RegisterHistogram(n.hApply)
+	reg.RegisterHistogram(n.hRebuild)
+	reg.RegisterHistogram(n.hPropose)
+	reg.RegisterHistogram(n.hInclusion)
 }
 
 // State returns the state at the current main-chain head.
@@ -367,6 +417,7 @@ func (n *Node) rebuildStateLocked(h cryptoutil.Hash) (*state.State, error) {
 		pending = append(pending, b)
 		cur = b.Header.ParentHash
 	}
+	start := time.Now()
 	st := base.Copy()
 	for i := len(pending) - 1; i >= 0; i-- {
 		b := pending[i]
@@ -381,6 +432,15 @@ func (n *Node) rebuildStateLocked(h cryptoutil.Hash) (*state.State, error) {
 			return nil, fmt.Errorf("%w: replayed %s, header %s", ErrBadStateRoot, root.Short(), target.Header.StateRoot.Short())
 		}
 		n.metrics.StateRebuilds++
+		rebuildDur := n.hRebuild.ObserveSince(start)
+		n.tracer.Record(obs.Span{
+			Stage:  obs.StageStateRebuild,
+			Start:  start.UnixNano(),
+			Dur:    int64(rebuildDur),
+			Peer:   string(n.cfg.ID),
+			Height: target.Header.Height,
+			N:      uint64(len(pending)),
+		})
 		// Cache the rebuild only when it falls inside the retention
 		// window, so deep historical queries don't regrow the map.
 		if target.Header.Height >= n.anchorHeight {
@@ -643,8 +703,11 @@ func (n *Node) removeOrphanLocked(b *types.Block, h cryptoutil.Hash) {
 
 // adoptOrphans connects every buffered descendant of parent using an
 // iterative worklist, so an arbitrarily long buffered chain cannot
-// overflow the stack.
+// overflow the stack. When any orphan is adopted, the sweep is recorded
+// as one orphan_adopt span whose N is the number of blocks connected.
 func (n *Node) adoptOrphans(parent cryptoutil.Hash) {
+	start := time.Now()
+	var adopted uint64
 	queue := []cryptoutil.Hash{parent}
 	for len(queue) > 0 {
 		p := queue[0]
@@ -664,16 +727,29 @@ func (n *Node) adoptOrphans(parent cryptoutil.Hash) {
 				n.metrics.BlocksRejected++
 				continue
 			}
+			adopted++
 			queue = append(queue, h)
 		}
+	}
+	if adopted > 0 {
+		n.tracer.Record(obs.Span{
+			Stage: obs.StageOrphanAdopt,
+			Start: start.UnixNano(),
+			Dur:   int64(time.Since(start)),
+			Peer:  string(n.cfg.ID),
+			N:     adopted,
+		})
 	}
 }
 
 // connect validates b against its (present) parent and stores it.
 // Transaction signatures are verified fanned out across CPU cores
 // before the sequential state apply; the parent state is rebuilt by
-// replay if it was pruned.
+// replay if it was pruned. On success, per-stage latencies (verify,
+// state apply, whole connect) are recorded into the node's histograms
+// and tracer — the gossip-receipt→connected leg of the pipeline.
 func (n *Node) connect(b *types.Block) error {
+	startConnect := time.Now()
 	parent, _ := n.tree.Get(b.Header.ParentHash)
 	if !b.VerifyTxRoot() {
 		return ErrBadTxRoot
@@ -684,10 +760,12 @@ func (n *Node) connect(b *types.Block) error {
 	if err := n.cfg.Engine.VerifySeal(b, parent); err != nil {
 		return fmt.Errorf("node: %w", err)
 	}
+	verifyDur := time.Since(startConnect)
 	parentState, err := n.stateOfLocked(b.Header.ParentHash)
 	if err != nil {
 		return fmt.Errorf("node: no state for parent %s: %w", b.Header.ParentHash.Short(), err)
 	}
+	startApply := time.Now()
 	st := parentState.Copy()
 	n.setExecutorTime(b.Header.Time)
 	if _, err := st.ApplyBlock(b, n.cfg.Rewards.RewardAt(b.Header.Height)); err != nil {
@@ -696,6 +774,7 @@ func (n *Node) connect(b *types.Block) error {
 	if root := st.Commit(); root != b.Header.StateRoot {
 		return fmt.Errorf("%w: computed %s, header %s", ErrBadStateRoot, root.Short(), b.Header.StateRoot.Short())
 	}
+	applyDur := time.Since(startApply)
 	if err := n.tree.Add(b); err != nil {
 		return err
 	}
@@ -705,7 +784,33 @@ func (n *Node) connect(b *types.Block) error {
 	// it is satisfied (msgBlock replies and gossip arrivals alike).
 	delete(n.requested, h)
 	n.metrics.BlocksAccepted++
+	n.observeConnect(b, startConnect, verifyDur, applyDur)
 	return nil
+}
+
+// observeConnect records the per-stage latencies of one successful
+// block connect: verification, state apply, and the full path.
+func (n *Node) observeConnect(b *types.Block, start time.Time, verifyDur, applyDur time.Duration) {
+	n.hVerify.ObserveDuration(verifyDur)
+	n.hApply.ObserveDuration(applyDur)
+	connectDur := n.hConnect.ObserveSince(start)
+	if n.tracer == nil {
+		return
+	}
+	peer := string(n.cfg.ID)
+	txs := uint64(len(b.Txs))
+	n.tracer.Record(obs.Span{
+		Stage: obs.StageBlockVerify, Start: start.UnixNano(),
+		Dur: int64(verifyDur), Peer: peer, Height: b.Header.Height, N: txs,
+	})
+	n.tracer.Record(obs.Span{
+		Stage: obs.StageStateApply, Start: start.UnixNano(),
+		Dur: int64(applyDur), Peer: peer, Height: b.Header.Height, N: txs,
+	})
+	n.tracer.Record(obs.Span{
+		Stage: obs.StageBlockConnect, Start: start.UnixNano(),
+		Dur: int64(connectDur), Peer: peer, Height: b.Header.Height, N: txs,
+	})
 }
 
 // afterTreeChange re-runs the fork choice, updates the main chain, and
@@ -774,8 +879,10 @@ func (n *Node) scheduleMine() {
 }
 
 // produceBlock assembles, seals, adopts, and gossips a new block on the
-// current tip.
+// current tip. The whole path — selection, trial apply, seal, adopt —
+// is timed as the block_propose stage.
 func (n *Node) produceBlock() error {
+	startPropose := time.Now()
 	parent := n.chain.HeadBlock()
 	parentHash := parent.Hash()
 	now := n.cfg.Clock.Now().UnixNano()
@@ -824,6 +931,15 @@ func (n *Node) produceBlock() error {
 	if err := n.handleBlockFrom(b, ""); err != nil {
 		return err
 	}
+	proposeDur := n.hPropose.ObserveSince(startPropose)
+	n.tracer.Record(obs.Span{
+		Stage:  obs.StageBlockPropose,
+		Start:  startPropose.UnixNano(),
+		Dur:    int64(proposeDur),
+		Peer:   string(n.cfg.ID),
+		Height: height,
+		N:      uint64(len(included)),
+	})
 	if n.gossiper != nil {
 		n.gossiper.Publish(TopicBlock, b.Encode())
 	}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"dcsledger/internal/metrics"
+	"dcsledger/internal/obs"
 )
 
 // Transport errors.
@@ -60,6 +61,10 @@ type TCPConfig struct {
 	// Registry receives transport counters (p2p_*). Nil creates a
 	// private registry, readable via Stats / Registry.
 	Registry *metrics.Registry
+	// Tracer receives per-message enqueue→flush spans
+	// (obs.StageP2PFlush). Nil disables tracing; the histogram
+	// p2p_enqueue_flush_seconds is recorded either way.
+	Tracer *obs.Tracer
 }
 
 func (c TCPConfig) withDefaults() TCPConfig {
@@ -136,6 +141,7 @@ type TCPTransport struct {
 	cDialFailures, cReconnects              *metrics.Counter
 	cRecv, cRecvErrors                      *metrics.Counter
 	gOutbound, gInbound, gWriters           *metrics.Gauge
+	hFlush                                  *metrics.Histogram
 }
 
 var _ Transport = (*TCPTransport)(nil)
@@ -177,6 +183,7 @@ func NewTCPTransportConfig(self NodeID, bindAddr string, h Handler, cfg TCPConfi
 		gOutbound:     cfg.Registry.Gauge("p2p_conns_outbound"),
 		gInbound:      cfg.Registry.Gauge("p2p_conns_inbound"),
 		gWriters:      cfg.Registry.Gauge("p2p_peer_writers"),
+		hFlush:        cfg.Registry.Histogram("p2p_enqueue_flush_seconds"),
 	}
 	t.wg.Add(1)
 	go t.acceptLoop()
@@ -257,7 +264,7 @@ func (t *TCPTransport) Send(to NodeID, m Message) error {
 		w = &peerWriter{
 			t:     t,
 			id:    to,
-			queue: make(chan Message, t.cfg.QueueSize),
+			queue: make(chan queuedMsg, t.cfg.QueueSize),
 		}
 		t.writers[to] = w
 		t.gWriters.Add(1)
@@ -267,7 +274,7 @@ func (t *TCPTransport) Send(to NodeID, m Message) error {
 	t.mu.Unlock()
 
 	select {
-	case w.queue <- m:
+	case w.queue <- queuedMsg{m: m, enqueued: time.Now()}:
 		t.cEnqueued.Inc()
 		return nil
 	default:
@@ -350,13 +357,20 @@ func (t *TCPTransport) readLoop(conn net.Conn) {
 	}
 }
 
+// queuedMsg stamps a message with its enqueue instant so the writer can
+// report the enqueue→flush latency once the bytes hit the wire.
+type queuedMsg struct {
+	m        Message
+	enqueued time.Time
+}
+
 // peerWriter owns one peer's outbound connection. Exactly one
 // goroutine (run) touches conn/enc/backoff, so no locking is needed
 // beyond the transport-level mu used when Close tears the conn down.
 type peerWriter struct {
 	t     *TCPTransport
 	id    NodeID
-	queue chan Message
+	queue chan queuedMsg
 
 	// Owned by the run goroutine.
 	conn          net.Conn
@@ -379,16 +393,19 @@ func (w *peerWriter) run() {
 		select {
 		case <-w.t.ctx.Done():
 			return
-		case m := <-w.queue:
-			w.write(m)
+		case q := <-w.queue:
+			w.write(q)
 		}
 	}
 }
 
 // write delivers one message, connecting (and reconnecting) as needed.
 // After cfg.MaxAttempts failed connect-or-write attempts the message
-// is dropped so one dead peer cannot wedge the queue forever.
-func (w *peerWriter) write(m Message) {
+// is dropped so one dead peer cannot wedge the queue forever. A
+// successful flush records the enqueue→flush latency (histogram
+// p2p_enqueue_flush_seconds plus an optional tracer span), covering
+// queue wait, dial/backoff time, and the write itself.
+func (w *peerWriter) write(q queuedMsg) {
 	t := w.t
 	for attempt := 0; attempt < t.cfg.MaxAttempts; attempt++ {
 		if t.ctx.Err() != nil {
@@ -400,12 +417,20 @@ func (w *peerWriter) write(m Message) {
 		if t.cfg.WriteTimeout > 0 {
 			_ = w.conn.SetWriteDeadline(time.Now().Add(t.cfg.WriteTimeout))
 		}
-		if err := w.enc.Encode(m); err != nil {
+		if err := w.enc.Encode(q.m); err != nil {
 			t.cSendErrors.Inc()
 			w.closeConn()
 			continue
 		}
 		t.cSent.Inc()
+		wait := time.Since(q.enqueued)
+		t.hFlush.ObserveDuration(wait)
+		t.cfg.Tracer.Record(obs.Span{
+			Stage: obs.StageP2PFlush,
+			Start: q.enqueued.UnixNano(),
+			Dur:   int64(wait),
+			Peer:  string(w.id),
+		})
 		return
 	}
 	t.cDropped.Inc()

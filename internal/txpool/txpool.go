@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"dcsledger/internal/cryptoutil"
 	"dcsledger/internal/types"
@@ -30,6 +31,13 @@ type Pool struct {
 	mu  sync.Mutex
 	txs map[cryptoutil.Hash]*types.Transaction
 	cap int
+
+	// Admit→inclusion instrumentation (nil when not Instrumented):
+	// admission instants per pooled tx, observed when the tx leaves the
+	// pool inside a committed block.
+	now       func() time.Time
+	onInclude func(age time.Duration)
+	admitted  map[cryptoutil.Hash]time.Time
 }
 
 // New creates a pool holding at most capacity transactions
@@ -41,6 +49,23 @@ func New(capacity int) *Pool {
 	return &Pool{
 		txs: make(map[cryptoutil.Hash]*types.Transaction),
 		cap: capacity,
+	}
+}
+
+// Instrument enables admit→inclusion observability: now supplies the
+// time base (pass the node's virtual or wall clock) and onInclude is
+// invoked — outside any interesting lock but while the pool's own mutex
+// is held, so it must not call back into the pool — with the age of
+// every admitted transaction that later leaves the pool inside a
+// committed block. A transaction re-added after a reorg restarts its
+// age at re-admission.
+func (p *Pool) Instrument(now func() time.Time, onInclude func(age time.Duration)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.now = now
+	p.onInclude = onInclude
+	if p.admitted == nil {
+		p.admitted = make(map[cryptoutil.Hash]time.Time)
 	}
 }
 
@@ -66,8 +91,12 @@ func (p *Pool) Add(tx *types.Transaction) error {
 			return fmt.Errorf("%w: fee %d <= floor %d", ErrFull, tx.Fee, minFee)
 		}
 		delete(p.txs, victim)
+		delete(p.admitted, victim)
 	}
 	p.txs[id] = tx
+	if p.now != nil {
+		p.admitted[id] = p.now()
+	}
 	return nil
 }
 
@@ -173,15 +202,28 @@ func (p *Pool) Remove(ids ...cryptoutil.Hash) {
 	defer p.mu.Unlock()
 	for _, id := range ids {
 		delete(p.txs, id)
+		delete(p.admitted, id)
 	}
 }
 
-// RemoveBlockTxs deletes every transaction included in block b.
+// RemoveBlockTxs deletes every transaction included in block b,
+// reporting each instrumented transaction's admit→inclusion age.
 func (p *Pool) RemoveBlockTxs(b *types.Block) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for _, tx := range b.Txs {
-		delete(p.txs, tx.ID())
+		id := tx.ID()
+		delete(p.txs, id)
+		at, stamped := p.admitted[id]
+		if !stamped {
+			continue
+		}
+		delete(p.admitted, id)
+		if p.onInclude != nil && p.now != nil {
+			if age := p.now().Sub(at); age >= 0 {
+				p.onInclude(age)
+			}
+		}
 	}
 }
 
