@@ -1,0 +1,289 @@
+// Command dcslint is the ledger-aware static-analysis suite for
+// dcsledger. It bundles four analyzers — determinism, lockhold,
+// atomicmix, errcheckhot — that machine-check the invariants the
+// design docs only prose-check: replicas must compute identical state,
+// locks must not be held across blocking or re-entrant operations,
+// atomic fields must never see plain accesses, and hot-path errors
+// must never be dropped silently.
+//
+// It runs in two modes:
+//
+//	dcslint ./...                          # standalone, like staticcheck
+//	go vet -vettool=$(which dcslint) ./... # as a go vet tool
+//
+// The vettool mode speaks cmd/go's unitchecker protocol (-V=full
+// handshake, -flags enumeration, then one *.cfg JSON per package), so
+// findings integrate with go vet's caching and per-package output.
+//
+// Suppress a finding with an inline directive carrying a reason:
+//
+//	x := time.Now() //dcslint:ignore determinism wall time feeds metrics only
+//
+// A directive without a reason, or naming an unknown analyzer, is
+// itself a diagnostic and cannot be suppressed. See docs/LINT.md.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+
+	"dcsledger/internal/analysis"
+	"dcsledger/internal/analysis/atomicmix"
+	"dcsledger/internal/analysis/determinism"
+	"dcsledger/internal/analysis/errcheckhot"
+	"dcsledger/internal/analysis/lockhold"
+)
+
+// all is the full analyzer suite, in catalogue order.
+var all = []*analysis.Analyzer{
+	determinism.Analyzer,
+	lockhold.Analyzer,
+	atomicmix.Analyzer,
+	errcheckhot.Analyzer,
+}
+
+var (
+	versionFlag = flag.String("V", "", "print version and exit (cmd/go handshake; use -V=full)")
+	flagsFlag   = flag.Bool("flags", false, "print analyzer flags in JSON (cmd/go handshake)")
+	jsonFlag    = flag.Bool("json", false, "emit diagnostics as JSON instead of text")
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: dcslint [-json] package...\n")
+		fmt.Fprintf(os.Stderr, "   or: go vet -vettool=$(which dcslint) package...\n\n")
+		fmt.Fprintf(os.Stderr, "analyzers:\n")
+		for _, a := range all {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	os.Exit(run(flag.Args()))
+}
+
+func run(args []string) int {
+	switch {
+	case *versionFlag != "":
+		return printVersion(*versionFlag)
+	case *flagsFlag:
+		return printFlags()
+	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
+		return runVettool(args[0])
+	case len(args) == 0:
+		flag.Usage()
+		return 2
+	default:
+		return runStandalone(args)
+	}
+}
+
+// printVersion implements the cmd/go -V=full handshake: the last
+// output field must be buildID=<hex> so the go command can key its vet
+// cache on the tool binary's content.
+func printVersion(mode string) int {
+	if mode != "full" {
+		fmt.Println("dcslint version devel")
+		return 0
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		exe = os.Args[0]
+	}
+	data, err := os.ReadFile(exe)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dcslint: reading own executable: %v\n", err)
+		return 1
+	}
+	sum := sha256.Sum256(data)
+	fmt.Printf("dcslint version devel comments-go-here buildID=%02x\n", string(sum[:]))
+	return 0
+}
+
+// printFlags implements the -flags handshake: cmd/go asks which flags
+// the tool supports before forwarding any user-specified ones.
+func printFlags() int {
+	type jsonFlagDesc struct {
+		Name  string `json:"Name"`
+		Bool  bool   `json:"Bool"`
+		Usage string `json:"Usage"`
+	}
+	var out []jsonFlagDesc
+	flag.VisitAll(func(f *flag.Flag) {
+		isBool := false
+		if b, ok := f.Value.(interface{ IsBoolFlag() bool }); ok {
+			isBool = b.IsBoolFlag()
+		}
+		out = append(out, jsonFlagDesc{Name: f.Name, Bool: isBool, Usage: f.Usage})
+	})
+	data, err := json.Marshal(out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dcslint: %v\n", err)
+		return 1
+	}
+	fmt.Println(string(data))
+	return 0
+}
+
+// runStandalone loads packages with `go list -export` and analyzes
+// each one. Diagnostics go to stdout; exit is 1 when any were found.
+func runStandalone(patterns []string) int {
+	pkgs, err := analysis.LoadPackages("", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dcslint: %v\n", err)
+		return 2
+	}
+	total := 0
+	byPkg := map[string]map[string][]vetDiag{}
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunPackage(pkg, all)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dcslint: %s: %v\n", pkg.Path, err)
+			return 2
+		}
+		total += len(diags)
+		if *jsonFlag {
+			if len(diags) > 0 {
+				byPkg[pkg.Path] = groupDiags(diags)
+			}
+			continue
+		}
+		for _, d := range diags {
+			fmt.Printf("%s: %s [%s]\n", d.Pos, d.Message, d.Analyzer)
+		}
+	}
+	if *jsonFlag {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "\t")
+		if err := enc.Encode(byPkg); err != nil {
+			fmt.Fprintf(os.Stderr, "dcslint: %v\n", err)
+			return 2
+		}
+	}
+	if total > 0 {
+		fmt.Fprintf(os.Stderr, "dcslint: %d finding(s)\n", total)
+		return 1
+	}
+	return 0
+}
+
+// vetConfig is the subset of cmd/go's unitchecker *.cfg payload the
+// driver needs.
+type vetConfig struct {
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vetDiag is one diagnostic in go vet's JSON schema.
+type vetDiag struct {
+	Posn    string `json:"posn"`
+	Message string `json:"message"`
+}
+
+// runVettool handles a single unitchecker invocation: read the cfg,
+// always write the (empty — no facts) vetx output so cmd/go can cache,
+// and analyze unless this package is dependency-only.
+func runVettool(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dcslint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "dcslint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "dcslint: writing vetx: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, fn := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, fn, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "dcslint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		if to, ok := cfg.ImportMap[path]; ok {
+			path = to
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	pkg, err := analysis.CheckFiles(fset, imp, cfg.ImportPath, cfg.Dir, files)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "dcslint: %v\n", err)
+		return 1
+	}
+	diags, err := analysis.RunPackage(pkg, all)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dcslint: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	if *jsonFlag {
+		out := map[string]map[string][]vetDiag{cfg.ImportPath: groupDiags(diags)}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "\t")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "dcslint: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", d.Pos, d.Message, d.Analyzer)
+	}
+	return 2
+}
+
+// groupDiags buckets diagnostics by analyzer for JSON output.
+func groupDiags(diags []analysis.Diagnostic) map[string][]vetDiag {
+	m := map[string][]vetDiag{}
+	for _, d := range diags {
+		m[d.Analyzer] = append(m[d.Analyzer], vetDiag{Posn: d.Pos.String(), Message: d.Message})
+	}
+	return m
+}

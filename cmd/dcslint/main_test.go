@@ -1,0 +1,128 @@
+package main_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles the dcslint binary once per test run.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "dcslint")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building dcslint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// writeViolatingModule creates a throwaway module whose
+// internal/node package calls time.Now — a determinism finding.
+func writeViolatingModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	mustWrite(t, filepath.Join(dir, "go.mod"), "module vetsmoke\n\ngo 1.22\n")
+	mustWrite(t, filepath.Join(dir, "internal", "node", "bad.go"), `package node
+
+import "time"
+
+// Stamp leaks wall time into a consensus-critical package.
+func Stamp() int64 { return time.Now().UnixNano() }
+`)
+	return dir
+}
+
+func mustWrite(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVersionHandshake(t *testing.T) {
+	bin := buildTool(t)
+	out, err := exec.Command(bin, "-V=full").Output()
+	if err != nil {
+		t.Fatalf("-V=full: %v", err)
+	}
+	s := string(out)
+	if !strings.HasPrefix(s, "dcslint version ") || !strings.Contains(s, "buildID=") {
+		t.Errorf("-V=full output %q: want 'dcslint version ... buildID=<hex>' (cmd/go parses the last field)", s)
+	}
+}
+
+func TestFlagsHandshake(t *testing.T) {
+	bin := buildTool(t)
+	out, err := exec.Command(bin, "-flags").Output()
+	if err != nil {
+		t.Fatalf("-flags: %v", err)
+	}
+	var flags []struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	if err := json.Unmarshal(out, &flags); err != nil {
+		t.Fatalf("-flags output is not a JSON flag list: %v\n%s", err, out)
+	}
+	if len(flags) == 0 {
+		t.Error("-flags reported no flags; cmd/go needs at least the handshake flags")
+	}
+}
+
+func TestStandaloneFindsViolation(t *testing.T) {
+	bin := buildTool(t)
+	dir := writeViolatingModule(t)
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	err := cmd.Run()
+	var exitErr *exec.ExitError
+	if !errors.As(err, &exitErr) || exitErr.ExitCode() != 1 {
+		t.Fatalf("want exit 1 on findings, got %v\nstdout: %s\nstderr: %s", err, &stdout, &stderr)
+	}
+	if !strings.Contains(stdout.String(), "time.Now") || !strings.Contains(stdout.String(), "[determinism]") {
+		t.Errorf("missing determinism finding in output:\n%s", &stdout)
+	}
+}
+
+func TestVettoolFindsViolation(t *testing.T) {
+	bin := buildTool(t)
+	dir := writeViolatingModule(t)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool should fail on the violating module; output:\n%s", out)
+	}
+	if !strings.Contains(string(out), "time.Now") || !strings.Contains(string(out), "[determinism]") {
+		t.Errorf("missing determinism finding in go vet output:\n%s", out)
+	}
+}
+
+func TestVettoolCleanModule(t *testing.T) {
+	bin := buildTool(t)
+	dir := t.TempDir()
+	mustWrite(t, filepath.Join(dir, "go.mod"), "module vetclean\n\ngo 1.22\n")
+	mustWrite(t, filepath.Join(dir, "internal", "node", "ok.go"), `package node
+
+// Height is deterministic: nothing for dcslint to flag.
+func Height(parent uint64) uint64 { return parent + 1 }
+`)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = dir
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool on clean module: %v\n%s", err, out)
+	}
+}

@@ -1,0 +1,146 @@
+// Package atomicmix implements the dcslint analyzer that forbids
+// mixing sync/atomic and plain accesses on the same struct field.
+//
+// A field that is written with atomic.StoreX in one place and read
+// with a plain load in another has no synchronization at all on the
+// plain side — the race detector flags it only when the schedule
+// cooperates, and on weakly-ordered hardware the plain reader can see
+// torn or stale values. In a ledger that means counters diverging
+// between replicas and memoized verification flags being trusted when
+// they were never published. The rule: once any access to a field goes
+// through sync/atomic, every access must (or the field becomes a typed
+// atomic.Uint64/Int64/Bool, which makes violations unrepresentable).
+//
+// Composite-literal initialization (before the value is shared) is
+// exempt.
+package atomicmix
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"dcsledger/internal/analysis"
+)
+
+// Analyzer is the atomic/plain mixed-access checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc: "flags struct fields accessed both through sync/atomic functions and by " +
+		"plain reads/writes anywhere in the package (use typed atomic.Xxx fields " +
+		"to make the mix unrepresentable)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+
+	// Pass 1: find fields whose address is taken as the pointer
+	// argument of a sync/atomic call, remembering the selector nodes
+	// involved so pass 2 can exclude them.
+	atomicFields := map[*types.Var]token.Position{} // field → first atomic site
+	atomicSels := map[*ast.SelectorExpr]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.Callee(info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				fld := fieldOf(info, sel)
+				if fld == nil {
+					continue
+				}
+				atomicSels[sel] = true
+				if _, seen := atomicFields[fld]; !seen {
+					atomicFields[fld] = pass.Fset.Position(un.Pos())
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: every other selector of those fields is a plain access.
+	type finding struct {
+		pos token.Pos
+		fld *types.Var
+	}
+	var findings []finding
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicSels[sel] {
+				return true
+			}
+			fld := fieldOf(info, sel)
+			if fld == nil {
+				return true
+			}
+			if _, isAtomic := atomicFields[fld]; isAtomic {
+				findings = append(findings, finding{sel.Pos(), fld})
+			}
+			return true
+		})
+	}
+	sort.Slice(findings, func(i, j int) bool { return findings[i].pos < findings[j].pos })
+	for _, fd := range findings {
+		first := atomicFields[fd.fld]
+		pass.Reportf(fd.pos,
+			"plain access to field %s, which is accessed via sync/atomic at %s: mixed atomic/plain access is a data race; use sync/atomic everywhere or a typed atomic.%s field",
+			fieldDesc(fd.fld), fmt.Sprintf("%s:%d", first.Filename, first.Line), suggestTyped(fd.fld.Type()))
+	}
+	return nil
+}
+
+// fieldOf resolves a selector to a struct-field object, or nil.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok && v.IsField() {
+			return v
+		}
+	}
+	return nil
+}
+
+// fieldDesc renders "Type.field" for messages.
+func fieldDesc(v *types.Var) string {
+	return v.Name()
+}
+
+// suggestTyped maps a primitive to the matching typed atomic.
+func suggestTyped(t types.Type) string {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return "Value"
+	}
+	switch b.Kind() {
+	case types.Uint32:
+		return "Uint32"
+	case types.Uint64, types.Uintptr:
+		return "Uint64"
+	case types.Int32:
+		return "Int32"
+	case types.Int64:
+		return "Int64"
+	case types.Bool:
+		return "Bool"
+	}
+	return "Value"
+}

@@ -1,0 +1,16 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"dcsledger/internal/analysis/atest"
+	"dcsledger/internal/analysis/atomicmix"
+)
+
+func TestAtomicmix(t *testing.T) {
+	atest.Run(t, "testdata/src/mix", "dcsledger/internal/fake", atomicmix.Analyzer)
+}
+
+func TestSuppression(t *testing.T) {
+	atest.Run(t, "testdata/src/suppress", "dcsledger/internal/fake", atomicmix.Analyzer)
+}

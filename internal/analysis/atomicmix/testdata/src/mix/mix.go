@@ -1,0 +1,66 @@
+// Package mix exercises the atomicmix triggers.
+package mix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	hits  uint64 // mixed: atomic in record, plain in snapshot/bump
+	ready uint32 // mixed: atomic store, plain read
+	cold  uint64 // plain-only: never touched by sync/atomic
+	typed atomic.Uint64
+	mu    sync.Mutex
+	safe  uint64 // mutex-guarded plain accesses only
+}
+
+// --- positive cases ---
+
+func (c *counter) record() {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+func (c *counter) snapshot() uint64 {
+	return c.hits // want "plain access to field hits"
+}
+
+func (c *counter) bump() {
+	c.hits++ // want "plain access to field hits"
+}
+
+func (c *counter) publish() {
+	atomic.StoreUint32(&c.ready, 1)
+}
+
+func (c *counter) isReady() bool {
+	return c.ready == 1 // want "plain access to field ready"
+}
+
+// --- negative cases ---
+
+// allAtomic only ever touches hits through sync/atomic: the load here
+// names the field inside an atomic call and must not be flagged.
+func (c *counter) allAtomic() uint64 {
+	return atomic.LoadUint64(&c.hits)
+}
+
+// plainOnly never mixes: cold has no atomic accesses anywhere.
+func (c *counter) plainOnly() uint64 {
+	c.cold++
+	return c.cold
+}
+
+// typedField uses the typed atomic wrapper: unrepresentable mix.
+func (c *counter) typedField() uint64 {
+	c.typed.Add(1)
+	return c.typed.Load()
+}
+
+// mutexGuarded synchronizes with a lock, not sync/atomic: fine.
+func (c *counter) mutexGuarded() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.safe++
+	return c.safe
+}

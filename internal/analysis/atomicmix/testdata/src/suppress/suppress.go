@@ -1,0 +1,23 @@
+// Package suppress verifies the ignore protocol for atomicmix.
+package suppress
+
+import "sync/atomic"
+
+type gauge struct {
+	v uint64
+}
+
+func (g *gauge) inc() {
+	atomic.AddUint64(&g.v, 1)
+}
+
+// justified suppression: silenced.
+func (g *gauge) resetBeforeShare() {
+	g.v = 0 //dcslint:ignore atomicmix value not yet shared, reset runs before the goroutines start
+}
+
+// reason-less suppression: finding survives and the directive is
+// reported.
+func (g *gauge) peek() uint64 {
+	return g.v /*dcslint:ignore atomicmix*/ // want "missing reason" "plain access to field v"
+}

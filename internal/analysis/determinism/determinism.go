@@ -1,0 +1,339 @@
+// Package determinism implements the dcslint analyzer that keeps
+// consensus-critical packages replica-deterministic.
+//
+// The DCS conjecture only holds if every replica computes the same
+// branch-selection and state-transition results from the same inputs.
+// Three implementation-level leaks break that silently:
+//
+//   - wall-clock reads (time.Now / time.Since) — two replicas never
+//     agree on "now", so any decision derived from it forks;
+//   - process-global math/rand — unseeded and unshared, so proposal
+//     jitter, eviction choices, and shuffles differ per process;
+//   - Go map iteration order — deliberately randomized per run, so any
+//     hash, proposal body, callback fan-out, or "first match" choice
+//     fed from a bare `range m` differs across replicas.
+//
+// The analyzer fires only inside the consensus-critical package set
+// (consensus engines, state, node, merkle/mpt/iavl commitments, and
+// the mempool); simulation harnesses and the network layer may use
+// wall time and jitter freely.
+package determinism
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"dcsledger/internal/analysis"
+)
+
+// Analyzer is the determinism checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: "flags wall-clock reads, package-global math/rand, and order-dependent " +
+		"map iteration in consensus-critical packages (inject simclock.Clock, a " +
+		"seeded *rand.Rand, or sort the keys instead)",
+	Run: run,
+}
+
+// criticalMarkers are import-path fragments that mark a package as
+// consensus-critical. "internal/consensus" matches every engine
+// subpackage.
+var criticalMarkers = []string{
+	"internal/consensus",
+	"internal/state",
+	"internal/node",
+	"internal/merkle",
+	"internal/mpt",
+	"internal/iavl",
+	"internal/txpool",
+}
+
+// Critical reports whether an import path belongs to the
+// consensus-critical set the analyzer polices.
+func Critical(path string) bool {
+	for _, m := range criticalMarkers {
+		if path == m ||
+			strings.HasSuffix(path, "/"+m) ||
+			strings.HasPrefix(path, m+"/") ||
+			strings.Contains(path, "/"+m+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// globalRandExceptions are math/rand package functions that do not
+// touch the process-global source: constructors for injectable,
+// seeded generators.
+var globalRandExceptions = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !Critical(pass.Path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFunc(pass, fd.Body)
+			}
+		}
+	}
+	return nil
+}
+
+// checkFunc walks one function body: call-site checks everywhere, plus
+// map-range hazard checks with access to the enclosing body (needed to
+// decide whether an order-leaking slice is sorted afterwards).
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, n)
+		case *ast.RangeStmt:
+			if isMapRange(pass, n) {
+				checkMapRange(pass, n, body)
+			}
+		}
+		return true
+	})
+}
+
+// checkCall flags wall-clock reads and global math/rand draws.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	// Only package-level functions: time.Time methods etc. are fine.
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Now" || fn.Name() == "Since" {
+			pass.Reportf(call.Pos(),
+				"call to time.%s in consensus-critical package %s: wall-clock reads diverge across replicas and fork the ledger; inject a simclock.Clock (use internal/obs helpers for observability-only timing)",
+				fn.Name(), pass.Path)
+		}
+	case "math/rand", "math/rand/v2":
+		if !globalRandExceptions[fn.Name()] {
+			pass.Reportf(call.Pos(),
+				"call to package-global %s.%s in consensus-critical package %s: the process-global generator is unseeded and unshared, so replicas draw different values; inject a seeded *rand.Rand",
+				fn.Pkg().Name(), fn.Name(), pass.Path)
+		}
+	}
+}
+
+func isMapRange(pass *analysis.Pass, rs *ast.RangeStmt) bool {
+	t := pass.TypeOf(rs.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRange inspects one `range m` loop over a map for the
+// order-dependence hazards: order leaking into an (unsorted) slice,
+// hash state written per iteration, callbacks invoked per iteration,
+// and early exits that capture a loop variable ("first match wins").
+// Pure folds — counting, min/max with total tie-breaks, set building,
+// deletes — pass untouched.
+func checkMapRange(pass *analysis.Pass, rs *ast.RangeStmt, fnBody *ast.BlockStmt) {
+	loopVars := rangeVars(pass, rs)
+	escapes := false // loop-var-derived value stored outside the loop
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // runs later; out of scope for order analysis
+		case *ast.RangeStmt:
+			// A nested map-range runs its own checkMapRange pass;
+			// skipping it here avoids duplicate diagnostics.
+			if isMapRange(pass, n) {
+				return false
+			}
+		case *ast.AssignStmt:
+			checkAppend(pass, n, rs, fnBody)
+			if assignsOutside(pass, n, rs, loopVars) {
+				escapes = true
+			}
+		case *ast.CallExpr:
+			checkLoopCall(pass, n)
+		case *ast.ReturnStmt:
+			if analysis.UsesObject(pass.TypesInfo, n, loopVars) {
+				pass.Reportf(n.Pos(),
+					"return of a loop-dependent value inside map iteration: which element is returned depends on randomized map order; collect and sort the keys first")
+			}
+		}
+		return true
+	})
+
+	// A break combined with a loop-var value escaping to an outer
+	// variable is the "pick some element" pattern.
+	if pos := directBreak(rs); pos.IsValid() && escapes {
+		pass.Reportf(pos,
+			"break after capturing a map element: the chosen element depends on randomized iteration order; iterate sorted keys or fold over all elements")
+	}
+}
+
+// rangeVars returns the objects of the loop's key/value variables.
+func rangeVars(pass *analysis.Pass, rs *ast.RangeStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool, 2)
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if o := pass.ObjectOf(id); o != nil {
+				out[o] = true
+			}
+		}
+	}
+	return out
+}
+
+// checkAppend flags `s = append(s, ...)` growing a slice declared
+// outside the loop, unless the same function later sorts s.
+func checkAppend(pass *analysis.Pass, as *ast.AssignStmt, rs *ast.RangeStmt, fnBody *ast.BlockStmt) {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fid, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || fid.Name != "append" {
+		return
+	}
+	lhs, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := pass.ObjectOf(lhs)
+	if obj == nil {
+		return
+	}
+	// Declared inside the loop body → order cannot leak out this way.
+	if obj.Pos() >= rs.Body.Pos() && obj.Pos() <= rs.Body.End() {
+		return
+	}
+	if sortedAfter(pass, fnBody, obj, rs.End()) {
+		return
+	}
+	pass.Reportf(as.Pos(),
+		"map iteration order leaks into slice %q: append inside `range` over a map produces a different order on every replica; sort the map keys first or sort %q before use",
+		lhs.Name, lhs.Name)
+}
+
+// sortedAfter reports whether fnBody contains, after pos, a recognized
+// sorting call applied to obj.
+func sortedAfter(pass *analysis.Pass, fnBody *ast.BlockStmt, obj types.Object, pos token.Pos) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos || len(call.Args) == 0 {
+			return true
+		}
+		fn := analysis.Callee(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if pkg := fn.Pkg().Path(); pkg != "sort" && pkg != "slices" {
+			return true
+		}
+		name := fn.Name()
+		sorter := strings.HasPrefix(name, "Sort") || strings.HasPrefix(name, "Slice") ||
+			name == "Strings" || name == "Ints" || name == "Float64s" || name == "Stable"
+		if !sorter {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && pass.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// assignsOutside reports whether as stores a loop-var-derived value
+// into a variable declared outside the loop (excluding appends, which
+// checkAppend owns, and excluding writes through index or field
+// expressions, which are keyed and hence order-independent).
+func assignsOutside(pass *analysis.Pass, as *ast.AssignStmt, rs *ast.RangeStmt, loopVars map[types.Object]bool) bool {
+	for i, lhs := range as.Lhs {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			continue // indexed/field writes are keyed
+		}
+		obj := pass.ObjectOf(id)
+		if obj == nil || id.Name == "_" {
+			continue
+		}
+		if obj.Pos() >= rs.Pos() && obj.Pos() <= rs.End() {
+			continue // loop-local
+		}
+		rhs := as.Rhs[0]
+		if len(as.Rhs) == len(as.Lhs) {
+			rhs = as.Rhs[i]
+		}
+		if call, ok := rhs.(*ast.CallExpr); ok {
+			if fid, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && fid.Name == "append" {
+				continue
+			}
+		}
+		if analysis.UsesObject(pass.TypesInfo, rhs, loopVars) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkLoopCall flags hash writes and dynamic callback invocations
+// performed per map-iteration.
+func checkLoopCall(pass *analysis.Pass, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if sel.Sel.Name == "Write" || sel.Sel.Name == "Sum" {
+			if recv := analysis.ReceiverType(info, call); recv != nil &&
+				analysis.IsHashWriter(recv, pass.Pkg) {
+				pass.Reportf(call.Pos(),
+					"hash state written during map iteration: digests are order-sensitive and map order is randomized per replica; hash over sorted keys")
+				return
+			}
+		}
+	}
+	if analysis.IsDynamicCall(info, call) {
+		pass.Reportf(call.Pos(),
+			"callback invoked during map iteration: invocation order is randomized per replica; snapshot the entries, sort, then invoke")
+	}
+}
+
+// directBreak returns the position of the first break statement
+// belonging to rs itself (not to a nested loop or switch), or NoPos.
+func directBreak(rs *ast.RangeStmt) token.Pos {
+	pos := token.NoPos
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if pos.IsValid() {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK && n.Label == nil {
+				pos = n.Pos()
+			}
+			return false
+		case *ast.RangeStmt, *ast.ForStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt, *ast.FuncLit:
+			return false // their breaks are not ours
+		}
+		return true
+	})
+	return pos
+}

@@ -1,0 +1,41 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"dcsledger/internal/analysis/atest"
+	"dcsledger/internal/analysis/determinism"
+)
+
+func TestCritical(t *testing.T) {
+	atest.Run(t, "testdata/src/critical", "dcsledger/internal/consensus/fake", determinism.Analyzer)
+}
+
+func TestBenignPackageIsExempt(t *testing.T) {
+	atest.Run(t, "testdata/src/benign", "dcsledger/internal/bench", determinism.Analyzer)
+}
+
+func TestSuppression(t *testing.T) {
+	atest.Run(t, "testdata/src/suppress", "dcsledger/internal/state/fake", determinism.Analyzer)
+}
+
+func TestCriticalPathMatching(t *testing.T) {
+	for path, want := range map[string]bool{
+		"dcsledger/internal/consensus":          true,
+		"dcsledger/internal/consensus/pow":      true,
+		"dcsledger/internal/state":              true,
+		"dcsledger/internal/txpool":             true,
+		"internal/mpt":                          true,
+		"dcsledger/internal/bench":              false,
+		"dcsledger/internal/p2p":                false,
+		"dcsledger/internal/statistics":         false,
+		"dcsledger/cmd/ledgerd":                 false,
+		"dcsledger/internal/analysis/atest":     false,
+		"dcsledger/internal/node":               true,
+		"example.com/other/internal/node/inner": true,
+	} {
+		if got := determinism.Critical(path); got != want {
+			t.Errorf("Critical(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

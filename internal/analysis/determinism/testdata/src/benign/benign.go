@@ -1,0 +1,23 @@
+// Package benign uses wall time, global rand, and bare map iteration —
+// all fine outside the consensus-critical package set, where this
+// package is analyzed. No diagnostics are expected.
+package benign
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() int64 { return time.Now().UnixNano() }
+
+func jitter() time.Duration {
+	return time.Duration(rand.Int63n(int64(time.Second)))
+}
+
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,32 @@
+// Package suppress exercises the //dcslint:ignore protocol under a
+// consensus-critical import path: a justified suppression silences the
+// finding, a reason-less one is itself a diagnostic, and an unknown
+// analyzer name is rejected.
+package suppress
+
+import "time"
+
+// justified: no determinism diagnostic, no framework diagnostic.
+func observed() int64 {
+	t := time.Now() //dcslint:ignore determinism observability-only timing, never feeds consensus
+	return t.UnixNano()
+}
+
+// standalone directive covering the next line also works.
+func observedBelow() int64 {
+	//dcslint:ignore determinism observability-only timing, never feeds consensus
+	t := time.Now()
+	return t.UnixNano()
+}
+
+// missing reason: the suppression fails AND the directive is reported.
+func unjustified() int64 {
+	t := time.Now() /*dcslint:ignore determinism*/ // want "missing reason" "call to time.Now"
+	return t.UnixNano()
+}
+
+// unknown analyzer name: reported, and nothing is suppressed.
+func unknownName() int64 {
+	t := time.Now() /*dcslint:ignore nosuchcheck because reasons*/ // want "unknown analyzer \"nosuchcheck\"" "call to time.Now"
+	return t.UnixNano()
+}

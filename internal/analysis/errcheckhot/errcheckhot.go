@@ -1,0 +1,170 @@
+// Package errcheckhot implements the dcslint analyzer that flags
+// discarded errors on the ledger's hot integrity paths.
+//
+// A general errcheck is noisy; this one is deliberately narrow. It
+// only fires where a silently dropped error corrupts consensus state
+// or ledger durability:
+//
+//   - hash.Hash.Write — a failed or partial digest write yields a
+//     wrong block/merkle hash, which forks replicas silently.
+//   - json.Encoder.Encode / gob encode-decode / binary.Write — wire
+//     and disk encoding errors mean a peer or the store received a
+//     truncated object.
+//   - store/sink mutations (Put, Append, Commit, Flush, Delete) —
+//     dropping these errors makes the node believe data is durable
+//     when it is not.
+//
+// An explicit `_ = expr` discard is allowed: it is visible in review
+// and greppable, unlike a bare expression statement.
+package errcheckhot
+
+import (
+	"go/ast"
+	"go/types"
+
+	"dcsledger/internal/analysis"
+)
+
+// Analyzer is the hot-path error-discard checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "errcheckhot",
+	Doc: "flags expression statements that discard the error from hash writes, " +
+		"encoder/decoder calls, and store/sink mutations (use `_ =` for an " +
+		"intentional, visible discard)",
+	Run: run,
+}
+
+// sinkMethods are mutation method names that, on any receiver, count
+// as a durability-critical sink when they return an error.
+var sinkMethods = map[string]bool{
+	"Put":    true,
+	"Append": true,
+	"Commit": true,
+	"Flush":  true,
+	"Delete": true,
+}
+
+// encoderCalls maps package path → function/method names whose error
+// result must not be dropped.
+var encoderCalls = map[string]map[string]bool{
+	"encoding/json":   {"Encode": true, "Decode": true},
+	"encoding/gob":    {"Encode": true, "Decode": true, "EncodeValue": true, "DecodeValue": true},
+	"encoding/binary": {"Write": true, "Read": true},
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if c, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+					call = c
+				}
+			case *ast.DeferStmt:
+				call = n.Call
+			case *ast.GoStmt:
+				// The goroutine's function value is analyzed on its
+				// own; the spawn itself discards nothing.
+				return true
+			}
+			if call == nil {
+				return true
+			}
+			if !returnsError(pass.TypesInfo, call) {
+				return true
+			}
+			if desc := hotCallee(pass, call); desc != "" {
+				pass.Reportf(call.Pos(),
+					"error from %s is discarded on a hot integrity path; handle it or discard explicitly with `_ =`",
+					desc)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// returnsError reports whether the call's results include an error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	t := info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	check := func(t types.Type) bool {
+		named, ok := t.(*types.Named)
+		return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if check(tup.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return check(t)
+}
+
+// hotCallee classifies the call; non-empty return is the description
+// used in the diagnostic.
+func hotCallee(pass *analysis.Pass, call *ast.CallExpr) string {
+	info := pass.TypesInfo
+	fn := analysis.Callee(info, call)
+	if fn == nil {
+		return ""
+	}
+	name := fn.Name()
+
+	// Package-level encoder functions: binary.Write(buf, order, v).
+	if fn.Pkg() != nil {
+		if names, ok := encoderCalls[fn.Pkg().Path()]; ok && names[name] && fn.Type().(*types.Signature).Recv() == nil {
+			return fn.Pkg().Name() + "." + name
+		}
+	}
+
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	recv := sig.Recv().Type()
+	// For interface methods reached through embedding (hash.Hash
+	// embeds io.Writer), the declared receiver is the embedded
+	// interface; prefer the static type of the selector operand.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s, ok := info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+			recv = s.Recv()
+		}
+	}
+
+	// Encoder/decoder methods: json.Encoder.Encode, gob, etc.
+	if pkg := analysis.NamedPkgPath(recv); pkg != "" {
+		if names, ok := encoderCalls[pkg]; ok && names[name] {
+			return pkg + " " + typeName(recv) + "." + name
+		}
+	}
+
+	// Hash writes: structural hash.Hash (Write+Sum+Reset+BlockSize)
+	// or io.Writer named like a hasher is too fuzzy — require the
+	// full hash.Hash method set.
+	if name == "Write" && analysis.IsHashWriter(recv, pass.Pkg) {
+		return "hash write " + typeName(recv) + ".Write"
+	}
+
+	// Store/sink mutations by method name.
+	if sinkMethods[name] {
+		return "sink mutation " + typeName(recv) + "." + name
+	}
+	return ""
+}
+
+// typeName renders the receiver's bare type name for messages.
+func typeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return t.String()
+}

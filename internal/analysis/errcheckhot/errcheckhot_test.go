@@ -1,0 +1,16 @@
+package errcheckhot_test
+
+import (
+	"testing"
+
+	"dcsledger/internal/analysis/atest"
+	"dcsledger/internal/analysis/errcheckhot"
+)
+
+func TestErrcheckhot(t *testing.T) {
+	atest.Run(t, "testdata/src/hot", "dcsledger/internal/fake", errcheckhot.Analyzer)
+}
+
+func TestSuppression(t *testing.T) {
+	atest.Run(t, "testdata/src/suppress", "dcsledger/internal/fake", errcheckhot.Analyzer)
+}

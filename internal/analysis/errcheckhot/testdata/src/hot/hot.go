@@ -1,0 +1,78 @@
+// Package hot exercises the errcheckhot triggers.
+package hot
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"io"
+)
+
+type store struct{}
+
+func (s *store) Put(k, v []byte) error { return nil }
+func (s *store) Flush() error          { return nil }
+func (s *store) Get(k []byte) []byte   { return nil } // no error result
+func (s *store) Notify(ev string)      {}             // not a sink name
+func (s *store) Append(b []byte) error { return nil }
+
+// --- positive cases ---
+
+func hashDrop(b []byte) []byte {
+	h := sha256.New()
+	h.Write(b) // want "error from hash write .*Write is discarded"
+	return h.Sum(nil)
+}
+
+func encodeDrop(w io.Writer, v any) {
+	enc := json.NewEncoder(w)
+	enc.Encode(v) // want "error from encoding/json Encoder.Encode is discarded"
+}
+
+func binaryDrop(w io.Writer, v uint64) {
+	binary.Write(w, binary.BigEndian, v) // want "error from binary.Write is discarded"
+}
+
+func sinkDrop(s *store, k, v []byte) {
+	s.Put(k, v) // want "error from sink mutation store.Put is discarded"
+}
+
+func deferredFlushDrop(s *store, b []byte) {
+	defer s.Flush() // want "error from sink mutation store.Flush is discarded"
+	s.Append(b)     // want "error from sink mutation store.Append is discarded"
+}
+
+// --- negative cases ---
+
+// explicitDiscard is visible in review: allowed.
+func explicitDiscard(b []byte) []byte {
+	h := sha256.New()
+	_, _ = h.Write(b)
+	return h.Sum(nil)
+}
+
+// handled checks the error: the call is not in statement position.
+func handled(w io.Writer, v any) error {
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		return err
+	}
+	return nil
+}
+
+// noErrorResult: Get returns no error, nothing to discard.
+func noErrorResult(s *store, k []byte) {
+	s.Get(k)
+}
+
+// notASink: Notify is not a sink-mutation name and returns nothing.
+func notASink(s *store) {
+	s.Notify("tick")
+}
+
+// bufferWrite: bytes.Buffer.Write returns an error but the receiver is
+// not a hash.Hash and Write is not in the sink list — a general
+// errcheck concern, not a hot-path one.
+func bufferWrite(buf *bytes.Buffer, b []byte) {
+	buf.Write(b)
+}

@@ -1,0 +1,20 @@
+// Package suppress verifies the ignore protocol for errcheckhot.
+package suppress
+
+import (
+	"crypto/sha256"
+	"hash"
+)
+
+// justified suppression: silenced.
+func bestEffort(h hash.Hash, b []byte) {
+	h.Write(b) //dcslint:ignore errcheckhot stdlib sha256 documents that Write never returns an error
+}
+
+// reason-less suppression: finding survives and the directive is
+// reported.
+func bestEffortBad(b []byte) {
+	h := sha256.New()
+	h.Write(b) /*dcslint:ignore errcheckhot*/ // want "missing reason" "error from hash write .*Write is discarded"
+	_ = h.Sum(nil)
+}

@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// An Ignore is one parsed, well-formed //dcslint:ignore directive.
+//
+// Grammar:
+//
+//	//dcslint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// The analyzer list may be "all". The reason is mandatory — a
+// suppression without a recorded justification is itself a diagnostic.
+// A directive covers the line it appears on and the line immediately
+// below it, so both end-of-line and standalone-comment placement work:
+//
+//	x := time.Now() //dcslint:ignore determinism observability-only timing
+//
+//	//dcslint:ignore lockhold Send is non-blocking by design (bounded queue)
+//	t.Send(to, msg)
+//
+// The block-comment form /*dcslint:ignore ...*/ is also accepted.
+type Ignore struct {
+	Line      int             // line the directive appears on
+	Analyzers map[string]bool // lower-cased analyzer names (or "all")
+	Reason    string
+}
+
+// Covers reports whether the directive applies to a diagnostic on the
+// given line.
+func (ig Ignore) Covers(line int) bool {
+	return line == ig.Line || line == ig.Line+1
+}
+
+const directivePrefix = "dcslint:ignore"
+
+// ParseIgnores extracts every dcslint:ignore directive from a file.
+// Well-formed directives are returned as Ignores; malformed ones
+// (missing reason, empty or unknown analyzer list) are returned as
+// ready-to-report diagnostics attributed to FrameworkName. known is
+// the set of acceptable analyzer names (plus "all").
+func ParseIgnores(fset *token.FileSet, f *ast.File, known map[string]bool) ([]Ignore, []Diagnostic) {
+	var (
+		igs  []Ignore
+		bad  []Diagnostic
+		oops = func(pos token.Pos, format string, args ...any) {
+			bad = append(bad, Diagnostic{
+				Pos:      fset.Position(pos),
+				Analyzer: FrameworkName,
+				Message:  fmt.Sprintf(format, args...),
+			})
+		}
+	)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := commentText(c.Text)
+			if !strings.HasPrefix(text, directivePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(text, directivePrefix)
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue // e.g. dcslint:ignorefoo — not ours
+			}
+			fields := strings.Fields(rest)
+			if len(fields) == 0 {
+				oops(c.Pos(), "malformed //dcslint:ignore: missing analyzer list and reason")
+				continue
+			}
+			names := strings.Split(fields[0], ",")
+			set := make(map[string]bool, len(names))
+			valid := true
+			for _, n := range names {
+				n = strings.ToLower(strings.TrimSpace(n))
+				if n == "" || (known != nil && !known[n]) {
+					oops(c.Pos(), "malformed //dcslint:ignore: unknown analyzer %q", n)
+					valid = false
+					break
+				}
+				set[n] = true
+			}
+			if !valid {
+				continue
+			}
+			reason := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), fields[0]))
+			if reason == "" {
+				oops(c.Pos(), "malformed //dcslint:ignore %s: missing reason — every suppression must say why", fields[0])
+				continue
+			}
+			igs = append(igs, Ignore{
+				Line:      fset.Position(c.Pos()).Line,
+				Analyzers: set,
+				Reason:    reason,
+			})
+		}
+	}
+	return igs, bad
+}
+
+// commentText strips the comment markers from a raw comment token.
+func commentText(raw string) string {
+	if strings.HasPrefix(raw, "//") {
+		return strings.TrimSuffix(strings.TrimPrefix(raw, "//"), "\n")
+	}
+	raw = strings.TrimPrefix(raw, "/*")
+	raw = strings.TrimSuffix(raw, "*/")
+	return strings.TrimSpace(raw)
+}

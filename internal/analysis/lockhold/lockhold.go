@@ -1,0 +1,379 @@
+// Package lockhold implements the dcslint analyzer that enforces lock
+// hygiene: no blocking or unbounded work while a sync.Mutex/RWMutex is
+// held.
+//
+// This is exactly the deadlock/latency bug class the transport rework
+// (PR 1) hand-fixed in the gossiper: a channel send, a network write,
+// or a subscriber callback executed under a lock turns one slow peer
+// into a stalled node — and a callback that re-acquires the same lock
+// deadlocks it. The analyzer tracks Lock/RLock…Unlock/RUnlock regions
+// intraprocedurally (deferred unlocks hold to the end of the function)
+// and flags, inside a held region:
+//
+//   - channel sends — except sends inside a `select` with a `default`
+//     clause, the sanctioned non-blocking pattern;
+//   - calls to methods named Send / Publish / Broadcast;
+//   - network and file I/O (callees in net or os);
+//   - dynamic calls of func-typed variables or fields (callbacks);
+//   - re-locking a mutex already held (self-deadlock).
+//
+// The analysis is intraprocedural by design: a helper that is *called
+// with* a lock held is not flagged (convention: name such helpers
+// *Locked). Function literals are analyzed as separate functions —
+// they usually run on another goroutine or after the region ends.
+package lockhold
+
+import (
+	"go/ast"
+	"go/types"
+
+	"dcsledger/internal/analysis"
+)
+
+// Analyzer is the lock-hygiene checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockhold",
+	Doc: "flags channel sends, network/file I/O, Send/Publish calls, and callback " +
+		"invocations performed while a sync.Mutex or RWMutex is held, plus " +
+		"re-locking a held mutex",
+	Run: run,
+}
+
+// ioExempt are os package helpers that do no I/O worth flagging.
+var ioExempt = map[string]bool{
+	"Getenv": true, "LookupEnv": true, "Environ": true, "Getpid": true,
+	"Getppid": true, "Getuid": true, "Geteuid": true, "Hostname": true,
+	"IsNotExist": true, "IsExist": true, "IsTimeout": true, "IsPermission": true,
+	"TempDir": true, "UserHomeDir": true, "UserCacheDir": true, "UserConfigDir": true,
+	"Getwd": true, "Expand": true, "ExpandEnv": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkBody(pass, n.Body)
+				}
+			case *ast.FuncLit:
+				checkBody(pass, n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// heldLock records one acquired mutex, keyed by the printed receiver
+// expression (e.g. "n.mu").
+type heldLock struct {
+	name string
+}
+
+// checkBody runs the sequential lock-region scan over one function
+// body. held maps mutex expression → the Lock call position.
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	held := map[string]bool{}
+	walkStmts(pass, body.List, held)
+}
+
+// walkStmts processes a statement list in order, tracking lock state.
+func walkStmts(pass *analysis.Pass, stmts []ast.Stmt, held map[string]bool) {
+	for _, s := range stmts {
+		walkStmt(pass, s, held)
+	}
+}
+
+// walkStmt dispatches one statement: lock-state transitions first,
+// then violation checks when at least one lock is held, then recursion
+// into nested blocks.
+func walkStmt(pass *analysis.Pass, s ast.Stmt, held map[string]bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if name, op, ok := lockOp(pass, s.X); ok {
+			switch op {
+			case "Lock", "RLock", "TryLock", "TryRLock":
+				if held[name] {
+					pass.Reportf(s.Pos(),
+						"%s.%s while %s is already held in this function: self-deadlock (or double-RLock writer starvation)", name, op, name)
+				}
+				held[name] = true
+			case "Unlock", "RUnlock":
+				delete(held, name)
+			}
+			return
+		}
+		if len(held) > 0 {
+			checkExpr(pass, s.X, held)
+		}
+	case *ast.DeferStmt:
+		if name, op, ok := lockOp(pass, s.Call); ok && (op == "Unlock" || op == "RUnlock") {
+			// Deferred unlock: the lock stays held for the remainder of
+			// the function — keep it in the set.
+			_ = name
+			return
+		}
+		// Deferred calls run at return; their args are evaluated now.
+		if len(held) > 0 {
+			for _, a := range s.Call.Args {
+				checkExpr(pass, a, held)
+			}
+		}
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			pass.Reportf(s.Pos(),
+				"channel send while holding %s: a full (or unbuffered) channel blocks the critical section; send after unlocking or use a select with default", heldNames(held))
+		}
+		if len(held) > 0 {
+			checkExpr(pass, s.Value, held)
+		}
+	case *ast.AssignStmt:
+		if len(held) > 0 {
+			for _, e := range s.Rhs {
+				checkExpr(pass, e, held)
+			}
+			for _, e := range s.Lhs {
+				checkExpr(pass, e, held)
+			}
+		}
+	case *ast.ReturnStmt:
+		if len(held) > 0 {
+			for _, e := range s.Results {
+				checkExpr(pass, e, held)
+			}
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			walkStmt(pass, s.Init, held)
+		}
+		if len(held) > 0 && s.Cond != nil {
+			checkExpr(pass, s.Cond, held)
+		}
+		walkBranch(pass, s.Body, held)
+		if s.Else != nil {
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				walkBranch(pass, e, held)
+			case *ast.IfStmt:
+				walkStmt(pass, e, held)
+			}
+		}
+	case *ast.BlockStmt:
+		walkStmts(pass, s.List, held)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			walkStmt(pass, s.Init, held)
+		}
+		if len(held) > 0 && s.Cond != nil {
+			checkExpr(pass, s.Cond, held)
+		}
+		walkBranch(pass, s.Body, held)
+	case *ast.RangeStmt:
+		if len(held) > 0 {
+			checkExpr(pass, s.X, held)
+		}
+		walkBranch(pass, s.Body, held)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			walkStmt(pass, s.Init, held)
+		}
+		if len(held) > 0 && s.Tag != nil {
+			checkExpr(pass, s.Tag, held)
+		}
+		for _, cc := range s.Body.List {
+			if c, ok := cc.(*ast.CaseClause); ok {
+				walkBranchStmts(pass, c.Body, held)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cc := range s.Body.List {
+			if c, ok := cc.(*ast.CaseClause); ok {
+				walkBranchStmts(pass, c.Body, held)
+			}
+		}
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, cc := range s.Body.List {
+			if c, ok := cc.(*ast.CommClause); ok && c.Comm == nil {
+				hasDefault = true
+			}
+		}
+		for _, cc := range s.Body.List {
+			c, ok := cc.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			if send, ok := c.Comm.(*ast.SendStmt); ok && len(held) > 0 && !hasDefault {
+				pass.Reportf(send.Pos(),
+					"blocking channel send in select while holding %s: add a default clause or send after unlocking", heldNames(held))
+			}
+			walkBranchStmts(pass, c.Body, held)
+		}
+	case *ast.GoStmt:
+		// Starting a goroutine under a lock is fine; the goroutine body
+		// is analyzed as its own function.
+	case *ast.LabeledStmt:
+		walkStmt(pass, s.Stmt, held)
+	default:
+		if len(held) > 0 {
+			ast.Inspect(s, func(n ast.Node) bool {
+				if e, ok := n.(ast.Expr); ok {
+					checkExpr(pass, e, held)
+					return false
+				}
+				return true
+			})
+		}
+	}
+}
+
+// walkBranch recurses into a branch block. If the branch terminates
+// (ends in return/break/continue/panic), lock-state mutations inside
+// it do not affect the fall-through path, so the held set is restored.
+func walkBranch(pass *analysis.Pass, block *ast.BlockStmt, held map[string]bool) {
+	walkBranchStmts(pass, block.List, held)
+}
+
+func walkBranchStmts(pass *analysis.Pass, stmts []ast.Stmt, held map[string]bool) {
+	saved := make(map[string]bool, len(held))
+	for k, v := range held {
+		saved[k] = v
+	}
+	walkStmts(pass, stmts, held)
+	if terminates(stmts) {
+		for k := range held {
+			delete(held, k)
+		}
+		for k, v := range saved {
+			held[k] = v
+		}
+	}
+}
+
+// terminates reports whether the statement list ends in a control
+// transfer out of the enclosing region.
+func terminates(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch last := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// lockOp decodes expr as a mutex Lock/Unlock-family call, returning
+// the receiver's printed name and the operation.
+func lockOp(pass *analysis.Pass, expr ast.Expr) (name, op string, ok bool) {
+	call, isCall := ast.Unparen(expr).(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
+	default:
+		return "", "", false
+	}
+	if analysis.MutexOf(pass.TypeOf(sel.X)) == analysis.NotMutex {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), sel.Sel.Name, true
+}
+
+// checkExpr scans one expression subtree for violating calls. FuncLits
+// are skipped — they are analyzed as independent functions.
+func checkExpr(pass *analysis.Pass, expr ast.Expr, held map[string]bool) {
+	ast.Inspect(expr, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			checkCall(pass, n, held)
+		}
+		return true
+	})
+}
+
+// checkCall flags one call made while locks are held.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, held map[string]bool) {
+	info := pass.TypesInfo
+	if fn := analysis.Callee(info, call); fn != nil {
+		name := fn.Name()
+		switch name {
+		case "Send", "Publish", "Broadcast":
+			pass.Reportf(call.Pos(),
+				"call to %s while holding %s: transport/fan-out calls can block or re-enter; move it after the unlock", name, heldNames(held))
+			return
+		case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
+			return // lock ops are handled by the region tracker
+		}
+		pkg := ""
+		if fn.Pkg() != nil {
+			pkg = fn.Pkg().Path()
+		}
+		rp := recvPkg(info, call)
+		isIO := pkg == "net" || pkg == "os" || rp == "net" || rp == "os" ||
+			// Stream codecs wrap a conn/file: Encode/Decode is I/O.
+			((rp == "encoding/json" || rp == "encoding/gob") && (name == "Encode" || name == "Decode")) ||
+			(rp == "bufio" && name == "Flush")
+		if isIO && !ioExempt[name] {
+			pass.Reportf(call.Pos(),
+				"network/file I/O (%s.%s) while holding %s: I/O latency extends the critical section unboundedly; perform it after unlocking", pkgShort(pkg, info, call), name, heldNames(held))
+		}
+		return
+	}
+	if analysis.IsDynamicCall(info, call) {
+		pass.Reportf(call.Pos(),
+			"callback invoked while holding %s: the callee is opaque and may block or re-acquire the lock (deadlock); snapshot under the lock, invoke after unlocking", heldNames(held))
+	}
+}
+
+// recvPkg returns the package path of a method call's receiver named
+// type ("" otherwise).
+func recvPkg(info *types.Info, call *ast.CallExpr) string {
+	return analysis.NamedPkgPath(analysis.ReceiverType(info, call))
+}
+
+func pkgShort(pkg string, info *types.Info, call *ast.CallExpr) string {
+	if pkg == "net" || pkg == "os" {
+		return pkg
+	}
+	if p := recvPkg(info, call); p != "" {
+		return p
+	}
+	return pkg
+}
+
+// heldNames renders the held-lock set for messages.
+func heldNames(held map[string]bool) string {
+	names := make([]string, 0, len(held))
+	for n := range held {
+		names = append(names, n)
+	}
+	if len(names) == 1 {
+		return names[0]
+	}
+	// Deterministic order for stable messages.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	out := names[0]
+	for _, n := range names[1:] {
+		out += ", " + n
+	}
+	return out
+}

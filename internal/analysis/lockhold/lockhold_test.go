@@ -1,0 +1,16 @@
+package lockhold_test
+
+import (
+	"testing"
+
+	"dcsledger/internal/analysis/atest"
+	"dcsledger/internal/analysis/lockhold"
+)
+
+func TestLockhold(t *testing.T) {
+	atest.Run(t, "testdata/src/locks", "dcsledger/internal/fake", lockhold.Analyzer)
+}
+
+func TestSuppression(t *testing.T) {
+	atest.Run(t, "testdata/src/suppress", "dcsledger/internal/fake", lockhold.Analyzer)
+}

@@ -1,0 +1,118 @@
+// Package locks exercises the lockhold triggers.
+package locks
+
+import (
+	"net"
+	"sync"
+)
+
+type sender interface {
+	Send(to string, b []byte) error
+}
+
+type node struct {
+	mu     sync.Mutex
+	rw     sync.RWMutex
+	tr     sender
+	conn   net.Conn
+	ch     chan int
+	onDone func(int)
+	seen   map[string]bool
+}
+
+// --- positive cases ---
+
+func (n *node) sendUnderLock() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	_ = n.tr.Send("peer", nil) // want "call to Send while holding n.mu"
+}
+
+func (n *node) channelSendUnderLock(v int) {
+	n.mu.Lock()
+	n.ch <- v // want "channel send while holding n.mu"
+	n.mu.Unlock()
+}
+
+func (n *node) ioUnderLock(b []byte) {
+	n.rw.RLock()
+	defer n.rw.RUnlock()
+	_, _ = n.conn.Write(b) // want "network/file I/O \\(net.Write\\) while holding n.rw"
+}
+
+func (n *node) callbackUnderLock(v int) {
+	n.mu.Lock()
+	n.onDone(v) // want "callback invoked while holding n.mu"
+	n.mu.Unlock()
+}
+
+func (n *node) doubleLock() {
+	n.mu.Lock()
+	n.mu.Lock() // want "n.mu.Lock while n.mu is already held"
+	n.mu.Unlock()
+	n.mu.Unlock()
+}
+
+func (n *node) blockingSelectSend(v int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	select {
+	case n.ch <- v: // want "blocking channel send in select while holding n.mu"
+	}
+}
+
+// --- negative cases ---
+
+// sendAfterUnlock snapshots under the lock and sends outside: the
+// sanctioned pattern.
+func (n *node) sendAfterUnlock() {
+	n.mu.Lock()
+	dup := n.seen["x"]
+	n.mu.Unlock()
+	if !dup {
+		_ = n.tr.Send("peer", nil)
+	}
+}
+
+// nonBlockingSend uses select-with-default under the lock: allowed.
+func (n *node) nonBlockingSend(v int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	select {
+	case n.ch <- v:
+	default:
+	}
+}
+
+// earlyReturnKeepsRegion: the unlock inside the terminating branch must
+// not clear the lock state of the fall-through path.
+func (n *node) earlyReturnKeepsRegion(bad bool, v int) {
+	n.mu.Lock()
+	if bad {
+		n.mu.Unlock()
+		return
+	}
+	n.ch <- v // want "channel send while holding n.mu"
+	n.mu.Unlock()
+}
+
+// callbackAfterSnapshot reads the callback under the lock but invokes
+// it after unlocking: allowed.
+func (n *node) callbackAfterSnapshot(v int) {
+	n.mu.Lock()
+	fn := n.onDone
+	n.mu.Unlock()
+	if fn != nil {
+		fn(v)
+	}
+}
+
+// goroutineUnderLock: spawning is fine; the literal body is analyzed
+// independently (and holds no lock of its own).
+func (n *node) goroutineUnderLock(v int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	go func() {
+		n.ch <- v
+	}()
+}

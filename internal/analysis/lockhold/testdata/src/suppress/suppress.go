@@ -1,0 +1,24 @@
+// Package suppress verifies the ignore protocol for lockhold.
+package suppress
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// justified suppression: silenced.
+func (b *box) sendAnyway(v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ch <- v //dcslint:ignore lockhold channel is buffered and drained by a dedicated goroutine
+}
+
+// reason-less suppression: finding survives and the directive is
+// reported.
+func (b *box) sendBad(v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ch <- v /*dcslint:ignore lockhold*/ // want "missing reason" "channel send while holding b.mu"
+}

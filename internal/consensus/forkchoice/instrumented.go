@@ -2,7 +2,6 @@ package forkchoice
 
 import (
 	"sync/atomic"
-	"time"
 
 	"dcsledger/internal/consensus"
 	"dcsledger/internal/cryptoutil"
@@ -43,12 +42,12 @@ func (i *Instrumented) Name() string { return i.Inner.Name() }
 // its latency, and counts a switch when the chosen tip differs from the
 // previous successful call's.
 func (i *Instrumented) Choose(tree *store.BlockTree) (cryptoutil.Hash, error) {
-	start := time.Now()
+	sw := obs.StartTimer()
 	tip, err := i.Inner.Choose(tree)
 	if err != nil {
 		return tip, err
 	}
-	dur := time.Since(start)
+	dur := sw.Elapsed()
 	if i.Hist != nil {
 		i.Hist.ObserveDuration(dur)
 	}
@@ -60,7 +59,7 @@ func (i *Instrumented) Choose(tree *store.BlockTree) (cryptoutil.Hash, error) {
 	i.last.Store(tip)
 	i.Tracer.Record(obs.Span{
 		Stage: obs.StageForkChoice,
-		Start: start.UnixNano(),
+		Start: sw.StartUnixNano(),
 		Dur:   int64(dur),
 		Peer:  i.Peer,
 		N:     switched,

@@ -14,11 +14,13 @@
 package poet
 
 import (
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"dcsledger/internal/consensus"
@@ -200,5 +202,10 @@ func DetectCheaters(wins map[cryptoutil.Address]int, totalBlocks, validators int
 			out = append(out, v)
 		}
 	}
+	// Map iteration order is randomized per process; sort so every
+	// replica reports the same cheater list in the same order.
+	sort.Slice(out, func(i, j int) bool {
+		return bytes.Compare(out[i][:], out[j][:]) < 0
+	})
 	return out
 }

@@ -221,15 +221,15 @@ func (e *Engine) Seal(b *types.Block, parent *types.Block) error {
 			return err
 		}
 	}
-	start := time.Now()
+	sw := obs.StartTimer()
 	attempts, err := Solve(&b.Header, 64*RealWorkCap)
 	if err != nil {
 		return err
 	}
 	e.tracer.Record(obs.Span{
 		Stage:  obs.StagePowSeal,
-		Start:  start.UnixNano(),
-		Dur:    int64(time.Since(start)),
+		Start:  sw.StartUnixNano(),
+		Dur:    int64(sw.Elapsed()),
 		Height: b.Header.Height,
 		N:      attempts,
 	})

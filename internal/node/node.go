@@ -417,7 +417,7 @@ func (n *Node) rebuildStateLocked(h cryptoutil.Hash) (*state.State, error) {
 		pending = append(pending, b)
 		cur = b.Header.ParentHash
 	}
-	start := time.Now()
+	sw := obs.StartTimer()
 	st := base.Copy()
 	for i := len(pending) - 1; i >= 0; i-- {
 		b := pending[i]
@@ -432,10 +432,10 @@ func (n *Node) rebuildStateLocked(h cryptoutil.Hash) (*state.State, error) {
 			return nil, fmt.Errorf("%w: replayed %s, header %s", ErrBadStateRoot, root.Short(), target.Header.StateRoot.Short())
 		}
 		n.metrics.StateRebuilds++
-		rebuildDur := n.hRebuild.ObserveSince(start)
+		rebuildDur := n.hRebuild.ObserveSince(sw.Start())
 		n.tracer.Record(obs.Span{
 			Stage:  obs.StageStateRebuild,
-			Start:  start.UnixNano(),
+			Start:  sw.StartUnixNano(),
 			Dur:    int64(rebuildDur),
 			Peer:   string(n.cfg.ID),
 			Height: target.Header.Height,
@@ -512,15 +512,20 @@ func (n *Node) OnBlock(fn func(*types.Block)) {
 }
 
 // SubmitTx validates a transaction into the mempool and gossips it.
+// The publish happens after the pool mutation's lock is released: the
+// transport must never run under n.mu (lockhold invariant), and the
+// transaction is immutable once encoded, so nothing is raced.
 func (n *Node) SubmitTx(tx *types.Transaction) error {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	if err := n.pool.Add(tx); err != nil {
+		n.mu.Unlock()
 		return err
 	}
 	n.metrics.TxsSubmitted++
-	if n.gossiper != nil {
-		n.gossiper.Publish(TopicTx, tx.Encode())
+	g := n.gossiper
+	n.mu.Unlock()
+	if g != nil {
+		g.Publish(TopicTx, tx.Encode())
 	}
 	return nil
 }
@@ -549,24 +554,34 @@ func (n *Node) onBlockGossip(from p2p.NodeID, payload []byte) {
 	_ = n.handleBlockFrom(b, from)
 }
 
-// onDirect serves the block-fetch protocol.
+// onDirect serves the block-fetch protocol. For msgGetBlock the reply
+// is snapshotted under the lock and sent after it is released, so the
+// transport call never runs inside the critical section (lockhold
+// invariant).
 func (n *Node) onDirect(m p2p.Message) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
 	switch m.Type {
 	case msgGetBlock:
 		h, err := cryptoutil.HashFromHex(string(m.Data))
 		if err != nil {
 			return
 		}
-		if b, ok := n.tree.Get(h); ok && n.tr != nil {
-			_ = n.tr.Send(m.From, p2p.Message{Type: msgBlock, Data: b.Encode()})
+		n.mu.Lock()
+		tr := n.tr
+		var reply []byte
+		if b, ok := n.tree.Get(h); ok {
+			reply = b.Encode()
+		}
+		n.mu.Unlock()
+		if reply != nil && tr != nil {
+			_ = tr.Send(m.From, p2p.Message{Type: msgBlock, Data: reply})
 		}
 	case msgBlock:
 		b, err := types.DecodeBlock(m.Data)
 		if err != nil {
 			return
 		}
+		n.mu.Lock()
+		defer n.mu.Unlock()
 		delete(n.requested, b.Hash())
 		_ = n.handleBlockFrom(b, m.From)
 	}
@@ -706,7 +721,7 @@ func (n *Node) removeOrphanLocked(b *types.Block, h cryptoutil.Hash) {
 // overflow the stack. When any orphan is adopted, the sweep is recorded
 // as one orphan_adopt span whose N is the number of blocks connected.
 func (n *Node) adoptOrphans(parent cryptoutil.Hash) {
-	start := time.Now()
+	sw := obs.StartTimer()
 	var adopted uint64
 	queue := []cryptoutil.Hash{parent}
 	for len(queue) > 0 {
@@ -734,8 +749,8 @@ func (n *Node) adoptOrphans(parent cryptoutil.Hash) {
 	if adopted > 0 {
 		n.tracer.Record(obs.Span{
 			Stage: obs.StageOrphanAdopt,
-			Start: start.UnixNano(),
-			Dur:   int64(time.Since(start)),
+			Start: sw.StartUnixNano(),
+			Dur:   int64(sw.Elapsed()),
 			Peer:  string(n.cfg.ID),
 			N:     adopted,
 		})
@@ -749,7 +764,7 @@ func (n *Node) adoptOrphans(parent cryptoutil.Hash) {
 // state apply, whole connect) are recorded into the node's histograms
 // and tracer — the gossip-receipt→connected leg of the pipeline.
 func (n *Node) connect(b *types.Block) error {
-	startConnect := time.Now()
+	swConnect := obs.StartTimer()
 	parent, _ := n.tree.Get(b.Header.ParentHash)
 	if !b.VerifyTxRoot() {
 		return ErrBadTxRoot
@@ -760,12 +775,12 @@ func (n *Node) connect(b *types.Block) error {
 	if err := n.cfg.Engine.VerifySeal(b, parent); err != nil {
 		return fmt.Errorf("node: %w", err)
 	}
-	verifyDur := time.Since(startConnect)
+	verifyDur := swConnect.Elapsed()
 	parentState, err := n.stateOfLocked(b.Header.ParentHash)
 	if err != nil {
 		return fmt.Errorf("node: no state for parent %s: %w", b.Header.ParentHash.Short(), err)
 	}
-	startApply := time.Now()
+	swApply := obs.StartTimer()
 	st := parentState.Copy()
 	n.setExecutorTime(b.Header.Time)
 	if _, err := st.ApplyBlock(b, n.cfg.Rewards.RewardAt(b.Header.Height)); err != nil {
@@ -774,7 +789,7 @@ func (n *Node) connect(b *types.Block) error {
 	if root := st.Commit(); root != b.Header.StateRoot {
 		return fmt.Errorf("%w: computed %s, header %s", ErrBadStateRoot, root.Short(), b.Header.StateRoot.Short())
 	}
-	applyDur := time.Since(startApply)
+	applyDur := swApply.Elapsed()
 	if err := n.tree.Add(b); err != nil {
 		return err
 	}
@@ -784,7 +799,7 @@ func (n *Node) connect(b *types.Block) error {
 	// it is satisfied (msgBlock replies and gossip arrivals alike).
 	delete(n.requested, h)
 	n.metrics.BlocksAccepted++
-	n.observeConnect(b, startConnect, verifyDur, applyDur)
+	n.observeConnect(b, swConnect.Start(), verifyDur, applyDur)
 	return nil
 }
 
@@ -882,7 +897,7 @@ func (n *Node) scheduleMine() {
 // current tip. The whole path — selection, trial apply, seal, adopt —
 // is timed as the block_propose stage.
 func (n *Node) produceBlock() error {
-	startPropose := time.Now()
+	swPropose := obs.StartTimer()
 	parent := n.chain.HeadBlock()
 	parentHash := parent.Hash()
 	now := n.cfg.Clock.Now().UnixNano()
@@ -931,10 +946,10 @@ func (n *Node) produceBlock() error {
 	if err := n.handleBlockFrom(b, ""); err != nil {
 		return err
 	}
-	proposeDur := n.hPropose.ObserveSince(startPropose)
+	proposeDur := n.hPropose.ObserveSince(swPropose.Start())
 	n.tracer.Record(obs.Span{
 		Stage:  obs.StageBlockPropose,
-		Start:  startPropose.UnixNano(),
+		Start:  swPropose.StartUnixNano(),
 		Dur:    int64(proposeDur),
 		Peer:   string(n.cfg.ID),
 		Height: height,

@@ -85,6 +85,31 @@ type Span struct {
 // Duration returns the span duration as a time.Duration.
 func (s Span) Duration() time.Duration { return time.Duration(s.Dur) }
 
+// Stopwatch is an observability-only wall-clock timer. Consensus-
+// critical packages must not read time.Now directly — dcslint's
+// determinism analyzer flags it, because wall time that leaks into
+// state or ordering forks replicas. They start a Stopwatch instead,
+// which funnels every wall-clock read through this package where its
+// use is auditable: elapsed times feed histograms and trace spans,
+// never consensus state.
+type Stopwatch struct {
+	t0 time.Time
+}
+
+// StartTimer begins an observability stopwatch.
+func StartTimer() Stopwatch { return Stopwatch{t0: time.Now()} }
+
+// Start returns the stopwatch's start instant, for interop with
+// Histogram.ObserveSince and Tracer.RecordSince.
+func (s Stopwatch) Start() time.Time { return s.t0 }
+
+// StartUnixNano returns the start instant in Unix nanoseconds — the
+// Span.Start encoding.
+func (s Stopwatch) StartUnixNano() int64 { return s.t0.UnixNano() }
+
+// Elapsed returns the wall time since the stopwatch started.
+func (s Stopwatch) Elapsed() time.Duration { return time.Since(s.t0) }
+
 // DefaultRingCapacity bounds the tracer's in-memory ring when no
 // explicit capacity is given.
 const DefaultRingCapacity = 4096

@@ -17,6 +17,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 
 	"dcsledger/internal/cryptoutil"
 	"dcsledger/internal/mpt"
@@ -294,7 +295,9 @@ func (s *State) absorb(child *State) {
 }
 
 // forEachAccount visits every live account exactly once, newest layer
-// first.
+// first, in UNSPECIFIED order. Every visitor must be order-independent:
+// MPT insertion commutes, and the flatten/count/collect visitors write
+// into maps or sort afterwards.
 func (s *State) forEachAccount(fn func(cryptoutil.Address, Account)) {
 	seen := make(map[cryptoutil.Address]struct{})
 	for cur := s; cur != nil; cur = cur.parent {
@@ -303,12 +306,14 @@ func (s *State) forEachAccount(fn func(cryptoutil.Address, Account)) {
 				continue
 			}
 			seen[a] = struct{}{}
-			fn(a, acc)
+			fn(a, acc) //dcslint:ignore determinism visitors are order-independent by contract (MPT insert commutes; others fill maps or sort after)
 		}
 	}
 }
 
-// forEachStorage visits every live slot of addr exactly once.
+// forEachStorage visits every live slot of addr exactly once, in
+// UNSPECIFIED order; visitors must be order-independent (see
+// forEachAccount).
 func (s *State) forEachStorage(addr cryptoutil.Address, fn func(string, []byte)) {
 	seen := make(map[string]struct{})
 	for cur := s; cur != nil; cur = cur.parent {
@@ -318,7 +323,7 @@ func (s *State) forEachStorage(addr cryptoutil.Address, fn func(string, []byte))
 					continue
 				}
 				seen[k] = struct{}{}
-				fn(k, v)
+				fn(k, v) //dcslint:ignore determinism visitors are order-independent by contract (storage-trie insert commutes; others fill maps or sort after)
 			}
 		}
 		if d := cur.storageDel[addr]; d != nil {
@@ -330,7 +335,8 @@ func (s *State) forEachStorage(addr cryptoutil.Address, fn func(string, []byte))
 }
 
 // storageAddrs returns every address with storage writes anywhere in
-// the layer chain (order unspecified).
+// the layer chain, sorted so downstream iteration runs in the same
+// order on every replica.
 func (s *State) storageAddrs() []cryptoutil.Address {
 	seen := make(map[cryptoutil.Address]struct{})
 	for cur := s; cur != nil; cur = cur.parent {
@@ -342,6 +348,9 @@ func (s *State) storageAddrs() []cryptoutil.Address {
 	for a := range seen {
 		out = append(out, a)
 	}
+	sort.Slice(out, func(i, j int) bool {
+		return bytes.Compare(out[i][:], out[j][:]) < 0
+	})
 	return out
 }
 

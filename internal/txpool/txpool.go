@@ -54,11 +54,10 @@ func New(capacity int) *Pool {
 
 // Instrument enables admit→inclusion observability: now supplies the
 // time base (pass the node's virtual or wall clock) and onInclude is
-// invoked — outside any interesting lock but while the pool's own mutex
-// is held, so it must not call back into the pool — with the age of
-// every admitted transaction that later leaves the pool inside a
-// committed block. A transaction re-added after a reorg restarts its
-// age at re-admission.
+// invoked — after the pool's mutex is released, so it may call back
+// into the pool — with the age of every admitted transaction that
+// later leaves the pool inside a committed block. A transaction
+// re-added after a reorg restarts its age at re-admission.
 func (p *Pool) Instrument(now func() time.Time, onInclude func(age time.Duration)) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -95,7 +94,7 @@ func (p *Pool) Add(tx *types.Transaction) error {
 	}
 	p.txs[id] = tx
 	if p.now != nil {
-		p.admitted[id] = p.now()
+		p.admitted[id] = p.now() //dcslint:ignore lockhold now is a pure time source (wall or virtual clock): it never blocks or re-enters the pool
 	}
 	return nil
 }
@@ -207,10 +206,13 @@ func (p *Pool) Remove(ids ...cryptoutil.Hash) {
 }
 
 // RemoveBlockTxs deletes every transaction included in block b,
-// reporting each instrumented transaction's admit→inclusion age.
+// reporting each instrumented transaction's admit→inclusion age. Ages
+// are collected under the lock but the onInclude callback runs only
+// after the pool's mutex is released, so a callback is free to call
+// back into the pool.
 func (p *Pool) RemoveBlockTxs(b *types.Block) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
+	var ages []time.Duration
 	for _, tx := range b.Txs {
 		id := tx.ID()
 		delete(p.txs, id)
@@ -220,9 +222,16 @@ func (p *Pool) RemoveBlockTxs(b *types.Block) {
 		}
 		delete(p.admitted, id)
 		if p.onInclude != nil && p.now != nil {
-			if age := p.now().Sub(at); age >= 0 {
-				p.onInclude(age)
+			if age := p.now().Sub(at); age >= 0 { //dcslint:ignore lockhold now is a pure time source (wall or virtual clock): it never blocks or re-enters the pool
+				ages = append(ages, age)
 			}
+		}
+	}
+	onInclude := p.onInclude
+	p.mu.Unlock()
+	if onInclude != nil {
+		for _, age := range ages {
+			onInclude(age)
 		}
 	}
 }
