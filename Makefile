@@ -6,7 +6,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: all build vet lint test race fmt-check doc-check tier1 ci trace-demo
+.PHONY: all build vet lint test race fmt-check doc-check tier1 ci trace-demo crash-matrix fuzz-smoke
 
 all: tier1
 
@@ -61,6 +61,20 @@ race:
 # asserts the JSONL trace parses and contains every pipeline stage.
 trace-demo:
 	$(GO) test ./internal/bench -run TestTraceDemo -v -count=1
+
+# Crash-injection matrix under the race detector: every failure mode
+# (cut/torn/garbled write) x every fsync policy must recover to a
+# verified prefix of the pre-crash chain (see docs/PERSISTENCE.md).
+crash-matrix:
+	$(GO) test -race -count=1 ./internal/node -run 'TestCrashMatrix|TestCleanShutdownRecoversExactHead|TestRecoverThenContinue|TestRecoverReorgedChain' -v
+
+# Native fuzzing smoke: 30s per target over the WAL frame decoder and
+# the block codec — the two parsers that read attacker- or
+# crash-controlled bytes.
+FUZZTIME ?= 30s
+fuzz-smoke:
+	$(GO) test ./internal/wal -run '^$$' -fuzz FuzzWALRecordDecode -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/types -run '^$$' -fuzz FuzzBlockDecode -fuzztime $(FUZZTIME)
 
 tier1: build vet lint fmt-check doc-check test
 

@@ -38,6 +38,7 @@ import (
 	"dcsledger/internal/p2p"
 	"dcsledger/internal/simclock"
 	"dcsledger/internal/types"
+	"dcsledger/internal/wal"
 )
 
 type peerList map[string]string
@@ -95,6 +96,9 @@ func run() error {
 			"blocks below the head that keep a materialized state (-1 = archive, keep all)")
 		maxOrph = flag.Int("max-orphans", node.DefaultMaxOrphans, "max buffered unknown-parent blocks")
 		pprofOn = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the http api")
+		dataDir = flag.String("data-dir", "", "persist the ledger (WAL + checkpoints) in this directory; empty = memory only")
+		fsyncS  = flag.String("fsync", "interval", "wal fsync policy: always|interval|never")
+		ckptN   = flag.Uint64("checkpoint-every", wal.DefaultCheckpointEvery, "blocks between durable state checkpoints")
 		traceFn = flag.String("trace-file", "", "append pipeline trace spans to this JSONL file")
 		traceN  = flag.Int("trace-buf", obs.DefaultRingCapacity, "pipeline trace ring capacity (spans kept for GET /trace)")
 		peers   = peerList{}
@@ -134,6 +138,24 @@ func run() error {
 	}
 	reg.RegisterFunc("forkchoice_switches_total", func() int64 { return int64(fc.Switches()) })
 
+	// Durable ledger: a segmented WAL plus periodic state checkpoints
+	// under -data-dir. Opening the store replays the journal so a node
+	// killed mid-run restarts at its exact pre-crash head.
+	var (
+		ds  *wal.DurableStore
+		rec *wal.Recovery
+	)
+	if *dataDir != "" {
+		var err error
+		ds, rec, err = openDurable(*dataDir, *fsyncS, *ckptN)
+		if err != nil {
+			return err
+		}
+		defer ds.Close()
+		log.Printf("durable store at %s (fsync=%s, checkpoint-every=%d): %d block(s) journaled, tip height %d",
+			*dataDir, *fsyncS, *ckptN, len(rec.Blocks), rec.TipHeight())
+	}
+
 	executor := contract.NewExecutor(contract.NewRegistry())
 	n, err := node.New(node.Config{
 		ID:  p2p.NodeID(*id),
@@ -152,11 +174,18 @@ func run() error {
 		Mine:           *mine,
 		StateRetention: *retain,
 		MaxOrphans:     *maxOrph,
+		Durable:        ds,
 	})
 	if err != nil {
 		return err
 	}
 	n.SetTracer(tracer)
+	if rec != nil {
+		if err := n.Recover(rec); err != nil {
+			return fmt.Errorf("recover from %s: %w", *dataDir, err)
+		}
+		log.Printf("recovered chain: height %d, head %s", n.Chain().Height(), n.Chain().Head().Hex())
+	}
 
 	tr, err := p2p.NewTCPTransportConfig(p2p.NodeID(*id), *listen, n.Mux().Dispatch, p2p.TCPConfig{
 		DialTimeout: *dialTO,
@@ -196,6 +225,25 @@ func run() error {
 	case err := <-errCh:
 		return err
 	}
+}
+
+// openDurable opens (or creates) the WAL-backed block store under dir,
+// translating the -fsync flag into a wal.FsyncPolicy. The returned
+// Recovery holds everything journaled by a previous run of the same
+// directory; feed it to node.Recover before starting the node.
+func openDurable(dir, fsyncStr string, ckptEvery uint64) (*wal.DurableStore, *wal.Recovery, error) {
+	pol, err := wal.ParseFsyncPolicy(fsyncStr)
+	if err != nil {
+		return nil, nil, err
+	}
+	ds, rec, err := wal.OpenStore(dir, wal.StoreOptions{
+		Fsync:           pol,
+		CheckpointEvery: ckptEvery,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("open durable store %s: %w", dir, err)
+	}
+	return ds, rec, nil
 }
 
 // apiHandler exposes the node over HTTP for ledgercli, plus the

@@ -1,0 +1,68 @@
+package node
+
+// Seed audit (dcslint `determinism` companion): every randomized test
+// in this package must draw from rand.New(rand.NewSource(<pinned
+// seed>)) and every clock from simclock.Simulator — never the global
+// rand or the wall clock. Audited 2026-08: node_test.go (seeds 1, 2,
+// 21, 29), robustness_test.go (seeds 5, 7, 11, 13), attack_test.go
+// (seeds 51, 52, 61), depth_probe_test.go, events_test.go,
+// metrics_test.go, lifecycle_test.go, durability_test.go — all rand
+// sources are seeded constants or ClusterKey-derived, and no test
+// reads time.Now. The test below is the regression tripwire: if
+// anybody introduces a hidden source of nondeterminism into the
+// node/cluster/simnet stack, two identically-seeded runs stop
+// producing identical ledgers and this fails.
+
+import (
+	"testing"
+	"time"
+)
+
+// runSeededCluster runs one 8-peer PoW cluster to virtual t+3min and
+// returns a fingerprint of the resulting ledgers: every node's head
+// hash and height.
+func runSeededCluster(t *testing.T, seed int64) []string {
+	t.Helper()
+	c := powCluster(t, 8, seed, nil)
+	c.Start()
+	c.Sim.RunFor(3 * time.Minute)
+	c.Stop()
+	c.Sim.RunFor(time.Minute)
+	fp := make([]string, 0, len(c.Nodes))
+	for _, n := range c.Nodes {
+		fp = append(fp, n.Chain().Head().Hex())
+	}
+	return fp
+}
+
+// TestClusterDeterminism replays the exact same seeded cluster twice
+// and demands bit-identical outcomes on every peer. The simulation
+// stack (simclock scheduler, SimNetwork, seeded miners) is advertised
+// as deterministic; this is the test that keeps that promise honest.
+func TestClusterDeterminism(t *testing.T) {
+	const seed = 17
+	run1 := runSeededCluster(t, seed)
+	run2 := runSeededCluster(t, seed)
+	if len(run1) != len(run2) {
+		t.Fatalf("peer counts differ: %d vs %d", len(run1), len(run2))
+	}
+	for i := range run1 {
+		if run1[i] != run2[i] {
+			t.Fatalf("peer %d diverged across identical seeded runs:\n  run1 %s\n  run2 %s",
+				i, run1[i], run2[i])
+		}
+	}
+	// And a different seed must actually change the outcome — otherwise
+	// the fingerprint is vacuous.
+	other := runSeededCluster(t, seed+1)
+	same := true
+	for i := range run1 {
+		if run1[i] != other[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical ledgers: fingerprint is not sensitive")
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"dcsledger/internal/store"
 	"dcsledger/internal/txpool"
 	"dcsledger/internal/types"
+	"dcsledger/internal/wal"
 )
 
 // Gossip topics.
@@ -91,6 +92,12 @@ type Config struct {
 	// MaxOrphans bounds the unknown-parent block buffer
 	// (0 = DefaultMaxOrphans).
 	MaxOrphans int
+	// Durable, when non-nil, journals every connected block and head
+	// switch into a write-ahead log and periodically checkpoints the
+	// head state, so the ledger survives a process crash. Open it with
+	// wal.OpenStore and feed the returned Recovery to Recover before
+	// Attach/Start. Nil keeps the node memory-only.
+	Durable *wal.DurableStore
 }
 
 // Metrics counts a node's activity for the experiment harness.
@@ -104,6 +111,8 @@ type Metrics struct {
 	OrphansEvicted  uint64
 	StatesPruned    uint64
 	StateRebuilds   uint64
+	WALAppendErrors uint64
+	RecoveredBlocks uint64
 }
 
 // Node is one ledger peer. All public entry points serialize on an
@@ -144,6 +153,10 @@ type Node struct {
 	mineTip   cryptoutil.Hash
 	started   bool
 
+	// recovering suppresses WAL journaling while Recover replays
+	// records that are already durable.
+	recovering bool
+
 	blockSubs []func(*types.Block)
 
 	metrics Metrics
@@ -159,6 +172,8 @@ type Node struct {
 	hRebuild   *metrics.Histogram // state_rebuild: pruned-state replay
 	hPropose   *metrics.Histogram // block_propose: assembly + seal + adopt
 	hInclusion *metrics.Histogram // tx admit→inclusion age (virtual time)
+	hWALAppend *metrics.Histogram // wal_append: durable journal write
+	hRecover   *metrics.Histogram // recover: full crash-recovery replay
 }
 
 // New creates a peer. Wire the returned node's Mux into a transport and
@@ -207,6 +222,8 @@ func New(cfg Config) (*Node, error) {
 	n.hRebuild = metrics.NewHistogram("node_state_rebuild_seconds")
 	n.hPropose = metrics.NewHistogram("node_block_propose_seconds")
 	n.hInclusion = metrics.NewHistogram("txpool_inclusion_age_seconds", metrics.WideBuckets...)
+	n.hWALAppend = metrics.NewHistogram("wal_append_seconds")
+	n.hRecover = metrics.NewHistogram("node_recover_seconds", metrics.WideBuckets...)
 	if cfg.Clock != nil {
 		// Admit→inclusion ages run on the node's clock, so simulated
 		// networks report virtual latencies (the quantity the paper's
@@ -284,6 +301,130 @@ func (n *Node) Stop() {
 	n.mineTimer.Stop()
 }
 
+// Recover rebuilds the block tree, main chain, and head state from a
+// durable store's Recovery. Call once, after New and before
+// Attach/Start.
+//
+// Blocks at or below the newest valid checkpoint reconnect
+// structurally (tx root, height/parent linkage, and seal are
+// re-checked; their per-block state transitions were verified before
+// the crash and are covered by the checkpoint's verified state root).
+// Blocks past the checkpoint re-run the full connect path including
+// state application. The recovered head is the last durable head
+// switch when present (falling back to fork choice), and its state
+// root is always re-verified against the head block header — recovery
+// fails loudly rather than resurrect a corrupt ledger.
+func (n *Node) Recover(rec *wal.Recovery) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if rec == nil {
+		return nil
+	}
+	n.recovering = true
+	defer func() { n.recovering = false }()
+	sw := obs.StartTimer()
+
+	var ckptSeq uint64
+	if rec.Checkpoint != nil {
+		ckptSeq = rec.Checkpoint.Seq
+	}
+	seeded := false
+	for _, rb := range rec.Blocks {
+		b := rb.Block
+		if n.tree.Has(b.Hash()) {
+			continue
+		}
+		if rb.Seq > ckptSeq {
+			// Crossing the checkpoint boundary: seed its state so the
+			// first post-checkpoint connect finds its parent state
+			// without replaying history.
+			n.seedCheckpointLocked(rec.Checkpoint, &seeded)
+			if err := n.connect(b); err != nil {
+				n.metrics.BlocksRejected++
+				continue
+			}
+		} else {
+			if err := n.connectStructuralLocked(b); err != nil {
+				n.metrics.BlocksRejected++
+				continue
+			}
+		}
+		n.metrics.RecoveredBlocks++
+	}
+	n.seedCheckpointLocked(rec.Checkpoint, &seeded)
+
+	// Re-point the main chain: prefer the last durable head switch;
+	// fall back to fork choice when it did not survive.
+	head := rec.Head
+	if head.IsZero() || !n.tree.Has(head) {
+		tip, err := n.cfg.ForkChoice.Choose(n.tree)
+		if err != nil {
+			return fmt.Errorf("node: recover fork choice: %w", err)
+		}
+		head = tip
+	}
+	if _, _, err := n.chain.SetHead(head); err != nil {
+		return fmt.Errorf("node: recover set head: %w", err)
+	}
+
+	// Re-verify the recovered head's state root end to end.
+	if head != n.tree.Genesis() {
+		st, err := n.stateOfLocked(head)
+		if err != nil {
+			return fmt.Errorf("node: recover head state: %w", err)
+		}
+		hb, _ := n.tree.Get(head)
+		if root := st.Commit(); root != hb.Header.StateRoot {
+			return fmt.Errorf("%w: recovered %s, header %s", ErrBadStateRoot, root.Short(), hb.Header.StateRoot.Short())
+		}
+	}
+	n.pruneStatesLocked()
+
+	recoverDur := n.hRecover.ObserveSince(sw.Start())
+	n.tracer.Record(obs.Span{
+		Stage:  obs.StageRecover,
+		Start:  sw.StartUnixNano(),
+		Dur:    int64(recoverDur),
+		Peer:   string(n.cfg.ID),
+		Height: n.chain.Height(),
+		N:      n.metrics.RecoveredBlocks,
+	})
+	return nil
+}
+
+// seedCheckpointLocked installs the checkpoint's verified state as the
+// materialized state of its head block (once), so post-checkpoint
+// connects find a parent state without replaying history.
+func (n *Node) seedCheckpointLocked(ck *wal.Checkpoint, seeded *bool) {
+	if *seeded || ck == nil {
+		return
+	}
+	*seeded = true
+	if !n.tree.Has(ck.Head) {
+		return // damaged log no longer contains the ckpt head: fall back to full replay
+	}
+	st := ck.State
+	st.SetExecutor(n.cfg.Executor)
+	n.states[ck.Head] = st
+}
+
+// connectStructuralLocked inserts a checkpoint-covered block during
+// recovery: linkage, tx root, and seal are re-verified, state
+// application is not (the checkpoint's state root vouches for it).
+func (n *Node) connectStructuralLocked(b *types.Block) error {
+	parent, ok := n.tree.Get(b.Header.ParentHash)
+	if !ok {
+		return fmt.Errorf("node: recover: %w", store.ErrUnknownParent)
+	}
+	if !b.VerifyTxRoot() {
+		return ErrBadTxRoot
+	}
+	if err := n.cfg.Engine.VerifySeal(b, parent); err != nil {
+		return fmt.Errorf("node: %w", err)
+	}
+	return n.tree.Add(b)
+}
+
 // Accessors for tests, examples, and the experiment harness.
 
 // Address returns the node's account address.
@@ -339,12 +480,26 @@ func (n *Node) RegisterMetrics(reg *metrics.Registry) {
 		return int64(n.tree.Len())
 	})
 	reg.RegisterFunc("node_mempool_size", func() int64 { return int64(n.pool.Len()) })
+	reg.RegisterFunc("node_wal_append_errors_total", snap(func(m Metrics) uint64 { return m.WALAppendErrors }))
+	reg.RegisterFunc("node_recovered_blocks_total", snap(func(m Metrics) uint64 { return m.RecoveredBlocks }))
+	if ds := n.cfg.Durable; ds != nil {
+		reg.RegisterFunc("wal_appends_total", func() int64 { return int64(ds.Stats().WAL.Appends) })
+		reg.RegisterFunc("wal_fsyncs_total", func() int64 { return int64(ds.Stats().WAL.Fsyncs) })
+		reg.RegisterFunc("wal_rotations_total", func() int64 { return int64(ds.Stats().WAL.Rotations) })
+		reg.RegisterFunc("wal_segments", func() int64 { return int64(ds.Stats().WAL.Segments) })
+		reg.RegisterFunc("wal_bytes_written_total", func() int64 { return int64(ds.Stats().WAL.Bytes) })
+		reg.RegisterFunc("wal_last_seq", func() int64 { return int64(ds.Stats().WAL.LastSeq) })
+		reg.RegisterFunc("wal_torn_truncated_bytes_total", func() int64 { return int64(ds.Stats().WAL.TornTruncated) })
+		reg.RegisterFunc("wal_checkpoints_total", func() int64 { return int64(ds.Stats().Checkpoints) })
+	}
 	reg.RegisterHistogram(n.hVerify)
 	reg.RegisterHistogram(n.hConnect)
 	reg.RegisterHistogram(n.hApply)
 	reg.RegisterHistogram(n.hRebuild)
 	reg.RegisterHistogram(n.hPropose)
 	reg.RegisterHistogram(n.hInclusion)
+	reg.RegisterHistogram(n.hWALAppend)
+	reg.RegisterHistogram(n.hRecover)
 }
 
 // State returns the state at the current main-chain head.
@@ -799,8 +954,68 @@ func (n *Node) connect(b *types.Block) error {
 	// it is satisfied (msgBlock replies and gossip arrivals alike).
 	delete(n.requested, h)
 	n.metrics.BlocksAccepted++
+	n.logBlockLocked(b)
 	n.observeConnect(b, swConnect.Start(), verifyDur, applyDur)
 	return nil
+}
+
+// logBlockLocked journals one freshly connected block into the durable
+// store. The append is the block's commit point, so it is ordered under
+// the node lock with the tree/state mutation it makes durable. A failed
+// append is counted (the store latches failed and refuses further
+// writes); the node keeps serving from memory — the operator sees
+// node_wal_append_errors_total and restarts to recover the durable
+// prefix, exactly what a crashed process would do.
+func (n *Node) logBlockLocked(b *types.Block) {
+	if n.cfg.Durable == nil || n.recovering {
+		return
+	}
+	sw := obs.StartTimer()
+	if err := n.cfg.Durable.LogBlock(b); err != nil {
+		n.metrics.WALAppendErrors++
+		return
+	}
+	d := n.hWALAppend.ObserveSince(sw.Start())
+	n.tracer.Record(obs.Span{
+		Stage:  obs.StageWALAppend,
+		Start:  sw.StartUnixNano(),
+		Dur:    int64(d),
+		Peer:   string(n.cfg.ID),
+		Height: b.Header.Height,
+		N:      uint64(len(b.Txs)),
+	})
+}
+
+// logHeadLocked journals one head switch and, on the configured
+// cadence, checkpoints the head state so recovery replays only the
+// post-checkpoint suffix.
+func (n *Node) logHeadLocked(tip cryptoutil.Hash) {
+	if n.cfg.Durable == nil || n.recovering {
+		return
+	}
+	sw := obs.StartTimer()
+	if err := n.cfg.Durable.LogHead(tip); err != nil {
+		n.metrics.WALAppendErrors++
+		return
+	}
+	d := n.hWALAppend.ObserveSince(sw.Start())
+	n.tracer.Record(obs.Span{
+		Stage: obs.StageWALAppend,
+		Start: sw.StartUnixNano(),
+		Dur:   int64(d),
+		Peer:  string(n.cfg.ID),
+	})
+	hb, ok := n.tree.Get(tip)
+	if !ok {
+		return
+	}
+	st, err := n.stateOfLocked(tip)
+	if err != nil {
+		return
+	}
+	if _, err := n.cfg.Durable.MaybeCheckpoint(tip, hb.Header.Height, hb.Header.StateRoot, st); err != nil {
+		n.metrics.WALAppendErrors++
+	}
 }
 
 // observeConnect records the per-stage latencies of one successful
@@ -839,6 +1054,7 @@ func (n *Node) afterTreeChange() {
 	if err != nil {
 		return
 	}
+	n.logHeadLocked(tip)
 	if len(removed) > 0 {
 		n.metrics.Reorgs++
 		// Give reorged-out transactions another chance.

@@ -60,6 +60,12 @@ const (
 	StageOrderingCut = "ordering_cut"
 	// StagePBFTRound is one PBFT slot's pre-prepare→execute round time.
 	StagePBFTRound = "pbft_round"
+	// StageWALAppend is one durable journal write (block or head
+	// record) on the node's commit path.
+	StageWALAppend = "wal_append"
+	// StageRecover is one crash-recovery replay: WAL scan, checkpoint
+	// load, block reconnection, and head state-root verification.
+	StageRecover = "recover"
 )
 
 // Span is one traced pipeline event. The zero value of optional fields

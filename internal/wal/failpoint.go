@@ -1,0 +1,95 @@
+package wal
+
+import "fmt"
+
+// FailMode selects how an injected crash corrupts the log, covering the
+// three physical outcomes of dying mid-write.
+type FailMode int
+
+const (
+	// FailNone disarms the failpoint.
+	FailNone FailMode = iota
+	// FailCut crashes before the frame is written at all: a clean cut
+	// at the previous record boundary.
+	FailCut
+	// FailTorn writes only the first half of the frame: a torn record
+	// that recovery must detect by its short body.
+	FailTorn
+	// FailGarble writes the whole frame with one payload byte flipped
+	// after the CRC was computed: bit rot / misdirected write that
+	// recovery must detect by checksum.
+	FailGarble
+)
+
+// String returns the matrix-cell name of the mode.
+func (m FailMode) String() string {
+	switch m {
+	case FailNone:
+		return "none"
+	case FailCut:
+		return "cut"
+	case FailTorn:
+		return "torn"
+	case FailGarble:
+		return "garble"
+	}
+	return fmt.Sprintf("FailMode(%d)", int(m))
+}
+
+// fpState is the armed failpoint of one WAL, guarded by the WAL mutex.
+type fpState struct {
+	mode  FailMode
+	at    uint64 // fire on the at-th append (1-based) counted from arming
+	count uint64 // appends observed since arming
+}
+
+func (f *fpState) armed() bool { return f.mode != FailNone }
+
+// SetFailpoint arms a deterministic crash: the nth Append after this
+// call (1-based) corrupts the log according to mode and latches the WAL
+// into the crashed state — every later write returns ErrCrashed, exactly
+// as if the process had died. Tests reopen the directory to exercise
+// recovery. Pass FailNone to disarm.
+func (w *WAL) SetFailpoint(mode FailMode, nthAppend uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.fp = fpState{mode: mode, at: nthAppend}
+}
+
+// Crashed reports whether the failpoint has fired.
+func (w *WAL) Crashed() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.crashed
+}
+
+// fireFailpointLocked counts one append against the armed failpoint;
+// when the trigger count is reached it writes the configured corruption,
+// makes it durable, and latches the crashed state. Returns crashed=true
+// when the append must fail with ErrCrashed.
+func (w *WAL) fireFailpointLocked(frame []byte) (bool, error) {
+	w.fp.count++
+	if w.fp.count < w.fp.at {
+		return false, nil
+	}
+	mode := w.fp.mode
+	w.fp = fpState{}
+	w.crashed = true
+	switch mode {
+	case FailCut:
+		// Crash before any byte of this record reaches the file.
+	case FailTorn:
+		if _, err := w.active.Write(frame[:len(frame)/2]); err != nil {
+			return true, ErrCrashed
+		}
+	case FailGarble:
+		garbled := append([]byte(nil), frame...)
+		garbled[len(garbled)-1] ^= 0xFF // flip payload bits after the CRC
+		if _, err := w.active.Write(garbled); err != nil {
+			return true, ErrCrashed
+		}
+	}
+	// Make the corruption durable so recovery sees exactly this state.
+	_ = w.active.Sync()
+	return true, ErrCrashed
+}

@@ -1,0 +1,67 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+)
+
+// Frame layout (everything big-endian):
+//
+//	u32  length   — byte length of body (seq + type + payload)
+//	u32  crc32c   — Castagnoli checksum of body
+//	u64  seq      ┐
+//	u8   type     │ body
+//	[]   payload  ┘
+//
+// A frame is self-checking: a torn write leaves a short frame (length
+// runs past EOF) and a garbled write fails the CRC. Either way the scan
+// stops at the previous frame boundary, which is exactly the valid
+// prefix of the log.
+
+// encodeFrame renders one record into its on-disk frame.
+func encodeFrame(rec Record) []byte {
+	bodyLen := recordHeaderLen + len(rec.Payload)
+	frame := make([]byte, frameHeaderLen+bodyLen)
+	binary.BigEndian.PutUint32(frame[0:4], uint32(bodyLen))
+	body := frame[frameHeaderLen:]
+	binary.BigEndian.PutUint64(body[0:8], rec.Seq)
+	body[8] = rec.Type
+	copy(body[recordHeaderLen:], rec.Payload)
+	binary.BigEndian.PutUint32(frame[4:8], crc32.Checksum(body, castagnoli))
+	return frame
+}
+
+// decodeFrame reads one frame from r, returning the record and the
+// total frame length consumed. io.EOF at a frame boundary means a clean
+// end of segment; any other failure (short read, oversized length, CRC
+// mismatch) is errBadFrame — the caller truncates there.
+func decodeFrame(r *bufio.Reader) (Record, int, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		return Record{}, 0, io.EOF // clean boundary
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		return Record{}, 0, errBadFrame // torn inside the frame header
+	}
+	bodyLen := binary.BigEndian.Uint32(hdr[0:4])
+	if bodyLen < recordHeaderLen || bodyLen > MaxRecordLen {
+		return Record{}, 0, errBadFrame
+	}
+	body := make([]byte, bodyLen)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Record{}, 0, errBadFrame // torn body
+	}
+	if crc32.Checksum(body, castagnoli) != binary.BigEndian.Uint32(hdr[4:8]) {
+		return Record{}, 0, errBadFrame // garbled
+	}
+	rec := Record{
+		Seq:  binary.BigEndian.Uint64(body[0:8]),
+		Type: body[8],
+	}
+	if bodyLen > recordHeaderLen {
+		rec.Payload = body[recordHeaderLen:]
+	}
+	return rec, frameHeaderLen + int(bodyLen), nil
+}

@@ -1,0 +1,259 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dcsledger/internal/cryptoutil"
+	"dcsledger/internal/state"
+	"dcsledger/internal/types"
+)
+
+// testBlocks builds a deterministic linear chain of n blocks for
+// journaling tests (no consensus validity needed at this layer).
+func testBlocks(n int) []*types.Block {
+	miner := cryptoutil.KeyFromSeed([]byte("store-test")).Address()
+	parent := cryptoutil.HashBytes([]byte("genesis"))
+	blocks := make([]*types.Block, 0, n)
+	for i := 0; i < n; i++ {
+		b := types.NewBlock(parent, uint64(i+1), int64(1000+i), miner, nil)
+		blocks = append(blocks, b)
+		parent = b.Hash()
+	}
+	return blocks
+}
+
+func openStoreT(t *testing.T, dir string, opts StoreOptions) (*DurableStore, *Recovery) {
+	t.Helper()
+	s, rec, err := OpenStore(dir, opts)
+	if err != nil {
+		t.Fatalf("OpenStore(%s): %v", dir, err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, rec
+}
+
+func TestStoreJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, rec := openStoreT(t, dir, StoreOptions{Fsync: FsyncAlways})
+	if len(rec.Blocks) != 0 || !rec.Head.IsZero() || rec.Checkpoint != nil {
+		t.Fatalf("fresh store recovery not empty: %+v", rec)
+	}
+	blocks := testBlocks(5)
+	for _, b := range blocks {
+		if err := s.LogBlock(b); err != nil {
+			t.Fatalf("LogBlock: %v", err)
+		}
+		if err := s.LogHead(b.Hash()); err != nil {
+			t.Fatalf("LogHead: %v", err)
+		}
+	}
+	s.Close()
+
+	_, rec2 := openStoreT(t, dir, StoreOptions{Fsync: FsyncAlways})
+	if len(rec2.Blocks) != 5 {
+		t.Fatalf("recovered %d blocks, want 5", len(rec2.Blocks))
+	}
+	for i, rb := range rec2.Blocks {
+		if rb.Block.Hash() != blocks[i].Hash() {
+			t.Fatalf("block %d hash mismatch after journal round trip", i)
+		}
+	}
+	if rec2.Head != blocks[4].Hash() {
+		t.Fatalf("recovered head %s, want %s", rec2.Head.Short(), blocks[4].Hash().Short())
+	}
+	if got := rec2.TipHeight(); got != 5 {
+		t.Fatalf("TipHeight = %d, want 5", got)
+	}
+}
+
+func TestStoreCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openStoreT(t, dir, StoreOptions{Fsync: FsyncAlways})
+	blocks := testBlocks(3)
+	for _, b := range blocks {
+		if err := s.LogBlock(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st := state.New()
+	st.Credit(cryptoutil.AddressFromHash(cryptoutil.HashBytes([]byte("alice"))), 1000)
+	st.Credit(cryptoutil.AddressFromHash(cryptoutil.HashBytes([]byte("bob"))), 7)
+	root := st.Commit()
+	head := blocks[2].Hash()
+	if err := s.Checkpoint(head, 3, root, st); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	if got := s.Stats().Checkpoints; got != 1 {
+		t.Fatalf("Checkpoints stat = %d, want 1", got)
+	}
+	wantSeq := s.WAL().LastSeq()
+	s.Close()
+
+	_, rec := openStoreT(t, dir, StoreOptions{Fsync: FsyncAlways})
+	ck := rec.Checkpoint
+	if ck == nil {
+		t.Fatal("checkpoint not recovered")
+	}
+	if ck.Head != head || ck.Height != 3 || ck.StateRoot != root || ck.Seq != wantSeq {
+		t.Fatalf("checkpoint fields %+v; want head=%s height=3 root=%s seq=%d",
+			ck, head.Short(), root.Short(), wantSeq)
+	}
+	if ck.State.Commit() != root {
+		t.Fatal("recovered checkpoint state does not commit to its root")
+	}
+	if got := ck.State.Balance(cryptoutil.AddressFromHash(cryptoutil.HashBytes([]byte("alice")))); got != 1000 {
+		t.Fatalf("recovered balance = %d, want 1000", got)
+	}
+}
+
+func TestCheckpointGC(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openStoreT(t, dir, StoreOptions{Fsync: FsyncAlways})
+	st := state.New()
+	st.Credit(cryptoutil.AddressFromHash(cryptoutil.HashBytes([]byte("a"))), 1)
+	root := st.Commit()
+	for i, b := range testBlocks(5) {
+		if err := s.LogBlock(b); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Checkpoint(b.Hash(), uint64(i+1), root, st); err != nil {
+			t.Fatalf("Checkpoint %d: %v", i, err)
+		}
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "ckpt-*.ck"))
+	if len(files) != keepCheckpoints {
+		t.Fatalf("%d checkpoint files survive, want %d", len(files), keepCheckpoints)
+	}
+}
+
+// TestCorruptCheckpointFallsBack garbles the newest checkpoint and
+// verifies recovery falls back to the older one (never trusting a
+// damaged file).
+func TestCorruptCheckpointFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openStoreT(t, dir, StoreOptions{Fsync: FsyncAlways})
+	st := state.New()
+	st.Credit(cryptoutil.AddressFromHash(cryptoutil.HashBytes([]byte("a"))), 1)
+	root := st.Commit()
+	blocks := testBlocks(2)
+	for i, b := range blocks {
+		if err := s.LogBlock(b); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Checkpoint(b.Hash(), uint64(i+1), root, st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	files, _ := filepath.Glob(filepath.Join(dir, "ckpt-*.ck"))
+	if len(files) != 2 {
+		t.Fatalf("want 2 checkpoint files, got %d", len(files))
+	}
+	newest := files[len(files)-1] // glob sorts; zero-padded names sort by seq
+	data, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(newest, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rec := openStoreT(t, dir, StoreOptions{Fsync: FsyncAlways})
+	if rec.Checkpoint == nil {
+		t.Fatal("no fallback checkpoint recovered")
+	}
+	if rec.Checkpoint.Head != blocks[0].Hash() || rec.Checkpoint.Height != 1 {
+		t.Fatalf("fell back to %+v, want the height-1 checkpoint", rec.Checkpoint)
+	}
+}
+
+func TestMaybeCheckpointCadence(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openStoreT(t, dir, StoreOptions{Fsync: FsyncAlways, CheckpointEvery: 4})
+	st := state.New()
+	st.Credit(cryptoutil.AddressFromHash(cryptoutil.HashBytes([]byte("a"))), 1)
+	root := st.Commit()
+	head := cryptoutil.HashBytes([]byte("h"))
+	wantAt := map[uint64]bool{4: true, 8: true}
+	for h := uint64(1); h <= 9; h++ {
+		wrote, err := s.MaybeCheckpoint(head, h, root, st)
+		if err != nil {
+			t.Fatalf("MaybeCheckpoint(%d): %v", h, err)
+		}
+		if wrote != wantAt[h] {
+			t.Fatalf("MaybeCheckpoint(%d) wrote=%v, want %v", h, wrote, wantAt[h])
+		}
+	}
+	if got := s.Stats().Checkpoints; got != 2 {
+		t.Fatalf("checkpoints written = %d, want 2", got)
+	}
+}
+
+// TestStoreFailureLatches verifies the store refuses all writes after
+// the first failure, so the in-memory chain cannot silently outrun a
+// broken log.
+func TestStoreFailureLatches(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openStoreT(t, dir, StoreOptions{Fsync: FsyncAlways})
+	blocks := testBlocks(3)
+	if err := s.LogBlock(blocks[0]); err != nil {
+		t.Fatal(err)
+	}
+	s.WAL().SetFailpoint(FailTorn, 1)
+	if err := s.LogBlock(blocks[1]); err == nil {
+		t.Fatal("LogBlock at failpoint succeeded")
+	}
+	if s.Failed() == nil {
+		t.Fatal("Failed() = nil after write failure")
+	}
+	if err := s.LogBlock(blocks[2]); !errors.Is(err, ErrStoreFailed) {
+		t.Fatalf("LogBlock after failure: err = %v, want ErrStoreFailed", err)
+	}
+	if err := s.LogHead(blocks[2].Hash()); !errors.Is(err, ErrStoreFailed) {
+		t.Fatalf("LogHead after failure: err = %v, want ErrStoreFailed", err)
+	}
+	st := state.New()
+	if err := s.Checkpoint(blocks[0].Hash(), 1, st.Commit(), st); !errors.Is(err, ErrStoreFailed) {
+		t.Fatalf("Checkpoint after failure: err = %v, want ErrStoreFailed", err)
+	}
+	s.Close()
+
+	// The journal survives as the pre-crash prefix.
+	_, rec := openStoreT(t, dir, StoreOptions{Fsync: FsyncAlways})
+	if len(rec.Blocks) != 1 || rec.Blocks[0].Block.Hash() != blocks[0].Hash() {
+		t.Fatalf("recovered %d blocks, want the 1 pre-crash block", len(rec.Blocks))
+	}
+}
+
+// TestUndecodablePayloadStopsCollection writes a CRC-valid RecBlock
+// whose payload is not a decodable block: recovery must stop collecting
+// there to preserve prefix semantics.
+func TestUndecodablePayloadStopsCollection(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openStoreT(t, dir, StoreOptions{Fsync: FsyncAlways})
+	blocks := testBlocks(3)
+	if err := s.LogBlock(blocks[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.WAL().Append(RecBlock, []byte("not a block")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LogBlock(blocks[1]); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	_, rec := openStoreT(t, dir, StoreOptions{Fsync: FsyncAlways})
+	if len(rec.Blocks) != 1 {
+		t.Fatalf("recovered %d blocks, want 1 (prefix before bad payload)", len(rec.Blocks))
+	}
+	if rec.Truncated != 2 {
+		t.Fatalf("Truncated = %d, want 2 (bad record + dropped successor)", rec.Truncated)
+	}
+}
