@@ -68,13 +68,22 @@ trace-demo:
 crash-matrix:
 	$(GO) test -race -count=1 ./internal/node -run 'TestCrashMatrix|TestCleanShutdownRecoversExactHead|TestRecoverThenContinue|TestRecoverReorgedChain' -v
 
-# Native fuzzing smoke: 30s per target over the WAL frame decoder and
-# the block codec — the two parsers that read attacker- or
-# crash-controlled bytes.
+# Native fuzzing smoke: 30s per target over every decoder that reads
+# attacker- or crash-controlled bytes — the WAL frame, the block codec,
+# and the binary wire codecs (p2p frames, gossip envelopes, pbft/raft
+# protocol messages, ordering batches, poet certificates, state
+# snapshots; see docs/WIRE.md).
 FUZZTIME ?= 30s
 fuzz-smoke:
 	$(GO) test ./internal/wal -run '^$$' -fuzz FuzzWALRecordDecode -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/types -run '^$$' -fuzz FuzzBlockDecode -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/p2p -run '^$$' -fuzz FuzzMessageDecode -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/p2p -run '^$$' -fuzz FuzzEnvelopeDecode -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/consensus/pbft -run '^$$' -fuzz FuzzPrePrepareDecode -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/consensus/raft -run '^$$' -fuzz FuzzAppendReqDecode -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/consensus/ordering -run '^$$' -fuzz FuzzBatchDecode -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/consensus/poet -run '^$$' -fuzz FuzzCertificateDecode -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/state -run '^$$' -fuzz FuzzSnapshotDecode -fuzztime $(FUZZTIME)
 
 tier1: build vet lint fmt-check doc-check test
 

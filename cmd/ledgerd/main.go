@@ -92,6 +92,8 @@ func run() error {
 		keySeed  = flag.String("keyseed", "", "deterministic key seed (default: derive from -id)")
 		dialTO   = flag.Duration("dial-timeout", p2p.DefaultDialTimeout, "p2p dial timeout per connection attempt")
 		sendQ    = flag.Int("send-queue", p2p.DefaultQueueSize, "p2p per-peer outbound queue size")
+		maxFrame = flag.Uint("max-frame", p2p.DefaultMaxFrame, "p2p max inbound frame size in bytes (oversize frames drop the connection)")
+		readIdle = flag.Duration("read-idle", p2p.DefaultReadIdleTimeout, "p2p idle read deadline; silent inbound connections are dropped after this")
 		retain   = flag.Int("state-retention", node.DefaultStateRetention,
 			"blocks below the head that keep a materialized state (-1 = archive, keep all)")
 		maxOrph = flag.Int("max-orphans", node.DefaultMaxOrphans, "max buffered unknown-parent blocks")
@@ -188,10 +190,12 @@ func run() error {
 	}
 
 	tr, err := p2p.NewTCPTransportConfig(p2p.NodeID(*id), *listen, n.Mux().Dispatch, p2p.TCPConfig{
-		DialTimeout: *dialTO,
-		QueueSize:   *sendQ,
-		Registry:    reg,
-		Tracer:      tracer,
+		DialTimeout:     *dialTO,
+		QueueSize:       *sendQ,
+		MaxFrameSize:    uint32(*maxFrame),
+		ReadIdleTimeout: *readIdle,
+		Registry:        reg,
+		Tracer:          tracer,
 	})
 	if err != nil {
 		return err

@@ -55,7 +55,11 @@ func StageLatency(scale float64, traceOut io.Writer) ([]*Table, error) {
 			return nil, fmt.Errorf("bench: write ordering trace: %w", err)
 		}
 	}
-	return []*Table{powTable, ordTable}, nil
+	codecTables, err := CodecTables()
+	if err != nil {
+		return nil, err
+	}
+	return append([]*Table{powTable, ordTable}, codecTables...), nil
 }
 
 // powStageRun drives a 4-miner PoW gossip network under transaction

@@ -1,0 +1,59 @@
+package ordering
+
+// Binary codec for ordered batches. A batch rides the raft log and the
+// pbft operation stream, so its encoding sits on the ordering hot path;
+// transactions reuse the canonical types.Transaction encoding.
+
+import (
+	"fmt"
+
+	"dcsledger/internal/types"
+	"dcsledger/internal/wire"
+)
+
+const (
+	// BatchCodecVersion tags the batch encoding; bump on layout change.
+	BatchCodecVersion = 1
+	// MaxBatchTxs bounds the transaction count a decoded batch may
+	// claim, so a forged count cannot drive allocation; cut batches
+	// (BatchConfig.MaxTxs, default 256) are always far smaller.
+	MaxBatchTxs = 1 << 16
+	// MaxBatchTxLen bounds one encoded transaction inside a batch.
+	MaxBatchTxLen = 1 << 24
+)
+
+// Encode renders the batch in its canonical binary form.
+func (b Batch) Encode() []byte {
+	var w wire.Buffer
+	w.U8(BatchCodecVersion)
+	w.U64(b.Seq)
+	w.U32(uint32(len(b.Txs)))
+	for _, tx := range b.Txs {
+		w.Blob(tx.Encode())
+	}
+	return w.Bytes()
+}
+
+// DecodeBatch parses a canonical batch encoding, rejecting trailing
+// bytes, forged counts, and malformed transactions.
+func DecodeBatch(data []byte) (Batch, error) {
+	var b Batch
+	rd := wire.NewReader(data)
+	if v := rd.U8(); rd.Err() == nil && v != BatchCodecVersion {
+		return b, fmt.Errorf("ordering: unknown batch version %d", v)
+	}
+	b.Seq = rd.U64()
+	count := rd.Count(MaxBatchTxs)
+	for i := uint32(0); i < count && rd.Err() == nil; i++ {
+		raw := rd.Blob(MaxBatchTxLen)
+		if rd.Err() != nil {
+			break
+		}
+		tx, err := types.DecodeTransaction(raw)
+		if err != nil {
+			return b, fmt.Errorf("ordering: batch tx %d: %w", i, err)
+		}
+		b.Txs = append(b.Txs, tx)
+	}
+	return b, rd.Close()
+}

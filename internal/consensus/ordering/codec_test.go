@@ -1,0 +1,71 @@
+package ordering
+
+import (
+	"bytes"
+	"testing"
+
+	"dcsledger/internal/types"
+	"dcsledger/internal/wire"
+)
+
+func TestBatchRoundTrip(t *testing.T) {
+	b := Batch{Seq: 7, Txs: []*types.Transaction{tx(1), tx(2), tx(3)}}
+	got, err := DecodeBatch(b.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != b.Seq || len(got.Txs) != len(b.Txs) {
+		t.Fatalf("got %+v", got)
+	}
+	for i := range b.Txs {
+		if got.Txs[i].ID() != b.Txs[i].ID() {
+			t.Fatalf("tx %d identity mismatch", i)
+		}
+	}
+	// Empty batch.
+	if got, err := DecodeBatch(Batch{Seq: 1}.Encode()); err != nil || got.Seq != 1 || len(got.Txs) != 0 {
+		t.Fatalf("empty batch: %+v, %v", got, err)
+	}
+}
+
+func TestBatchDecodeRejects(t *testing.T) {
+	enc := Batch{Seq: 1, Txs: []*types.Transaction{tx(1)}}.Encode()
+	if _, err := DecodeBatch(append(enc, 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	if _, err := DecodeBatch(enc[:len(enc)-1]); err == nil {
+		t.Fatal("truncated batch accepted")
+	}
+	bad := append([]byte(nil), enc...)
+	bad[0] = 9
+	if _, err := DecodeBatch(bad); err == nil {
+		t.Fatal("unknown version accepted")
+	}
+	// A batch whose tx blob is not a valid transaction must be rejected,
+	// not silently skipped: the raft log and pbft stream carry only
+	// canonical batches.
+	var w wire.Buffer
+	w.U8(BatchCodecVersion)
+	w.U64(1)
+	w.U32(1)
+	w.Blob([]byte("not a transaction"))
+	if _, err := DecodeBatch(w.Bytes()); err == nil {
+		t.Fatal("garbage tx blob accepted")
+	}
+}
+
+// FuzzBatchDecode: batches are pbft operations proposed by any peer.
+func FuzzBatchDecode(f *testing.F) {
+	f.Add(Batch{Seq: 3, Txs: []*types.Transaction{tx(1)}}.Encode())
+	f.Add(Batch{}.Encode())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := DecodeBatch(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(b.Encode(), data) {
+			t.Fatal("non-canonical batch accepted")
+		}
+	})
+}

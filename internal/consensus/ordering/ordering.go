@@ -12,7 +12,6 @@
 package ordering
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
@@ -31,10 +30,11 @@ var (
 	ErrStopped   = errors.New("ordering: orderer stopped")
 )
 
-// Batch is one ordered block of transactions.
+// Batch is one ordered block of transactions. It travels the raft log
+// and the pbft operation stream in the binary encoding of codec.go.
 type Batch struct {
-	Seq uint64               `json:"seq"`
-	Txs []*types.Transaction `json:"txs"`
+	Seq uint64
+	Txs []*types.Transaction
 }
 
 // DeliverFunc receives ordered batches, in Seq order, exactly once.
@@ -196,8 +196,8 @@ func (r *Raft) Attach(node *raft.Node) { r.node = node }
 // Apply is the raft ApplyFunc: decodes committed batches and delivers
 // them.
 func (r *Raft) Apply(index uint64, data []byte) {
-	var b Batch
-	if err := json.Unmarshal(data, &b); err != nil {
+	b, err := DecodeBatch(data)
+	if err != nil {
 		return
 	}
 	r.mu.Lock()
@@ -278,11 +278,7 @@ func (r *Raft) cutLocked() error {
 	r.timer.Stop()
 	r.timer = nil
 	b := Batch{Seq: r.nextSeqLocked(), Txs: r.buf}
-	data, err := json.Marshal(b)
-	if err != nil {
-		return fmt.Errorf("ordering: %w", err)
-	}
-	if _, err := r.node.Propose(data); err != nil {
+	if _, err := r.node.Propose(b.Encode()); err != nil {
 		return fmt.Errorf("ordering: %w", err)
 	}
 	r.tracer.Record(obs.Span{
@@ -326,17 +322,13 @@ func (c *Committer) Attach(node *pbft.Node) { c.node = node }
 // OnBatch receives a batch from the orderer and proposes it to the
 // peer-group's PBFT instance.
 func (c *Committer) OnBatch(b Batch) {
-	data, err := json.Marshal(b)
-	if err != nil {
-		return
-	}
-	_ = c.node.Propose(data)
+	_ = c.node.Propose(b.Encode())
 }
 
 // Apply is the PBFT ApplyFunc: executes each agreed batch once.
 func (c *Committer) Apply(seq uint64, op []byte) {
-	var b Batch
-	if err := json.Unmarshal(op, &b); err != nil {
+	b, err := DecodeBatch(op)
+	if err != nil {
 		return
 	}
 	c.mu.Lock()

@@ -1,0 +1,123 @@
+package pbft
+
+// Binary wire codec for the PBFT protocol messages. Each message is a
+// version byte followed by fixed-width big-endian fields (see
+// docs/WIRE.md); decoders bound every length, reject unknown versions,
+// and reject trailing bytes so one message has exactly one encoding.
+
+import (
+	"fmt"
+
+	"dcsledger/internal/wire"
+)
+
+const (
+	// CodecVersion tags every pbft wire message; bump on any layout
+	// change.
+	CodecVersion = 1
+	// MaxOpLen bounds a client operation carried in request/pre-prepare
+	// messages (matches the transport's default frame cap headroom).
+	MaxOpLen = 1 << 24
+)
+
+// wireMsg is implemented by every pbft protocol message.
+type wireMsg interface {
+	encode() []byte
+}
+
+func (r request) encode() []byte {
+	var w wire.Buffer
+	w.U8(CodecVersion)
+	w.Blob(r.Op)
+	return w.Bytes()
+}
+
+func decodeRequest(data []byte) (request, error) {
+	var r request
+	rd := wire.NewReader(data)
+	if v := rd.U8(); rd.Err() == nil && v != CodecVersion {
+		return r, fmt.Errorf("pbft: unknown request version %d", v)
+	}
+	r.Op = rd.Blob(MaxOpLen)
+	return r, rd.Close()
+}
+
+func (pp prePrepare) encode() []byte {
+	var w wire.Buffer
+	w.U8(CodecVersion)
+	w.U64(pp.View)
+	w.U64(pp.Seq)
+	w.Raw(pp.Digest[:])
+	w.Blob(pp.Op)
+	return w.Bytes()
+}
+
+func decodePrePrepare(data []byte) (prePrepare, error) {
+	var pp prePrepare
+	rd := wire.NewReader(data)
+	if v := rd.U8(); rd.Err() == nil && v != CodecVersion {
+		return pp, fmt.Errorf("pbft: unknown pre-prepare version %d", v)
+	}
+	pp.View = rd.U64()
+	pp.Seq = rd.U64()
+	rd.Raw(pp.Digest[:])
+	pp.Op = rd.Blob(MaxOpLen)
+	return pp, rd.Close()
+}
+
+func (v phaseVote) encode() []byte {
+	var w wire.Buffer
+	w.U8(CodecVersion)
+	w.U64(v.View)
+	w.U64(v.Seq)
+	w.Raw(v.Digest[:])
+	return w.Bytes()
+}
+
+func decodePhaseVote(data []byte) (phaseVote, error) {
+	var v phaseVote
+	rd := wire.NewReader(data)
+	if ver := rd.U8(); rd.Err() == nil && ver != CodecVersion {
+		return v, fmt.Errorf("pbft: unknown phase-vote version %d", ver)
+	}
+	v.View = rd.U64()
+	v.Seq = rd.U64()
+	rd.Raw(v.Digest[:])
+	return v, rd.Close()
+}
+
+func (vc viewChange) encode() []byte {
+	var w wire.Buffer
+	w.U8(CodecVersion)
+	w.U64(vc.NewView)
+	return w.Bytes()
+}
+
+func decodeViewChange(data []byte) (viewChange, error) {
+	var vc viewChange
+	rd := wire.NewReader(data)
+	if v := rd.U8(); rd.Err() == nil && v != CodecVersion {
+		return vc, fmt.Errorf("pbft: unknown view-change version %d", v)
+	}
+	vc.NewView = rd.U64()
+	return vc, rd.Close()
+}
+
+func (nv newView) encode() []byte {
+	var w wire.Buffer
+	w.U8(CodecVersion)
+	w.U64(nv.View)
+	w.U64(nv.StartSeq)
+	return w.Bytes()
+}
+
+func decodeNewView(data []byte) (newView, error) {
+	var nv newView
+	rd := wire.NewReader(data)
+	if v := rd.U8(); rd.Err() == nil && v != CodecVersion {
+		return nv, fmt.Errorf("pbft: unknown new-view version %d", v)
+	}
+	nv.View = rd.U64()
+	nv.StartSeq = rd.U64()
+	return nv, rd.Close()
+}

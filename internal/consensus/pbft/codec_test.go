@@ -1,0 +1,115 @@
+package pbft
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+
+	"dcsledger/internal/cryptoutil"
+)
+
+// TestPBFTGoldenVectors freezes the pbft wire formats byte-exactly. A
+// failure here is a protocol break: bump CodecVersion and update
+// docs/WIRE.md.
+func TestPBFTGoldenVectors(t *testing.T) {
+	digest := cryptoutil.HashBytes([]byte("pbft/op"), []byte("op"))
+	dhex := hex.EncodeToString(digest[:])
+	cases := []struct {
+		name string
+		got  []byte
+		want string
+	}{
+		{"request", request{Op: []byte("op")}.encode(),
+			"01" + "00000002" + "6f70"},
+		{"pre-prepare", prePrepare{View: 1, Seq: 2, Digest: digest, Op: []byte("op")}.encode(),
+			"01" + "0000000000000001" + "0000000000000002" + dhex + "00000002" + "6f70"},
+		{"phase-vote", phaseVote{View: 1, Seq: 2, Digest: digest}.encode(),
+			"01" + "0000000000000001" + "0000000000000002" + dhex},
+		{"view-change", viewChange{NewView: 3}.encode(),
+			"01" + "0000000000000003"},
+		{"new-view", newView{View: 3, StartSeq: 9}.encode(),
+			"01" + "0000000000000003" + "0000000000000009"},
+	}
+	for _, c := range cases {
+		if got := hex.EncodeToString(c.got); got != c.want {
+			t.Errorf("%s encoding changed:\n got %s\nwant %s", c.name, got, c.want)
+		}
+	}
+}
+
+func TestPBFTRoundTrips(t *testing.T) {
+	digest := opDigest([]byte("x"))
+
+	pp := prePrepare{View: 7, Seq: 9, Digest: digest, Op: []byte("x")}
+	if got, err := decodePrePrepare(pp.encode()); err != nil || got.View != pp.View ||
+		got.Seq != pp.Seq || got.Digest != pp.Digest || !bytes.Equal(got.Op, pp.Op) {
+		t.Fatalf("pre-prepare: %+v, %v", got, err)
+	}
+	v := phaseVote{View: 1, Seq: 2, Digest: digest}
+	if got, err := decodePhaseVote(v.encode()); err != nil || got != v {
+		t.Fatalf("phase-vote: %+v, %v", got, err)
+	}
+	vc := viewChange{NewView: 4}
+	if got, err := decodeViewChange(vc.encode()); err != nil || got != vc {
+		t.Fatalf("view-change: %+v, %v", got, err)
+	}
+	nv := newView{View: 4, StartSeq: 11}
+	if got, err := decodeNewView(nv.encode()); err != nil || got != nv {
+		t.Fatalf("new-view: %+v, %v", got, err)
+	}
+	req := request{Op: []byte("x")}
+	if got, err := decodeRequest(req.encode()); err != nil || !bytes.Equal(got.Op, req.Op) {
+		t.Fatalf("request: %+v, %v", got, err)
+	}
+}
+
+func TestPBFTDecodeRejects(t *testing.T) {
+	pp := prePrepare{View: 1, Seq: 1, Digest: opDigest([]byte("x")), Op: []byte("x")}
+	enc := pp.encode()
+	if _, err := decodePrePrepare(append(enc, 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	if _, err := decodePrePrepare(enc[:len(enc)-1]); err == nil {
+		t.Fatal("truncated input accepted")
+	}
+	bad := append([]byte(nil), enc...)
+	bad[0] = 42
+	if _, err := decodePrePrepare(bad); err == nil {
+		t.Fatal("unknown version accepted")
+	}
+	if _, err := decodePhaseVote(nil); err == nil {
+		t.Fatal("empty phase-vote accepted")
+	}
+}
+
+// FuzzPrePrepareDecode: pre-prepares arrive from the (possibly
+// Byzantine) primary; the decoder must be total and canonical.
+func FuzzPrePrepareDecode(f *testing.F) {
+	f.Add(prePrepare{View: 1, Seq: 2, Digest: opDigest([]byte("x")), Op: []byte("x")}.encode())
+	f.Add([]byte{})
+	f.Add([]byte{CodecVersion})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pp, err := decodePrePrepare(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(pp.encode(), data) {
+			t.Fatal("non-canonical pre-prepare accepted")
+		}
+	})
+}
+
+// FuzzPhaseVoteDecode covers the prepare/commit vote decoder.
+func FuzzPhaseVoteDecode(f *testing.F) {
+	f.Add(phaseVote{View: 1, Seq: 2, Digest: opDigest([]byte("x"))}.encode())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := decodePhaseVote(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(v.encode(), data) {
+			t.Fatal("non-canonical phase vote accepted")
+		}
+	})
+}

@@ -16,7 +16,6 @@
 package pbft
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
@@ -48,33 +47,36 @@ type Config struct {
 	ViewTimeout time.Duration
 }
 
+// Protocol messages travel in the binary wire format defined in
+// codec.go; field order there matches declaration order here.
+
 type prePrepare struct {
-	View   uint64          `json:"view"`
-	Seq    uint64          `json:"seq"`
-	Digest cryptoutil.Hash `json:"digest"`
-	Op     []byte          `json:"op"`
+	View   uint64
+	Seq    uint64
+	Digest cryptoutil.Hash
+	Op     []byte
 }
 
 type phaseVote struct {
-	View   uint64          `json:"view"`
-	Seq    uint64          `json:"seq"`
-	Digest cryptoutil.Hash `json:"digest"`
+	View   uint64
+	Seq    uint64
+	Digest cryptoutil.Hash
 }
 
 type viewChange struct {
-	NewView uint64 `json:"newView"`
+	NewView uint64
 }
 
 type newView struct {
-	View uint64 `json:"view"`
+	View uint64
 	// StartSeq is the sequence number the new primary resumes from;
 	// replicas align their execution cursors to it so renumbered
 	// proposals execute without waiting on abandoned old-view slots.
-	StartSeq uint64 `json:"startSeq"`
+	StartSeq uint64
 }
 
 type request struct {
-	Op []byte `json:"op"`
+	Op []byte
 }
 
 // instance is the agreement state for one (view, seq) slot.
@@ -227,8 +229,7 @@ func (n *Node) HandleMessage(m p2p.Message) {
 	}
 	switch m.Type {
 	case MsgPrefix + "request":
-		var req request
-		if json.Unmarshal(m.Data, &req) == nil {
+		if req, err := decodeRequest(m.Data); err == nil {
 			digest := opDigest(req.Op)
 			if n.executedDigests[digest] {
 				return
@@ -242,28 +243,23 @@ func (n *Node) HandleMessage(m p2p.Message) {
 			}
 		}
 	case MsgPrefix + "pre-prepare":
-		var pp prePrepare
-		if json.Unmarshal(m.Data, &pp) == nil {
+		if pp, err := decodePrePrepare(m.Data); err == nil {
 			n.onPrePrepare(m.From, pp)
 		}
 	case MsgPrefix + "prepare":
-		var v phaseVote
-		if json.Unmarshal(m.Data, &v) == nil {
+		if v, err := decodePhaseVote(m.Data); err == nil {
 			n.onPrepare(m.From, v)
 		}
 	case MsgPrefix + "commit":
-		var v phaseVote
-		if json.Unmarshal(m.Data, &v) == nil {
+		if v, err := decodePhaseVote(m.Data); err == nil {
 			n.onCommit(m.From, v)
 		}
 	case MsgPrefix + "view-change":
-		var vc viewChange
-		if json.Unmarshal(m.Data, &vc) == nil {
+		if vc, err := decodeViewChange(m.Data); err == nil {
 			n.onViewChange(m.From, vc)
 		}
 	case MsgPrefix + "new-view":
-		var nv newView
-		if json.Unmarshal(m.Data, &nv) == nil {
+		if nv, err := decodeNewView(m.Data); err == nil {
 			n.onNewView(m.From, nv)
 		}
 	}
@@ -284,15 +280,11 @@ func (n *Node) isReplica(id p2p.NodeID) bool {
 
 func (n *Node) quorum() int { return 2*n.f + 1 }
 
-func (n *Node) send(to p2p.NodeID, typ string, v any) {
-	data, err := json.Marshal(v)
-	if err != nil {
-		return
-	}
-	_ = n.tr.Send(to, p2p.Message{Type: MsgPrefix + typ, Data: data})
+func (n *Node) send(to p2p.NodeID, typ string, v wireMsg) {
+	_ = n.tr.Send(to, p2p.Message{Type: MsgPrefix + typ, Data: v.encode()})
 }
 
-func (n *Node) broadcast(typ string, v any) {
+func (n *Node) broadcast(typ string, v wireMsg) {
 	for _, r := range n.replicas {
 		if r == n.id {
 			continue

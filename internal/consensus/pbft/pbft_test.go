@@ -1,7 +1,6 @@
 package pbft
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
 	"testing"
@@ -197,11 +196,7 @@ func TestEquivocatingPrimaryCannotSplitExecution(t *testing.T) {
 	}
 	send := func(to p2p.NodeID, op string) {
 		pp := prePrepare{View: 0, Seq: 1, Digest: opDigest([]byte(op)), Op: []byte(op)}
-		data, err := json.Marshal(pp)
-		if err != nil {
-			t.Fatal(err)
-		}
-		_ = evilEp.Send(to, p2p.Message{Type: MsgPrefix + "pre-prepare", Data: data})
+		_ = evilEp.Send(to, p2p.Message{Type: MsgPrefix + "pre-prepare", Data: pp.encode()})
 	}
 	send("r1", "op-A")
 	send("r2", "op-A")

@@ -1,0 +1,67 @@
+package poet
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"dcsledger/internal/cryptoutil"
+)
+
+func testCert(t *testing.T) Certificate {
+	t.Helper()
+	enc := NewEnclave([]byte("seed"))
+	var v cryptoutil.Address
+	v[0] = 7
+	cert, err := enc.IssueCertificate(cryptoutil.ZeroHash, v, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cert
+}
+
+func TestCertificateRoundTrip(t *testing.T) {
+	cert := testCert(t)
+	got, err := DecodeCertificate(cert.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Validator != cert.Validator || got.Parent != cert.Parent ||
+		got.WaitNanos != cert.WaitNanos || !bytes.Equal(got.Sig, cert.Sig) {
+		t.Fatalf("round trip: got %+v, want %+v", got, cert)
+	}
+}
+
+func TestCertificateDecodeRejects(t *testing.T) {
+	enc := testCert(t).Encode()
+	if _, err := DecodeCertificate(append(enc, 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	if _, err := DecodeCertificate(enc[:len(enc)-1]); err == nil {
+		t.Fatal("truncated certificate accepted")
+	}
+	bad := append([]byte(nil), enc...)
+	bad[0] = 3
+	if _, err := DecodeCertificate(bad); err == nil {
+		t.Fatal("unknown version accepted")
+	}
+	if _, err := DecodeCertificate(nil); err == nil {
+		t.Fatal("empty certificate accepted")
+	}
+}
+
+// FuzzCertificateDecode: Header.Extra arrives from untrusted block
+// producers; the decoder must be total and canonical.
+func FuzzCertificateDecode(f *testing.F) {
+	f.Add(Certificate{WaitNanos: 1, Sig: []byte("sig")}.Encode())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := DecodeCertificate(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(c.Encode(), data) {
+			t.Fatal("non-canonical certificate accepted")
+		}
+	})
+}

@@ -16,7 +16,6 @@ package poet
 import (
 	"bytes"
 	"encoding/binary"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
@@ -26,18 +25,54 @@ import (
 	"dcsledger/internal/consensus"
 	"dcsledger/internal/cryptoutil"
 	"dcsledger/internal/types"
+	"dcsledger/internal/wire"
 )
 
 // ErrBadCertificate reports a forged or mismatched wait certificate.
 var ErrBadCertificate = errors.New("poet: invalid wait certificate")
 
+// CertCodecVersion tags the binary certificate encoding carried in
+// Header.Extra; bump on layout change (this changes poet block hashes).
+const CertCodecVersion = 1
+
+// maxCertSigLen bounds the signature blob when decoding untrusted
+// Header.Extra bytes.
+const maxCertSigLen = 256
+
 // Certificate is an enclave-signed statement that a validator was
-// assigned the given wait for blocks extending Parent.
+// assigned the given wait for blocks extending Parent. It is embedded
+// in Header.Extra in the binary encoding below, so the encoding is
+// consensus-critical: one certificate has exactly one byte form.
 type Certificate struct {
-	Validator cryptoutil.Address `json:"validator"`
-	Parent    cryptoutil.Hash    `json:"parent"`
-	WaitNanos int64              `json:"waitNanos"`
-	Sig       []byte             `json:"sig"`
+	Validator cryptoutil.Address
+	Parent    cryptoutil.Hash
+	WaitNanos int64
+	Sig       []byte
+}
+
+// Encode renders the certificate in its canonical binary form.
+func (c Certificate) Encode() []byte {
+	var w wire.Buffer
+	w.U8(CertCodecVersion)
+	w.Raw(c.Validator[:])
+	w.Raw(c.Parent[:])
+	w.U64(uint64(c.WaitNanos))
+	w.Blob(c.Sig)
+	return w.Bytes()
+}
+
+// DecodeCertificate parses a canonical certificate encoding.
+func DecodeCertificate(data []byte) (Certificate, error) {
+	var c Certificate
+	rd := wire.NewReader(data)
+	if v := rd.U8(); rd.Err() == nil && v != CertCodecVersion {
+		return c, fmt.Errorf("poet: unknown certificate version %d", v)
+	}
+	rd.Raw(c.Validator[:])
+	rd.Raw(c.Parent[:])
+	c.WaitNanos = int64(rd.U64())
+	c.Sig = rd.Blob(maxCertSigLen)
+	return c, rd.Close()
 }
 
 func (c *Certificate) digest() cryptoutil.Hash {
@@ -151,11 +186,7 @@ func (e *Engine) Seal(b *types.Block, parent *types.Block) error {
 	if err != nil {
 		return err
 	}
-	data, err := json.Marshal(cert)
-	if err != nil {
-		return fmt.Errorf("poet: %w", err)
-	}
-	b.Header.Extra = data
+	b.Header.Extra = cert.Encode()
 	return nil
 }
 
@@ -163,8 +194,8 @@ func (e *Engine) Seal(b *types.Block, parent *types.Block) error {
 // enclave-signed, match the deterministic draw, and the block timestamp
 // must show the validator actually waited.
 func (e *Engine) VerifySeal(b *types.Block, parent *types.Block) error {
-	var cert Certificate
-	if err := json.Unmarshal(b.Header.Extra, &cert); err != nil {
+	cert, err := DecodeCertificate(b.Header.Extra)
+	if err != nil {
 		return fmt.Errorf("%w: %v", ErrBadCertificate, err)
 	}
 	if cert.Validator != b.Header.Proposer {

@@ -1,0 +1,129 @@
+package raft
+
+// Binary wire codec for the Raft protocol messages: version byte plus
+// fixed-width big-endian fields (see docs/WIRE.md). Decoders bound
+// every length, reject unknown versions, and reject trailing bytes.
+
+import (
+	"fmt"
+
+	"dcsledger/internal/wire"
+)
+
+const (
+	// CodecVersion tags every raft wire message; bump on layout change.
+	CodecVersion = 1
+	// MaxLeaderIDLen bounds the leader/candidate identifier.
+	MaxLeaderIDLen = 128
+	// MaxEntryLen bounds one log entry's payload.
+	MaxEntryLen = 1 << 24
+	// MaxEntriesPerAppend bounds the entry count in one append; the
+	// leader never sends more than its whole log, and the bound stops a
+	// forged count from pre-allocating unbounded memory.
+	MaxEntriesPerAppend = 1 << 16
+)
+
+// wireMsg is implemented by every raft protocol message.
+type wireMsg interface {
+	encode() []byte
+}
+
+func (r voteReq) encode() []byte {
+	var w wire.Buffer
+	w.U8(CodecVersion)
+	w.U64(r.Term)
+	w.String(r.Candidate)
+	w.U64(r.LastLogIndex)
+	w.U64(r.LastLogTerm)
+	return w.Bytes()
+}
+
+func decodeVoteReq(data []byte) (voteReq, error) {
+	var r voteReq
+	rd := wire.NewReader(data)
+	if v := rd.U8(); rd.Err() == nil && v != CodecVersion {
+		return r, fmt.Errorf("raft: unknown vote-req version %d", v)
+	}
+	r.Term = rd.U64()
+	r.Candidate = rd.String(MaxLeaderIDLen)
+	r.LastLogIndex = rd.U64()
+	r.LastLogTerm = rd.U64()
+	return r, rd.Close()
+}
+
+func (r voteResp) encode() []byte {
+	var w wire.Buffer
+	w.U8(CodecVersion)
+	w.U64(r.Term)
+	w.Bool(r.Granted)
+	return w.Bytes()
+}
+
+func decodeVoteResp(data []byte) (voteResp, error) {
+	var r voteResp
+	rd := wire.NewReader(data)
+	if v := rd.U8(); rd.Err() == nil && v != CodecVersion {
+		return r, fmt.Errorf("raft: unknown vote-resp version %d", v)
+	}
+	r.Term = rd.U64()
+	r.Granted = rd.Bool()
+	return r, rd.Close()
+}
+
+func (r appendReq) encode() []byte {
+	var w wire.Buffer
+	w.U8(CodecVersion)
+	w.U64(r.Term)
+	w.String(r.Leader)
+	w.U64(r.PrevLogIndex)
+	w.U64(r.PrevLogTerm)
+	w.U64(r.LeaderCommit)
+	w.U32(uint32(len(r.Entries)))
+	for _, e := range r.Entries {
+		w.U64(e.Term)
+		w.Blob(e.Data)
+	}
+	return w.Bytes()
+}
+
+func decodeAppendReq(data []byte) (appendReq, error) {
+	var r appendReq
+	rd := wire.NewReader(data)
+	if v := rd.U8(); rd.Err() == nil && v != CodecVersion {
+		return r, fmt.Errorf("raft: unknown append version %d", v)
+	}
+	r.Term = rd.U64()
+	r.Leader = rd.String(MaxLeaderIDLen)
+	r.PrevLogIndex = rd.U64()
+	r.PrevLogTerm = rd.U64()
+	r.LeaderCommit = rd.U64()
+	count := rd.Count(MaxEntriesPerAppend)
+	for i := uint32(0); i < count && rd.Err() == nil; i++ {
+		var e Entry
+		e.Term = rd.U64()
+		e.Data = rd.Blob(MaxEntryLen)
+		r.Entries = append(r.Entries, e)
+	}
+	return r, rd.Close()
+}
+
+func (r appendResp) encode() []byte {
+	var w wire.Buffer
+	w.U8(CodecVersion)
+	w.U64(r.Term)
+	w.Bool(r.Success)
+	w.U64(r.MatchIndex)
+	return w.Bytes()
+}
+
+func decodeAppendResp(data []byte) (appendResp, error) {
+	var r appendResp
+	rd := wire.NewReader(data)
+	if v := rd.U8(); rd.Err() == nil && v != CodecVersion {
+		return r, fmt.Errorf("raft: unknown append-resp version %d", v)
+	}
+	r.Term = rd.U64()
+	r.Success = rd.Bool()
+	r.MatchIndex = rd.U64()
+	return r, rd.Close()
+}

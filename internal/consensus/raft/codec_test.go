@@ -1,0 +1,118 @@
+package raft
+
+import (
+	"bytes"
+	"encoding/hex"
+	"reflect"
+	"testing"
+)
+
+// TestRaftGoldenVectors freezes the raft wire formats byte-exactly. A
+// failure here is a protocol break: bump CodecVersion and update
+// docs/WIRE.md.
+func TestRaftGoldenVectors(t *testing.T) {
+	cases := []struct {
+		name string
+		got  []byte
+		want string
+	}{
+		{"vote-req", voteReq{Term: 2, Candidate: "n1", LastLogIndex: 5, LastLogTerm: 1}.encode(),
+			"01" + "0000000000000002" + "0002" + "6e31" +
+				"0000000000000005" + "0000000000000001"},
+		{"vote-resp", voteResp{Term: 2, Granted: true}.encode(),
+			"01" + "0000000000000002" + "01"},
+		{"append", appendReq{Term: 2, Leader: "n1", PrevLogIndex: 3, PrevLogTerm: 1,
+			LeaderCommit: 3, Entries: []Entry{{Term: 2, Data: []byte{0xAB}}}}.encode(),
+			"01" + "0000000000000002" + "0002" + "6e31" +
+				"0000000000000003" + "0000000000000001" + "0000000000000003" +
+				"00000001" + "0000000000000002" + "00000001" + "ab"},
+		{"append-resp", appendResp{Term: 2, Success: true, MatchIndex: 4}.encode(),
+			"01" + "0000000000000002" + "01" + "0000000000000004"},
+	}
+	for _, c := range cases {
+		if got := hex.EncodeToString(c.got); got != c.want {
+			t.Errorf("%s encoding changed:\n got %s\nwant %s", c.name, got, c.want)
+		}
+	}
+}
+
+func TestRaftRoundTrips(t *testing.T) {
+	vr := voteReq{Term: 9, Candidate: "node-007", LastLogIndex: 42, LastLogTerm: 8}
+	if got, err := decodeVoteReq(vr.encode()); err != nil || got != vr {
+		t.Fatalf("vote-req: %+v, %v", got, err)
+	}
+	vresp := voteResp{Term: 9, Granted: false}
+	if got, err := decodeVoteResp(vresp.encode()); err != nil || got != vresp {
+		t.Fatalf("vote-resp: %+v, %v", got, err)
+	}
+	ar := appendReq{Term: 3, Leader: "n2", PrevLogIndex: 10, PrevLogTerm: 2,
+		LeaderCommit: 9, Entries: []Entry{{Term: 3, Data: []byte("a")}, {Term: 3, Data: nil}}}
+	got, err := decodeAppendReq(ar.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Blob round-trips nil as empty; normalize for comparison.
+	for i := range got.Entries {
+		if len(got.Entries[i].Data) == 0 {
+			got.Entries[i].Data = nil
+		}
+	}
+	if !reflect.DeepEqual(got, ar) {
+		t.Fatalf("append: got %+v, want %+v", got, ar)
+	}
+	// Heartbeat: no entries.
+	hb := appendReq{Term: 3, Leader: "n2", LeaderCommit: 1}
+	if got, err := decodeAppendReq(hb.encode()); err != nil || len(got.Entries) != 0 {
+		t.Fatalf("heartbeat: %+v, %v", got, err)
+	}
+	aresp := appendResp{Term: 3, Success: true, MatchIndex: 11}
+	if got, err := decodeAppendResp(aresp.encode()); err != nil || got != aresp {
+		t.Fatalf("append-resp: %+v, %v", got, err)
+	}
+}
+
+func TestRaftDecodeRejects(t *testing.T) {
+	enc := appendReq{Term: 1, Leader: "x"}.encode()
+	if _, err := decodeAppendReq(append(enc, 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	if _, err := decodeAppendReq(enc[:len(enc)-1]); err == nil {
+		t.Fatal("truncated input accepted")
+	}
+	bad := append([]byte(nil), enc...)
+	bad[0] = 7
+	if _, err := decodeAppendReq(bad); err == nil {
+		t.Fatal("unknown version accepted")
+	}
+	// Non-canonical bool in vote-resp.
+	vb := voteResp{Term: 1, Granted: true}.encode()
+	vb[len(vb)-1] = 2
+	if _, err := decodeVoteResp(vb); err == nil {
+		t.Fatal("non-canonical bool accepted")
+	}
+	// A forged entry count larger than the body must fail without
+	// allocating for the claimed count.
+	forged := appendReq{Term: 1, Leader: "x"}.encode()
+	forged[len(forged)-4] = 0xFF // count field high byte
+	if _, err := decodeAppendReq(forged); err == nil {
+		t.Fatal("forged entry count accepted")
+	}
+}
+
+// FuzzAppendReqDecode: append messages carry attacker-influenceable
+// batches; the decoder must never panic and must be canonical.
+func FuzzAppendReqDecode(f *testing.F) {
+	f.Add(appendReq{Term: 2, Leader: "n1", PrevLogIndex: 1, PrevLogTerm: 1,
+		LeaderCommit: 1, Entries: []Entry{{Term: 2, Data: []byte("d")}}}.encode())
+	f.Add(appendReq{}.encode())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := decodeAppendReq(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(r.encode(), data) {
+			t.Fatal("non-canonical append accepted")
+		}
+	})
+}

@@ -11,7 +11,6 @@
 package raft
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -57,8 +56,8 @@ func (r Role) String() string {
 
 // Entry is one replicated log record.
 type Entry struct {
-	Term uint64 `json:"term"`
-	Data []byte `json:"data"`
+	Term uint64
+	Data []byte
 }
 
 // ApplyFunc receives committed entries exactly once, in log order.
@@ -75,31 +74,34 @@ type Config struct {
 	HeartbeatInterval time.Duration
 }
 
+// Protocol messages travel in the binary wire format defined in
+// codec.go.
+
 type voteReq struct {
-	Term         uint64 `json:"term"`
-	Candidate    string `json:"candidate"`
-	LastLogIndex uint64 `json:"lastLogIndex"`
-	LastLogTerm  uint64 `json:"lastLogTerm"`
+	Term         uint64
+	Candidate    string
+	LastLogIndex uint64
+	LastLogTerm  uint64
 }
 
 type voteResp struct {
-	Term    uint64 `json:"term"`
-	Granted bool   `json:"granted"`
+	Term    uint64
+	Granted bool
 }
 
 type appendReq struct {
-	Term         uint64  `json:"term"`
-	Leader       string  `json:"leader"`
-	PrevLogIndex uint64  `json:"prevLogIndex"`
-	PrevLogTerm  uint64  `json:"prevLogTerm"`
-	Entries      []Entry `json:"entries,omitempty"`
-	LeaderCommit uint64  `json:"leaderCommit"`
+	Term         uint64
+	Leader       string
+	PrevLogIndex uint64
+	PrevLogTerm  uint64
+	Entries      []Entry
+	LeaderCommit uint64
 }
 
 type appendResp struct {
-	Term       uint64 `json:"term"`
-	Success    bool   `json:"success"`
-	MatchIndex uint64 `json:"matchIndex"`
+	Term       uint64
+	Success    bool
+	MatchIndex uint64
 }
 
 // Node is one Raft participant.
@@ -233,34 +235,26 @@ func (n *Node) HandleMessage(m p2p.Message) {
 	}
 	switch m.Type {
 	case MsgPrefix + "vote-req":
-		var req voteReq
-		if json.Unmarshal(m.Data, &req) == nil {
+		if req, err := decodeVoteReq(m.Data); err == nil {
 			n.onVoteReq(m.From, req)
 		}
 	case MsgPrefix + "vote-resp":
-		var resp voteResp
-		if json.Unmarshal(m.Data, &resp) == nil {
+		if resp, err := decodeVoteResp(m.Data); err == nil {
 			n.onVoteResp(m.From, resp)
 		}
 	case MsgPrefix + "append":
-		var req appendReq
-		if json.Unmarshal(m.Data, &req) == nil {
+		if req, err := decodeAppendReq(m.Data); err == nil {
 			n.onAppend(m.From, req)
 		}
 	case MsgPrefix + "append-resp":
-		var resp appendResp
-		if json.Unmarshal(m.Data, &resp) == nil {
+		if resp, err := decodeAppendResp(m.Data); err == nil {
 			n.onAppendResp(m.From, resp)
 		}
 	}
 }
 
-func (n *Node) send(to p2p.NodeID, typ string, v any) {
-	data, err := json.Marshal(v)
-	if err != nil {
-		return
-	}
-	_ = n.tr.Send(to, p2p.Message{Type: MsgPrefix + typ, Data: data})
+func (n *Node) send(to p2p.NodeID, typ string, v wireMsg) {
+	_ = n.tr.Send(to, p2p.Message{Type: MsgPrefix + typ, Data: v.encode()})
 }
 
 func (n *Node) resetElectionTimerLocked() {

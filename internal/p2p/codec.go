@@ -1,0 +1,116 @@
+package p2p
+
+import (
+	"fmt"
+
+	"dcsledger/internal/cryptoutil"
+	"dcsledger/internal/wire"
+)
+
+// Wire format bounds (see docs/WIRE.md). A Message frame on the TCP
+// transport is
+//
+//	u32 frameLen | u8 version | u16 fromLen | from | u16 typeLen | type
+//	            | u32 dataLen | data
+//
+// and every inbound length is checked against these caps before any
+// allocation happens.
+const (
+	// MsgVersion is the frame body version byte; decoders reject
+	// anything else so the format can evolve without ambiguity.
+	MsgVersion = 1
+	// MaxNodeIDLen bounds Message.From on the wire.
+	MaxNodeIDLen = 128
+	// MaxMsgTypeLen bounds Message.Type on the wire.
+	MaxMsgTypeLen = 128
+	// DefaultMaxFrame is the default inbound frame cap: 16 MiB, matching
+	// the per-field bound of the canonical block codec so any block the
+	// codec accepts also fits one frame.
+	DefaultMaxFrame = 1 << 24
+)
+
+// AppendMessage appends the binary encoding of m to dst and returns
+// the extended slice. The transport reuses one scratch buffer per peer
+// writer, so steady-state sends do not allocate.
+func AppendMessage(dst []byte, m Message) []byte {
+	dst = append(dst, MsgVersion)
+	dst = appendU16(dst, uint16(len(m.From)))
+	dst = append(dst, m.From...)
+	dst = appendU16(dst, uint16(len(m.Type)))
+	dst = append(dst, m.Type...)
+	dst = appendU32(dst, uint32(len(m.Data)))
+	dst = append(dst, m.Data...)
+	return dst
+}
+
+func appendU16(b []byte, v uint16) []byte { return append(b, byte(v>>8), byte(v)) }
+
+func appendU32(b []byte, v uint32) []byte {
+	return append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// EncodeMessage returns the binary encoding of m (a fresh slice).
+func EncodeMessage(m Message) []byte {
+	return AppendMessage(make([]byte, 0, 1+2+len(m.From)+2+len(m.Type)+4+len(m.Data)), m)
+}
+
+// DecodeMessage parses a binary message body (the frame payload, after
+// the u32 length prefix has been consumed by the frame reader).
+func DecodeMessage(b []byte) (Message, error) {
+	r := wire.NewReader(b)
+	if v := r.U8(); r.Err() == nil && v != MsgVersion {
+		return Message{}, fmt.Errorf("p2p: unknown message version %d", v)
+	}
+	var m Message
+	m.From = NodeID(r.String(MaxNodeIDLen))
+	m.Type = r.String(MaxMsgTypeLen)
+	m.Data = r.Blob(DefaultMaxFrame)
+	if err := r.Close(); err != nil {
+		return Message{}, fmt.Errorf("p2p: decode message: %w", err)
+	}
+	return m, nil
+}
+
+// Gossip envelope wire format:
+//
+//	u8 version | id (32 bytes) | u8 hops | u16 topicLen | topic
+//	           | u32 payloadLen | payload
+//
+// The ID is recomputed from (topic, payload) on receive — see
+// Gossiper.HandleMessage — so a peer cannot poison the seen-cache by
+// shipping a legitimate ID over a bogus payload.
+const (
+	// MaxGossipTopicLen bounds the topic string on the wire.
+	MaxGossipTopicLen = 128
+	// MaxGossipPayload bounds one gossiped payload (16 MiB, the block
+	// codec's field bound).
+	MaxGossipPayload = 1 << 24
+)
+
+// encodeEnvelope returns the binary encoding of env.
+func encodeEnvelope(env envelope) []byte {
+	w := wire.NewBuffer(1 + cryptoutil.HashSize + 1 + 2 + len(env.Topic) + 4 + len(env.Payload))
+	w.U8(MsgVersion)
+	w.Raw(env.ID[:])
+	w.U8(env.Hops)
+	w.String(env.Topic)
+	w.Blob(env.Payload)
+	return w.Bytes()
+}
+
+// decodeEnvelope parses a binary gossip envelope.
+func decodeEnvelope(b []byte) (envelope, error) {
+	r := wire.NewReader(b)
+	if v := r.U8(); r.Err() == nil && v != MsgVersion {
+		return envelope{}, fmt.Errorf("p2p: unknown envelope version %d", v)
+	}
+	var env envelope
+	r.Raw(env.ID[:])
+	env.Hops = r.U8()
+	env.Topic = r.String(MaxGossipTopicLen)
+	env.Payload = r.Blob(MaxGossipPayload)
+	if err := r.Close(); err != nil {
+		return envelope{}, fmt.Errorf("p2p: decode envelope: %w", err)
+	}
+	return env, nil
+}

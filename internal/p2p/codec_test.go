@@ -1,0 +1,134 @@
+package p2p
+
+import (
+	"bytes"
+	"encoding/hex"
+	"errors"
+	"testing"
+
+	"dcsledger/internal/wire"
+)
+
+// TestMessageGoldenVector freezes the Message wire format byte-exactly.
+// If this test fails, the wire format changed: that is a protocol
+// break, not a refactor — bump MsgVersion and update docs/WIRE.md.
+func TestMessageGoldenVector(t *testing.T) {
+	m := Message{From: "node-001", Type: "pbft/prepare", Data: []byte{0xDE, 0xAD}}
+	const want = "01" + // version
+		"0008" + "6e6f64652d303031" + // from: "node-001"
+		"000c" + "706266742f70726570617265" + // type: "pbft/prepare"
+		"00000002" + "dead" // data
+	if got := hex.EncodeToString(EncodeMessage(m)); got != want {
+		t.Fatalf("message encoding changed:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestEnvelopeGoldenVector freezes the gossip envelope wire format.
+func TestEnvelopeGoldenVector(t *testing.T) {
+	payload := []byte("tx-bytes")
+	env := envelope{
+		ID:      envelopeID("tx", payload),
+		Topic:   "tx",
+		Payload: payload,
+		Hops:    3,
+	}
+	want := "01" + // version
+		hex.EncodeToString(env.ID[:]) +
+		"03" + // hops
+		"0002" + "7478" + // topic: "tx"
+		"00000008" + hex.EncodeToString(payload)
+	if got := hex.EncodeToString(encodeEnvelope(env)); got != want {
+		t.Fatalf("envelope encoding changed:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestMessageRoundTrip(t *testing.T) {
+	cases := []Message{
+		{},
+		{From: "a", Type: "gossip", Data: nil},
+		{From: "node-042", Type: "node/getblock", Data: bytes.Repeat([]byte{7}, 1024)},
+		{Type: "raft/append"},
+	}
+	for _, m := range cases {
+		got, err := DecodeMessage(EncodeMessage(m))
+		if err != nil {
+			t.Fatalf("%+v: %v", m, err)
+		}
+		if got.From != m.From || got.Type != m.Type || !bytes.Equal(got.Data, m.Data) {
+			t.Fatalf("round trip: got %+v, want %+v", got, m)
+		}
+	}
+}
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	for _, env := range []envelope{
+		{ID: envelopeID("t", nil), Topic: "t", Hops: 0},
+		{ID: envelopeID("blocks", []byte("b")), Topic: "blocks", Payload: []byte("b"), Hops: 255},
+	} {
+		got, err := decodeEnvelope(encodeEnvelope(env))
+		if err != nil {
+			t.Fatalf("%+v: %v", env, err)
+		}
+		if got.ID != env.ID || got.Topic != env.Topic || got.Hops != env.Hops ||
+			!bytes.Equal(got.Payload, env.Payload) {
+			t.Fatalf("round trip: got %+v, want %+v", got, env)
+		}
+	}
+}
+
+func TestDecodeMessageRejectsBadVersionAndBounds(t *testing.T) {
+	good := EncodeMessage(Message{From: "a", Type: "t"})
+	bad := append([]byte(nil), good...)
+	bad[0] = 99
+	if _, err := DecodeMessage(bad); err == nil {
+		t.Fatal("unknown version must be rejected")
+	}
+	// Oversized From length prefix.
+	var w wire.Buffer
+	w.U8(MsgVersion)
+	w.U16(MaxNodeIDLen + 1)
+	if _, err := DecodeMessage(w.Bytes()); !errors.Is(err, wire.ErrTooLarge) {
+		t.Fatalf("oversize from = %v, want ErrTooLarge", err)
+	}
+	// Trailing bytes are non-canonical.
+	if _, err := DecodeMessage(append(good, 0)); !errors.Is(err, wire.ErrTrailing) {
+		t.Fatalf("trailing = %v, want ErrTrailing", err)
+	}
+}
+
+// FuzzMessageDecode: the Message decoder reads attacker-controlled TCP
+// frames; it must never panic and must be canonical on accepted inputs.
+func FuzzMessageDecode(f *testing.F) {
+	f.Add(EncodeMessage(Message{From: "node-001", Type: "gossip", Data: []byte("x")}))
+	f.Add(EncodeMessage(Message{}))
+	f.Add([]byte{})
+	f.Add([]byte{MsgVersion, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeMessage(data)
+		if err != nil {
+			return
+		}
+		re := EncodeMessage(m)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("non-canonical accept: %x != %x", re, data)
+		}
+	})
+}
+
+// FuzzEnvelopeDecode: gossip envelopes arrive from arbitrary peers.
+func FuzzEnvelopeDecode(f *testing.F) {
+	f.Add(encodeEnvelope(envelope{ID: envelopeID("tx", []byte("p")), Topic: "tx", Payload: []byte("p")}))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, err := decodeEnvelope(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(encodeEnvelope(env), data) {
+			t.Fatal("non-canonical envelope accepted")
+		}
+		// The ID check must be total on decoded envelopes.
+		_ = envelopeID(env.Topic, env.Payload) == env.ID
+	})
+}

@@ -1,7 +1,6 @@
 package p2p
 
 import (
-	"encoding/json"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -15,12 +14,21 @@ import (
 // GossipMsgType is the Message.Type used by the gossip protocol.
 const GossipMsgType = "gossip"
 
-// envelope is the wire format of one gossiped item.
+// DefaultMaxHops is the default forwarding TTL: an envelope that has
+// already traveled this many hops is delivered (if new) but not
+// forwarded again, so a forged high-hop envelope cannot circulate
+// indefinitely across seen-cache evictions. Gossip on a connected
+// overlay reaches every node in O(log n) hops; 16 covers overlays far
+// larger than any simulation here runs.
+const DefaultMaxHops = 16
+
+// envelope is one gossiped item; its binary wire format is defined in
+// codec.go (decodeEnvelope) and docs/WIRE.md.
 type envelope struct {
-	ID      cryptoutil.Hash `json:"id"`
-	Topic   string          `json:"topic"`
-	Payload []byte          `json:"payload"`
-	Hops    int             `json:"hops"`
+	ID      cryptoutil.Hash
+	Topic   string
+	Payload []byte
+	Hops    uint8
 }
 
 // DeliverFunc receives a gossiped payload exactly once per node.
@@ -31,6 +39,8 @@ type GossipStats struct {
 	Delivered  uint64 // distinct items delivered locally
 	Duplicates uint64 // items suppressed as already seen
 	Forwarded  uint64 // copies forwarded to neighbors
+	IDMismatch uint64 // envelopes dropped: wire ID != Hash(topic, payload)
+	TTLExpired uint64 // envelopes delivered but not forwarded: hop TTL reached
 }
 
 // Gossiper floods published items to the node's overlay neighbors:
@@ -46,8 +56,9 @@ type GossipStats struct {
 // outside the lock, so a callback may re-enter the gossiper (or take
 // the node lock) without deadlocking.
 type Gossiper struct {
-	tr     Transport
-	fanout int
+	tr      Transport
+	fanout  int
+	maxHops uint8
 
 	mu        sync.Mutex
 	neighbors []NodeID
@@ -58,6 +69,8 @@ type Gossiper struct {
 	delivered  atomic.Uint64
 	duplicates atomic.Uint64
 	forwarded  atomic.Uint64
+	idMismatch atomic.Uint64
+	ttlExpired atomic.Uint64
 }
 
 // NewGossiper creates a gossiper for the node behind tr, forwarding to
@@ -70,10 +83,22 @@ func NewGossiper(tr Transport, neighbors []NodeID, fanout int, rng *rand.Rand) *
 		tr:        tr,
 		neighbors: append([]NodeID(nil), neighbors...),
 		fanout:    fanout,
+		maxHops:   DefaultMaxHops,
 		rng:       rng,
 		seen:      make(map[cryptoutil.Hash]struct{}),
 		subs:      make(map[string]DeliverFunc),
 	}
+}
+
+// SetMaxHops overrides the forwarding TTL (0 restores DefaultMaxHops).
+// Call before traffic starts.
+func (g *Gossiper) SetMaxHops(h uint8) {
+	if h == 0 {
+		h = DefaultMaxHops
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.maxHops = h
 }
 
 // Subscribe registers the delivery callback for a topic.
@@ -100,7 +125,7 @@ func (g *Gossiper) markSeen(id cryptoutil.Hash) bool {
 // Publish floods payload under topic, delivering locally first.
 func (g *Gossiper) Publish(topic string, payload []byte) {
 	env := envelope{
-		ID:      cryptoutil.HashBytes([]byte("gossip/"+topic), payload),
+		ID:      envelopeID(topic, payload),
 		Topic:   topic,
 		Payload: payload,
 	}
@@ -115,18 +140,40 @@ func (g *Gossiper) Publish(topic string, payload []byte) {
 // HandleMessage processes an incoming gossip Message; wire it into the
 // node's Mux under GossipMsgType. Safe to call from concurrent
 // transport reader goroutines.
+//
+// The envelope's ID is never trusted: it is recomputed from (topic,
+// payload) and the message is dropped on mismatch. Trusting the wire
+// ID would let a malicious peer pre-claim the ID of a legitimate item
+// with a bogus payload, poisoning the seen-cache so the real item is
+// later suppressed as a duplicate — a censorship vector.
 func (g *Gossiper) HandleMessage(m Message) {
-	var env envelope
-	if err := json.Unmarshal(m.Data, &env); err != nil {
+	env, err := decodeEnvelope(m.Data)
+	if err != nil {
 		return // malformed gossip from a faulty peer: drop
+	}
+	if got := envelopeID(env.Topic, env.Payload); got != env.ID {
+		g.idMismatch.Add(1)
+		return
 	}
 	if !g.markSeen(env.ID) {
 		g.duplicates.Add(1)
 		return
 	}
 	g.deliver(m.From, env)
+	g.mu.Lock()
+	expired := env.Hops >= g.maxHops
+	g.mu.Unlock()
+	if expired {
+		g.ttlExpired.Add(1)
+		return
+	}
 	env.Hops++
 	g.forward(env)
+}
+
+// envelopeID is the self-certifying gossip item identifier.
+func envelopeID(topic string, payload []byte) cryptoutil.Hash {
+	return cryptoutil.HashBytes([]byte("gossip/"+topic), payload)
 }
 
 // Delivered returns how many distinct items this node has delivered.
@@ -138,16 +185,21 @@ func (g *Gossiper) Stats() GossipStats {
 		Delivered:  g.delivered.Load(),
 		Duplicates: g.duplicates.Load(),
 		Forwarded:  g.forwarded.Load(),
+		IDMismatch: g.idMismatch.Load(),
+		TTLExpired: g.ttlExpired.Load(),
 	}
 }
 
 // RegisterMetrics exports the gossip counters into reg as callback
 // gauges (gossip_delivered_total, gossip_duplicate_total,
-// gossip_forwarded_total).
+// gossip_forwarded_total, gossip_id_mismatch_total,
+// gossip_ttl_expired_total).
 func (g *Gossiper) RegisterMetrics(reg *metrics.Registry) {
 	reg.RegisterFunc("gossip_delivered_total", func() int64 { return int64(g.delivered.Load()) })
 	reg.RegisterFunc("gossip_duplicate_total", func() int64 { return int64(g.duplicates.Load()) })
 	reg.RegisterFunc("gossip_forwarded_total", func() int64 { return int64(g.forwarded.Load()) })
+	reg.RegisterFunc("gossip_id_mismatch_total", func() int64 { return int64(g.idMismatch.Load()) })
+	reg.RegisterFunc("gossip_ttl_expired_total", func() int64 { return int64(g.ttlExpired.Load()) })
 }
 
 // Neighbors returns a copy of the overlay neighbor set.
@@ -170,10 +222,7 @@ func (g *Gossiper) deliver(from NodeID, env envelope) {
 }
 
 func (g *Gossiper) forward(env envelope) {
-	data, err := json.Marshal(env)
-	if err != nil {
-		return
-	}
+	data := encodeEnvelope(env)
 	targets := g.pickNeighbors()
 	for _, to := range targets {
 		g.forwarded.Add(1)

@@ -1,7 +1,6 @@
 package p2p
 
 import (
-	"encoding/json"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -41,15 +40,11 @@ func TestGossipConcurrentPublishAndHandle(t *testing.T) {
 	)
 	envFor := func(w, k int) []byte {
 		payload := []byte(fmt.Sprintf("h-%d-%d", w, k))
-		data, err := json.Marshal(envelope{
+		return encodeEnvelope(envelope{
 			ID:      cryptoutil.HashBytes([]byte("gossip/t"), payload),
 			Topic:   "t",
 			Payload: payload,
 		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		return data
 	}
 
 	var wg sync.WaitGroup

@@ -18,11 +18,13 @@ type NodeID string
 
 // Message is the unit of communication between peers. Type routes the
 // message to a protocol handler ("gossip", "pbft/prepare", "sync/req",
-// ...); Data is the protocol-specific payload.
+// ...); Data is the protocol-specific payload. On the TCP transport a
+// Message travels as one length-prefixed binary frame (see codec.go and
+// docs/WIRE.md).
 type Message struct {
-	From NodeID `json:"from"`
-	Type string `json:"type"`
-	Data []byte `json:"data"`
+	From NodeID
+	Type string
+	Data []byte
 }
 
 // Handler consumes an incoming message.

@@ -1,8 +1,8 @@
 package p2p
 
 import (
+	"bufio"
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -14,6 +14,7 @@ import (
 
 	"dcsledger/internal/metrics"
 	"dcsledger/internal/obs"
+	"dcsledger/internal/wire"
 )
 
 // Transport errors.
@@ -34,6 +35,11 @@ const (
 	DefaultBackoffBase  = 50 * time.Millisecond
 	DefaultBackoffMax   = 5 * time.Second
 	DefaultMaxAttempts  = 4
+	// DefaultReadIdleTimeout is how long an inbound connection may sit
+	// with no complete frame before it is dropped, so a peer that opens
+	// connections and trickles (or sends nothing) cannot pin reader
+	// goroutines and sockets forever.
+	DefaultReadIdleTimeout = 2 * time.Minute
 )
 
 // TCPConfig tunes the TCP transport. The zero value selects sane
@@ -58,6 +64,14 @@ type TCPConfig struct {
 	// across messages, so a dead peer costs at most MaxAttempts dials
 	// per queued message.
 	MaxAttempts int
+	// MaxFrameSize caps inbound frame bodies (default DefaultMaxFrame).
+	// A peer announcing a larger frame is counted
+	// (p2p_recv_oversize_total) and disconnected before the body is
+	// read, so one hostile message cannot OOM the node.
+	MaxFrameSize uint32
+	// ReadIdleTimeout bounds the gap between inbound frames (default
+	// DefaultReadIdleTimeout; negative disables the deadline).
+	ReadIdleTimeout time.Duration
 	// Registry receives transport counters (p2p_*). Nil creates a
 	// private registry, readable via Stats / Registry.
 	Registry *metrics.Registry
@@ -86,6 +100,12 @@ func (c TCPConfig) withDefaults() TCPConfig {
 	if c.MaxAttempts <= 0 {
 		c.MaxAttempts = DefaultMaxAttempts
 	}
+	if c.MaxFrameSize == 0 {
+		c.MaxFrameSize = DefaultMaxFrame
+	}
+	if c.ReadIdleTimeout == 0 {
+		c.ReadIdleTimeout = DefaultReadIdleTimeout
+	}
 	if c.Registry == nil {
 		c.Registry = metrics.NewRegistry()
 	}
@@ -102,20 +122,22 @@ type TCPStats struct {
 	Reconnects    uint64 // successful dials after a previous connection
 	Recv          uint64 // messages received on inbound connections
 	RecvErrors    uint64 // inbound decode failures (excluding EOF/close)
+	RecvOversize  uint64 // inbound frames dropped for exceeding MaxFrameSize
 	OutboundConns int64  // currently established outbound connections
 	InboundConns  int64  // currently accepted inbound connections
 	PeerWriters   int64  // live per-peer writer goroutines
 }
 
 // TCPTransport is the real-network transport used by the ledgerd
-// daemon: length-delimited JSON messages over persistent TCP
-// connections. Peers are added explicitly (static membership, as in a
-// consortium network).
+// daemon: length-prefixed binary frames (see docs/WIRE.md) over
+// persistent TCP connections. Peers are added explicitly (static
+// membership, as in a consortium network).
 //
 // Concurrency model: Send never performs I/O. Each peer gets a
 // dedicated writer goroutine that exclusively owns the peer's
-// connection and json.Encoder, draining a bounded queue — so
-// concurrent Sends can never interleave bytes on the wire. The writer
+// connection and encode buffer, draining a bounded queue — each frame
+// is written with a single Write call, so concurrent Sends can never
+// interleave bytes on the wire. The writer
 // dials lazily with a bounded timeout and reconnects with jittered
 // exponential backoff; when the queue is full, Send drops the message
 // (counted) rather than stalling the caller.
@@ -139,7 +161,7 @@ type TCPTransport struct {
 	// Hot-path counters (registered in cfg.Registry).
 	cEnqueued, cSent, cDropped, cSendErrors *metrics.Counter
 	cDialFailures, cReconnects              *metrics.Counter
-	cRecv, cRecvErrors                      *metrics.Counter
+	cRecv, cRecvErrors, cRecvOversize       *metrics.Counter
 	gOutbound, gInbound, gWriters           *metrics.Gauge
 	hFlush                                  *metrics.Histogram
 }
@@ -180,6 +202,7 @@ func NewTCPTransportConfig(self NodeID, bindAddr string, h Handler, cfg TCPConfi
 		cReconnects:   cfg.Registry.Counter("p2p_reconnects_total"),
 		cRecv:         cfg.Registry.Counter("p2p_recv_total"),
 		cRecvErrors:   cfg.Registry.Counter("p2p_recv_errors_total"),
+		cRecvOversize: cfg.Registry.Counter("p2p_recv_oversize_total"),
 		gOutbound:     cfg.Registry.Gauge("p2p_conns_outbound"),
 		gInbound:      cfg.Registry.Gauge("p2p_conns_inbound"),
 		gWriters:      cfg.Registry.Gauge("p2p_peer_writers"),
@@ -210,6 +233,7 @@ func (t *TCPTransport) Stats() TCPStats {
 		Reconnects:    t.cReconnects.Value(),
 		Recv:          t.cRecv.Value(),
 		RecvErrors:    t.cRecvErrors.Value(),
+		RecvOversize:  t.cRecvOversize.Value(),
 		OutboundConns: t.gOutbound.Value(),
 		InboundConns:  t.gInbound.Value(),
 		PeerWriters:   t.gWriters.Value(),
@@ -341,13 +365,27 @@ func (t *TCPTransport) readLoop(conn net.Conn) {
 		t.gInbound.Add(-1)
 		t.mu.Unlock()
 	}()
-	dec := json.NewDecoder(conn)
+	br := bufio.NewReader(conn)
 	for {
-		var m Message
-		if err := dec.Decode(&m); err != nil {
+		if t.cfg.ReadIdleTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(t.cfg.ReadIdleTimeout))
+		}
+		body, err := wire.ReadFrame(br, t.cfg.MaxFrameSize)
+		if err != nil {
+			if errors.Is(err, wire.ErrFrameTooLarge) {
+				t.cRecvOversize.Inc()
+			}
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !t.isClosed() {
 				t.cRecvErrors.Inc()
 			}
+			return
+		}
+		m, err := DecodeMessage(body)
+		if err != nil {
+			// A malformed frame means the peer does not speak the
+			// protocol (or the stream desynced); drop the connection
+			// rather than guess at a resync point.
+			t.cRecvErrors.Inc()
 			return
 		}
 		t.cRecv.Inc()
@@ -365,21 +403,22 @@ type queuedMsg struct {
 }
 
 // peerWriter owns one peer's outbound connection. Exactly one
-// goroutine (run) touches conn/enc/backoff, so no locking is needed
+// goroutine (run) touches conn/buf/backoff, so no locking is needed
 // beyond the transport-level mu used when Close tears the conn down.
 type peerWriter struct {
 	t     *TCPTransport
 	id    NodeID
 	queue chan queuedMsg
 
-	// Owned by the run goroutine.
+	// Owned by the run goroutine. buf is the reusable frame-encode
+	// scratch: steady-state sends allocate nothing.
 	conn          net.Conn
-	enc           *json.Encoder
+	buf           []byte
 	backoff       time.Duration
 	everConnected bool
 
 	// connMu lets Close nil the connection out from under a writer
-	// that is blocked in Encode.
+	// that is blocked in a Write.
 	connMu sync.Mutex
 }
 
@@ -411,13 +450,19 @@ func (w *peerWriter) write(q queuedMsg) {
 		if t.ctx.Err() != nil {
 			return
 		}
-		if w.enc == nil && !w.connect() {
+		if w.conn == nil && !w.connect() {
 			continue
 		}
 		if t.cfg.WriteTimeout > 0 {
 			_ = w.conn.SetWriteDeadline(time.Now().Add(t.cfg.WriteTimeout))
 		}
-		if err := w.enc.Encode(q.m); err != nil {
+		// Encode into the reusable scratch and write header+body with one
+		// Write call so a frame can never interleave or tear.
+		frame := AppendMessage(append(w.buf[:0], 0, 0, 0, 0), q.m)
+		n := uint32(len(frame) - 4)
+		frame[0], frame[1], frame[2], frame[3] = byte(n>>24), byte(n>>16), byte(n>>8), byte(n)
+		w.buf = frame[:0]
+		if _, err := w.conn.Write(frame); err != nil {
 			t.cSendErrors.Inc()
 			w.closeConn()
 			continue
@@ -453,7 +498,7 @@ func (w *peerWriter) connect() bool {
 		return false
 	}
 	w.connMu.Lock()
-	w.conn, w.enc = conn, json.NewEncoder(conn)
+	w.conn = conn
 	w.connMu.Unlock()
 	w.backoff = 0
 	if w.everConnected {
@@ -469,20 +514,20 @@ func (w *peerWriter) closeConn() {
 	defer w.connMu.Unlock()
 	if w.conn != nil {
 		w.conn.Close() //dcslint:ignore lockhold teardown: Close never blocks and must precede clearing w.conn under the same connMu hold
-		w.conn, w.enc = nil, nil
+		w.conn = nil
 		w.t.gOutbound.Add(-1)
 	}
 }
 
 // closeConnLocked closes the underlying conn without clearing the
 // writer's fields; called by Close (which also cancels the context) to
-// unblock a writer stuck in Encode. The writer's own closeConn (via
+// unblock a writer stuck in a Write. The writer's own closeConn (via
 // its run defer) does the bookkeeping.
 func (w *peerWriter) closeConnLocked() {
 	w.connMu.Lock()
 	defer w.connMu.Unlock()
 	if w.conn != nil {
-		w.conn.Close() //dcslint:ignore lockhold teardown: Close is how a writer blocked in Encode gets unstuck; it never blocks itself
+		w.conn.Close() //dcslint:ignore lockhold teardown: Close is how a writer blocked in a Write gets unstuck; it never blocks itself
 	}
 }
 

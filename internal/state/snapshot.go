@@ -1,104 +1,198 @@
 package state
 
 import (
-	"encoding/hex"
-	"encoding/json"
+	"bytes"
 	"fmt"
+	"sort"
 
 	"dcsledger/internal/cryptoutil"
+	"dcsledger/internal/wire"
 )
 
-// snapshot is the wire form of a full state export, used by fast-sync
-// (Section 5.4's bootstrap problem: joining peers should not need the
-// whole blockchain).
-type snapshot struct {
-	Accounts map[string]Account           `json:"accounts"`
-	Code     map[string]string            `json:"code"`
-	Storage  map[string]map[string]string `json:"storage"`
-}
+// Snapshot wire format: a binary, deterministic full-state export, used
+// by fast-sync (Section 5.4's bootstrap problem: joining peers should
+// not need the whole blockchain) and by WAL checkpoints. Three sections
+// — accounts, code, storage — each length-counted and sorted by key, so
+// one state has exactly one snapshot encoding: equal states produce
+// byte-identical snapshots, and the decoder rejects unsorted or
+// duplicated keys along with any trailing bytes.
+const (
+	// SnapshotCodecVersion tags the encoding; bump on layout change.
+	SnapshotCodecVersion = 1
+	// maxSnapshotItems bounds each section's claimed element count.
+	maxSnapshotItems = 1 << 24
+	// maxSnapshotCodeLen bounds one contract blob.
+	maxSnapshotCodeLen = 1 << 24
+	// maxSnapshotKeyLen bounds one storage slot key.
+	maxSnapshotKeyLen = 1 << 16
+	// maxSnapshotValLen bounds one storage slot value.
+	maxSnapshotValLen = 1 << 24
+)
 
 // EncodeSnapshot serializes the complete state (merged across all diff
 // layers). The result is verifiable: DecodeSnapshot(...).Commit()
-// equals this state's Commit().
+// equals this state's Commit(), and equal states encode byte-equal.
 func (s *State) EncodeSnapshot() ([]byte, error) {
-	snap := snapshot{
-		Accounts: make(map[string]Account, len(s.accounts)),
-		Code:     make(map[string]string, len(s.code)),
-		Storage:  make(map[string]map[string]string, len(s.storage)),
+	var w wire.Buffer
+	w.U8(SnapshotCodecVersion)
+
+	// Accounts, sorted by address.
+	type accEntry struct {
+		addr cryptoutil.Address
+		acc  Account
 	}
+	var accs []accEntry
 	s.forEachAccount(func(a cryptoutil.Address, acc Account) {
-		snap.Accounts[a.Hex()] = acc
+		accs = append(accs, accEntry{a, acc})
 	})
+	sort.Slice(accs, func(i, j int) bool {
+		return bytes.Compare(accs[i].addr[:], accs[j].addr[:]) < 0
+	})
+	w.U32(uint32(len(accs)))
+	for _, e := range accs {
+		w.Raw(e.addr[:])
+		w.U64(e.acc.Balance)
+		w.U64(e.acc.Nonce)
+		w.Raw(e.acc.Code[:])
+	}
+
+	// Code blobs, sorted by hash.
+	code := make(map[cryptoutil.Hash][]byte)
 	for cur := s; cur != nil; cur = cur.parent {
-		for h, code := range cur.code {
-			if _, ok := snap.Code[h.Hex()]; ok {
-				continue
+		for h, blob := range cur.code {
+			if _, ok := code[h]; !ok {
+				code[h] = blob
 			}
-			snap.Code[h.Hex()] = hex.EncodeToString(code)
 		}
 	}
+	hashes := make([]cryptoutil.Hash, 0, len(code))
+	for h := range code {
+		hashes = append(hashes, h)
+	}
+	sort.Slice(hashes, func(i, j int) bool {
+		return bytes.Compare(hashes[i][:], hashes[j][:]) < 0
+	})
+	w.U32(uint32(len(hashes)))
+	for _, h := range hashes {
+		w.Raw(h[:])
+		w.Blob(code[h])
+	}
+
+	// Storage, addresses sorted (storageAddrs sorts), slots sorted by key.
+	type slotEntry struct {
+		k string
+		v []byte
+	}
+	var stAddrs []cryptoutil.Address
+	slotsByAddr := make(map[cryptoutil.Address][]slotEntry)
 	for _, a := range s.storageAddrs() {
-		var slots map[string]string
+		var slots []slotEntry
 		s.forEachStorage(a, func(k string, v []byte) {
-			if slots == nil {
-				slots = make(map[string]string)
-			}
-			slots[hex.EncodeToString([]byte(k))] = hex.EncodeToString(v)
+			slots = append(slots, slotEntry{k, v})
 		})
-		if slots != nil {
-			snap.Storage[a.Hex()] = slots
+		if len(slots) == 0 {
+			continue
+		}
+		sort.Slice(slots, func(i, j int) bool { return slots[i].k < slots[j].k })
+		stAddrs = append(stAddrs, a)
+		slotsByAddr[a] = slots
+	}
+	w.U32(uint32(len(stAddrs)))
+	for _, a := range stAddrs {
+		w.Raw(a[:])
+		slots := slotsByAddr[a]
+		w.U32(uint32(len(slots)))
+		for _, sl := range slots {
+			w.String(sl.k)
+			w.Blob(sl.v)
 		}
 	}
-	data, err := json.Marshal(snap)
-	if err != nil {
-		return nil, fmt.Errorf("state: encode snapshot: %w", err)
-	}
-	return data, nil
+	return w.Bytes(), nil
 }
 
-// DecodeSnapshot reconstructs a state from EncodeSnapshot output.
+// DecodeSnapshot reconstructs a state from EncodeSnapshot output. It
+// accepts only the canonical form: sections must be strictly sorted
+// with no duplicate keys and no trailing bytes, so a snapshot that
+// decodes successfully re-encodes byte-identically.
 func DecodeSnapshot(data []byte) (*State, error) {
-	var snap snapshot
-	if err := json.Unmarshal(data, &snap); err != nil {
-		return nil, fmt.Errorf("state: decode snapshot: %w", err)
+	rd := wire.NewReader(data)
+	if v := rd.U8(); rd.Err() == nil && v != SnapshotCodecVersion {
+		return nil, fmt.Errorf("state: unknown snapshot version %d", v)
 	}
 	s := New()
-	for ah, acc := range snap.Accounts {
-		a, err := cryptoutil.AddressFromHex(ah)
-		if err != nil {
-			return nil, fmt.Errorf("state: snapshot account: %w", err)
+
+	n := rd.Count(maxSnapshotItems)
+	var prevAddr cryptoutil.Address
+	for i := uint32(0); i < n && rd.Err() == nil; i++ {
+		var a cryptoutil.Address
+		var acc Account
+		rd.Raw(a[:])
+		acc.Balance = rd.U64()
+		acc.Nonce = rd.U64()
+		rd.Raw(acc.Code[:])
+		if rd.Err() != nil {
+			break
 		}
+		if i > 0 && bytes.Compare(prevAddr[:], a[:]) >= 0 {
+			return nil, fmt.Errorf("state: snapshot accounts not strictly sorted")
+		}
+		prevAddr = a
 		s.accounts[a] = acc
 	}
-	for hh, codeHex := range snap.Code {
-		h, err := cryptoutil.HashFromHex(hh)
-		if err != nil {
-			return nil, fmt.Errorf("state: snapshot code hash: %w", err)
+
+	n = rd.Count(maxSnapshotItems)
+	var prevHash cryptoutil.Hash
+	for i := uint32(0); i < n && rd.Err() == nil; i++ {
+		var h cryptoutil.Hash
+		rd.Raw(h[:])
+		blob := rd.Blob(maxSnapshotCodeLen)
+		if rd.Err() != nil {
+			break
 		}
-		code, err := hex.DecodeString(codeHex)
-		if err != nil {
-			return nil, fmt.Errorf("state: snapshot code: %w", err)
+		if i > 0 && bytes.Compare(prevHash[:], h[:]) >= 0 {
+			return nil, fmt.Errorf("state: snapshot code not strictly sorted")
 		}
-		s.code[h] = code
+		prevHash = h
+		s.code[h] = blob
 	}
-	for ah, slots := range snap.Storage {
-		a, err := cryptoutil.AddressFromHex(ah)
-		if err != nil {
-			return nil, fmt.Errorf("state: snapshot storage addr: %w", err)
+
+	n = rd.Count(maxSnapshotItems)
+	var prevStAddr cryptoutil.Address
+	for i := uint32(0); i < n && rd.Err() == nil; i++ {
+		var a cryptoutil.Address
+		rd.Raw(a[:])
+		if rd.Err() != nil {
+			break
 		}
-		m := make(map[string][]byte, len(slots))
-		for kh, vh := range slots {
-			k, err := hex.DecodeString(kh)
-			if err != nil {
-				return nil, fmt.Errorf("state: snapshot slot key: %w", err)
-			}
-			v, err := hex.DecodeString(vh)
-			if err != nil {
-				return nil, fmt.Errorf("state: snapshot slot value: %w", err)
-			}
-			m[string(k)] = v
+		if i > 0 && bytes.Compare(prevStAddr[:], a[:]) >= 0 {
+			return nil, fmt.Errorf("state: snapshot storage not strictly sorted")
 		}
-		s.storage[a] = m
+		prevStAddr = a
+		cnt := rd.Count(maxSnapshotItems)
+		if cnt == 0 && rd.Err() == nil {
+			return nil, fmt.Errorf("state: snapshot storage section empty for %s", a.Hex())
+		}
+		m := make(map[string][]byte, cnt)
+		prevKey := ""
+		for j := uint32(0); j < cnt && rd.Err() == nil; j++ {
+			k := rd.String(maxSnapshotKeyLen)
+			v := rd.Blob(maxSnapshotValLen)
+			if rd.Err() != nil {
+				break
+			}
+			if j > 0 && prevKey >= k {
+				return nil, fmt.Errorf("state: snapshot slots not strictly sorted")
+			}
+			prevKey = k
+			m[k] = v
+		}
+		if rd.Err() == nil {
+			s.storage[a] = m
+		}
+	}
+
+	if err := rd.Close(); err != nil {
+		return nil, fmt.Errorf("state: decode snapshot: %w", err)
 	}
 	return s, nil
 }

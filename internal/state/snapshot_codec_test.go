@@ -1,0 +1,140 @@
+package state
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestSnapshotDeterministic: equal states must encode byte-identically
+// regardless of insertion order or diff-layer structure, so checkpoint
+// bytes (and their hashes) are reproducible across nodes.
+func TestSnapshotDeterministic(t *testing.T) {
+	_, a := keyAddr("det-a")
+	_, b := keyAddr("det-b")
+
+	mkForward := func() *State {
+		s := New()
+		s.Credit(a, 10)
+		s.Credit(b, 20)
+		s.SetCode(a, []byte("code"))
+		s.SetStorage(a, []byte("k1"), []byte("v1"))
+		s.SetStorage(a, []byte("k2"), []byte("v2"))
+		return s
+	}
+	mkReverse := func() *State {
+		s := New()
+		s.SetStorage(a, []byte("k2"), []byte("v2"))
+		s.SetStorage(a, []byte("k1"), []byte("v1"))
+		s.SetCode(a, []byte("code"))
+		s.Credit(b, 20)
+		s.Credit(a, 10)
+		return s
+	}
+	// Same content, but built as a diff layer over a base.
+	mkLayered := func() *State {
+		base := New()
+		base.Credit(a, 10)
+		base.SetCode(a, []byte("code"))
+		child := base.Copy()
+		child.Credit(b, 20)
+		child.SetStorage(a, []byte("k1"), []byte("v1"))
+		child.SetStorage(a, []byte("k2"), []byte("v2"))
+		return child
+	}
+
+	want, err := mkForward().EncodeSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, mk := range map[string]func() *State{"reverse": mkReverse, "layered": mkLayered} {
+		got, err := mk().EncodeSnapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s-built state encodes differently:\n got %x\nwant %x", name, got, want)
+		}
+	}
+	// Repeated encodes of one state are also stable.
+	again, err := mkForward().EncodeSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again, want) {
+		t.Fatal("re-encoding the same state changed bytes")
+	}
+}
+
+// TestSnapshotCanonical: a decoded snapshot re-encodes byte-identically.
+func TestSnapshotCanonical(t *testing.T) {
+	data, err := populated().EncodeSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := DecodeSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := s.EncodeSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(re, data) {
+		t.Fatal("snapshot round trip is not canonical")
+	}
+}
+
+func TestSnapshotDecodeRejects(t *testing.T) {
+	data, err := populated().EncodeSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeSnapshot(append(data, 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	if _, err := DecodeSnapshot(data[:len(data)-1]); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+	bad := append([]byte(nil), data...)
+	bad[0] = 88
+	if _, err := DecodeSnapshot(bad); err == nil {
+		t.Fatal("unknown version accepted")
+	}
+	// Duplicate/unsorted account keys are non-canonical. The account
+	// section starts at offset 5 (version + count); each entry is
+	// 20+8+8+32 = 68 bytes. Duplicating the first entry over the second
+	// breaks strict ordering.
+	if populated().Len() >= 2 {
+		dup := append([]byte(nil), data...)
+		copy(dup[5+68:5+136], dup[5:5+68])
+		if _, err := DecodeSnapshot(dup); err == nil {
+			t.Fatal("duplicate account key accepted")
+		}
+	}
+}
+
+// FuzzSnapshotDecode: checkpoint bytes come from disk and sync peers;
+// the decoder must never panic and must accept only canonical input.
+func FuzzSnapshotDecode(f *testing.F) {
+	if seed, err := populated().EncodeSnapshot(); err == nil {
+		f.Add(seed)
+	}
+	if empty, err := New().EncodeSnapshot(); err == nil {
+		f.Add(empty)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{SnapshotCodecVersion})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeSnapshot(data)
+		if err != nil {
+			return
+		}
+		re, err := s.EncodeSnapshot()
+		if err != nil {
+			t.Fatalf("decoded snapshot fails to re-encode: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("non-canonical snapshot accepted: %x != %x", re, data)
+		}
+	})
+}

@@ -374,13 +374,17 @@ func (s *State) ApplyTx(tx *types.Transaction, proposer cryptoutil.Address) (*Re
 	if tx.Nonce != acc.Nonce {
 		return nil, fmt.Errorf("%w: got %d, want %d", ErrBadNonce, tx.Nonce, acc.Nonce)
 	}
-	if acc.Balance < tx.Cost() {
-		return nil, fmt.Errorf("%w: %s has %d, tx costs %d", ErrInsufficientBalance, tx.From.Short(), acc.Balance, tx.Cost())
+	cost, err := tx.Cost()
+	if err != nil {
+		return nil, fmt.Errorf("state: %w", err)
+	}
+	if acc.Balance < cost {
+		return nil, fmt.Errorf("%w: %s has %d, tx costs %d", ErrInsufficientBalance, tx.From.Short(), acc.Balance, cost)
 	}
 
 	// Take cost and bump the nonce up front; contract failure reverts
 	// contract effects but keeps the fee (gas is paid for work done).
-	acc.Balance -= tx.Cost()
+	acc.Balance -= cost
 	acc.Nonce++
 	s.accounts[tx.From] = acc
 	s.Credit(proposer, tx.Fee)
@@ -431,15 +435,25 @@ func (s *State) ApplyBlock(b *types.Block, expectedReward uint64) ([]*Receipt, e
 	if len(b.Txs) == 0 || b.Txs[0].Kind != types.TxCoinbase {
 		return nil, fmt.Errorf("%w: block must start with a coinbase", ErrBadCoinbase)
 	}
+	// The fee sum and the reward+fees total are checked adds: a block
+	// stuffed with huge fees must not wrap the expected coinbase value
+	// into range.
 	var fees uint64
 	for _, tx := range b.Txs[1:] {
 		if tx.Kind == types.TxCoinbase {
 			return nil, fmt.Errorf("%w: coinbase not at position 0", ErrBadCoinbase)
 		}
+		if fees+tx.Fee < fees {
+			return nil, fmt.Errorf("%w: block fees overflow", ErrBadCoinbase)
+		}
 		fees += tx.Fee
 	}
 	cb := b.Txs[0]
-	if cb.Value != expectedReward+fees {
+	want := expectedReward + fees
+	if want < expectedReward {
+		return nil, fmt.Errorf("%w: reward %d + fees %d overflows", ErrBadCoinbase, expectedReward, fees)
+	}
+	if cb.Value != want {
 		return nil, fmt.Errorf("%w: coinbase value %d, want reward %d + fees %d",
 			ErrBadCoinbase, cb.Value, expectedReward, fees)
 	}

@@ -53,6 +53,7 @@ var (
 	ErrBadKind      = errors.New("types: unknown transaction kind")
 	ErrFromMismatch = errors.New("types: sender does not match public key")
 	ErrTooLarge     = errors.New("types: encoded field too large")
+	ErrCostOverflow = errors.New("types: transaction cost overflows uint64")
 )
 
 // maxFieldLen bounds variable-length fields during decoding so a hostile
@@ -150,6 +151,9 @@ func (tx *Transaction) Verify() error {
 	default:
 		return fmt.Errorf("%w: %d", ErrBadKind, tx.Kind)
 	}
+	if _, err := tx.Cost(); err != nil {
+		return err
+	}
 	if atomic.LoadUint32(&tx.sigOK) == 1 {
 		return nil
 	}
@@ -167,7 +171,16 @@ func (tx *Transaction) Verify() error {
 }
 
 // Cost returns the total balance the sender needs: value plus fee.
-func (tx *Transaction) Cost() uint64 { return tx.Value + tx.Fee }
+// The add is checked: wrapping would let a transaction with
+// Value = 2^64-1, Fee = 1 report Cost 0, pass any balance check, and
+// mint value from nothing when the wrapped debit is applied.
+func (tx *Transaction) Cost() (uint64, error) {
+	c := tx.Value + tx.Fee
+	if c < tx.Value {
+		return 0, fmt.Errorf("%w: value %d + fee %d", ErrCostOverflow, tx.Value, tx.Fee)
+	}
+	return c, nil
+}
 
 // Encode writes the full canonical encoding of the transaction.
 func (tx *Transaction) Encode() []byte {

@@ -3,6 +3,7 @@ package types
 import (
 	"bytes"
 	"errors"
+	"math"
 	"testing"
 	"testing/quick"
 
@@ -150,8 +151,31 @@ func TestIDChangesWithSignature(t *testing.T) {
 
 func TestCost(t *testing.T) {
 	tx := NewTransfer(cryptoutil.ZeroAddress, cryptoutil.ZeroAddress, 100, 7, 0)
-	if tx.Cost() != 107 {
-		t.Fatalf("Cost = %d, want 107", tx.Cost())
+	if c, err := tx.Cost(); err != nil || c != 107 {
+		t.Fatalf("Cost = %d, %v, want 107", c, err)
+	}
+}
+
+// TestCostOverflowRejected is the regression test for the uint64 mint
+// vector: Value = 2^64-1, Fee = 1 wrapped Cost() to 0, passing any
+// balance check. The checked add must reject it, and Verify must refuse
+// such a transaction outright.
+func TestCostOverflowRejected(t *testing.T) {
+	k := cryptoutil.KeyFromSeed([]byte("overflow"))
+	tx := NewTransfer(k.Address(), cryptoutil.ZeroAddress, math.MaxUint64, 1, 0)
+	if _, err := tx.Cost(); !errors.Is(err, ErrCostOverflow) {
+		t.Fatalf("Cost error = %v, want ErrCostOverflow", err)
+	}
+	if err := tx.Sign(k); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Verify(); !errors.Is(err, ErrCostOverflow) {
+		t.Fatalf("Verify = %v, want ErrCostOverflow", err)
+	}
+	// Exactly at the boundary there is no overflow.
+	edge := NewTransfer(k.Address(), cryptoutil.ZeroAddress, math.MaxUint64-1, 1, 0)
+	if c, err := edge.Cost(); err != nil || c != math.MaxUint64 {
+		t.Fatalf("edge Cost = %d, %v", c, err)
 	}
 }
 
