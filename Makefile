@@ -72,7 +72,7 @@ crash-matrix:
 # attacker- or crash-controlled bytes — the WAL frame, the block codec,
 # and the binary wire codecs (p2p frames, gossip envelopes, pbft/raft
 # protocol messages, ordering batches, poet certificates, state
-# snapshots; see docs/WIRE.md).
+# snapshots, persisted trie node records; see docs/WIRE.md).
 FUZZTIME ?= 30s
 fuzz-smoke:
 	$(GO) test ./internal/wal -run '^$$' -fuzz FuzzWALRecordDecode -fuzztime $(FUZZTIME)
@@ -84,6 +84,7 @@ fuzz-smoke:
 	$(GO) test ./internal/consensus/ordering -run '^$$' -fuzz FuzzBatchDecode -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/consensus/poet -run '^$$' -fuzz FuzzCertificateDecode -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/state -run '^$$' -fuzz FuzzSnapshotDecode -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/nodestore -run '^$$' -fuzz FuzzNodeDecode -fuzztime $(FUZZTIME)
 
 tier1: build vet lint fmt-check doc-check test
 

@@ -41,6 +41,8 @@ func run(args []string) error {
 		list       = fs.Bool("list", false, "list experiments and exit")
 		stages     = fs.Bool("stages", false, "run the per-stage pipeline latency comparison (PoW vs ordering)")
 		traceFn    = fs.String("trace-file", "", "with -stages: write raw trace spans to this JSONL file")
+		stateKeys  = fs.String("state", "", "run the disk-backed state-store benchmark over comma-separated key counts (e.g. 100000,1000000)")
+		stateCache = fs.Int64("state-cache", 0, "with -state: decoded-node cache budget in bytes (0 = 64 MiB default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -53,6 +55,9 @@ func run(args []string) error {
 	}
 	if *scale <= 0 || *scale > 1 {
 		return fmt.Errorf("scale %v out of (0,1]", *scale)
+	}
+	if *stateKeys != "" {
+		return runState(*stateKeys, *stateCache)
 	}
 	if *stages {
 		return runStages(*scale, *traceFn)
@@ -78,6 +83,27 @@ func run(args []string) error {
 		fmt.Println(table.String())
 		fmt.Printf("(%s completed in %s)\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+	return nil
+}
+
+// runState runs the disk-backed state-store benchmark for each
+// requested key count and prints the STATE table.
+func runState(keysSpec string, cacheBytes int64) error {
+	var counts []int
+	for _, f := range strings.Split(keysSpec, ",") {
+		var n int
+		if _, err := fmt.Sscanf(strings.TrimSpace(f), "%d", &n); err != nil || n <= 0 {
+			return fmt.Errorf("bad -state key count %q", f)
+		}
+		counts = append(counts, n)
+	}
+	start := time.Now()
+	table, err := bench.StateStoreTable(counts, cacheBytes)
+	if err != nil {
+		return err
+	}
+	fmt.Println(table.String())
+	fmt.Printf("(state completed in %s)\n", time.Since(start).Round(time.Millisecond))
 	return nil
 }
 

@@ -22,6 +22,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
@@ -34,6 +35,7 @@ import (
 	"dcsledger/internal/incentive"
 	"dcsledger/internal/metrics"
 	"dcsledger/internal/node"
+	"dcsledger/internal/nodestore"
 	"dcsledger/internal/obs"
 	"dcsledger/internal/p2p"
 	"dcsledger/internal/simclock"
@@ -101,6 +103,9 @@ func run() error {
 		dataDir = flag.String("data-dir", "", "persist the ledger (WAL + checkpoints) in this directory; empty = memory only")
 		fsyncS  = flag.String("fsync", "interval", "wal fsync policy: always|interval|never")
 		ckptN   = flag.Uint64("checkpoint-every", wal.DefaultCheckpointEvery, "blocks between durable state checkpoints")
+		backend = flag.String("state-backend", "memory",
+			"authenticated state backend: memory|disk (disk mirrors the account trie into <data-dir>/state and serves GET /proof)")
+		cacheB  = flag.Int64("state-cache", nodestore.DefaultCacheBytes, "decoded-node cache budget in bytes for -state-backend=disk")
 		traceFn = flag.String("trace-file", "", "append pipeline trace spans to this JSONL file")
 		traceN  = flag.Int("trace-buf", obs.DefaultRingCapacity, "pipeline trace ring capacity (spans kept for GET /trace)")
 		peers   = peerList{}
@@ -158,6 +163,34 @@ func run() error {
 			*dataDir, *fsyncS, *ckptN, len(rec.Blocks), rec.TipHeight())
 	}
 
+	// Disk-backed authenticated state: the account trie mirrored into a
+	// node store under <data-dir>/state, bounded-RAM via the decoded-node
+	// cache, serving GET /proof.
+	var ns *nodestore.Store
+	switch *backend {
+	case "memory":
+	case "disk":
+		if *dataDir == "" {
+			return errors.New("-state-backend=disk requires -data-dir")
+		}
+		pol, err := nodestore.ParseSyncPolicy(*fsyncS)
+		if err != nil {
+			return err
+		}
+		ns, err = nodestore.Open(filepath.Join(*dataDir, "state"), nodestore.Options{
+			Sync:       pol,
+			CacheBytes: *cacheB,
+			Metrics:    reg,
+		})
+		if err != nil {
+			return fmt.Errorf("open state store: %w", err)
+		}
+		defer ns.Close()
+		log.Printf("disk state backend at %s (cache %d MiB)", ns.Dir(), *cacheB>>20)
+	default:
+		return fmt.Errorf("unknown -state-backend %q (want memory|disk)", *backend)
+	}
+
 	executor := contract.NewExecutor(contract.NewRegistry())
 	n, err := node.New(node.Config{
 		ID:  p2p.NodeID(*id),
@@ -177,6 +210,7 @@ func run() error {
 		StateRetention: *retain,
 		MaxOrphans:     *maxOrph,
 		Durable:        ds,
+		DiskState:      ns,
 	})
 	if err != nil {
 		return err
@@ -330,6 +364,35 @@ func apiHandler(n *node.Node, executor *contract.Executor, reg *metrics.Registry
 			return
 		}
 		writeJSON(w, map[string]any{"txId": tx.ID().Hex()})
+	})
+	mux.HandleFunc("GET /proof", func(w http.ResponseWriter, r *http.Request) {
+		// Merkle proof of one account against the head state root,
+		// served from the disk-backed trie (-state-backend=disk).
+		addr, err := cryptoutil.AddressFromHex(r.URL.Query().Get("addr"))
+		if err != nil {
+			fail(w, http.StatusBadRequest, err)
+			return
+		}
+		p, err := n.AccountProof(addr)
+		if err != nil {
+			code := http.StatusServiceUnavailable
+			if errors.Is(err, node.ErrNoDiskState) {
+				code = http.StatusNotImplemented
+			}
+			fail(w, code, err)
+			return
+		}
+		proofHex := make([]string, len(p.Proof))
+		for i, nd := range p.Proof {
+			proofHex[i] = hex.EncodeToString(nd)
+		}
+		writeJSON(w, map[string]any{
+			"addr":   p.Addr.Hex(),
+			"root":   p.Root.Hex(),
+			"exists": p.Leaf != nil,
+			"leaf":   hex.EncodeToString(p.Leaf),
+			"proof":  proofHex,
+		})
 	})
 	mux.HandleFunc("GET /query", func(w http.ResponseWriter, r *http.Request) {
 		// Constant (free) native-contract query: /query?contract=&fn=&arg=...

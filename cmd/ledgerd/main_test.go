@@ -18,7 +18,9 @@ import (
 	"dcsledger/internal/cryptoutil"
 	"dcsledger/internal/incentive"
 	"dcsledger/internal/metrics"
+	"dcsledger/internal/mpt"
 	"dcsledger/internal/node"
+	"dcsledger/internal/nodestore"
 	"dcsledger/internal/obs"
 	"dcsledger/internal/simclock"
 	"dcsledger/internal/types"
@@ -142,6 +144,93 @@ func TestHTTPAPI(t *testing.T) {
 	}
 	if code := getJSON(t, srv.URL+"/block?height=0", nil); code != http.StatusOK {
 		t.Fatal("genesis block fetch failed")
+	}
+}
+
+// TestProofEndpoint covers GET /proof in both backend modes: without
+// the disk backend it reports 501, with it the returned Merkle proof
+// verifies against the head state root for present and absent accounts.
+func TestProofEndpoint(t *testing.T) {
+	alice := wallet.FromSeed("alice")
+
+	// Memory backend: not implemented.
+	srvMem, _ := testServer(t, map[cryptoutil.Address]uint64{alice.Address(): 1000})
+	if code := getJSON(t, srvMem.URL+"/proof?addr="+alice.Address().Hex(), nil); code != http.StatusNotImplemented {
+		t.Fatalf("/proof without disk backend: code %d, want 501", code)
+	}
+
+	// Disk backend: proofs served from the mirrored trie at genesis.
+	ns, err := nodestore.Open(t.TempDir(), nodestore.Options{Sync: nodestore.SyncNever})
+	if err != nil {
+		t.Fatalf("nodestore.Open: %v", err)
+	}
+	defer ns.Close()
+	executor := contract.NewExecutor(contract.NewRegistry())
+	n, err := node.New(node.Config{
+		ID:  "proof-test",
+		Key: cryptoutil.KeyFromSeed([]byte("proof-test")),
+		Engine: pow.New(pow.Config{
+			TargetInterval:    time.Second,
+			InitialDifficulty: 64,
+			HashRate:          64,
+		}, rand.New(rand.NewSource(1))),
+		ForkChoice: forkchoice.LongestChain{},
+		Genesis:    node.NewGenesis("proof-test"),
+		Alloc:      map[cryptoutil.Address]uint64{alice.Address(): 1000},
+		Executor:   executor,
+		Rewards:    incentive.Schedule{InitialReward: 50},
+		Clock:      simclock.Wall{},
+		DiskState:  ns,
+	})
+	if err != nil {
+		t.Fatalf("node.New: %v", err)
+	}
+	reg := metrics.NewRegistry()
+	tracer := obs.NewTracer(64)
+	srv := httptest.NewServer(apiHandler(n, executor, reg, tracer, false))
+	defer srv.Close()
+
+	var proof struct {
+		Root   string   `json:"root"`
+		Exists bool     `json:"exists"`
+		Leaf   string   `json:"leaf"`
+		Proof  []string `json:"proof"`
+	}
+	if code := getJSON(t, srv.URL+"/proof?addr="+alice.Address().Hex(), &proof); code != http.StatusOK {
+		t.Fatalf("/proof code %d", code)
+	}
+	if !proof.Exists || len(proof.Proof) == 0 {
+		t.Fatalf("alice proof = %+v", proof)
+	}
+	root, err := cryptoutil.HashFromHex(proof.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := make([][]byte, len(proof.Proof))
+	for i, p := range proof.Proof {
+		if nodes[i], err = hex.DecodeString(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	addr := alice.Address()
+	leaf, exists, err := mpt.VerifyProof(root, addr[:], nodes)
+	if err != nil || !exists {
+		t.Fatalf("VerifyProof = exists=%v err=%v", exists, err)
+	}
+	if hex.EncodeToString(leaf) != proof.Leaf {
+		t.Fatalf("leaf mismatch: %x vs %s", leaf, proof.Leaf)
+	}
+
+	// Absent account: exists=false, proof still verifies (of absence).
+	ghost := wallet.FromSeed("ghost").Address()
+	if code := getJSON(t, srv.URL+"/proof?addr="+ghost.Hex(), &proof); code != http.StatusOK {
+		t.Fatalf("/proof absent code %d", code)
+	}
+	if proof.Exists {
+		t.Fatal("ghost account reported present")
+	}
+	if code := getJSON(t, srv.URL+"/proof?addr=zz", nil); code != http.StatusBadRequest {
+		t.Fatal("bad addr not rejected")
 	}
 }
 

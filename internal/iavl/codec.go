@@ -1,0 +1,162 @@
+package iavl
+
+import (
+	"fmt"
+
+	"dcsledger/internal/cryptoutil"
+	"dcsledger/internal/wire"
+)
+
+// Storage codec. Distinct from the hash preimage (which predates it
+// and must not change) but committing to the same content, so
+// decode+rehash reproduces the stored hash — verified before any
+// decoded node is trusted. Inner nodes embed each child's height and
+// leaf count so the decoded stubs can participate in AVL balancing
+// without touching the store.
+//
+//	leaf:  u8 kind=0 | blob key | blob value
+//	inner: u8 kind=1 | u16 height | u64 size | blob key
+//	       | 32B leftH  | u16 leftHeight  | u64 leftSize
+//	       | 32B rightH | u16 rightHeight | u64 rightSize
+
+const (
+	kindLeaf  = 0
+	kindInner = 1
+
+	// maxBlob bounds decoded key/value fields.
+	maxBlob = 1 << 20
+)
+
+// encodeNode renders a materialized node in storage form. Children may
+// be stubs; only their hash/height/size are written.
+func encodeNode(n *treeNode) []byte {
+	var b wire.Buffer
+	if n.isLeaf() {
+		b.U8(kindLeaf)
+		b.Blob(n.key)
+		b.Blob(n.value)
+		return b.Bytes()
+	}
+	b.U8(kindInner)
+	b.U16(uint16(n.height))
+	b.U64(uint64(n.size))
+	b.Blob(n.key)
+	for _, c := range [2]*treeNode{n.left, n.right} {
+		ch := c.hash()
+		b.Raw(ch[:])
+		b.U16(uint16(c.height))
+		b.U64(uint64(c.size))
+	}
+	return b.Bytes()
+}
+
+// decodeNode parses a storage-form node plus a footprint estimate for
+// cache accounting. Inner children come back as stubs.
+func decodeNode(enc []byte) (*treeNode, int, error) {
+	r := wire.NewReader(enc)
+	switch kind := r.U8(); kind {
+	case kindLeaf:
+		key := r.Blob(maxBlob)
+		value := r.Blob(maxBlob)
+		if err := r.Close(); err != nil {
+			return nil, 0, err
+		}
+		if value == nil {
+			value = []byte{} // present-but-empty, distinct from absent
+		}
+		return &treeNode{key: key, value: value, size: 1},
+			96 + len(key) + len(value), nil
+	case kindInner:
+		height := int(r.U16())
+		size := int(r.U64())
+		key := r.Blob(maxBlob)
+		kids := [2]*treeNode{}
+		for i := range kids {
+			var ch cryptoutil.Hash
+			r.Raw(ch[:])
+			kids[i] = stub(ch, int(r.U16()), int(r.U64()))
+		}
+		if err := r.Close(); err != nil {
+			return nil, 0, err
+		}
+		if height < 1 || height > 255 || height != 1+max(kids[0].height, kids[1].height) {
+			return nil, 0, fmt.Errorf("iavl: inner node height %d inconsistent", height)
+		}
+		if size != kids[0].size+kids[1].size || kids[0].size < 1 || kids[1].size < 1 {
+			return nil, 0, fmt.Errorf("iavl: inner node size %d inconsistent", size)
+		}
+		return &treeNode{key: key, left: kids[0], right: kids[1], height: height, size: size},
+			320 + len(key), nil
+	default:
+		return nil, 0, fmt.Errorf("iavl: unknown node kind %d", kind)
+	}
+}
+
+// decodeForSource is the DecodeFunc handed to a NodeSource: decode,
+// then verify the recomputed commitment against the stored hash.
+func decodeForSource(h cryptoutil.Hash, enc []byte) (any, int, error) {
+	n, size, err := decodeNode(enc)
+	if err != nil {
+		return nil, 0, err
+	}
+	if n.hash() != h {
+		return nil, 0, fmt.Errorf("iavl: node %s fails hash verification", h.Short())
+	}
+	return n, size, nil
+}
+
+// Commit writes every node reachable from the root that the sink does
+// not already hold, children before parents, and returns the root
+// hash. Committing an empty tree writes nothing and returns EmptyRoot.
+func (t *Tree) Commit(sink NodeSink) (cryptoutil.Hash, error) {
+	if t.root == nil {
+		return EmptyRoot, nil
+	}
+	return commitNode(t.root, sink)
+}
+
+func commitNode(n *treeNode, sink NodeSink) (cryptoutil.Hash, error) {
+	h := n.hash()
+	if n.ref {
+		return h, nil // resolved from the store: already persisted
+	}
+	if sink.Has(h) {
+		return h, nil
+	}
+	if !n.isLeaf() {
+		if _, err := commitNode(n.left, sink); err != nil {
+			return h, err
+		}
+		if _, err := commitNode(n.right, sink); err != nil {
+			return h, err
+		}
+	}
+	if err := sink.Put(h, encodeNode(n)); err != nil {
+		return h, err
+	}
+	return h, nil
+}
+
+// WalkNodes visits every node hash reachable from root, parents before
+// children, resolving through src. visit returning false prunes the
+// subtree below that hash (used by the pruning mark phase to stop at
+// subtrees shared with an already-marked root).
+func WalkNodes(src NodeSource, root cryptoutil.Hash, visit func(cryptoutil.Hash) bool) error {
+	if root == EmptyRoot || root == cryptoutil.ZeroHash {
+		return nil
+	}
+	if !visit(root) {
+		return nil
+	}
+	n, err := resolveNode(src, stub(root, 0, 0))
+	if err != nil {
+		return err
+	}
+	if n.isLeaf() {
+		return nil
+	}
+	if err := WalkNodes(src, n.left.hash(), visit); err != nil {
+		return err
+	}
+	return WalkNodes(src, n.right.hash(), visit)
+}

@@ -6,10 +6,21 @@
 // boundary is an O(1) snapshot. Unlike the Merkle Patricia trie, the root
 // hash commits to the tree *shape*, which depends on rebalancing history —
 // matching the real IAVL design.
+//
+// A tree may be fully in-memory (New) or disk-backed (Load with a
+// NodeSource, typically *nodestore.Store). Persisted subtrees live as
+// stub nodes that carry only hash, height, and leaf count — enough for
+// AVL balancing to work without touching the store — and materialize
+// lazily on first descent. Commit persists exactly the nodes the sink
+// does not hold, children before parents. With a nil source the
+// behavior (and every root hash) is identical to the historical
+// in-memory implementation.
 package iavl
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
 
 	"dcsledger/internal/cryptoutil"
 )
@@ -17,13 +28,33 @@ import (
 // Tree is an IAVL+ tree mapping byte-string keys to byte-string values.
 type Tree struct {
 	root *treeNode
+	src  NodeSource
 }
 
 // EmptyRoot is the root hash of an empty tree.
 var EmptyRoot = cryptoutil.HashBytes([]byte("iavl/empty"))
 
-// treeNode is either a leaf (height 0, holds value) or an inner node
-// (height > 0, key is the smallest key in the right subtree).
+// ErrMissingNode reports a stub that cannot be resolved: either the
+// tree has no NodeSource or the source does not hold the node.
+var ErrMissingNode = errors.New("iavl: missing node")
+
+// NodeSource resolves a node hash to its decoded node; the read half
+// of a node store. *nodestore.Store satisfies it.
+type NodeSource interface {
+	Node(h cryptoutil.Hash, decode func(h cryptoutil.Hash, enc []byte) (v any, size int, err error)) (any, error)
+}
+
+// NodeSink receives encoded nodes during Commit. *nodestore.Batch
+// satisfies it.
+type NodeSink interface {
+	Put(h cryptoutil.Hash, enc []byte) error
+	Has(h cryptoutil.Hash) bool
+}
+
+// treeNode is either a leaf (height 0, holds value), an inner node
+// (height > 0, key is the smallest key in the right subtree), or a
+// stub (ref true: a persisted subtree known only by hash, height, and
+// size — resolved through the tree's NodeSource on first descent).
 type treeNode struct {
 	key    []byte
 	value  []byte // leaves only
@@ -31,11 +62,35 @@ type treeNode struct {
 	right  *treeNode
 	height int
 	size   int // number of leaves beneath
-	cached *cryptoutil.Hash
+	ref    bool
+	cached *cryptoutil.Hash // always non-nil on stubs
 }
 
-// New returns an empty tree.
+// New returns an empty in-memory tree.
 func New() *Tree { return &Tree{} }
+
+// Load returns a tree rooted at a persisted node, resolving lazily
+// through src. The root itself is resolved eagerly so Len and Height
+// answer without touching the store again; loading EmptyRoot yields
+// an empty tree.
+func Load(root cryptoutil.Hash, src NodeSource) (*Tree, error) {
+	if root == EmptyRoot {
+		return &Tree{src: src}, nil
+	}
+	n, err := resolveNode(src, stub(root, 0, 0))
+	if err != nil {
+		return nil, err
+	}
+	return &Tree{root: n, src: src}, nil
+}
+
+// stub builds a reference node. Height/size 0 mean "unknown" and are
+// filled from the decoded node (the root stub in Load); stubs built
+// from an inner node's encoding carry the real values.
+func stub(h cryptoutil.Hash, height, size int) *treeNode {
+	hc := h
+	return &treeNode{height: height, size: size, ref: true, cached: &hc}
+}
 
 // Len returns the number of keys in the tree.
 func (t *Tree) Len() int {
@@ -53,43 +108,92 @@ func (t *Tree) Height() int {
 	return t.root.height
 }
 
-// Get returns the value stored under key.
+// Get returns the value stored under key; the returned slice is a
+// copy. It panics on a node resolution failure (impossible on an
+// in-memory tree); disk-backed callers should prefer TryGet.
 func (t *Tree) Get(key []byte) ([]byte, bool) {
+	v, ok, err := t.TryGet(key)
+	if err != nil {
+		panic(err)
+	}
+	return v, ok
+}
+
+// TryGet is Get with node-resolution errors reported instead of
+// panicking.
+func (t *Tree) TryGet(key []byte) ([]byte, bool, error) {
 	n := t.root
 	for n != nil {
-		if n.isLeaf() {
-			if bytes.Equal(n.key, key) {
-				return n.value, true
-			}
-			return nil, false
+		rn, err := resolveNode(t.src, n)
+		if err != nil {
+			return nil, false, err
 		}
-		if bytes.Compare(key, n.key) < 0 {
-			n = n.left
+		if rn.isLeaf() {
+			if bytes.Equal(rn.key, key) {
+				return copyBytes(rn.value), true, nil
+			}
+			return nil, false, nil
+		}
+		if bytes.Compare(key, rn.key) < 0 {
+			n = rn.left
 		} else {
-			n = n.right
+			n = rn.right
 		}
 	}
-	return nil, false
+	return nil, false, nil
 }
 
-// Set stores value under key and returns the updated tree; the receiver
-// is unmodified.
+// Set stores value under key and returns the updated tree; the
+// receiver is unmodified. Key and value are both copied, so the
+// caller may reuse its buffers. Panics on a node resolution failure;
+// see TrySet.
 func (t *Tree) Set(key, value []byte) *Tree {
-	if value == nil {
-		value = []byte{}
+	nt, err := t.TrySet(key, value)
+	if err != nil {
+		panic(err)
+	}
+	return nt
+}
+
+// TrySet is Set with node-resolution errors reported instead of
+// panicking.
+func (t *Tree) TrySet(key, value []byte) (*Tree, error) {
+	// Copy: leaves are shared across versions, so a caller reusing its
+	// value buffer must never be able to mutate history.
+	v := copyBytes(value)
+	if v == nil {
+		v = []byte{}
 	}
 	k := append([]byte(nil), key...)
-	return &Tree{root: insert(t.root, k, value)}
+	root, err := insert(t.src, t.root, k, v)
+	if err != nil {
+		return nil, err
+	}
+	return &Tree{root: root, src: t.src}, nil
 }
 
-// Delete removes key and returns the updated tree; the boolean reports
-// whether the key was present.
+// Delete removes key and returns the updated tree; the boolean
+// reports whether the key was present. Panics on a node resolution
+// failure; see TryDelete.
 func (t *Tree) Delete(key []byte) (*Tree, bool) {
-	root, deleted := remove(t.root, key)
-	if !deleted {
-		return t, false
+	nt, deleted, err := t.TryDelete(key)
+	if err != nil {
+		panic(err)
 	}
-	return &Tree{root: root}, true
+	return nt, deleted
+}
+
+// TryDelete is Delete with node-resolution errors reported instead of
+// panicking.
+func (t *Tree) TryDelete(key []byte) (*Tree, bool, error) {
+	root, deleted, err := remove(t.src, t.root, key)
+	if err != nil {
+		return nil, false, err
+	}
+	if !deleted {
+		return t, false, nil
+	}
+	return &Tree{root: root, src: t.src}, true, nil
 }
 
 // RootHash returns the tree's commitment.
@@ -102,98 +206,168 @@ func (t *Tree) RootHash() cryptoutil.Hash {
 
 // Range calls fn for every key/value pair with start <= key < end, in
 // key order. A nil start (end) means unbounded below (above). Iteration
-// stops early if fn returns false.
+// stops early if fn returns false. Panics on a node resolution failure.
 func (t *Tree) Range(start, end []byte, fn func(key, value []byte) bool) {
-	iterate(t.root, start, end, fn)
+	if _, err := iterate(t.src, t.root, start, end, fn); err != nil {
+		panic(err)
+	}
 }
 
-func iterate(n *treeNode, start, end []byte, fn func(k, v []byte) bool) bool {
+func iterate(src NodeSource, n *treeNode, start, end []byte, fn func(k, v []byte) bool) (bool, error) {
 	if n == nil {
-		return true
+		return true, nil
 	}
-	if n.isLeaf() {
-		if start != nil && bytes.Compare(n.key, start) < 0 {
-			return true
+	rn, err := resolveNode(src, n)
+	if err != nil {
+		return false, err
+	}
+	if rn.isLeaf() {
+		if start != nil && bytes.Compare(rn.key, start) < 0 {
+			return true, nil
 		}
-		if end != nil && bytes.Compare(n.key, end) >= 0 {
-			return true
+		if end != nil && bytes.Compare(rn.key, end) >= 0 {
+			return true, nil
 		}
-		return fn(n.key, n.value)
+		return fn(rn.key, rn.value), nil
 	}
 	// Inner key is the min of the right subtree: prune accordingly.
-	if start == nil || bytes.Compare(start, n.key) < 0 {
-		if !iterate(n.left, start, end, fn) {
-			return false
+	if start == nil || bytes.Compare(start, rn.key) < 0 {
+		more, err := iterate(src, rn.left, start, end, fn)
+		if err != nil || !more {
+			return more, err
 		}
 	}
-	if end == nil || bytes.Compare(n.key, end) < 0 {
-		return iterate(n.right, start, end, fn)
+	if end == nil || bytes.Compare(rn.key, end) < 0 {
+		return iterate(src, rn.right, start, end, fn)
 	}
-	return true
+	return true, nil
 }
 
 func (n *treeNode) isLeaf() bool { return n.height == 0 }
 
-func insert(n *treeNode, key, value []byte) *treeNode {
-	if n == nil {
-		return &treeNode{key: key, value: value, size: 1}
+// resolveNode materializes a stub through src; real nodes (and nil)
+// pass through untouched. Resolved nodes are shared via the source's
+// cache and never written back into the tree, so concurrent readers
+// of trees sharing a subtree stay race-free.
+func resolveNode(src NodeSource, n *treeNode) (*treeNode, error) {
+	if n == nil || !n.ref {
+		return n, nil
 	}
-	if n.isLeaf() {
-		switch bytes.Compare(key, n.key) {
+	if src == nil {
+		return nil, fmt.Errorf("%w: %s (no source)", ErrMissingNode, n.cached.Short())
+	}
+	v, err := src.Node(*n.cached, decodeForSource)
+	if err != nil {
+		return nil, err
+	}
+	rn, ok := v.(*treeNode)
+	if !ok {
+		return nil, fmt.Errorf("iavl: source returned %T for %s", v, n.cached.Short())
+	}
+	// The parent's stub recorded the child's shape; the decoded node
+	// carries its own. A mismatch means a corrupted or substituted
+	// record (hash verification pins content, this pins the metadata
+	// stubs rely on for balancing).
+	if n.height != 0 || n.size != 0 {
+		if rn.height != n.height || rn.size != n.size {
+			return nil, fmt.Errorf("iavl: node %s shape mismatch (stub %d/%d, node %d/%d)",
+				n.cached.Short(), n.height, n.size, rn.height, rn.size)
+		}
+	}
+	return rn, nil
+}
+
+func insert(src NodeSource, n *treeNode, key, value []byte) (*treeNode, error) {
+	if n == nil {
+		return &treeNode{key: key, value: value, size: 1}, nil
+	}
+	rn, err := resolveNode(src, n)
+	if err != nil {
+		return nil, err
+	}
+	if rn.isLeaf() {
+		switch bytes.Compare(key, rn.key) {
 		case 0:
-			return &treeNode{key: key, value: value, size: 1}
+			return &treeNode{key: key, value: value, size: 1}, nil
 		case -1:
-			return makeInner(n.key,
-				&treeNode{key: key, value: value, size: 1}, n)
+			return makeInner(rn.key,
+				&treeNode{key: key, value: value, size: 1}, rn), nil
 		default:
 			return makeInner(key,
-				n, &treeNode{key: key, value: value, size: 1})
+				rn, &treeNode{key: key, value: value, size: 1}), nil
 		}
 	}
 	var left, right *treeNode
-	if bytes.Compare(key, n.key) < 0 {
-		left, right = insert(n.left, key, value), n.right
+	if bytes.Compare(key, rn.key) < 0 {
+		left, err = insert(src, rn.left, key, value)
+		right = rn.right
 	} else {
-		left, right = n.left, insert(n.right, key, value)
+		left = rn.left
+		right, err = insert(src, rn.right, key, value)
 	}
-	return balance(makeInner(n.key, left, right))
+	if err != nil {
+		return nil, err
+	}
+	return balance(src, makeInner(rn.key, left, right))
 }
 
-func remove(n *treeNode, key []byte) (*treeNode, bool) {
+func remove(src NodeSource, n *treeNode, key []byte) (*treeNode, bool, error) {
 	if n == nil {
-		return nil, false
+		return nil, false, nil
 	}
-	if n.isLeaf() {
-		if bytes.Equal(n.key, key) {
-			return nil, true
+	rn, err := resolveNode(src, n)
+	if err != nil {
+		return nil, false, err
+	}
+	if rn.isLeaf() {
+		if bytes.Equal(rn.key, key) {
+			return nil, true, nil
 		}
-		return n, false
+		return n, false, nil
 	}
-	if bytes.Compare(key, n.key) < 0 {
-		left, deleted := remove(n.left, key)
+	if bytes.Compare(key, rn.key) < 0 {
+		left, deleted, err := remove(src, rn.left, key)
+		if err != nil {
+			return nil, false, err
+		}
 		if !deleted {
-			return n, false
+			return n, false, nil
 		}
 		if left == nil {
-			return n.right, true
+			return rn.right, true, nil
 		}
-		return balance(makeInner(n.key, left, n.right)), true
+		nn, err := balance(src, makeInner(rn.key, left, rn.right))
+		return nn, true, err
 	}
-	right, deleted := remove(n.right, key)
+	right, deleted, err := remove(src, rn.right, key)
+	if err != nil {
+		return nil, false, err
+	}
 	if !deleted {
-		return n, false
+		return n, false, nil
 	}
 	if right == nil {
-		return n.left, true
+		return rn.left, true, nil
 	}
-	return balance(makeInner(minKey(right), n.left, right)), true
+	mk, err := minKey(src, right)
+	if err != nil {
+		return nil, false, err
+	}
+	nn, err := balance(src, makeInner(mk, rn.left, right))
+	return nn, true, err
 }
 
-func minKey(n *treeNode) []byte {
-	for !n.isLeaf() {
-		n = n.left
+func minKey(src NodeSource, n *treeNode) ([]byte, error) {
+	for {
+		rn, err := resolveNode(src, n)
+		if err != nil {
+			return nil, err
+		}
+		if rn.isLeaf() {
+			return rn.key, nil
+		}
+		n = rn.left
 	}
-	return n.key
 }
 
 func makeInner(key []byte, left, right *treeNode) *treeNode {
@@ -206,33 +380,61 @@ func makeInner(key []byte, left, right *treeNode) *treeNode {
 	}
 }
 
+// balanceFactor reads only child heights, which stubs carry — no
+// resolution needed to decide whether to rotate.
 func balanceFactor(n *treeNode) int { return n.left.height - n.right.height }
 
-func balance(n *treeNode) *treeNode {
+// balance restores the AVL invariant after an insert or delete.
+// Rotations restructure around a child, so that child (and for double
+// rotations its child) must be materialized; untouched siblings stay
+// stubs.
+func balance(src NodeSource, n *treeNode) (*treeNode, error) {
 	switch bf := balanceFactor(n); {
 	case bf > 1:
-		if balanceFactor(n.left) < 0 {
-			n = makeInner(n.key, rotateLeft(n.left), n.right)
+		l, err := resolveNode(src, n.left)
+		if err != nil {
+			return nil, err
 		}
-		return rotateRight(n)
+		if balanceFactor(l) < 0 {
+			nl, err := rotateLeft(src, l)
+			if err != nil {
+				return nil, err
+			}
+			l = nl
+		}
+		return rotateRight(src, makeInner(n.key, l, n.right))
 	case bf < -1:
-		if balanceFactor(n.right) > 0 {
-			n = makeInner(n.key, n.left, rotateRight(n.right))
+		r, err := resolveNode(src, n.right)
+		if err != nil {
+			return nil, err
 		}
-		return rotateLeft(n)
+		if balanceFactor(r) > 0 {
+			nr, err := rotateRight(src, r)
+			if err != nil {
+				return nil, err
+			}
+			r = nr
+		}
+		return rotateLeft(src, makeInner(n.key, n.left, r))
 	default:
-		return n
+		return n, nil
 	}
 }
 
-func rotateRight(n *treeNode) *treeNode {
-	l := n.left
-	return makeInner(l.key, l.left, makeInner(n.key, l.right, n.right))
+func rotateRight(src NodeSource, n *treeNode) (*treeNode, error) {
+	l, err := resolveNode(src, n.left)
+	if err != nil {
+		return nil, err
+	}
+	return makeInner(l.key, l.left, makeInner(n.key, l.right, n.right)), nil
 }
 
-func rotateLeft(n *treeNode) *treeNode {
-	r := n.right
-	return makeInner(r.key, makeInner(n.key, n.left, r.left), r.right)
+func rotateLeft(src NodeSource, n *treeNode) (*treeNode, error) {
+	r, err := resolveNode(src, n.right)
+	if err != nil {
+		return nil, err
+	}
+	return makeInner(r.key, makeInner(n.key, n.left, r.left), r.right), nil
 }
 
 func (n *treeNode) hash() cryptoutil.Hash {
@@ -251,6 +453,15 @@ func (n *treeNode) hash() cryptoutil.Hash {
 	}
 	n.cached = &h
 	return h
+}
+
+func copyBytes(b []byte) []byte {
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
 }
 
 func encLen(b []byte) []byte {

@@ -6,10 +6,21 @@
 // new tries that share unmodified subtrees, which makes state snapshots
 // at block boundaries O(1). Its root hash is canonical: it depends only
 // on the key-value contents, never on insertion order.
+//
+// A trie may be fully in-memory (New) or disk-backed (Load with a
+// NodeSource, typically *nodestore.Store): subtrees then live as bare
+// hash references that resolve lazily on first touch, so a served trie's
+// RAM footprint is bounded by the source's cache budget rather than by
+// key count. Commit persists exactly the nodes not yet in the sink,
+// children before parents, so a torn batch can never strand a reachable
+// parent without its child. With a nil source the behavior (and every
+// root hash) is identical to the historical in-memory implementation.
 package mpt
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
 
 	"dcsledger/internal/cryptoutil"
 )
@@ -19,10 +30,32 @@ import (
 type Trie struct {
 	root node
 	size int
+	src  NodeSource
 }
 
 // EmptyRoot is the root hash of an empty trie.
 var EmptyRoot = cryptoutil.HashBytes([]byte("mpt/empty"))
+
+// ErrMissingNode reports a hash reference that cannot be resolved:
+// either the trie has no NodeSource or the source does not hold the
+// node (truncated store, over-aggressive pruning).
+var ErrMissingNode = errors.New("mpt: missing node")
+
+// NodeSource resolves a node hash to its decoded node. It is the
+// read half of a node store; *nodestore.Store satisfies it. The
+// decode callback is invoked on cache misses; decoded nodes are
+// shared between callers and must be treated as immutable.
+type NodeSource interface {
+	Node(h cryptoutil.Hash, decode func(h cryptoutil.Hash, enc []byte) (v any, size int, err error)) (any, error)
+}
+
+// NodeSink receives encoded nodes during Commit. *nodestore.Batch
+// satisfies it; Has lets the commit walk skip already-persisted
+// subtrees without re-encoding them.
+type NodeSink interface {
+	Put(h cryptoutil.Hash, enc []byte) error
+	Has(h cryptoutil.Hash) bool
+}
 
 type node interface {
 	// hash returns the node's commitment, caching it in the node.
@@ -45,72 +78,137 @@ type (
 		value    []byte // value terminating exactly at this branch
 		cached   *cryptoutil.Hash
 	}
+	// hashNode is an unresolved reference to a persisted node.
+	hashNode cryptoutil.Hash
 )
 
-// New returns an empty trie.
+func (h hashNode) hash() cryptoutil.Hash { return cryptoutil.Hash(h) }
+
+// New returns an empty in-memory trie.
 func New() *Trie { return &Trie{} }
+
+// Load returns a trie rooted at a persisted node: operations resolve
+// nodes lazily through src. size is the key count recorded alongside
+// the root (Len reports it). Loading EmptyRoot yields an empty trie.
+func Load(root cryptoutil.Hash, size int, src NodeSource) *Trie {
+	if root == EmptyRoot {
+		return &Trie{src: src}
+	}
+	return &Trie{root: hashNode(root), size: size, src: src}
+}
 
 // Len returns the number of keys in the trie.
 func (t *Trie) Len() int { return t.size }
 
-// Get returns the value stored under key.
+// Get returns the value stored under key. It panics on a node
+// resolution failure, which cannot happen on an in-memory trie;
+// disk-backed callers should prefer TryGet.
 func (t *Trie) Get(key []byte) ([]byte, bool) {
+	v, ok, err := t.TryGet(key)
+	if err != nil {
+		panic(err)
+	}
+	return v, ok
+}
+
+// TryGet returns the value stored under key, resolving persisted
+// nodes through the trie's source. The returned slice is a copy.
+func (t *Trie) TryGet(key []byte) ([]byte, bool, error) {
 	n := t.root
 	path := toNibbles(key)
 	for {
-		switch v := n.(type) {
+		rn, err := resolveNode(t.src, n)
+		if err != nil {
+			return nil, false, err
+		}
+		switch v := rn.(type) {
 		case nil:
-			return nil, false
+			return nil, false, nil
 		case *leafNode:
 			if bytes.Equal(v.keyEnd, path) {
-				return v.value, true
+				return copyBytes(v.value), true, nil
 			}
-			return nil, false
+			return nil, false, nil
 		case *extNode:
 			if len(path) < len(v.path) || !bytes.Equal(path[:len(v.path)], v.path) {
-				return nil, false
+				return nil, false, nil
 			}
 			path = path[len(v.path):]
 			n = v.child
 		case *branchNode:
 			if len(path) == 0 {
 				if v.value == nil {
-					return nil, false
+					return nil, false, nil
 				}
-				return v.value, true
+				return copyBytes(v.value), true, nil
 			}
 			n = v.children[path[0]]
 			path = path[1:]
 		default:
-			return nil, false
+			return nil, false, fmt.Errorf("mpt: unknown node %T", rn)
 		}
 	}
 }
 
 // Set stores value under key and returns the updated trie. The receiver
 // is unmodified; updated tries share structure with their ancestors.
-// A nil or empty value is stored as an empty (but present) value.
+// A nil or empty value is stored as an empty (but present) value. The
+// value is copied, so the caller may reuse its buffer. Panics on a
+// node resolution failure (impossible in-memory); see TrySet.
 func (t *Trie) Set(key, value []byte) *Trie {
-	if value == nil {
-		value = []byte{}
+	nt, err := t.TrySet(key, value)
+	if err != nil {
+		panic(err)
 	}
-	_, existed := t.Get(key)
-	root := insert(t.root, toNibbles(key), value)
+	return nt
+}
+
+// TrySet is Set with node-resolution errors reported instead of
+// panicking.
+func (t *Trie) TrySet(key, value []byte) (*Trie, error) {
+	// Copy: the trie retains the value across versions, so a caller
+	// reusing its buffer must never be able to mutate history.
+	val := copyBytes(value)
+	if val == nil {
+		val = []byte{}
+	}
+	_, existed, err := t.TryGet(key)
+	if err != nil {
+		return nil, err
+	}
+	root, err := insert(t.src, t.root, toNibbles(key), val)
+	if err != nil {
+		return nil, err
+	}
 	size := t.size
 	if !existed {
 		size++
 	}
-	return &Trie{root: root, size: size}
+	return &Trie{root: root, size: size, src: t.src}, nil
 }
 
 // Delete removes key and returns the updated trie; the boolean reports
-// whether the key was present.
+// whether the key was present. Panics on a node resolution failure
+// (impossible in-memory); see TryDelete.
 func (t *Trie) Delete(key []byte) (*Trie, bool) {
-	root, deleted := remove(t.root, toNibbles(key))
-	if !deleted {
-		return t, false
+	nt, deleted, err := t.TryDelete(key)
+	if err != nil {
+		panic(err)
 	}
-	return &Trie{root: root, size: t.size - 1}, true
+	return nt, deleted
+}
+
+// TryDelete is Delete with node-resolution errors reported instead of
+// panicking.
+func (t *Trie) TryDelete(key []byte) (*Trie, bool, error) {
+	root, deleted, err := remove(t.src, t.root, toNibbles(key))
+	if err != nil {
+		return nil, false, err
+	}
+	if !deleted {
+		return t, false, nil
+	}
+	return &Trie{root: root, size: t.size - 1, src: t.src}, true, nil
 }
 
 // RootHash returns the trie's commitment. Equal content always yields
@@ -122,23 +220,52 @@ func (t *Trie) RootHash() cryptoutil.Hash {
 	return t.root.hash()
 }
 
-func insert(n node, path []byte, value []byte) node {
-	switch v := n.(type) {
+// resolveNode materializes a hashNode through src; every other node
+// (including nil) passes through untouched.
+func resolveNode(src NodeSource, n node) (node, error) {
+	hn, ok := n.(hashNode)
+	if !ok {
+		return n, nil
+	}
+	if src == nil {
+		return nil, fmt.Errorf("%w: %s (no source)", ErrMissingNode, cryptoutil.Hash(hn).Short())
+	}
+	v, err := src.Node(cryptoutil.Hash(hn), decodeForSource)
+	if err != nil {
+		return nil, err
+	}
+	nd, ok := v.(node)
+	if !ok {
+		return nil, fmt.Errorf("mpt: source returned %T for %s", v, cryptoutil.Hash(hn).Short())
+	}
+	return nd, nil
+}
+
+func insert(src NodeSource, n node, path []byte, value []byte) (node, error) {
+	rn, err := resolveNode(src, n)
+	if err != nil {
+		return nil, err
+	}
+	switch v := rn.(type) {
 	case nil:
-		return &leafNode{keyEnd: path, value: value}
+		return &leafNode{keyEnd: path, value: value}, nil
 	case *leafNode:
 		cp := commonPrefix(v.keyEnd, path)
 		if cp == len(v.keyEnd) && cp == len(path) {
-			return &leafNode{keyEnd: path, value: value}
+			return &leafNode{keyEnd: path, value: value}, nil
 		}
 		br := &branchNode{}
 		attach(br, v.keyEnd[cp:], v.value)
 		attach(br, path[cp:], value)
-		return wrapExt(path[:cp], br)
+		return wrapExt(path[:cp], br), nil
 	case *extNode:
 		cp := commonPrefix(v.path, path)
 		if cp == len(v.path) {
-			return &extNode{path: v.path, child: insert(v.child, path[cp:], value)}
+			child, err := insert(src, v.child, path[cp:], value)
+			if err != nil {
+				return nil, err
+			}
+			return &extNode{path: v.path, child: child}, nil
 		}
 		br := &branchNode{}
 		// Remainder of the extension's own path.
@@ -149,17 +276,21 @@ func insert(n node, path []byte, value []byte) node {
 			br.children[rest[0]] = &extNode{path: rest[1:], child: v.child}
 		}
 		attach(br, path[cp:], value)
-		return wrapExt(path[:cp], br)
+		return wrapExt(path[:cp], br), nil
 	case *branchNode:
 		nb := v.clone()
 		if len(path) == 0 {
 			nb.value = value
-			return nb
+			return nb, nil
 		}
-		nb.children[path[0]] = insert(v.children[path[0]], path[1:], value)
-		return nb
+		child, err := insert(src, v.children[path[0]], path[1:], value)
+		if err != nil {
+			return nil, err
+		}
+		nb.children[path[0]] = child
+		return nb, nil
 	default:
-		return n
+		return nil, fmt.Errorf("mpt: unknown node %T", rn)
 	}
 }
 
@@ -180,61 +311,82 @@ func wrapExt(prefix []byte, n node) node {
 	return &extNode{path: prefix, child: n}
 }
 
-func remove(n node, path []byte) (node, bool) {
-	switch v := n.(type) {
+func remove(src NodeSource, n node, path []byte) (node, bool, error) {
+	rn, err := resolveNode(src, n)
+	if err != nil {
+		return nil, false, err
+	}
+	switch v := rn.(type) {
 	case nil:
-		return nil, false
+		return nil, false, nil
 	case *leafNode:
 		if bytes.Equal(v.keyEnd, path) {
-			return nil, true
+			return nil, true, nil
 		}
-		return n, false
+		return n, false, nil
 	case *extNode:
 		if len(path) < len(v.path) || !bytes.Equal(path[:len(v.path)], v.path) {
-			return n, false
+			return n, false, nil
 		}
-		child, deleted := remove(v.child, path[len(v.path):])
+		child, deleted, err := remove(src, v.child, path[len(v.path):])
+		if err != nil {
+			return nil, false, err
+		}
 		if !deleted {
-			return n, false
+			return n, false, nil
 		}
-		return collapseExt(v.path, child), true
+		nn, err := collapseExt(src, v.path, child)
+		return nn, true, err
 	case *branchNode:
 		nb := v.clone()
 		if len(path) == 0 {
 			if v.value == nil {
-				return n, false
+				return n, false, nil
 			}
 			nb.value = nil
 		} else {
-			child, deleted := remove(v.children[path[0]], path[1:])
+			child, deleted, err := remove(src, v.children[path[0]], path[1:])
+			if err != nil {
+				return nil, false, err
+			}
 			if !deleted {
-				return n, false
+				return n, false, nil
 			}
 			nb.children[path[0]] = child
 		}
-		return collapseBranch(nb), true
+		nn, err := collapseBranch(src, nb)
+		return nn, true, err
 	default:
-		return n, false
+		return nil, false, fmt.Errorf("mpt: unknown node %T", rn)
 	}
 }
 
 // collapseExt merges an extension with its (possibly simplified) child.
-func collapseExt(prefix []byte, child node) node {
-	switch c := child.(type) {
+// The child must be resolved to learn its kind: an extension whose
+// child is a leaf or extension is non-canonical and would change the
+// root hash.
+func collapseExt(src NodeSource, prefix []byte, child node) (node, error) {
+	rc, err := resolveNode(src, child)
+	if err != nil {
+		return nil, err
+	}
+	switch c := rc.(type) {
 	case nil:
-		return nil
+		return nil, nil
 	case *leafNode:
-		return &leafNode{keyEnd: concat(prefix, c.keyEnd), value: c.value}
+		return &leafNode{keyEnd: concat(prefix, c.keyEnd), value: c.value}, nil
 	case *extNode:
-		return &extNode{path: concat(prefix, c.path), child: c.child}
+		return &extNode{path: concat(prefix, c.path), child: c.child}, nil
 	default:
-		return &extNode{path: prefix, child: child}
+		// Branch: keep the original reference (a hashNode stays a
+		// cheap already-persisted pointer for the next Commit).
+		return &extNode{path: prefix, child: child}, nil
 	}
 }
 
 // collapseBranch simplifies a branch that lost entries: a branch with only
 // a value becomes a leaf; a branch with a single child merges into it.
-func collapseBranch(b *branchNode) node {
+func collapseBranch(src NodeSource, b *branchNode) (node, error) {
 	var (
 		count   int
 		onlyIdx int
@@ -247,13 +399,13 @@ func collapseBranch(b *branchNode) node {
 	}
 	switch {
 	case count == 0 && b.value == nil:
-		return nil
+		return nil, nil
 	case count == 0:
-		return &leafNode{keyEnd: nil, value: b.value}
+		return &leafNode{keyEnd: nil, value: b.value}, nil
 	case count == 1 && b.value == nil:
-		return collapseExt([]byte{byte(onlyIdx)}, b.children[onlyIdx])
+		return collapseExt(src, []byte{byte(onlyIdx)}, b.children[onlyIdx])
 	default:
-		return b
+		return b, nil
 	}
 }
 
@@ -331,6 +483,15 @@ func concat(a, b []byte) []byte {
 	out := make([]byte, 0, len(a)+len(b))
 	out = append(out, a...)
 	return append(out, b...)
+}
+
+func copyBytes(b []byte) []byte {
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
 }
 
 func encLen(b []byte) []byte {

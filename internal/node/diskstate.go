@@ -1,0 +1,329 @@
+// Disk-backed authenticated state: an opt-in mirror of the account
+// trie (the structure every block header's StateRoot commits to) into
+// a nodestore.Store, so a node can serve state roots and Merkle proofs
+// for the whole retained window with RAM bounded by the store's
+// decoded-node cache instead of by account count.
+//
+// The mirror is strictly an addition to the validation pipeline: block
+// acceptance is still decided by the in-memory state commit, and a
+// disagreement between the mirrored root and the header root is
+// surfaced as a metric (node_disk_root_mismatches_total), never as a
+// rejection of a block the in-memory path already proved valid.
+package node
+
+import (
+	"errors"
+	"fmt"
+
+	"dcsledger/internal/cryptoutil"
+	"dcsledger/internal/mpt"
+	"dcsledger/internal/nodestore"
+	"dcsledger/internal/state"
+	"dcsledger/internal/types"
+)
+
+// DefaultDiskPruneEvery is how many mirrored blocks pass between
+// mark-and-compact sweeps of the disk state store.
+const DefaultDiskPruneEvery = 64
+
+// ErrNoDiskState reports a proof/root query against a node that was
+// not configured with a disk state backend.
+var ErrNoDiskState = errors.New("node: disk state backend not enabled")
+
+// diskMirror is the node's handle on the persistent account trie.
+type diskMirror struct {
+	store      *nodestore.Store
+	pruneEvery uint64
+	// genesisRoot caches the genesis state's account-trie root once it
+	// has been committed to the store (ZeroHash until then), so height-1
+	// blocks extend the genesis trie incrementally like any other.
+	genesisRoot cryptoutil.Hash
+	sincePrune  uint64
+}
+
+// mirrorBlockLocked extends the persistent account trie with one
+// freshly connected block: the parent's trie is loaded by root and only
+// the leaves the block dirtied are rewritten, so the write set is
+// O(changes × path), not O(accounts). If the parent root is not on disk
+// (store enabled mid-chain, pruned too deep, damaged directory) the
+// full post-state trie is rebuilt and committed instead — mirroring
+// self-heals rather than staying broken. Caller holds n.mu.
+func (n *Node) mirrorBlockLocked(b *types.Block, st *state.State) {
+	d := n.disk
+	if d == nil {
+		return
+	}
+	if d.store.Has(b.Header.StateRoot) {
+		// Already mirrored (recovery replay, reorg re-connect).
+		n.maybePruneDiskLocked(b)
+		return
+	}
+	root, err := n.mirrorCommitLocked(b, st)
+	if err != nil {
+		n.metrics.DiskErrors++
+		return
+	}
+	if root != b.Header.StateRoot {
+		// The incremental update disagrees with the in-memory commit the
+		// block was validated against. The header root is authoritative;
+		// count it loudly and leave the stray nodes for compaction.
+		n.metrics.DiskRootMismatches++
+		return
+	}
+	n.metrics.DiskBlocksMirrored++
+	n.maybePruneDiskLocked(b)
+}
+
+// mirrorCommitLocked produces block b's post-state trie on disk and
+// returns the committed root. Caller holds n.mu.
+func (n *Node) mirrorCommitLocked(b *types.Block, st *state.State) (cryptoutil.Hash, error) {
+	d := n.disk
+	parentRoot := n.diskParentRootLocked(b)
+	tr, err := n.incrementalTrieLocked(parentRoot, st)
+	if err != nil {
+		// Parent trie unavailable or partially pruned (Has on the root
+		// alone cannot prove the subtree survived compaction): rebuild
+		// the whole post-state once and resume incrementally from here.
+		tr = st.AccountTrie()
+		n.metrics.DiskFullRebuilds++
+	}
+	batch := d.store.NewBatch(b.Header.Height)
+	root, err := tr.Commit(batch)
+	if err != nil {
+		return cryptoutil.ZeroHash, err
+	}
+	if err := batch.Commit(); err != nil {
+		return cryptoutil.ZeroHash, err
+	}
+	return root, nil
+}
+
+// incrementalTrieLocked applies st's top-layer changes onto the
+// persisted parent trie, failing (rather than silently rebuilding) if
+// any node on a touched path is missing. Caller holds n.mu.
+func (n *Node) incrementalTrieLocked(parentRoot cryptoutil.Hash, st *state.State) (*mpt.Trie, error) {
+	if parentRoot != mpt.EmptyRoot && !n.disk.store.Has(parentRoot) {
+		return nil, mpt.ErrMissingNode
+	}
+	tr := mpt.Load(parentRoot, 0, n.disk.store)
+	var err error
+	for _, addr := range st.DirtyAddresses() {
+		if leaf, ok := st.AccountLeaf(addr); ok {
+			tr, err = tr.TrySet(addr[:], leaf)
+		} else {
+			// Dirty address with no account record contributes no leaf
+			// (storage writes on a never-credited account).
+			tr, _, err = tr.TryDelete(addr[:])
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return tr, nil
+}
+
+// diskParentRootLocked returns the account-trie root of b's parent: the
+// parent header's StateRoot, or for height-1 blocks the genesis trie
+// root (committed on first use — genesis headers carry no state root).
+// Caller holds n.mu.
+func (n *Node) diskParentRootLocked(b *types.Block) cryptoutil.Hash {
+	if b.Header.ParentHash == n.tree.Genesis() {
+		return n.diskGenesisRootLocked()
+	}
+	pb, ok := n.tree.Get(b.Header.ParentHash)
+	if !ok {
+		return cryptoutil.ZeroHash // connect already verified the parent; defensive
+	}
+	return pb.Header.StateRoot
+}
+
+// diskGenesisRootLocked commits the genesis account trie on first use
+// and caches its root. Caller holds n.mu.
+func (n *Node) diskGenesisRootLocked() cryptoutil.Hash {
+	d := n.disk
+	if d.genesisRoot != cryptoutil.ZeroHash {
+		return d.genesisRoot
+	}
+	tr := n.baseState.AccountTrie()
+	batch := d.store.NewBatch(0)
+	root, err := tr.Commit(batch)
+	if err == nil {
+		err = batch.Commit()
+	}
+	if err != nil {
+		n.metrics.DiskErrors++
+		return cryptoutil.ZeroHash
+	}
+	d.genesisRoot = root
+	return root
+}
+
+// syncDiskHeadLocked makes sure the given head's post-state trie is on
+// disk, rebuilding it in full if it is not (used after crash recovery,
+// where checkpoint-covered blocks reconnect without state application).
+// Caller holds n.mu.
+func (n *Node) syncDiskHeadLocked(head cryptoutil.Hash) {
+	d := n.disk
+	if d == nil {
+		return
+	}
+	if head == n.tree.Genesis() {
+		n.diskGenesisRootLocked()
+		return
+	}
+	hb, ok := n.tree.Get(head)
+	if !ok || hb.Header.StateRoot == mpt.EmptyRoot || d.store.Has(hb.Header.StateRoot) {
+		return
+	}
+	st, err := n.stateOfLocked(head)
+	if err != nil {
+		n.metrics.DiskErrors++
+		return
+	}
+	n.mirrorBlockLocked(hb, st)
+}
+
+// maybePruneDiskLocked runs the mark-and-compact sweep once every
+// pruneEvery mirrored blocks: every canonical root in the retention
+// window — plus the just-connected block b's root, which may sit on a
+// not-yet-canonical branch below the floor — is marked live (walks
+// share subtrees, so consecutive roots cost only their deltas), then
+// Compact drops records that are both below the height floor and
+// unreachable from any marked root, and a store checkpoint records the
+// oldest retained root for reopeners. Caller holds n.mu.
+func (n *Node) maybePruneDiskLocked(b *types.Block) {
+	d := n.disk
+	d.sincePrune++
+	if d.sincePrune < d.pruneEvery {
+		return
+	}
+	w := n.retention()
+	if w < 0 {
+		return // archive node: never prune the disk trie either
+	}
+	head := n.chain.Height()
+	if head <= uint64(w) {
+		return
+	}
+	d.sincePrune = 0
+	floor := head - uint64(w)
+	marker := nodestore.NewMarker()
+	var floorRoot cryptoutil.Hash
+	for h := floor; h <= head; h++ {
+		bh, ok := n.chain.AtHeight(h)
+		if !ok {
+			continue
+		}
+		blk, ok := n.tree.Get(bh)
+		if !ok {
+			continue
+		}
+		root := blk.Header.StateRoot
+		if root == mpt.EmptyRoot || !d.store.Has(root) {
+			continue
+		}
+		if h == floor {
+			floorRoot = root
+		}
+		if err := mpt.WalkNodes(d.store, root, marker.Keep); err != nil {
+			n.metrics.DiskErrors++
+			return // a failed mark walk must veto compaction
+		}
+	}
+	// Keep the branch being extended right now alive even if fork
+	// choice has not adopted it yet (reorgs connect below the floor).
+	if root := b.Header.StateRoot; root != mpt.EmptyRoot && d.store.Has(root) {
+		if err := mpt.WalkNodes(d.store, root, marker.Keep); err != nil {
+			n.metrics.DiskErrors++
+			return
+		}
+	}
+	if _, err := d.store.Compact(marker, floor); err != nil {
+		n.metrics.DiskErrors++
+		return
+	}
+	n.metrics.DiskPrunes++
+	if floorRoot != cryptoutil.ZeroHash {
+		if err := d.store.WriteCheckpoint(nodestore.Checkpoint{
+			Height: floor,
+			Roots:  map[string]cryptoutil.Hash{"state": floorRoot},
+		}); err != nil {
+			n.metrics.DiskErrors++
+		}
+	}
+}
+
+// DiskStateRoot returns the canonical head's account-trie root and
+// whether the disk backend holds it (serving Gets and proofs for it).
+func (n *Node) DiskStateRoot() (cryptoutil.Hash, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.diskStateRootLocked()
+}
+
+func (n *Node) diskStateRootLocked() (cryptoutil.Hash, bool) {
+	d := n.disk
+	if d == nil {
+		return cryptoutil.ZeroHash, false
+	}
+	head := n.chain.Head()
+	if head == n.tree.Genesis() {
+		root := d.genesisRoot
+		return root, root != cryptoutil.ZeroHash
+	}
+	hb, ok := n.tree.Get(head)
+	if !ok {
+		return cryptoutil.ZeroHash, false
+	}
+	root := hb.Header.StateRoot
+	return root, root == mpt.EmptyRoot || d.store.Has(root)
+}
+
+// AccountProof is a Merkle proof of one account leaf against the
+// canonical head's state root, served from the disk-backed trie.
+// Leaf is nil for an absent account (the proof then shows absence);
+// both cases verify with mpt.VerifyProof.
+type AccountProof struct {
+	Root  cryptoutil.Hash
+	Addr  cryptoutil.Address
+	Leaf  []byte
+	Proof [][]byte
+}
+
+// AccountProof builds a Merkle proof for addr's account leaf against
+// the current head state root, reading only the O(path) nodes the
+// proof touches. Requires the disk state backend.
+func (n *Node) AccountProof(addr cryptoutil.Address) (*AccountProof, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.accountProofLocked(addr)
+}
+
+func (n *Node) accountProofLocked(addr cryptoutil.Address) (*AccountProof, error) {
+	if n.disk == nil {
+		return nil, ErrNoDiskState
+	}
+	root, ok := n.diskStateRootLocked()
+	if !ok {
+		return nil, fmt.Errorf("node: head state root %s not in disk store", root.Short())
+	}
+	tr := mpt.Load(root, 0, n.disk.store)
+	proof, err := tr.Prove(addr[:])
+	if err != nil {
+		return nil, err
+	}
+	leaf, _, err := mpt.VerifyProof(root, addr[:], proof)
+	if err != nil {
+		return nil, fmt.Errorf("node: generated proof fails verification: %w", err)
+	}
+	return &AccountProof{Root: root, Addr: addr, Leaf: leaf, Proof: proof}, nil
+}
+
+// DiskStore exposes the underlying node store (nil when the disk
+// backend is disabled) for stats and tests.
+func (n *Node) DiskStore() *nodestore.Store {
+	if n.disk == nil {
+		return nil
+	}
+	return n.disk.store
+}

@@ -1,0 +1,187 @@
+package node
+
+import (
+	"bytes"
+	"testing"
+
+	"dcsledger/internal/cryptoutil"
+	"dcsledger/internal/mpt"
+	"dcsledger/internal/nodestore"
+	"dcsledger/internal/simclock"
+	"dcsledger/internal/types"
+
+	"dcsledger/internal/consensus/forkchoice"
+	"dcsledger/internal/incentive"
+)
+
+func diskNode(t *testing.T, dir string, retention int, pruneEvery uint64) (*Node, *types.Block, *nodestore.Store) {
+	t.Helper()
+	// Tiny segments (a record or two each) so compaction has rotated
+	// segments to drop (the active segment is never rewritten).
+	ns, err := nodestore.Open(dir, nodestore.Options{Sync: nodestore.SyncNever, SegmentSize: 256})
+	if err != nil {
+		t.Fatalf("nodestore.Open: %v", err)
+	}
+	t.Cleanup(func() { _ = ns.Close() })
+	genesis := NewGenesis("diskstate-test")
+	n, err := New(Config{
+		ID:             "d0",
+		Key:            cryptoutil.KeyFromSeed([]byte("diskstate-node")),
+		Engine:         liteEngine(7),
+		ForkChoice:     forkchoice.LongestChain{},
+		Genesis:        genesis,
+		Rewards:        incentive.Schedule{InitialReward: 50},
+		Clock:          simclock.NewSimulator(),
+		StateRetention: retention,
+		DiskState:      ns,
+		DiskPruneEvery: pruneEvery,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return n, genesis, ns
+}
+
+// TestDiskMirrorFollowsChain drives a chain through a disk-backed node
+// and checks the mirror tracks every head: the canonical root is always
+// servable, proofs verify for present and absent accounts, and the
+// incremental path (not full rebuilds) does the work.
+func TestDiskMirrorFollowsChain(t *testing.T) {
+	n, genesis, ns := diskNode(t, t.TempDir(), -1, 1<<30)
+	bd := newChainBuilder(t, genesis)
+	miner := cryptoutil.KeyFromSeed([]byte("disk-miner")).Address()
+
+	for _, b := range bd.chain(genesis, 25, miner) {
+		if err := n.HandleBlock(b); err != nil {
+			t.Fatalf("HandleBlock h=%d: %v", b.Header.Height, err)
+		}
+		root, ok := n.DiskStateRoot()
+		if !ok {
+			t.Fatalf("h=%d: head root %s not served by disk store", b.Header.Height, root.Short())
+		}
+		if root != b.Header.StateRoot {
+			t.Fatalf("h=%d: disk root %s != header %s", b.Header.Height, root.Short(), b.Header.StateRoot.Short())
+		}
+	}
+	m := n.Metrics()
+	if m.DiskBlocksMirrored != 25 {
+		t.Fatalf("DiskBlocksMirrored = %d, want 25", m.DiskBlocksMirrored)
+	}
+	if m.DiskFullRebuilds != 0 {
+		t.Fatalf("DiskFullRebuilds = %d, want 0 (genesis trie seeds the incremental path)", m.DiskFullRebuilds)
+	}
+	if m.DiskRootMismatches != 0 || m.DiskErrors != 0 {
+		t.Fatalf("mirror errors: mismatches=%d errors=%d", m.DiskRootMismatches, m.DiskErrors)
+	}
+
+	// Present account: proof verifies and the leaf matches the live state.
+	p, err := n.AccountProof(miner)
+	if err != nil {
+		t.Fatalf("AccountProof: %v", err)
+	}
+	wantLeaf, ok := n.State().AccountLeaf(miner)
+	if !ok || !bytes.Equal(p.Leaf, wantLeaf) {
+		t.Fatalf("proof leaf %x != state leaf %x", p.Leaf, wantLeaf)
+	}
+	if _, exists, err := mpt.VerifyProof(p.Root, miner[:], p.Proof); err != nil || !exists {
+		t.Fatalf("VerifyProof(present) = exists=%v err=%v", exists, err)
+	}
+
+	// Absent account: the proof shows absence.
+	ghost := cryptoutil.KeyFromSeed([]byte("nobody")).Address()
+	p, err = n.AccountProof(ghost)
+	if err != nil {
+		t.Fatalf("AccountProof(absent): %v", err)
+	}
+	if p.Leaf != nil {
+		t.Fatalf("absent account has leaf %x", p.Leaf)
+	}
+
+	// The mirror survives a store reopen: the trie reads back from disk
+	// alone, with no node state in front of it.
+	if err := ns.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	ns2, err := nodestore.Open(ns.Dir(), nodestore.Options{Sync: nodestore.SyncNever})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer ns2.Close()
+	root, _ := n.DiskStateRoot()
+	got, ok, err := mpt.Load(root, 0, ns2).TryGet(miner[:])
+	if err != nil || !ok || !bytes.Equal(got, wantLeaf) {
+		t.Fatalf("reopened TryGet = %x,%v,%v want %x", got, ok, err, wantLeaf)
+	}
+}
+
+// TestDiskMirrorPrunesAndHealsAcrossReorg exercises the two recovery
+// properties of the mirror: pruning keeps every retained canonical root
+// servable, and a reorg to a fork point whose trie was pruned falls
+// back to a full rebuild instead of failing (self-healing).
+func TestDiskMirrorPrunesAndHealsAcrossReorg(t *testing.T) {
+	const W = 4
+	n, genesis, ns := diskNode(t, t.TempDir(), W, 2)
+	bd := newChainBuilder(t, genesis)
+	minerA := cryptoutil.KeyFromSeed([]byte("disk-miner-a")).Address()
+	minerB := cryptoutil.KeyFromSeed([]byte("disk-miner-b")).Address()
+
+	chainA := bd.chain(genesis, 20, minerA)
+	for _, b := range chainA {
+		if err := n.HandleBlock(b); err != nil {
+			t.Fatalf("chain A h=%d: %v", b.Header.Height, err)
+		}
+	}
+	if n.Metrics().DiskPrunes == 0 {
+		t.Fatal("disk prune never ran")
+	}
+	// Every canonical root in the retention window is still servable.
+	head := n.Chain().Height()
+	for h := head - W; h <= head; h++ {
+		bh, _ := n.Chain().AtHeight(h)
+		blk, _ := n.Tree().Get(bh)
+		if !ns.Has(blk.Header.StateRoot) {
+			t.Fatalf("retained root at height %d was pruned", h)
+		}
+		if v, ok, err := mpt.Load(blk.Header.StateRoot, 0, ns).TryGet(minerA[:]); err != nil || !ok || len(v) == 0 {
+			t.Fatalf("retained root at height %d unreadable: %v", h, err)
+		}
+	}
+	// A checkpoint records the window floor for reopeners.
+	ck, err := ns.LoadCheckpoint()
+	if err != nil {
+		t.Fatalf("LoadCheckpoint: %v", err)
+	}
+	if ck.Roots["state"] == cryptoutil.ZeroHash {
+		t.Fatal("checkpoint has no state root")
+	}
+
+	// Reorg from height 2 — far below the pruned window floor, so the
+	// fork point's trie is gone and the first branch-B mirror must
+	// rebuild from scratch.
+	chainB := bd.chain(chainA[1], 19, minerB)
+	for _, b := range chainB {
+		if err := n.HandleBlock(b); err != nil {
+			t.Fatalf("chain B h=%d: %v", b.Header.Height, err)
+		}
+	}
+	if head := n.Chain().Head(); head != chainB[len(chainB)-1].Hash() {
+		t.Fatal("reorg to branch B did not happen")
+	}
+	m := n.Metrics()
+	if m.DiskFullRebuilds == 0 {
+		t.Fatal("reorg past the pruned floor must trigger a full mirror rebuild")
+	}
+	if m.DiskRootMismatches != 0 || m.DiskErrors != 0 {
+		t.Fatalf("mirror errors after reorg: mismatches=%d errors=%d", m.DiskRootMismatches, m.DiskErrors)
+	}
+	if root, ok := n.DiskStateRoot(); !ok {
+		t.Fatalf("post-reorg head root %s not served", root.Short())
+	}
+	p, err := n.AccountProof(minerB)
+	if err != nil {
+		t.Fatalf("AccountProof(minerB): %v", err)
+	}
+	if p.Leaf == nil {
+		t.Fatal("minerB missing from post-reorg disk trie")
+	}
+}

@@ -18,11 +18,19 @@ import (
 // rotation, checkpointing, and the structural-reconnect path.
 func durableNode(t *testing.T, dir string, fsync wal.FsyncPolicy) (*Node, *wal.DurableStore, *types.Block) {
 	t.Helper()
-	ds, rec, err := wal.OpenStore(dir, wal.StoreOptions{
+	n, ds, _, genesis := durableNodeOpts(t, dir, wal.StoreOptions{
 		Fsync:           fsync,
 		SegmentSize:     4 << 10,
 		CheckpointEvery: 8,
 	})
+	return n, ds, genesis
+}
+
+// durableNodeOpts is durableNode with explicit store options, also
+// returning the raw recovery for tests that inspect the checkpoint.
+func durableNodeOpts(t *testing.T, dir string, opts wal.StoreOptions) (*Node, *wal.DurableStore, *wal.Recovery, *types.Block) {
+	t.Helper()
+	ds, rec, err := wal.OpenStore(dir, opts)
 	if err != nil {
 		t.Fatalf("OpenStore: %v", err)
 	}
@@ -44,7 +52,7 @@ func durableNode(t *testing.T, dir string, fsync wal.FsyncPolicy) (*Node, *wal.D
 	if err := n.Recover(rec); err != nil {
 		t.Fatalf("Recover: %v", err)
 	}
-	return n, ds, genesis
+	return n, ds, rec, genesis
 }
 
 // chainIndex captures a chain's height->hash mapping for prefix checks.
@@ -249,5 +257,86 @@ func TestRecoverReorgedChain(t *testing.T) {
 		if !n2.Tree().Has(b.Hash()) {
 			t.Fatalf("abandoned-branch block h=%d lost in recovery", b.Header.Height)
 		}
+	}
+}
+
+// TestCrashMatrixAggressivePrune proves the checkpoint-seq prune floor
+// end to end: an operator pruning the WAL as hard as the API allows
+// (PruneBefore of the newest seq) must lose only history the newest
+// retained checkpoint covers — recovery re-roots the block tree at the
+// checkpoint block, reaches the exact durable head, and the node keeps
+// accepting and checkpointing blocks afterwards.
+func TestCrashMatrixAggressivePrune(t *testing.T) {
+	dir := t.TempDir()
+	// Small segments so the aggressive prune has many whole segments
+	// below the checkpoint floor to actually drop.
+	opts := wal.StoreOptions{Fsync: wal.FsyncAlways, SegmentSize: 1 << 10, CheckpointEvery: 8}
+	n1, ds1, _, genesis := durableNodeOpts(t, dir, opts)
+	bd := newChainBuilder(t, genesis)
+	miner := cryptoutil.KeyFromSeed([]byte("prune-miner")).Address()
+	blocks := bd.chain(genesis, 30, miner)
+	for _, b := range blocks {
+		if err := n1.HandleBlock(b); err != nil {
+			t.Fatalf("HandleBlock h=%d: %v", b.Header.Height, err)
+		}
+	}
+
+	floor, armed := ds1.WAL().PruneFloor()
+	if !armed {
+		t.Fatal("durable store never armed the prune floor")
+	}
+	last := ds1.WAL().LastSeq()
+	if floor >= last {
+		t.Fatalf("floor %d >= last seq %d: no replay suffix to protect", floor, last)
+	}
+	removed, err := ds1.WAL().PruneBefore(last)
+	if err != nil {
+		t.Fatalf("PruneBefore: %v", err)
+	}
+	if removed == 0 {
+		t.Fatal("aggressive prune removed no segments")
+	}
+	preIdx := chainIndex(n1)
+	preHeight := n1.Chain().Height()
+	ds1.Close()
+
+	// Reopen: the journal no longer reaches genesis, so recovery must
+	// re-root at the checkpoint and still reach the exact durable head.
+	n2, _, rec, _ := durableNodeOpts(t, dir, opts)
+	ck := rec.Checkpoint
+	if ck == nil {
+		t.Fatal("no checkpoint recovered from the pruned store")
+	}
+	if n2.Metrics().RecoveryReroots != 1 {
+		t.Fatalf("RecoveryReroots = %d, want 1", n2.Metrics().RecoveryReroots)
+	}
+	if n2.Tree().Genesis() != ck.Head {
+		t.Fatalf("tree root %s, want checkpoint head %s",
+			n2.Tree().Genesis().Short(), ck.Head.Short())
+	}
+	if got := n2.Chain().Height(); got != preHeight {
+		t.Fatalf("recovered height %d, want exact durable head %d", got, preHeight)
+	}
+	for h := ck.Height; h <= preHeight; h++ {
+		got, ok := n2.Chain().AtHeight(h)
+		if !ok || got != preIdx[h] {
+			t.Fatalf("height %d: recovered %s, pre-prune %s", h, got.Short(), preIdx[h].Short())
+		}
+	}
+	head, _ := n2.Tree().Get(n2.Chain().Head())
+	if root := n2.State().Commit(); root != head.Header.StateRoot {
+		t.Fatalf("recovered head state root %s != header %s",
+			root.Short(), head.Header.StateRoot.Short())
+	}
+
+	// The re-rooted node keeps working: it extends the chain (crossing
+	// the next checkpoint cadence at height 32) like any other node.
+	for _, b := range bd.chain(blocks[len(blocks)-1], 4, miner) {
+		if err := n2.HandleBlock(b); err != nil {
+			t.Fatalf("post-recovery HandleBlock h=%d: %v", b.Header.Height, err)
+		}
+	}
+	if got := n2.Chain().Height(); got != preHeight+4 {
+		t.Fatalf("post-recovery height %d, want %d", got, preHeight+4)
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"dcsledger/internal/cryptoutil"
 	"dcsledger/internal/incentive"
 	"dcsledger/internal/metrics"
+	"dcsledger/internal/nodestore"
 	"dcsledger/internal/obs"
 	"dcsledger/internal/p2p"
 	"dcsledger/internal/simclock"
@@ -98,6 +99,14 @@ type Config struct {
 	// wal.OpenStore and feed the returned Recovery to Recover before
 	// Attach/Start. Nil keeps the node memory-only.
 	Durable *wal.DurableStore
+	// DiskState, when non-nil, mirrors the account trie into a
+	// persistent node store so state roots and Merkle proofs are served
+	// from disk with RAM bounded by the store's cache budget. Purely
+	// additive: validation still runs on the in-memory state.
+	DiskState *nodestore.Store
+	// DiskPruneEvery is how many mirrored blocks pass between
+	// mark-and-compact sweeps of DiskState (0 = DefaultDiskPruneEvery).
+	DiskPruneEvery uint64
 }
 
 // Metrics counts a node's activity for the experiment harness.
@@ -113,6 +122,14 @@ type Metrics struct {
 	StateRebuilds   uint64
 	WALAppendErrors uint64
 	RecoveredBlocks uint64
+	RecoveryReroots uint64 // recoveries that re-rooted the tree at a checkpoint
+
+	// Disk state mirror (zero unless Config.DiskState is set).
+	DiskBlocksMirrored uint64
+	DiskFullRebuilds   uint64
+	DiskRootMismatches uint64
+	DiskPrunes         uint64
+	DiskErrors         uint64
 }
 
 // Node is one ledger peer. All public entry points serialize on an
@@ -158,6 +175,10 @@ type Node struct {
 	recovering bool
 
 	blockSubs []func(*types.Block)
+
+	// disk is the persistent account-trie mirror (nil unless
+	// Config.DiskState is set). See diskstate.go.
+	disk *diskMirror
 
 	metrics Metrics
 
@@ -215,6 +236,17 @@ func New(cfg Config) (*Node, error) {
 		orphans:    make(map[cryptoutil.Hash][]cryptoutil.Hash),
 		orphanPool: make(map[cryptoutil.Hash]*types.Block),
 		requested:  make(map[cryptoutil.Hash]time.Time),
+	}
+	if cfg.DiskState != nil {
+		every := cfg.DiskPruneEvery
+		if every == 0 {
+			every = DefaultDiskPruneEvery
+		}
+		n.disk = &diskMirror{store: cfg.DiskState, pruneEvery: every}
+		// Seed the genesis trie eagerly (no lock needed: the node is not
+		// shared yet) so proofs are servable from boot and height-1
+		// blocks mirror incrementally.
+		n.diskGenesisRootLocked()
 	}
 	n.hVerify = metrics.NewHistogram("node_block_verify_seconds")
 	n.hConnect = metrics.NewHistogram("node_block_connect_seconds")
@@ -314,6 +346,12 @@ func (n *Node) Stop() {
 // switch when present (falling back to fork choice), and its state
 // root is always re-verified against the head block header — recovery
 // fails loudly rather than resurrect a corrupt ledger.
+//
+// If the journal no longer reaches the checkpoint head — its covered
+// prefix was pruned (WAL.PruneBefore) or lost — the block tree is
+// re-rooted at the checkpoint's embedded block and replay continues
+// from there; history below the checkpoint is gone, but the durable
+// head is still recovered exactly.
 func (n *Node) Recover(rec *wal.Recovery) error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -328,6 +366,7 @@ func (n *Node) Recover(rec *wal.Recovery) error {
 	if rec.Checkpoint != nil {
 		ckptSeq = rec.Checkpoint.Seq
 	}
+	rerooted := n.rerootAtCheckpointLocked(rec)
 	seeded := false
 	for _, rb := range rec.Blocks {
 		b := rb.Block
@@ -344,6 +383,11 @@ func (n *Node) Recover(rec *wal.Recovery) error {
 				continue
 			}
 		} else {
+			if rerooted && !n.tree.Has(b.Header.ParentHash) {
+				// History below the re-rooted checkpoint surviving in a
+				// partially-pruned segment: expected, not a bad block.
+				continue
+			}
 			if err := n.connectStructuralLocked(b); err != nil {
 				n.metrics.BlocksRejected++
 				continue
@@ -379,6 +423,9 @@ func (n *Node) Recover(rec *wal.Recovery) error {
 		}
 	}
 	n.pruneStatesLocked()
+	// Checkpoint-covered blocks reconnected without state application,
+	// so the disk mirror may lack the recovered head; rebuild it once.
+	n.syncDiskHeadLocked(head)
 
 	recoverDur := n.hRecover.ObserveSince(sw.Start())
 	n.tracer.Record(obs.Span{
@@ -390,6 +437,47 @@ func (n *Node) Recover(rec *wal.Recovery) error {
 		N:      n.metrics.RecoveredBlocks,
 	})
 	return nil
+}
+
+// rerootAtCheckpointLocked handles recovery from a journal that no
+// longer reaches back to genesis (WAL.PruneBefore dropped the covered
+// prefix, or the log was damaged below the checkpoint): the
+// checkpoint's own block — embedded in the checkpoint file and verified
+// against its recorded head hash and state root at load — becomes the
+// root of a fresh block tree, and its state becomes the replay base.
+// Everything the checkpoint does not cover is then replayed on top
+// exactly as in a full-history recovery. Reports whether it re-rooted.
+func (n *Node) rerootAtCheckpointLocked(rec *wal.Recovery) bool {
+	ck := rec.Checkpoint
+	if ck == nil || ck.Block == nil || n.tree.Has(ck.Head) {
+		return false
+	}
+	// The journal is usable as-is only if the checkpoint head is
+	// structurally reachable from genesis through journaled blocks
+	// (records replay in seq order, so parents precede children). A
+	// surviving head record alone is not enough: a partially-pruned
+	// boundary segment can keep the record while its ancestry is gone.
+	reach := map[cryptoutil.Hash]bool{n.tree.Genesis(): true}
+	for _, rb := range rec.Blocks {
+		if reach[rb.Block.Header.ParentHash] {
+			reach[rb.Block.Hash()] = true
+		}
+	}
+	if reach[ck.Head] {
+		return false
+	}
+	st := ck.State
+	st.SetExecutor(n.cfg.Executor)
+	n.tree = store.NewBlockTree(ck.Block)
+	n.chain = store.NewChain(n.tree)
+	n.baseState = st
+	n.states = map[cryptoutil.Hash]*state.State{ck.Head: st}
+	// The consensus engine's chain view still points at the old tree.
+	if e, ok := n.cfg.Engine.(interface{ SetHeaderReader(pow.HeaderReader) }); ok {
+		e.SetHeaderReader(headerReader{tree: n.tree})
+	}
+	n.metrics.RecoveryReroots++
+	return true
 }
 
 // seedCheckpointLocked installs the checkpoint's verified state as the
@@ -482,6 +570,14 @@ func (n *Node) RegisterMetrics(reg *metrics.Registry) {
 	reg.RegisterFunc("node_mempool_size", func() int64 { return int64(n.pool.Len()) })
 	reg.RegisterFunc("node_wal_append_errors_total", snap(func(m Metrics) uint64 { return m.WALAppendErrors }))
 	reg.RegisterFunc("node_recovered_blocks_total", snap(func(m Metrics) uint64 { return m.RecoveredBlocks }))
+	reg.RegisterFunc("node_recovery_reroots_total", snap(func(m Metrics) uint64 { return m.RecoveryReroots }))
+	if n.disk != nil {
+		reg.RegisterFunc("node_disk_blocks_mirrored_total", snap(func(m Metrics) uint64 { return m.DiskBlocksMirrored }))
+		reg.RegisterFunc("node_disk_full_rebuilds_total", snap(func(m Metrics) uint64 { return m.DiskFullRebuilds }))
+		reg.RegisterFunc("node_disk_root_mismatches_total", snap(func(m Metrics) uint64 { return m.DiskRootMismatches }))
+		reg.RegisterFunc("node_disk_prunes_total", snap(func(m Metrics) uint64 { return m.DiskPrunes }))
+		reg.RegisterFunc("node_disk_errors_total", snap(func(m Metrics) uint64 { return m.DiskErrors }))
+	}
 	if ds := n.cfg.Durable; ds != nil {
 		reg.RegisterFunc("wal_appends_total", func() int64 { return int64(ds.Stats().WAL.Appends) })
 		reg.RegisterFunc("wal_fsyncs_total", func() int64 { return int64(ds.Stats().WAL.Fsyncs) })
@@ -920,7 +1016,13 @@ func (n *Node) adoptOrphans(parent cryptoutil.Hash) {
 // and tracer — the gossip-receipt→connected leg of the pipeline.
 func (n *Node) connect(b *types.Block) error {
 	swConnect := obs.StartTimer()
-	parent, _ := n.tree.Get(b.Header.ParentHash)
+	parent, ok := n.tree.Get(b.Header.ParentHash)
+	if !ok {
+		// Reachable from handleBlockFrom only with the parent present
+		// (orphans are buffered), but recovery replays the journal
+		// directly and a damaged or pruned log can orphan a record.
+		return fmt.Errorf("node: %w", store.ErrUnknownParent)
+	}
 	if !b.VerifyTxRoot() {
 		return ErrBadTxRoot
 	}
@@ -955,6 +1057,7 @@ func (n *Node) connect(b *types.Block) error {
 	delete(n.requested, h)
 	n.metrics.BlocksAccepted++
 	n.logBlockLocked(b)
+	n.mirrorBlockLocked(b, st)
 	n.observeConnect(b, swConnect.Start(), verifyDur, applyDur)
 	return nil
 }
@@ -1013,7 +1116,7 @@ func (n *Node) logHeadLocked(tip cryptoutil.Hash) {
 	if err != nil {
 		return
 	}
-	if _, err := n.cfg.Durable.MaybeCheckpoint(tip, hb.Header.Height, hb.Header.StateRoot, st); err != nil {
+	if _, err := n.cfg.Durable.MaybeCheckpoint(hb, hb.Header.StateRoot, st); err != nil {
 		n.metrics.WALAppendErrors++
 	}
 }

@@ -1,0 +1,233 @@
+package nodestore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"dcsledger/internal/cryptoutil"
+	"dcsledger/internal/wire"
+)
+
+// Checkpoint metadata: a tiny atomically-written file naming the trie
+// roots that were durable at a given height. It plays the same role
+// for the node store that ckpt-<seq>.ck files play for the WAL's
+// DurableStore — after a crash, recovery loads the newest valid meta,
+// re-opens the store, and resumes from the recorded roots; pruning
+// uses the checkpoint height as its floor. The file format follows
+// the DurableStore checkpoint discipline: magic, CRC over the body,
+// tmp + fsync + rename, newest two retained, damaged files skipped
+// but never trusted.
+
+const (
+	ckptMagic = "DCSNSCK1"
+	ckptKeep  = 2
+)
+
+// ErrNoCheckpoint reports that no valid checkpoint meta exists.
+var ErrNoCheckpoint = errors.New("nodestore: no checkpoint")
+
+// Checkpoint names the roots durable at a height.
+type Checkpoint struct {
+	Height uint64
+	// Roots maps a role name (e.g. "state") to a trie root hash.
+	Roots map[string]cryptoutil.Hash
+}
+
+// encode renders the canonical checkpoint body (names sorted).
+func (c *Checkpoint) encode() ([]byte, error) {
+	names := make([]string, 0, len(c.Roots))
+	for name := range c.Roots {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b wire.Buffer
+	b.U64(c.Height)
+	b.U32(uint32(len(names)))
+	for _, name := range names {
+		b.String(name)
+		h := c.Roots[name]
+		b.Raw(h[:])
+	}
+	return b.Bytes(), nil
+}
+
+// decodeCheckpoint parses a checkpoint body, enforcing sorted unique
+// names so the encoding stays canonical.
+func decodeCheckpoint(body []byte) (*Checkpoint, error) {
+	r := wire.NewReader(body)
+	c := &Checkpoint{Roots: make(map[string]cryptoutil.Hash)}
+	c.Height = r.U64()
+	n := r.Count(1024)
+	prev := ""
+	for i := 0; i < int(n); i++ {
+		name := r.String(64)
+		var h cryptoutil.Hash
+		r.Raw(h[:])
+		if r.Err() != nil {
+			break
+		}
+		if i > 0 && name <= prev {
+			return nil, fmt.Errorf("nodestore: checkpoint roots not sorted")
+		}
+		prev = name
+		c.Roots[name] = h
+	}
+	if err := r.Close(); err != nil {
+		return nil, fmt.Errorf("nodestore: checkpoint decode: %w", err)
+	}
+	return c, nil
+}
+
+func ckptName(height uint64) string { return fmt.Sprintf("nsck-%016d.ck", height) }
+
+func parseCkptName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "nsck-") || !strings.HasSuffix(name, ".ck") {
+		return 0, false
+	}
+	var h uint64
+	if _, err := fmt.Sscanf(name, "nsck-%d.ck", &h); err != nil {
+		return 0, false
+	}
+	if ckptName(h) != name {
+		return 0, false
+	}
+	return h, true
+}
+
+// WriteCheckpoint atomically persists checkpoint meta in the store
+// directory and prunes all but the newest ckptKeep metas. The store's
+// segments are fsynced first so the checkpoint never names roots whose
+// nodes could still be lost to a crash.
+func (s *Store) WriteCheckpoint(c Checkpoint) error {
+	if err := s.Sync(); err != nil {
+		return err
+	}
+	body, err := c.encode()
+	if err != nil {
+		return err
+	}
+	// File layout: magic | u32 len | u32 crc32c(body) | body.
+	buf := make([]byte, 0, len(ckptMagic)+8+len(body))
+	buf = append(buf, ckptMagic...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(body)))
+	buf = binary.BigEndian.AppendUint32(buf, crc32.Checksum(body, castagnoli))
+	buf = append(buf, body...)
+
+	path := filepath.Join(s.dir, ckptName(c.Height))
+	tmp := path + ".tmp"
+	if err := writeFileSync(tmp, buf); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("nodestore: rename checkpoint: %w", err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		return err
+	}
+	return s.pruneCheckpoints()
+}
+
+// LoadCheckpoint returns the newest valid checkpoint meta, skipping
+// (but never trusting) damaged files. ErrNoCheckpoint if none.
+func (s *Store) LoadCheckpoint() (*Checkpoint, error) {
+	heights, err := s.checkpointHeights()
+	if err != nil {
+		return nil, err
+	}
+	for i := len(heights) - 1; i >= 0; i-- {
+		c, err := readCheckpointFile(filepath.Join(s.dir, ckptName(heights[i])))
+		if err == nil {
+			return c, nil
+		}
+	}
+	return nil, ErrNoCheckpoint
+}
+
+func (s *Store) checkpointHeights() ([]uint64, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("nodestore: readdir: %w", err)
+	}
+	var heights []uint64
+	for _, e := range entries {
+		if h, ok := parseCkptName(e.Name()); ok {
+			heights = append(heights, h)
+		}
+	}
+	sort.Slice(heights, func(i, j int) bool { return heights[i] < heights[j] })
+	return heights, nil
+}
+
+func (s *Store) pruneCheckpoints() error {
+	heights, err := s.checkpointHeights()
+	if err != nil {
+		return err
+	}
+	for len(heights) > ckptKeep {
+		if err := os.Remove(filepath.Join(s.dir, ckptName(heights[0]))); err != nil {
+			return fmt.Errorf("nodestore: prune checkpoint: %w", err)
+		}
+		heights = heights[1:]
+	}
+	return nil
+}
+
+func readCheckpointFile(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < len(ckptMagic)+8 || string(data[:len(ckptMagic)]) != ckptMagic {
+		return nil, fmt.Errorf("nodestore: bad checkpoint magic")
+	}
+	rest := data[len(ckptMagic):]
+	n := binary.BigEndian.Uint32(rest)
+	crc := binary.BigEndian.Uint32(rest[4:])
+	body := rest[8:]
+	if int(n) != len(body) {
+		return nil, fmt.Errorf("nodestore: checkpoint length mismatch")
+	}
+	if crc32.Checksum(body, castagnoli) != crc {
+		return nil, fmt.Errorf("nodestore: checkpoint crc mismatch")
+	}
+	return decodeCheckpoint(body)
+}
+
+// writeFileSync writes data to path and fsyncs it (same helper shape
+// as the WAL's checkpoint writer).
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("nodestore: create %s: %w", filepath.Base(path), err)
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("nodestore: write %s: %w", filepath.Base(path), err)
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("nodestore: sync %s: %w", filepath.Base(path), err)
+	}
+	return f.Close()
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("nodestore: open dir: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("nodestore: sync dir: %w", err)
+	}
+	return nil
+}

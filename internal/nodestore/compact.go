@@ -1,0 +1,151 @@
+package nodestore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dcsledger/internal/cryptoutil"
+)
+
+// Marker accumulates the set of node hashes reachable from the
+// retained trie roots. The trie layers fill it by walking each root
+// through their own node structure; Compact then treats everything
+// unmarked and below the height floor as garbage.
+type Marker struct {
+	keep map[cryptoutil.Hash]struct{}
+}
+
+// NewMarker returns an empty mark set.
+func NewMarker() *Marker {
+	return &Marker{keep: make(map[cryptoutil.Hash]struct{})}
+}
+
+// Keep marks h live. It returns false if h was already marked, which
+// lets trie walks stop at shared subtrees.
+func (m *Marker) Keep(h cryptoutil.Hash) bool {
+	if _, ok := m.keep[h]; ok {
+		return false
+	}
+	m.keep[h] = struct{}{}
+	return true
+}
+
+// Marked reports whether h is in the mark set.
+func (m *Marker) Marked(h cryptoutil.Hash) bool {
+	_, ok := m.keep[h]
+	return ok
+}
+
+// Len returns the number of marked hashes.
+func (m *Marker) Len() int { return len(m.keep) }
+
+// Compact removes records that are neither marked live nor at/above
+// the height floor. Live records in victim segments are copied
+// forward into the active segment before the victim is deleted, so a
+// crash at any point leaves every live record present somewhere —
+// duplicates are harmless because records are content-addressed and
+// the index rebuild keeps one. Returns the number of records dropped.
+func (s *Store) Compact(m *Marker, floor uint64) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	// A sealed segment is a victim if it holds at least one dead
+	// record; the active segment is never rewritten in place.
+	dead := make(map[uint64]int)
+	for h, r := range s.index {
+		if r.seg != s.activeIdx && r.height < floor && (m == nil || !m.Marked(h)) {
+			dead[r.seg]++
+		}
+	}
+	if len(dead) == 0 {
+		return 0, nil
+	}
+
+	dropped := 0
+	for _, seg := range append([]uint64(nil), s.segments...) {
+		if dead[seg] == 0 {
+			continue
+		}
+		n, err := s.compactSegmentLocked(seg, m, floor)
+		if err != nil {
+			return dropped, err
+		}
+		dropped += n
+	}
+	s.stats.compactions++
+	s.stats.dropped += uint64(dropped)
+	if s.mCompactions != nil {
+		s.mCompactions.Inc()
+	}
+	s.publishGaugesLocked()
+	return dropped, nil
+}
+
+// compactSegmentLocked copies the live records of seg into the active
+// segment, fsyncs, republishes their index entries, and deletes seg.
+// Dead records are dropped from the index and the decoded cache.
+func (s *Store) compactSegmentLocked(seg uint64, m *Marker, floor uint64) (int, error) {
+	path := filepath.Join(s.dir, segName(seg))
+	dropped := 0
+	var frame []byte
+	var scanErr error
+	_, err := scanSegment(path, func(h cryptoutil.Hash, height uint64, _ int64, _ int32, payload []byte) {
+		if scanErr != nil {
+			return
+		}
+		r, ok := s.index[h]
+		if !ok || r.seg != seg {
+			return // superseded by a newer copy elsewhere
+		}
+		if height < floor && (m == nil || !m.Marked(h)) {
+			delete(s.index, h)
+			s.cache.drop(h)
+			dropped++
+			return
+		}
+		if s.activeSize >= s.opts.SegmentSize {
+			if err := s.createSegmentLocked(s.activeIdx + 1); err != nil {
+				scanErr = err
+				return
+			}
+		}
+		frame = encodeFrame(frame[:0], height, h, payload)
+		if _, err := s.active.Write(frame); err != nil {
+			scanErr = fmt.Errorf("nodestore: compact copy: %w", err)
+			return
+		}
+		s.index[h] = ref{seg: s.activeIdx, off: s.activeSize, n: int32(len(frame)), height: height}
+		s.activeSize += int64(len(frame))
+		s.stats.bytes += uint64(len(frame))
+	})
+	if err != nil {
+		return dropped, err
+	}
+	if scanErr != nil {
+		return dropped, scanErr
+	}
+	// Durability point: the copies must be on stable storage before
+	// the originals can go away.
+	if err := s.syncLocked(); err != nil {
+		return dropped, err
+	}
+	if f, ok := s.readers[seg]; ok {
+		if err := f.Close(); err != nil {
+			return dropped, fmt.Errorf("nodestore: close victim reader: %w", err)
+		}
+		delete(s.readers, seg)
+	}
+	if err := os.Remove(path); err != nil {
+		return dropped, fmt.Errorf("nodestore: remove victim segment: %w", err)
+	}
+	for i, idx := range s.segments {
+		if idx == seg {
+			s.segments = append(s.segments[:i], s.segments[i+1:]...)
+			break
+		}
+	}
+	return dropped, nil
+}

@@ -1,0 +1,468 @@
+package nodestore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"dcsledger/internal/cryptoutil"
+	"dcsledger/internal/metrics"
+)
+
+func testOpen(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	return s
+}
+
+func putNodes(t *testing.T, s *Store, height uint64, payloads ...[]byte) []cryptoutil.Hash {
+	t.Helper()
+	b := s.NewBatch(height)
+	hashes := make([]cryptoutil.Hash, len(payloads))
+	for i, p := range payloads {
+		hashes[i] = cryptoutil.HashBytes(p)
+		if err := b.Put(hashes[i], p); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	if err := b.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	return hashes
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := testOpen(t, t.TempDir(), Options{})
+	payloads := [][]byte{[]byte("alpha"), []byte("beta"), {}, bytes.Repeat([]byte{7}, 1000)}
+	hashes := putNodes(t, s, 5, payloads...)
+	for i, h := range hashes {
+		got, err := s.Get(h)
+		if err != nil {
+			t.Fatalf("Get(%d): %v", i, err)
+		}
+		if !bytes.Equal(got, payloads[i]) {
+			t.Fatalf("Get(%d) = %q, want %q", i, got, payloads[i])
+		}
+		if hgt, ok := s.Height(h); !ok || hgt != 5 {
+			t.Fatalf("Height(%d) = %d,%v, want 5,true", i, hgt, ok)
+		}
+	}
+	if _, err := s.Get(cryptoutil.HashBytes([]byte("missing"))); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing hash: got %v, want ErrNotFound", err)
+	}
+}
+
+func TestReopenRebuildsIndex(t *testing.T) {
+	dir := t.TempDir()
+	s := testOpen(t, dir, Options{SegmentSize: 256}) // force several rotations
+	var payloads [][]byte
+	for i := 0; i < 50; i++ {
+		payloads = append(payloads, []byte(fmt.Sprintf("node-%03d-%s", i, bytes.Repeat([]byte{'x'}, i))))
+	}
+	hashes := putNodes(t, s, 1, payloads...)
+	st := s.Stats()
+	if st.Segments < 3 {
+		t.Fatalf("expected multiple segments, got %d", st.Segments)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2 := testOpen(t, dir, Options{SegmentSize: 256})
+	if s2.Len() != len(hashes) {
+		t.Fatalf("reopened Len = %d, want %d", s2.Len(), len(hashes))
+	}
+	for i, h := range hashes {
+		got, err := s2.Get(h)
+		if err != nil || !bytes.Equal(got, payloads[i]) {
+			t.Fatalf("reopened Get(%d) = %q,%v", i, got, err)
+		}
+	}
+}
+
+func TestDuplicatePutIsIdempotent(t *testing.T) {
+	s := testOpen(t, t.TempDir(), Options{})
+	p := []byte("same-node")
+	h := cryptoutil.HashBytes(p)
+	putNodes(t, s, 1, p)
+	before := s.Stats().Appends
+	// Same content again, in a new batch: no new record.
+	b := s.NewBatch(2)
+	if err := b.Put(h, p); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Has(h) {
+		t.Fatal("Has should see the staged/stored node")
+	}
+	if err := b.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().Appends; got != before {
+		t.Fatalf("duplicate commit appended %d records", got-before)
+	}
+	// The original height wins (records are immutable).
+	if hgt, _ := s.Height(h); hgt != 1 {
+		t.Fatalf("height rewritten to %d", hgt)
+	}
+}
+
+func TestTornTailRepair(t *testing.T) {
+	dir := t.TempDir()
+	s := testOpen(t, dir, Options{})
+	hashes := putNodes(t, s, 1, []byte("keep-1"), []byte("keep-2"))
+	lost := putNodes(t, s, 2, []byte("torn-away"))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the last record: chop a few bytes off the newest segment.
+	path := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := testOpen(t, dir, Options{})
+	if s2.Len() != 2 {
+		t.Fatalf("after repair Len = %d, want 2", s2.Len())
+	}
+	if s2.Stats().TornBytes == 0 {
+		t.Fatal("expected TornBytes > 0")
+	}
+	for _, h := range hashes {
+		if _, err := s2.Get(h); err != nil {
+			t.Fatalf("intact record lost: %v", err)
+		}
+	}
+	if _, err := s2.Get(lost[0]); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("torn record: got %v, want ErrNotFound", err)
+	}
+	// The store must append cleanly after the repair.
+	again := putNodes(t, s2, 3, []byte("after-repair"))
+	if _, err := s2.Get(again[0]); err != nil {
+		t.Fatalf("append after repair: %v", err)
+	}
+}
+
+func TestGarbledInteriorSegmentIsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	s := testOpen(t, dir, Options{SegmentSize: 128})
+	var payloads [][]byte
+	for i := 0; i < 20; i++ {
+		payloads = append(payloads, bytes.Repeat([]byte{byte(i)}, 64))
+	}
+	putNodes(t, s, 1, payloads...)
+	if s.Stats().Segments < 2 {
+		t.Fatal("need at least two segments")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a byte inside the FIRST segment: not a tail, must refuse.
+	path := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("interior damage: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestNodeCacheAccounting(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s := testOpen(t, t.TempDir(), Options{CacheBytes: 100, Metrics: reg})
+	decode := func(h cryptoutil.Hash, enc []byte) (any, int, error) {
+		return string(enc), 40, nil
+	}
+	payloads := [][]byte{[]byte("one"), []byte("two"), []byte("three")}
+	hashes := putNodes(t, s, 1, payloads...)
+
+	// Misses fill the cache (40+40+40 > 100 evicts the oldest).
+	for _, h := range hashes {
+		if _, err := s.Node(h, decode); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.CacheMisses != 3 || st.CacheHits != 0 {
+		t.Fatalf("misses=%d hits=%d, want 3/0", st.CacheMisses, st.CacheHits)
+	}
+	if st.CacheEvicts != 1 {
+		t.Fatalf("evicts=%d, want 1", st.CacheEvicts)
+	}
+	if st.CacheBytes != 80 || st.CacheCap != 100 {
+		t.Fatalf("bytes=%d cap=%d, want 80/100", st.CacheBytes, st.CacheCap)
+	}
+	// Newest two are hits; evicted oldest is a miss again.
+	if v, err := s.Node(hashes[2], decode); err != nil || v.(string) != "three" {
+		t.Fatalf("Node = %v,%v", v, err)
+	}
+	if _, err := s.Node(hashes[0], decode); err != nil {
+		t.Fatal(err)
+	}
+	st = s.Stats()
+	if st.CacheHits != 1 || st.CacheMisses != 4 {
+		t.Fatalf("hits=%d misses=%d, want 1/4", st.CacheHits, st.CacheMisses)
+	}
+	// Metrics registry sees the same numbers.
+	snap := reg.Snapshot()
+	if snap["nodestore_cache_hits_total"] != 1 || snap["nodestore_cache_bytes"] != 80 {
+		t.Fatalf("metrics snapshot = %v", snap)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	s := testOpen(t, t.TempDir(), Options{CacheBytes: -1})
+	h := putNodes(t, s, 1, []byte("uncached"))[0]
+	decodes := 0
+	decode := func(cryptoutil.Hash, []byte) (any, int, error) { decodes++; return 1, 1, nil }
+	for i := 0; i < 3; i++ {
+		if _, err := s.Node(h, decode); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if decodes != 3 {
+		t.Fatalf("decodes = %d, want 3 (cache disabled)", decodes)
+	}
+}
+
+func TestDecodeErrorPropagates(t *testing.T) {
+	s := testOpen(t, t.TempDir(), Options{})
+	h := putNodes(t, s, 1, []byte("junk"))[0]
+	boom := errors.New("boom")
+	if _, err := s.Node(h, func(cryptoutil.Hash, []byte) (any, int, error) { return nil, 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+}
+
+func TestCompactDropsUnmarkedBelowFloor(t *testing.T) {
+	dir := t.TempDir()
+	s := testOpen(t, dir, Options{SegmentSize: 128})
+	old := putNodes(t, s, 1, []byte("dead-but-old-1"), []byte("dead-but-old-2"))
+	marked := putNodes(t, s, 2, []byte("old-but-reachable"))
+	recent := putNodes(t, s, 9, []byte("above-floor"))
+	// Pad so the victims live in sealed segments.
+	putNodes(t, s, 9, bytes.Repeat([]byte{1}, 200), bytes.Repeat([]byte{2}, 200))
+
+	m := NewMarker()
+	if !m.Keep(marked[0]) {
+		t.Fatal("first Keep must report fresh")
+	}
+	if m.Keep(marked[0]) {
+		t.Fatal("second Keep must report already-marked")
+	}
+	dropped, err := s.Compact(m, 5)
+	if err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if dropped != 2 {
+		t.Fatalf("dropped = %d, want 2", dropped)
+	}
+	for _, h := range old {
+		if s.Has(h) {
+			t.Fatal("dead record survived compaction")
+		}
+	}
+	for _, h := range append(marked, recent...) {
+		if got, err := s.Get(h); err != nil || len(got) == 0 {
+			t.Fatalf("live record lost: %v", err)
+		}
+	}
+
+	// Reopen: the compacted layout must rebuild cleanly.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := testOpen(t, dir, Options{})
+	if s2.Has(old[0]) || !s2.Has(marked[0]) || !s2.Has(recent[0]) {
+		t.Fatal("reopen after compact lost the wrong records")
+	}
+}
+
+func TestCompactThenReadRace(t *testing.T) {
+	s := testOpen(t, t.TempDir(), Options{SegmentSize: 256})
+	var payloads [][]byte
+	for i := 0; i < 40; i++ {
+		payloads = append(payloads, []byte(fmt.Sprintf("live-%04d-%s", i, bytes.Repeat([]byte{'y'}, 32))))
+	}
+	hashes := putNodes(t, s, 10, payloads...)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				h := hashes[(g*53+i)%len(hashes)]
+				if got, err := s.Get(h); err != nil || len(got) == 0 {
+					t.Errorf("Get during compact: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	// Everything is at height 10 >= floor, so compaction keeps all
+	// records while rewriting segments under the readers.
+	for i := 0; i < 5; i++ {
+		if _, err := s.Compact(NewMarker(), 5); err != nil {
+			t.Errorf("Compact: %v", err)
+		}
+	}
+	wg.Wait()
+}
+
+func TestCheckpointRoundTripAndPrune(t *testing.T) {
+	dir := t.TempDir()
+	s := testOpen(t, dir, Options{})
+	if _, err := s.LoadCheckpoint(); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("empty store: got %v, want ErrNoCheckpoint", err)
+	}
+	root := cryptoutil.HashBytes([]byte("state-root"))
+	for h := uint64(1); h <= 3; h++ {
+		ck := Checkpoint{Height: h * 10, Roots: map[string]cryptoutil.Hash{"state": root, "aux": cryptoutil.HashBytes([]byte{byte(h)})}}
+		if err := s.WriteCheckpoint(ck); err != nil {
+			t.Fatalf("WriteCheckpoint: %v", err)
+		}
+	}
+	got, err := s.LoadCheckpoint()
+	if err != nil {
+		t.Fatalf("LoadCheckpoint: %v", err)
+	}
+	if got.Height != 30 || got.Roots["state"] != root {
+		t.Fatalf("loaded %+v", got)
+	}
+	// Only the newest two metas survive.
+	heights, err := s.checkpointHeights()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(heights) != 2 || heights[0] != 20 || heights[1] != 30 {
+		t.Fatalf("retained checkpoints = %v, want [20 30]", heights)
+	}
+
+	// A damaged newest meta is skipped, never trusted.
+	path := filepath.Join(dir, ckptName(30))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err = s.LoadCheckpoint()
+	if err != nil || got.Height != 20 {
+		t.Fatalf("fallback checkpoint = %+v, %v", got, err)
+	}
+}
+
+func TestSyncPolicies(t *testing.T) {
+	if _, err := ParseSyncPolicy("bogus"); err == nil {
+		t.Fatal("bogus policy must fail")
+	}
+	for _, name := range []string{"always", "interval", "never"} {
+		p, err := ParseSyncPolicy(name)
+		if err != nil {
+			t.Fatalf("ParseSyncPolicy(%s): %v", name, err)
+		}
+		if p.String() != name {
+			t.Fatalf("round-trip %s != %s", p.String(), name)
+		}
+	}
+	// Interval policy syncs only once the injected clock advances.
+	now := time.Unix(1000, 0)
+	s := testOpen(t, t.TempDir(), Options{Sync: SyncInterval, SyncEvery: time.Second, Clock: func() time.Time { return now }})
+	base := s.Stats().Syncs
+	putNodes(t, s, 1, []byte("a"))
+	if got := s.Stats().Syncs; got != base {
+		t.Fatalf("synced before interval elapsed: %d", got-base)
+	}
+	now = now.Add(2 * time.Second)
+	putNodes(t, s, 1, []byte("b"))
+	if got := s.Stats().Syncs; got != base+1 {
+		t.Fatalf("syncs = %d, want %d", got, base+1)
+	}
+}
+
+func TestClosedStoreRejectsOps(t *testing.T) {
+	s := testOpen(t, t.TempDir(), Options{})
+	h := putNodes(t, s, 1, []byte("x"))[0]
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(h); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Get after close: %v", err)
+	}
+	b := s.NewBatch(2)
+	if err := b.Put(cryptoutil.HashBytes([]byte("y")), []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Commit(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Commit after close: %v", err)
+	}
+	if _, err := s.Compact(nil, 1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Compact after close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestOversizeNodeRejected(t *testing.T) {
+	s := testOpen(t, t.TempDir(), Options{})
+	b := s.NewBatch(1)
+	big := make([]byte, MaxNodeLen+1)
+	if err := b.Put(cryptoutil.HashBytes(big), big); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversize Put: %v", err)
+	}
+}
+
+func TestConcurrentBatchesAndReads(t *testing.T) {
+	s := testOpen(t, t.TempDir(), Options{SegmentSize: 1024, Sync: SyncNever})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				p := []byte(fmt.Sprintf("w%d-i%d", w, i))
+				h := cryptoutil.HashBytes(p)
+				b := s.NewBatch(uint64(i))
+				if err := b.Put(h, p); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+				if err := b.Commit(); err != nil {
+					t.Errorf("Commit: %v", err)
+					return
+				}
+				if got, err := s.Get(h); err != nil || !bytes.Equal(got, p) {
+					t.Errorf("readback: %q, %v", got, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != 200 {
+		t.Fatalf("Len = %d, want 200", s.Len())
+	}
+}

@@ -483,11 +483,56 @@ func (s *State) ApplyBlock(b *types.Block, expectedReward uint64) ([]*Receipt, e
 // Patricia trie over accounts, each account's entry committing its
 // balance, nonce, code hash, and a nested storage-trie root.
 func (s *State) Commit() cryptoutil.Hash {
+	return s.AccountTrie().RootHash()
+}
+
+// AccountTrie builds the full account trie Commit hashes. The disk
+// state mirror uses it to seed (or rebuild) a persistent copy of the
+// trie whose root every block header carries.
+func (s *State) AccountTrie() *mpt.Trie {
 	tr := mpt.New()
 	s.forEachAccount(func(addr cryptoutil.Address, acc Account) {
 		tr = tr.Set(addr[:], s.encodeAccount(addr, acc))
 	})
-	return tr.RootHash()
+	return tr
+}
+
+// AccountLeaf returns the account-trie leaf value for addr — the exact
+// bytes Commit stores under addr[:] — and whether addr has an account
+// record (addresses with storage but no account record contribute no
+// leaf, matching Commit).
+func (s *State) AccountLeaf(addr cryptoutil.Address) ([]byte, bool) {
+	for cur := s; cur != nil; cur = cur.parent {
+		if acc, ok := cur.accounts[addr]; ok {
+			return s.encodeAccount(addr, acc), true
+		}
+	}
+	return nil, false
+}
+
+// DirtyAddresses returns every address written through THIS diff layer
+// (account record, storage slot, or storage delete), sorted. On a
+// per-block state layer that is exactly the set of account-trie leaves
+// the block may have changed; for a base layer it is every account.
+func (s *State) DirtyAddresses() []cryptoutil.Address {
+	seen := make(map[cryptoutil.Address]struct{}, len(s.accounts))
+	for a := range s.accounts {
+		seen[a] = struct{}{}
+	}
+	for a := range s.storage {
+		seen[a] = struct{}{}
+	}
+	for a := range s.storageDel {
+		seen[a] = struct{}{}
+	}
+	out := make([]cryptoutil.Address, 0, len(seen))
+	for a := range seen {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return bytes.Compare(out[i][:], out[j][:]) < 0
+	})
+	return out
 }
 
 // Len returns the number of accounts with records.

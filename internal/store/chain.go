@@ -11,9 +11,15 @@ import (
 // selected by the fork-choice rule, indexed by height. It also answers
 // the "block age" question the paper ties trust to (Section 2.2) via
 // Confirmations.
+//
+// Heights are absolute block-header heights. They coincide with slice
+// positions only when the tree is rooted at a height-0 genesis; a tree
+// re-rooted at a checkpoint (recovery from a pruned journal) starts at
+// the checkpoint's height, and everything below it is simply absent.
 type Chain struct {
 	mu       sync.RWMutex
 	tree     *BlockTree
+	base     uint64 // header height of the tree root (byHeight[0])
 	byHeight []cryptoutil.Hash
 	txIndex  map[cryptoutil.Hash]txLocation
 }
@@ -23,9 +29,12 @@ type txLocation struct {
 	index int
 }
 
-// NewChain creates a main-chain view with the genesis block as head.
+// NewChain creates a main-chain view with the tree's root block as head.
 func NewChain(tree *BlockTree) *Chain {
 	c := &Chain{tree: tree, txIndex: make(map[cryptoutil.Hash]txLocation)}
+	if gb, ok := tree.Get(tree.Genesis()); ok {
+		c.base = gb.Header.Height
+	}
 	c.setHeadLocked(tree.Genesis())
 	return c
 }
@@ -97,21 +106,23 @@ func (c *Chain) HeadBlock() *types.Block {
 	return b
 }
 
-// Height returns the main-chain height (genesis = 0).
+// Height returns the head's absolute header height (a height-0 genesis
+// root makes this the main-chain length minus one).
 func (c *Chain) Height() uint64 {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return uint64(len(c.byHeight) - 1)
+	return c.base + uint64(len(c.byHeight)-1)
 }
 
-// AtHeight returns the main-chain block hash at the given height.
+// AtHeight returns the main-chain block hash at the given absolute
+// height (false below a re-rooted tree's base).
 func (c *Chain) AtHeight(h uint64) (cryptoutil.Hash, bool) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	if h >= uint64(len(c.byHeight)) {
+	if h < c.base || h-c.base >= uint64(len(c.byHeight)) {
 		return cryptoutil.ZeroHash, false
 	}
-	return c.byHeight[h], true
+	return c.byHeight[h-c.base], true
 }
 
 // Contains reports whether block h is on the main chain.
@@ -123,7 +134,7 @@ func (c *Chain) Contains(h cryptoutil.Hash) bool {
 		return false
 	}
 	ht := b.Header.Height
-	return ht < uint64(len(c.byHeight)) && c.byHeight[ht] == h
+	return ht >= c.base && ht-c.base < uint64(len(c.byHeight)) && c.byHeight[ht-c.base] == h
 }
 
 // Confirmations returns how many blocks follow h on the main chain,
@@ -137,10 +148,10 @@ func (c *Chain) Confirmations(h cryptoutil.Hash) uint64 {
 		return 0
 	}
 	ht := b.Header.Height
-	if ht >= uint64(len(c.byHeight)) || c.byHeight[ht] != h {
+	if ht < c.base || ht-c.base >= uint64(len(c.byHeight)) || c.byHeight[ht-c.base] != h {
 		return 0
 	}
-	return uint64(len(c.byHeight)) - ht
+	return uint64(len(c.byHeight)) - (ht - c.base)
 }
 
 // FindTx locates a transaction on the main chain, returning its block
@@ -161,8 +172,11 @@ func (c *Chain) Headers(from uint64, limit int) []types.BlockHeader {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	var out []types.BlockHeader
-	for h := from; h < uint64(len(c.byHeight)) && len(out) < limit; h++ {
-		b, _ := c.tree.Get(c.byHeight[h])
+	if from < c.base {
+		from = c.base
+	}
+	for h := from; h-c.base < uint64(len(c.byHeight)) && len(out) < limit; h++ {
+		b, _ := c.tree.Get(c.byHeight[h-c.base])
 		out = append(out, b.Header)
 	}
 	return out

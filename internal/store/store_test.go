@@ -308,3 +308,27 @@ func TestOffChainStoreSize(t *testing.T) {
 		t.Fatalf("Size = %d", s.Size())
 	}
 }
+
+// TestChildrenReturnsCopy pins the aliasing contract of the child
+// accessor: the returned slice is the caller's to mutate, and writing
+// through it must never corrupt the tree's child index.
+func TestChildrenReturnsCopy(t *testing.T) {
+	tree, g, as, bs := buildFork(t)
+	kids := tree.Children(g.Hash())
+	if len(kids) != 2 {
+		t.Fatalf("genesis children = %d, want 2", len(kids))
+	}
+	kids[0], kids[1] = cryptoutil.ZeroHash, cryptoutil.ZeroHash
+
+	again := tree.Children(g.Hash())
+	want := map[cryptoutil.Hash]bool{as[0].Hash(): true, bs[0].Hash(): true}
+	for _, k := range again {
+		if !want[k] {
+			t.Fatalf("child index corrupted through returned slice: got %s", k.Short())
+		}
+	}
+	// The structural walks that depend on the index still work.
+	if _, err := tree.PathFromGenesis(as[2].Hash()); err != nil {
+		t.Fatalf("PathFromGenesis after caller mutation: %v", err)
+	}
+}

@@ -31,8 +31,10 @@ const (
 // checkpoints.
 const DefaultCheckpointEvery = 64
 
-// ckptMagic versions the checkpoint file format.
-const ckptMagic = "DCSCKPT1"
+// ckptMagic versions the checkpoint file format. Version 2 embeds the
+// head block itself, so recovery can re-root the block tree at the
+// checkpoint after the pre-checkpoint journal has been pruned.
+const ckptMagic = "DCSCKPT2"
 
 // keepCheckpoints is how many newest checkpoint files are retained; the
 // second-newest survives as a fallback should the newest be torn by a
@@ -82,6 +84,10 @@ type Checkpoint struct {
 	StateRoot cryptoutil.Hash
 	// State is the materialized head state (no executor installed).
 	State *state.State
+	// Block is the checkpointed head block itself (hash verified to
+	// equal Head at load). It lets recovery adopt the checkpoint as the
+	// block tree's root when pruning dropped the journal below it.
+	Block *types.Block
 }
 
 // Recovery is everything OpenStore reconstructs from disk: the journal
@@ -174,8 +180,14 @@ func OpenStore(dir string, opts StoreOptions) (*DurableStore, *Recovery, error) 
 		w.Close()
 		return nil, nil, err
 	}
+	// Arm the prune floor: segments above the newest checkpoint's seq
+	// are the replay suffix and must never be pruned. With no usable
+	// checkpoint the floor is zero — nothing may be pruned at all.
 	if rec.Checkpoint != nil {
 		s.lastCkptHeight = rec.Checkpoint.Height
+		w.SetPruneFloor(rec.Checkpoint.Seq)
+	} else {
+		w.SetPruneFloor(0)
 	}
 	return s, rec, nil
 }
@@ -240,34 +252,36 @@ func (s *DurableStore) LogHead(h cryptoutil.Hash) error {
 // MaybeCheckpoint writes a checkpoint when the head has advanced at
 // least CheckpointEvery blocks past the previous one. Returns whether a
 // checkpoint was written.
-func (s *DurableStore) MaybeCheckpoint(head cryptoutil.Hash, height uint64, root cryptoutil.Hash, st *state.State) (bool, error) {
+func (s *DurableStore) MaybeCheckpoint(b *types.Block, root cryptoutil.Hash, st *state.State) (bool, error) {
 	s.mu.Lock()
-	due := height >= s.lastCkptHeight+s.opts.CheckpointEvery
+	due := b.Header.Height >= s.lastCkptHeight+s.opts.CheckpointEvery
 	s.mu.Unlock()
 	if !due {
 		return false, nil
 	}
-	return true, s.Checkpoint(head, height, root, st)
+	return true, s.Checkpoint(b, root, st)
 }
 
-// Checkpoint unconditionally writes a state checkpoint covering the WAL
-// as of now, then retires all but the newest keepCheckpoints files. The
-// file is written to a temp name, fsynced, and renamed, so a crash
-// mid-checkpoint leaves the previous checkpoint intact.
-func (s *DurableStore) Checkpoint(head cryptoutil.Hash, height uint64, root cryptoutil.Hash, st *state.State) error {
+// Checkpoint unconditionally writes a state checkpoint of head block b
+// covering the WAL as of now, then retires all but the newest
+// keepCheckpoints files. The file is written to a temp name, fsynced,
+// and renamed, so a crash mid-checkpoint leaves the previous checkpoint
+// intact.
+func (s *DurableStore) Checkpoint(b *types.Block, root cryptoutil.Hash, st *state.State) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.failed != nil {
 		return s.failed
 	}
-	if err := s.checkpointLocked(head, height, root, st); err != nil {
+	if err := s.checkpointLocked(b, root, st); err != nil {
 		s.failed = fmt.Errorf("%w: %v", ErrStoreFailed, err)
 		return s.failed
 	}
 	return nil
 }
 
-func (s *DurableStore) checkpointLocked(head cryptoutil.Hash, height uint64, root cryptoutil.Hash, st *state.State) error {
+func (s *DurableStore) checkpointLocked(b *types.Block, root cryptoutil.Hash, st *state.State) error {
+	head, height := b.Hash(), b.Header.Height
 	snap, err := st.EncodeSnapshot()
 	if err != nil {
 		return fmt.Errorf("wal: checkpoint snapshot: %w", err)
@@ -292,6 +306,10 @@ func (s *DurableStore) checkpointLocked(head cryptoutil.Hash, height uint64, roo
 	binary.BigEndian.PutUint32(b4[:], uint32(len(snap)))
 	buf.Write(b4[:])
 	buf.Write(snap)
+	blk := b.Encode()
+	binary.BigEndian.PutUint32(b4[:], uint32(len(blk)))
+	buf.Write(b4[:])
+	buf.Write(blk)
 	body := buf.Bytes()[len(ckptMagic):]
 	binary.BigEndian.PutUint32(b4[:], crc32.Checksum(body, castagnoli))
 	buf.Write(b4[:])
@@ -305,6 +323,9 @@ func (s *DurableStore) checkpointLocked(head cryptoutil.Hash, height uint64, roo
 		return fmt.Errorf("wal: publish checkpoint: %w", err)
 	}
 	syncDir(s.dir)
+	// The checkpoint now covers everything up to seq, so pruning may
+	// advance to it (and no further).
+	s.wal.SetPruneFloor(seq)
 	s.lastCkptHeight = height
 	s.checkpoints++
 	s.gcCheckpointsLocked()
@@ -384,19 +405,35 @@ func loadCheckpoint(path string) *Checkpoint {
 	off += cryptoutil.HashSize
 	snapLen := binary.BigEndian.Uint32(data[off:])
 	off += 4
-	if off+int(snapLen) != len(data)-4 {
+	if off+int(snapLen)+4 > len(data)-4 {
 		return nil
 	}
 	st, err := state.DecodeSnapshot(data[off : off+int(snapLen)])
 	if err != nil {
 		return nil
 	}
-	// Re-verify the snapshot against the recorded root: a checkpoint
-	// whose state does not commit to its claimed root is worthless.
+	off += int(snapLen)
+	blkLen := binary.BigEndian.Uint32(data[off:])
+	off += 4
+	if off+int(blkLen) != len(data)-4 {
+		return nil
+	}
+	blk, err := types.DecodeBlock(data[off : off+int(blkLen)])
+	if err != nil {
+		return nil
+	}
+	// Re-verify the snapshot against the recorded root and the block
+	// against the recorded head: a checkpoint whose state does not
+	// commit to its claimed root (or whose block is not its head) is
+	// worthless.
 	if st.Commit() != ck.StateRoot {
 		return nil
 	}
+	if blk.Hash() != ck.Head || blk.Header.Height != ck.Height {
+		return nil
+	}
 	ck.State = st
+	ck.Block = blk
 	return ck
 }
 

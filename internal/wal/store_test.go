@@ -84,7 +84,7 @@ func TestStoreCheckpointRoundTrip(t *testing.T) {
 	st.Credit(cryptoutil.AddressFromHash(cryptoutil.HashBytes([]byte("bob"))), 7)
 	root := st.Commit()
 	head := blocks[2].Hash()
-	if err := s.Checkpoint(head, 3, root, st); err != nil {
+	if err := s.Checkpoint(blocks[2], root, st); err != nil {
 		t.Fatalf("Checkpoint: %v", err)
 	}
 	if got := s.Stats().Checkpoints; got != 1 {
@@ -105,6 +105,9 @@ func TestStoreCheckpointRoundTrip(t *testing.T) {
 	if ck.State.Commit() != root {
 		t.Fatal("recovered checkpoint state does not commit to its root")
 	}
+	if ck.Block == nil || ck.Block.Hash() != head {
+		t.Fatal("recovered checkpoint does not embed its head block")
+	}
 	if got := ck.State.Balance(cryptoutil.AddressFromHash(cryptoutil.HashBytes([]byte("alice")))); got != 1000 {
 		t.Fatalf("recovered balance = %d, want 1000", got)
 	}
@@ -120,7 +123,7 @@ func TestCheckpointGC(t *testing.T) {
 		if err := s.LogBlock(b); err != nil {
 			t.Fatal(err)
 		}
-		if err := s.Checkpoint(b.Hash(), uint64(i+1), root, st); err != nil {
+		if err := s.Checkpoint(b, root, st); err != nil {
 			t.Fatalf("Checkpoint %d: %v", i, err)
 		}
 	}
@@ -140,11 +143,11 @@ func TestCorruptCheckpointFallsBack(t *testing.T) {
 	st.Credit(cryptoutil.AddressFromHash(cryptoutil.HashBytes([]byte("a"))), 1)
 	root := st.Commit()
 	blocks := testBlocks(2)
-	for i, b := range blocks {
+	for _, b := range blocks {
 		if err := s.LogBlock(b); err != nil {
 			t.Fatal(err)
 		}
-		if err := s.Checkpoint(b.Hash(), uint64(i+1), root, st); err != nil {
+		if err := s.Checkpoint(b, root, st); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -179,10 +182,10 @@ func TestMaybeCheckpointCadence(t *testing.T) {
 	st := state.New()
 	st.Credit(cryptoutil.AddressFromHash(cryptoutil.HashBytes([]byte("a"))), 1)
 	root := st.Commit()
-	head := cryptoutil.HashBytes([]byte("h"))
+	blocks := testBlocks(9)
 	wantAt := map[uint64]bool{4: true, 8: true}
 	for h := uint64(1); h <= 9; h++ {
-		wrote, err := s.MaybeCheckpoint(head, h, root, st)
+		wrote, err := s.MaybeCheckpoint(blocks[h-1], root, st)
 		if err != nil {
 			t.Fatalf("MaybeCheckpoint(%d): %v", h, err)
 		}
@@ -219,7 +222,7 @@ func TestStoreFailureLatches(t *testing.T) {
 		t.Fatalf("LogHead after failure: err = %v, want ErrStoreFailed", err)
 	}
 	st := state.New()
-	if err := s.Checkpoint(blocks[0].Hash(), 1, st.Commit(), st); !errors.Is(err, ErrStoreFailed) {
+	if err := s.Checkpoint(blocks[0], st.Commit(), st); !errors.Is(err, ErrStoreFailed) {
 		t.Fatalf("Checkpoint after failure: err = %v, want ErrStoreFailed", err)
 	}
 	s.Close()
@@ -255,5 +258,71 @@ func TestUndecodablePayloadStopsCollection(t *testing.T) {
 	}
 	if rec.Truncated != 2 {
 		t.Fatalf("Truncated = %d, want 2 (bad record + dropped successor)", rec.Truncated)
+	}
+}
+
+// TestPruneFloorProtectsReplaySuffix pins the checkpoint-seq prune
+// floor: a DurableStore WAL with no checkpoint refuses to prune
+// anything, and once a checkpoint exists, an arbitrarily aggressive
+// PruneBefore drops only segments the checkpoint covers — every record
+// above the checkpoint seq survives and replays after reopen.
+func TestPruneFloorProtectsReplaySuffix(t *testing.T) {
+	dir := t.TempDir()
+	opts := StoreOptions{Fsync: FsyncAlways, SegmentSize: 256}
+	s, _ := openStoreT(t, dir, opts)
+	blocks := testBlocks(10)
+	for _, b := range blocks[:5] {
+		if err := s.LogBlock(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No checkpoint: the floor is zero and nothing may be pruned,
+	// however large the request.
+	if removed, err := s.WAL().PruneBefore(s.WAL().LastSeq()); err != nil || removed != 0 {
+		t.Fatalf("prune with no checkpoint removed %d (err %v), want 0", removed, err)
+	}
+
+	st := state.New()
+	st.Credit(cryptoutil.AddressFromHash(cryptoutil.HashBytes([]byte("a"))), 1)
+	if err := s.Checkpoint(blocks[4], st.Commit(), st); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	ckptSeq := s.WAL().LastSeq()
+	if floor, armed := s.WAL().PruneFloor(); !armed || floor != ckptSeq {
+		t.Fatalf("floor = %d (armed %v), want %d", floor, armed, ckptSeq)
+	}
+	for _, b := range blocks[5:] {
+		if err := s.LogBlock(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	removed, err := s.WAL().PruneBefore(s.WAL().LastSeq())
+	if err != nil {
+		t.Fatalf("PruneBefore: %v", err)
+	}
+	if removed == 0 {
+		t.Fatal("clamped prune removed no pre-checkpoint segments")
+	}
+	s.Close()
+
+	// The pruned store still recovers the checkpoint plus the complete
+	// replay suffix (every block journaled after the checkpoint).
+	_, rec := openStoreT(t, dir, opts)
+	if rec.Checkpoint == nil || rec.Checkpoint.Head != blocks[4].Hash() {
+		t.Fatalf("recovered checkpoint %+v, want head %s", rec.Checkpoint, blocks[4].Hash().Short())
+	}
+	var suffix []*types.Block
+	for _, rb := range rec.Blocks {
+		if rb.Seq > rec.Checkpoint.Seq {
+			suffix = append(suffix, rb.Block)
+		}
+	}
+	if len(suffix) != 5 {
+		t.Fatalf("replay suffix has %d blocks, want 5", len(suffix))
+	}
+	for i, b := range suffix {
+		if b.Hash() != blocks[5+i].Hash() {
+			t.Fatalf("suffix block %d mismatch", i)
+		}
 	}
 }

@@ -51,6 +51,11 @@ const (
 // DefaultSegmentSize is the rotation threshold for segment files.
 const DefaultSegmentSize = 4 << 20
 
+// noPruneFloor marks a WAL whose prune floor was never armed: a raw
+// WAL (no DurableStore in front) keeps the historical behavior where
+// PruneBefore honors the caller's seq unclamped.
+const noPruneFloor = ^uint64(0)
+
 // DefaultFsyncEvery is the flush cadence of the interval fsync policy.
 const DefaultFsyncEvery = 100 * time.Millisecond
 
@@ -175,6 +180,7 @@ type WAL struct {
 	activeSize int64
 	segments   []uint64 // live segment indexes, ascending
 	nextSeq    uint64
+	pruneFloor uint64 // newest seq pruning may reach (noPruneFloor = unclamped)
 	lastSync   time.Time
 	closed     bool
 	crashed    bool
@@ -193,7 +199,7 @@ func Open(dir string, opts Options) (*WAL, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: mkdir: %w", err)
 	}
-	w := &WAL{dir: dir, opts: opts, nextSeq: 1}
+	w := &WAL{dir: dir, opts: opts, nextSeq: 1, pruneFloor: noPruneFloor}
 	if err := w.scanAndRepair(); err != nil {
 		return nil, err
 	}
@@ -543,11 +549,37 @@ func (w *WAL) Stats() Stats {
 	return s
 }
 
+// SetPruneFloor arms (or raises) the prune floor: from now on,
+// PruneBefore will never drop a segment holding any record with a
+// sequence number above the floor. The DurableStore arms the floor with
+// the newest retained checkpoint's covered seq — records above it are
+// the replay suffix recovery depends on, so they must outlive any
+// prune. The floor is monotonic; calls that would lower it are ignored.
+func (w *WAL) SetPruneFloor(seq uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.pruneFloor == noPruneFloor || seq > w.pruneFloor {
+		w.pruneFloor = seq
+	}
+}
+
+// PruneFloor returns the armed prune floor and whether one is set.
+func (w *WAL) PruneFloor() (uint64, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.pruneFloor, w.pruneFloor != noPruneFloor
+}
+
 // PruneBefore removes whole segments all of whose records have
-// sequence numbers <= seq. The active segment is never removed. Callers
-// must hold a checkpoint covering seq, and pruning forfeits the ability
-// to rebuild history older than the checkpoint (see docs/PERSISTENCE.md
-// — the node does not prune automatically).
+// sequence numbers <= seq. The active segment is never removed, and on
+// a WAL with an armed prune floor (every DurableStore WAL) seq is
+// clamped to the newest retained checkpoint's covered seq — segments
+// the checkpoint does not cover are refused, however aggressive the
+// request, so recovery can always replay the post-checkpoint suffix.
+// Pruning forfeits the ability to rebuild history older than the
+// checkpoint; recovery then re-roots the block tree at the checkpoint
+// block (see docs/PERSISTENCE.md — the node does not prune
+// automatically).
 func (w *WAL) PruneBefore(seq uint64) (removed int, err error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -555,6 +587,9 @@ func (w *WAL) PruneBefore(seq uint64) (removed int, err error) {
 }
 
 func (w *WAL) pruneBeforeLocked(seq uint64) (removed int, err error) {
+	if seq > w.pruneFloor {
+		seq = w.pruneFloor
+	}
 	for len(w.segments) > 1 {
 		// A segment is removable when the NEXT segment starts at or
 		// before seq+1: every record in it is then <= seq.
