@@ -6,7 +6,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: all build vet lint test race fmt-check doc-check tier1 ci trace-demo crash-matrix fuzz-smoke
+.PHONY: all build vet lint test race fmt-check doc-check tier1 ci trace-demo crash-matrix fuzz-smoke bench-smoke
 
 all: tier1
 
@@ -38,7 +38,8 @@ fmt-check:
 
 # Documentation gate: every package (including cmd/ and examples/)
 # must carry a `// Package <name>` or `// Command <name>` doc comment
-# in at least one non-test file. testdata trees are exempt: they are
+# in at least one non-test file, and every intra-repo markdown link
+# must resolve (cmd/doccheck). testdata trees are exempt: they are
 # analyzer fixtures, not part of the build.
 doc-check:
 	@missing=0; \
@@ -49,7 +50,8 @@ doc-check:
 			echo "missing package doc comment: $$dir"; missing=1; \
 		fi; \
 	done; \
-	exit $$missing
+	[ $$missing -eq 0 ] || exit $$missing
+	$(GO) run ./cmd/doccheck .
 
 # Race-detector gate over the whole module: the transport/gossip layer,
 # the full node, and everything they share must stay race-free, and new
@@ -85,6 +87,12 @@ fuzz-smoke:
 	$(GO) test ./internal/consensus/poet -run '^$$' -fuzz FuzzCertificateDecode -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/state -run '^$$' -fuzz FuzzSnapshotDecode -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/nodestore -run '^$$' -fuzz FuzzNodeDecode -fuzztime $(FUZZTIME)
+
+# Parallel-execution smoke: a short width x conflict-rate sweep whose
+# every cell is gated on the parallel root being bit-identical to the
+# serial root (the sweep errors on any divergence).
+bench-smoke:
+	$(GO) run ./cmd/dcsbench -exec -exec-txs 96 -exec-workers 1,4 -exec-rates 0,0.25
 
 tier1: build vet lint fmt-check doc-check test
 

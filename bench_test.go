@@ -181,13 +181,29 @@ func BenchmarkStateCopy(b *testing.B) {
 // construction and signing happen off the timer; every iteration uses
 // freshly signed transactions so verification is actually measured
 // (the signature memo would otherwise short-circuit it).
+//
+// The hot variant sends every transfer to the proposer with interleaved
+// senders — worst case for the parallel executor (everything replays).
+// The low-conflict variants group each sender's transactions
+// contiguously with disjoint recipients, so at exec-workers > 1 the
+// speculative lanes all merge; the speedup is bounded by available
+// cores (a 1-CPU runner shows ~1x regardless of width).
 func BenchmarkConnectBlock(b *testing.B) {
-	const (
-		blocksPerIter = 4
-		txsPerBlock   = 64
-	)
+	b.Run("hot-recipient-64tx", func(b *testing.B) {
+		benchConnectBlock(b, 64, 8, 0, false)
+	})
+	for _, workers := range []int{0, 2, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("low-conflict-256tx-workers-%d", workers), func(b *testing.B) {
+			benchConnectBlock(b, 256, 32, workers, true)
+		})
+	}
+}
+
+func benchConnectBlock(b *testing.B, txsPerBlock, senderCount, execWorkers int, lowConflict bool) {
+	const blocksPerIter = 4
 	miner := cryptoutil.KeyFromSeed([]byte("bench-connect-miner"))
-	senders := make([]*cryptoutil.KeyPair, 8)
+	senders := make([]*cryptoutil.KeyPair, senderCount)
 	alloc := make(map[cryptoutil.Address]uint64, len(senders))
 	for i := range senders {
 		senders[i] = cryptoutil.KeyFromSeed([]byte(fmt.Sprintf("bench-sender-%d", i)))
@@ -214,6 +230,7 @@ func BenchmarkConnectBlock(b *testing.B) {
 			Rewards:        rewards,
 			Clock:          simclock.NewSimulator(),
 			StateRetention: 64,
+			ExecWorkers:    execWorkers,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -238,9 +255,21 @@ func BenchmarkConnectBlock(b *testing.B) {
 			var fees uint64
 			txs := make([]*types.Transaction, 0, txsPerBlock+1)
 			for j := 0; j < txsPerBlock; j++ {
-				s := senders[j%len(senders)]
+				var (
+					s  *cryptoutil.KeyPair
+					to cryptoutil.Address
+				)
+				if lowConflict {
+					// Sender-major order: each sender's nonce chain is one
+					// contiguous run, recipients are disjoint.
+					s = senders[j/(txsPerBlock/len(senders))]
+					to = cryptoutil.KeyFromSeed([]byte(fmt.Sprintf("bench-to-%d-%d", i, j))).Address()
+				} else {
+					s = senders[j%len(senders)]
+					to = miner.Address()
+				}
 				from := s.Address()
-				tx := types.NewTransfer(from, miner.Address(), 1, 1, nonces[from])
+				tx := types.NewTransfer(from, to, 1, 1, nonces[from])
 				if err := tx.Sign(s); err != nil {
 					b.Fatal(err)
 				}
@@ -282,6 +311,12 @@ func BenchmarkConnectBlock(b *testing.B) {
 		}
 		if n.Chain().Height() != blocksPerIter {
 			b.Fatal("chain did not advance")
+		}
+		if execWorkers > 0 && lowConflict {
+			if m := n.Metrics(); m.ExecConflicts > 0 {
+				b.Fatalf("low-conflict block replayed: %d conflicts, %d replayed txs",
+					m.ExecConflicts, m.ExecReplayedTxs)
+			}
 		}
 	}
 }

@@ -43,6 +43,10 @@ func run(args []string) error {
 		traceFn    = fs.String("trace-file", "", "with -stages: write raw trace spans to this JSONL file")
 		stateKeys  = fs.String("state", "", "run the disk-backed state-store benchmark over comma-separated key counts (e.g. 100000,1000000)")
 		stateCache = fs.Int64("state-cache", 0, "with -state: decoded-node cache budget in bytes (0 = 64 MiB default)")
+		execSweep  = fs.Bool("exec", false, "run the parallel-execution sweep (workers x conflict-rate, root-equality gated)")
+		execWork   = fs.String("exec-workers", "1,2,4,8", "with -exec: comma-separated speculation widths")
+		execRates  = fs.String("exec-rates", "0,0.05,0.25", "with -exec: comma-separated conflict rates in [0,1]")
+		execTxs    = fs.Int("exec-txs", 256, "with -exec: transactions per synthetic block")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -58,6 +62,9 @@ func run(args []string) error {
 	}
 	if *stateKeys != "" {
 		return runState(*stateKeys, *stateCache)
+	}
+	if *execSweep {
+		return runExec(*execWork, *execRates, *execTxs)
 	}
 	if *stages {
 		return runStages(*scale, *traceFn)
@@ -104,6 +111,39 @@ func runState(keysSpec string, cacheBytes int64) error {
 	}
 	fmt.Println(table.String())
 	fmt.Printf("(state completed in %s)\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// runExec runs the optimistic-parallel-execution sweep and prints the
+// EXEC table. Root equality against serial execution is checked inside
+// the sweep: any divergence is an error, not a number.
+func runExec(workersSpec, ratesSpec string, txs int) error {
+	var widths []int
+	for _, f := range strings.Split(workersSpec, ",") {
+		var n int
+		if _, err := fmt.Sscanf(strings.TrimSpace(f), "%d", &n); err != nil || n <= 0 {
+			return fmt.Errorf("bad -exec-workers width %q", f)
+		}
+		widths = append(widths, n)
+	}
+	var rates []float64
+	for _, f := range strings.Split(ratesSpec, ",") {
+		var r float64
+		if _, err := fmt.Sscanf(strings.TrimSpace(f), "%g", &r); err != nil || r < 0 || r > 1 {
+			return fmt.Errorf("bad -exec-rates rate %q", f)
+		}
+		rates = append(rates, r)
+	}
+	if txs <= 0 {
+		return fmt.Errorf("-exec-txs must be positive")
+	}
+	start := time.Now()
+	table, err := bench.ExecSweepTable(widths, rates, txs)
+	if err != nil {
+		return err
+	}
+	fmt.Println(table.String())
+	fmt.Printf("(exec completed in %s)\n", time.Since(start).Round(time.Millisecond))
 	return nil
 }
 

@@ -1,0 +1,88 @@
+// Command doccheck validates intra-repo markdown links: every
+// `[text](target)` in the repo's markdown files whose target is a
+// relative path must point at a file or directory that exists. External
+// links (scheme prefixes) and pure fragments are skipped; a `#fragment`
+// suffix on a relative target is stripped before the existence check.
+// `make doc-check` runs this after the package-doc-comment gate.
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches markdown inline links. Images (![alt](src)) count too:
+// a dead image reference is just as much drift as a dead link.
+var linkRe = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	var files []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		// SNIPPETS.md quotes exemplar code from external repositories;
+		// its relative links point into those trees, not this one.
+		if strings.EqualFold(filepath.Ext(name), ".md") && name != "SNIPPETS.md" {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doccheck:", err)
+		os.Exit(1)
+	}
+
+	broken := 0
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doccheck:", err)
+			os.Exit(1)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if skipTarget(target) {
+					continue
+				}
+				target, _, _ = strings.Cut(target, "#")
+				if target == "" {
+					continue
+				}
+				resolved := filepath.Join(filepath.Dir(f), target)
+				if _, err := os.Stat(resolved); err != nil {
+					fmt.Printf("%s:%d: dead link %q (%s does not exist)\n", f, i+1, m[1], resolved)
+					broken++
+				}
+			}
+		}
+	}
+	if broken > 0 {
+		fmt.Printf("doccheck: %d dead intra-repo link(s)\n", broken)
+		os.Exit(1)
+	}
+}
+
+// skipTarget reports whether a link target is out of scope: external
+// URLs, mail links, and in-page fragments.
+func skipTarget(t string) bool {
+	return strings.HasPrefix(t, "#") ||
+		strings.Contains(t, "://") ||
+		strings.HasPrefix(t, "mailto:")
+}

@@ -23,6 +23,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 	"syscall"
@@ -108,8 +109,12 @@ func run() error {
 		cacheB  = flag.Int64("state-cache", nodestore.DefaultCacheBytes, "decoded-node cache budget in bytes for -state-backend=disk")
 		traceFn = flag.String("trace-file", "", "append pipeline trace spans to this JSONL file")
 		traceN  = flag.Int("trace-buf", obs.DefaultRingCapacity, "pipeline trace ring capacity (spans kept for GET /trace)")
-		peers   = peerList{}
-		alloc   = allocList{}
+		execW   = flag.Int("exec-workers", runtime.GOMAXPROCS(0),
+			"optimistic parallel block execution width (0 = serial; see docs/EXECUTION.md)")
+		execP = flag.Bool("exec-paranoid", false,
+			"re-run every parallel block serially and fail on any divergence (debug; forfeits the speedup)")
+		peers = peerList{}
+		alloc = allocList{}
 	)
 	flag.Var(peers, "peer", "peer as id=host:port (repeatable)")
 	flag.Var(alloc, "alloc", "genesis allocation addrhex=amount (repeatable)")
@@ -211,6 +216,8 @@ func run() error {
 		MaxOrphans:     *maxOrph,
 		Durable:        ds,
 		DiskState:      ns,
+		ExecWorkers:    *execW,
+		ExecParanoid:   *execP,
 	})
 	if err != nil {
 		return err

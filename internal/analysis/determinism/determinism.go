@@ -43,6 +43,7 @@ var Analyzer = &analysis.Analyzer{
 var criticalMarkers = []string{
 	"internal/consensus",
 	"internal/state",
+	"internal/exec",
 	"internal/node",
 	"internal/merkle",
 	"internal/mpt",

@@ -1,0 +1,180 @@
+package bench
+
+// execbench.go measures optimistic parallel block execution
+// (internal/exec): the same CPU-weighted block applied at several
+// speculation widths across controlled conflict rates. Every parallel
+// application is checked bit-identical to the serial root — a mismatch
+// is a gating error, not a reported number.
+
+import (
+	"fmt"
+	"time"
+
+	"dcsledger/internal/cryptoutil"
+	"dcsledger/internal/exec"
+	"dcsledger/internal/state"
+	"dcsledger/internal/types"
+	"dcsledger/internal/vm"
+)
+
+// execLoopSrc spins a counter to make each invocation CPU-heavy, then
+// stores the iteration count into the slot named by arg 0. Distinct
+// slots keep invocations conflict-free; a shared slot makes every pair
+// of lanes collide.
+const execLoopSrc = `
+	PUSH 0
+loop:
+	PUSH 1
+	ADD
+	DUP
+	PUSH 300
+	LT
+	PUSH @loop
+	JUMPI
+	PUSH 0
+	ARG
+	SWAP
+	SSTORE
+	STOP
+`
+
+// execWorkload is one synthetic block and the state it applies to.
+type execWorkload struct {
+	parent *state.State
+	block  *types.Block
+	reward uint64
+}
+
+// buildExecWorkload makes a block of txCount single-tx lanes: every
+// sender invokes the shared loop contract, normally on its own private
+// slot. A conflictRate fraction of transactions (spread evenly through
+// the block) instead target slot 0, so each one collides with whichever
+// earlier lane wrote it and forces the suffix replay.
+func buildExecWorkload(txCount int, conflictRate float64) (*execWorkload, error) {
+	parent := state.New()
+	parent.SetExecutor(vm.NewExecutor())
+
+	owner := cryptoutil.KeyFromSeed([]byte("execbench-owner"))
+	parent.Credit(owner.Address(), 1_000_000)
+	deploy := &types.Transaction{
+		Kind: types.TxDeploy, From: owner.Address(), Nonce: 0,
+		Fee: 3, GasLimit: 100_000, Data: vm.MustAssemble(execLoopSrc),
+	}
+	if err := deploy.Sign(owner); err != nil {
+		return nil, err
+	}
+	miner := cryptoutil.KeyFromSeed([]byte("execbench-miner")).Address()
+	rec, err := parent.ApplyTx(deploy, miner)
+	if err != nil || !rec.OK {
+		return nil, fmt.Errorf("bench: exec deploy: err=%v receipt=%+v", err, rec)
+	}
+	contract := rec.ContractAddress
+
+	conflictEvery := 0
+	if conflictRate > 0 {
+		conflictEvery = max(1, int(1/conflictRate))
+	}
+	var (
+		txs  []*types.Transaction
+		fees uint64
+	)
+	for i := 0; i < txCount; i++ {
+		k := cryptoutil.KeyFromSeed([]byte(fmt.Sprintf("execbench-sender-%d", i)))
+		parent.Credit(k.Address(), 1_000)
+		slot := uint64(i + 1)
+		if conflictEvery > 0 && i%conflictEvery == 0 {
+			slot = 0 // shared slot: collides with every earlier writer
+		}
+		tx := &types.Transaction{
+			Kind: types.TxInvoke, From: k.Address(), To: contract,
+			Nonce: 0, Fee: 2, GasLimit: 100_000,
+			Data: vm.PackArgs(vm.WordFromUint64(slot)),
+		}
+		if err := tx.Sign(k); err != nil {
+			return nil, err
+		}
+		txs = append(txs, tx)
+		fees += tx.Fee
+	}
+
+	const reward = 50
+	proposer := cryptoutil.KeyFromSeed([]byte("execbench-proposer")).Address()
+	all := append([]*types.Transaction{types.NewCoinbase(proposer, reward+fees, 1)}, txs...)
+	return &execWorkload{
+		parent: parent,
+		block:  types.NewBlock(cryptoutil.ZeroHash, 1, 0, proposer, all),
+		reward: reward,
+	}, nil
+}
+
+// applyExec runs the workload once at the given width and returns the
+// wall time, committed root, and executor stats.
+func applyExec(w *execWorkload, workers int) (time.Duration, cryptoutil.Hash, *exec.Stats, error) {
+	ex := &exec.Executor{Workers: workers}
+	start := time.Now()
+	st, _, stats, err := ex.ApplyBlock(w.parent, w.block, w.reward)
+	if err != nil {
+		return 0, cryptoutil.Hash{}, nil, err
+	}
+	dur := time.Since(start)
+	return dur, st.Commit(), stats, nil
+}
+
+// ExecSweepTable applies a txCount-transaction CPU-weighted block at
+// each speculation width for each conflict rate and reports merge/replay
+// behavior and speedup over serial. The serial root is the reference:
+// any width whose committed root differs fails the sweep.
+func ExecSweepTable(widths []int, rates []float64, txCount int) (*Table, error) {
+	t := &Table{
+		ID:         "EXEC",
+		Title:      "Optimistic parallel execution: width x conflict-rate sweep",
+		PaperClaim: "scalable validation needs intra-block parallelism without giving up deterministic replicated state (Section 5)",
+		Columns:    []string{"conflict", "workers", "runs", "merged", "replayed", "serial", "parallel", "speedup"},
+	}
+	const reps = 3
+	for _, rate := range rates {
+		w, err := buildExecWorkload(txCount, rate)
+		if err != nil {
+			return nil, err
+		}
+		serialDur, serialRoot, _, err := applyExec(w, 0)
+		if err != nil {
+			return nil, fmt.Errorf("bench: exec serial: %w", err)
+		}
+		for r := 1; r < reps; r++ {
+			if dur, _, _, err := applyExec(w, 0); err == nil && dur < serialDur {
+				serialDur = dur
+			}
+		}
+		for _, workers := range widths {
+			var (
+				best  time.Duration
+				stats *exec.Stats
+			)
+			for r := 0; r < reps; r++ {
+				dur, root, s, err := applyExec(w, workers)
+				if err != nil {
+					return nil, fmt.Errorf("bench: exec workers=%d: %w", workers, err)
+				}
+				if root != serialRoot {
+					return nil, fmt.Errorf("bench: exec workers=%d: root %s != serial %s",
+						workers, root.Short(), serialRoot.Short())
+				}
+				if r == 0 || dur < best {
+					best, stats = dur, s
+				}
+			}
+			t.AddRow(fmt.Sprintf("%.0f%%", rate*100),
+				fmt.Sprintf("%d", workers),
+				fmt.Sprintf("%d", stats.Runs),
+				fmt.Sprintf("%d", stats.MergedRuns),
+				fmt.Sprintf("%d", stats.ReplayedTxs),
+				fmtDur(serialDur),
+				fmtDur(best),
+				fmt.Sprintf("%.2fx", float64(serialDur)/float64(best)))
+		}
+	}
+	t.Note("%d transactions per block, each a CPU-weighted VM invoke; best of %d runs per cell", txCount, reps)
+	t.Note("every parallel root is checked bit-identical to serial before a row is reported")
+	return t, nil
+}

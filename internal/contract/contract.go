@@ -169,6 +169,25 @@ func NewExecutor(registry *Registry) *Executor {
 	}
 }
 
+// Fork implements state.ForkableExecutor: the fork shares the immutable
+// registry and gas schedule but drives a forked VM executor with its own
+// event buffer, so speculation lanes never share mutable state.
+func (e *Executor) Fork() state.Executor {
+	f := *e
+	f.vm = e.vm.Fork().(*vm.Executor)
+	return &f
+}
+
+// Absorb implements state.ForkableExecutor: merges a fork's VM events
+// back, in the caller's (transaction-index) order.
+func (e *Executor) Absorb(fork state.Executor) {
+	if f, ok := fork.(*Executor); ok {
+		e.vm.Absorb(f.vm)
+	}
+}
+
+var _ state.ForkableExecutor = (*Executor)(nil)
+
 // SetNow propagates block time into executions.
 func (e *Executor) SetNow(now int64) { e.vm.Now = now }
 

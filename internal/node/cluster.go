@@ -54,6 +54,12 @@ type ClusterConfig struct {
 	// clock (PoS slots) are built against it before the cluster exists.
 	// A nil Sim creates a fresh one.
 	Sim *simclock.Simulator
+	// ExecWorkers enables optimistic parallel block execution on every
+	// peer (0 = serial; see internal/exec).
+	ExecWorkers int
+	// ExecParanoid double-checks every parallel block against a serial
+	// re-run on every peer.
+	ExecParanoid bool
 }
 
 // ClusterKey derives the deterministic signing key of peer i in a
@@ -125,17 +131,19 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			executor = cfg.Executor()
 		}
 		n, err := New(Config{
-			ID:          ids[i],
-			Key:         key,
-			Engine:      cfg.Engine(i, key),
-			ForkChoice:  cfg.ForkChoice(),
-			Genesis:     c.Genesis,
-			Alloc:       cfg.Alloc,
-			Executor:    executor,
-			Rewards:     cfg.Rewards,
-			Clock:       sim,
-			Mine:        mine,
-			MaxBlockTxs: cfg.MaxBlockTxs,
+			ID:           ids[i],
+			Key:          key,
+			Engine:       cfg.Engine(i, key),
+			ForkChoice:   cfg.ForkChoice(),
+			Genesis:      c.Genesis,
+			Alloc:        cfg.Alloc,
+			Executor:     executor,
+			Rewards:      cfg.Rewards,
+			Clock:        sim,
+			Mine:         mine,
+			MaxBlockTxs:  cfg.MaxBlockTxs,
+			ExecWorkers:  cfg.ExecWorkers,
+			ExecParanoid: cfg.ExecParanoid,
 		})
 		if err != nil {
 			return nil, err

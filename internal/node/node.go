@@ -16,6 +16,7 @@ import (
 	"dcsledger/internal/consensus"
 	"dcsledger/internal/consensus/pow"
 	"dcsledger/internal/cryptoutil"
+	"dcsledger/internal/exec"
 	"dcsledger/internal/incentive"
 	"dcsledger/internal/metrics"
 	"dcsledger/internal/nodestore"
@@ -107,6 +108,14 @@ type Config struct {
 	// DiskPruneEvery is how many mirrored blocks pass between
 	// mark-and-compact sweeps of DiskState (0 = DefaultDiskPruneEvery).
 	DiskPruneEvery uint64
+	// ExecWorkers is the optimistic parallel-execution width for block
+	// connect and proposal (see internal/exec). 0 keeps the serial
+	// ApplyBlock path; the daemon defaults to GOMAXPROCS.
+	ExecWorkers int
+	// ExecParanoid re-runs every parallel block serially and rejects it
+	// on any root or receipt divergence — a debug assertion that costs
+	// the whole speedup.
+	ExecParanoid bool
 }
 
 // Metrics counts a node's activity for the experiment harness.
@@ -130,6 +139,12 @@ type Metrics struct {
 	DiskRootMismatches uint64
 	DiskPrunes         uint64
 	DiskErrors         uint64
+
+	// Optimistic parallel execution (zero unless Config.ExecWorkers > 0).
+	ExecParallelBlocks uint64
+	ExecConflicts      uint64
+	ExecReplayedTxs    uint64
+	ExecSpeedupMilli   uint64 // last parallel block's estimated speedup ×1000
 }
 
 // Node is one ledger peer. All public entry points serialize on an
@@ -179,6 +194,11 @@ type Node struct {
 	// disk is the persistent account-trie mirror (nil unless
 	// Config.DiskState is set). See diskstate.go.
 	disk *diskMirror
+
+	// exec applies blocks — optimistically in parallel when
+	// Config.ExecWorkers > 0, serially otherwise. Both connect and
+	// produceBlock funnel through it.
+	exec *exec.Executor
 
 	metrics Metrics
 
@@ -236,6 +256,7 @@ func New(cfg Config) (*Node, error) {
 		orphans:    make(map[cryptoutil.Hash][]cryptoutil.Hash),
 		orphanPool: make(map[cryptoutil.Hash]*types.Block),
 		requested:  make(map[cryptoutil.Hash]time.Time),
+		exec:       &exec.Executor{Workers: cfg.ExecWorkers, Paranoid: cfg.ExecParanoid},
 	}
 	if cfg.DiskState != nil {
 		every := cfg.DiskPruneEvery
@@ -568,6 +589,14 @@ func (n *Node) RegisterMetrics(reg *metrics.Registry) {
 		return int64(n.tree.Len())
 	})
 	reg.RegisterFunc("node_mempool_size", func() int64 { return int64(n.pool.Len()) })
+	if n.cfg.ExecWorkers > 0 {
+		reg.RegisterFunc("exec_parallel_blocks_total", snap(func(m Metrics) uint64 { return m.ExecParallelBlocks }))
+		reg.RegisterFunc("exec_conflicts_total", snap(func(m Metrics) uint64 { return m.ExecConflicts }))
+		reg.RegisterFunc("exec_replayed_txs_total", snap(func(m Metrics) uint64 { return m.ExecReplayedTxs }))
+		// exec_speedup is the last parallel block's estimated speedup in
+		// thousandths (2000 = 2x): speculated work time over wall clock.
+		reg.RegisterFunc("exec_speedup", snap(func(m Metrics) uint64 { return m.ExecSpeedupMilli }))
+	}
 	reg.RegisterFunc("node_wal_append_errors_total", snap(func(m Metrics) uint64 { return m.WALAppendErrors }))
 	reg.RegisterFunc("node_recovered_blocks_total", snap(func(m Metrics) uint64 { return m.RecoveredBlocks }))
 	reg.RegisterFunc("node_recovery_reroots_total", snap(func(m Metrics) uint64 { return m.RecoveryReroots }))
@@ -1038,9 +1067,9 @@ func (n *Node) connect(b *types.Block) error {
 		return fmt.Errorf("node: no state for parent %s: %w", b.Header.ParentHash.Short(), err)
 	}
 	swApply := obs.StartTimer()
-	st := parentState.Copy()
 	n.setExecutorTime(b.Header.Time)
-	if _, err := st.ApplyBlock(b, n.cfg.Rewards.RewardAt(b.Header.Height)); err != nil {
+	st, err := n.applyBlockLocked(parentState, b)
+	if err != nil {
 		return fmt.Errorf("node: %w", err)
 	}
 	if root := st.Commit(); root != b.Header.StateRoot {
@@ -1118,6 +1147,47 @@ func (n *Node) logHeadLocked(tip cryptoutil.Hash) {
 	}
 	if _, err := n.cfg.Durable.MaybeCheckpoint(hb, hb.Header.StateRoot, st); err != nil {
 		n.metrics.WALAppendErrors++
+	}
+}
+
+// applyBlockLocked runs b's state transition on a fresh child layer of
+// parentState via the node's executor — optimistic parallel when
+// ExecWorkers > 0, serial otherwise — and records the exec stages and
+// counters. The result is bit-identical either way. Caller holds n.mu.
+func (n *Node) applyBlockLocked(parentState *state.State, b *types.Block) (*state.State, error) {
+	st, _, stats, err := n.exec.ApplyBlock(parentState, b, n.cfg.Rewards.RewardAt(b.Header.Height))
+	if err != nil {
+		return nil, err
+	}
+	n.observeExec(b, stats)
+	return st, nil
+}
+
+// observeExec records one parallel block application: the exec_parallel
+// span (speculation + merge + replay), the exec_replay span when a
+// conflict forced a serial suffix, and the executor counters.
+func (n *Node) observeExec(b *types.Block, stats *exec.Stats) {
+	if !stats.Parallel {
+		return
+	}
+	n.metrics.ExecParallelBlocks++
+	n.metrics.ExecConflicts += uint64(stats.Conflicts)
+	n.metrics.ExecReplayedTxs += uint64(stats.ReplayedTxs)
+	if s := stats.SpeedupMilli(); s > 0 {
+		n.metrics.ExecSpeedupMilli = s
+	}
+	peer := string(n.cfg.ID)
+	n.tracer.Record(obs.Span{
+		Stage: obs.StageExecParallel, Start: stats.StartUnixNano,
+		Dur: int64(stats.ParallelDur), Peer: peer, Height: b.Header.Height,
+		N: uint64(stats.Txs),
+	})
+	if stats.ReplayedTxs > 0 {
+		n.tracer.Record(obs.Span{
+			Stage: obs.StageExecReplay, Start: stats.ReplayStartUnixNano,
+			Dur: int64(stats.ReplayDur), Peer: peer, Height: b.Header.Height,
+			N: uint64(stats.ReplayedTxs),
+		})
 	}
 }
 
@@ -1247,12 +1317,13 @@ func (n *Node) produceBlock() error {
 	}
 
 	// Rebuild final state from scratch so coinbase ordering matches
-	// validation (coinbase subsidy first, then txs).
-	st = parentState.Copy()
+	// validation (coinbase subsidy first, then txs) — through the same
+	// executor peers will validate with, parallel or serial.
 	coinbase := types.NewCoinbase(n.self, reward+fees, height)
 	txs := append([]*types.Transaction{coinbase}, included...)
 	b := types.NewBlock(parentHash, height, now, n.self, txs)
-	if _, err := st.ApplyBlock(b, reward); err != nil {
+	st, err = n.applyBlockLocked(parentState, b)
+	if err != nil {
 		return fmt.Errorf("node: self-apply: %w", err)
 	}
 	b.Header.StateRoot = st.Commit()

@@ -66,6 +66,12 @@ const (
 	// StageRecover is one crash-recovery replay: WAL scan, checkpoint
 	// load, block reconnection, and head state-root verification.
 	StageRecover = "recover"
+	// StageExecParallel is the optimistic parallel apply of one block:
+	// speculation lanes plus the in-order merge (internal/exec).
+	StageExecParallel = "exec_parallel"
+	// StageExecReplay is the serial re-execution of the conflicting
+	// transaction suffix inside one parallel block apply.
+	StageExecReplay = "exec_replay"
 )
 
 // Span is one traced pipeline event. The zero value of optional fields

@@ -55,6 +55,24 @@ type Executor interface {
 	Invoke(st *State, tx *types.Transaction) (uint64, error)
 }
 
+// ForkableExecutor is implemented by executors whose per-execution side
+// state (an event log, say) can be forked for speculative execution and
+// merged back in commit order. The optimistic parallel executor
+// (internal/exec) gives every speculation lane its own fork so lanes
+// never share mutable executor state; executors that do not implement it
+// are serial-only, and transactions that need them are replayed instead
+// of speculated.
+type ForkableExecutor interface {
+	Executor
+	// Fork returns an executor with the same configuration whose side
+	// effects accumulate in a private buffer, safe to drive concurrently
+	// with other forks.
+	Fork() Executor
+	// Absorb merges a fork's accumulated side effects into the receiver.
+	// The caller invokes it in deterministic transaction-index order.
+	Absorb(fork Executor)
+}
+
 // Receipt records the outcome of applying one transaction.
 type Receipt struct {
 	TxID            cryptoutil.Hash    `json:"txId"`
@@ -62,6 +80,48 @@ type Receipt struct {
 	GasUsed         uint64             `json:"gasUsed"`
 	ContractAddress cryptoutil.Address `json:"contractAddress,omitempty"`
 	Err             string             `json:"err,omitempty"`
+}
+
+// SlotKey identifies one contract storage slot for access tracking.
+type SlotKey struct {
+	Addr cryptoutil.Address
+	Key  string
+}
+
+// Access records the read and write footprint of execution on a tracked
+// layer: account records and storage slots. Contract code needs no set of
+// its own — code bytes are content-addressed and immutable once stored,
+// so the only mutable handle is the Code hash inside the account record,
+// which the account sets already cover.
+//
+// An Access is attached to a diff layer with Track and inherited by every
+// child layer Copy creates, so scratch layers staged inside ApplyTx
+// record into the same footprint. It is not safe for concurrent use; the
+// parallel executor gives each speculation lane its own Access.
+type Access struct {
+	ReadAccounts  map[cryptoutil.Address]struct{}
+	WriteAccounts map[cryptoutil.Address]struct{}
+	ReadSlots     map[SlotKey]struct{}
+	WriteSlots    map[SlotKey]struct{}
+}
+
+// NewAccess returns an empty access footprint.
+func NewAccess() *Access {
+	return &Access{
+		ReadAccounts:  make(map[cryptoutil.Address]struct{}),
+		WriteAccounts: make(map[cryptoutil.Address]struct{}),
+		ReadSlots:     make(map[SlotKey]struct{}),
+		WriteSlots:    make(map[SlotKey]struct{}),
+	}
+}
+
+// Touches reports whether addr appears anywhere in the footprint.
+func (a *Access) Touches(addr cryptoutil.Address) bool {
+	if _, ok := a.ReadAccounts[addr]; ok {
+		return true
+	}
+	_, ok := a.WriteAccounts[addr]
+	return ok
 }
 
 // State is the mutable world state. It is not safe for concurrent use;
@@ -78,7 +138,8 @@ type State struct {
 	storage    map[cryptoutil.Address]map[string][]byte
 	storageDel map[cryptoutil.Address]map[string]struct{}
 	executor   Executor
-	depth      int // number of parent layers below this one
+	track      *Access // non-nil only on speculation lanes (see Track)
+	depth      int     // number of parent layers below this one
 }
 
 // New returns an empty base state.
@@ -101,14 +162,38 @@ func (s *State) Executor() Executor { return s.executor }
 // base layer). Exposed for tests and the node's pruning heuristics.
 func (s *State) Depth() int { return s.depth }
 
+// Track attaches an access footprint to this layer: every account and
+// storage read or write through it (and through child layers it spawns)
+// is recorded into a. Pass nil to stop tracking.
+func (s *State) Track(a *Access) { s.track = a }
+
 // Account returns the record for addr (zero value if absent).
 func (s *State) Account(addr cryptoutil.Address) Account {
+	acc, _ := s.lookupAccount(addr)
+	return acc
+}
+
+// lookupAccount returns addr's record and whether a record exists
+// anywhere in the layer chain, recording the read on tracked layers.
+func (s *State) lookupAccount(addr cryptoutil.Address) (Account, bool) {
+	if s.track != nil {
+		s.track.ReadAccounts[addr] = struct{}{}
+	}
 	for cur := s; cur != nil; cur = cur.parent {
 		if acc, ok := cur.accounts[addr]; ok {
-			return acc
+			return acc, true
 		}
 	}
-	return Account{}
+	return Account{}, false
+}
+
+// setAccount is the single funnel for account-record writes, so tracked
+// layers capture a complete write set.
+func (s *State) setAccount(addr cryptoutil.Address, acc Account) {
+	if s.track != nil {
+		s.track.WriteAccounts[addr] = struct{}{}
+	}
+	s.accounts[addr] = acc
 }
 
 // Balance returns the balance of addr.
@@ -117,21 +202,33 @@ func (s *State) Balance(addr cryptoutil.Address) uint64 { return s.Account(addr)
 // Nonce returns the next expected nonce of addr.
 func (s *State) Nonce(addr cryptoutil.Address) uint64 { return s.Account(addr).Nonce }
 
-// Credit adds amount to addr's balance.
+// Credit adds amount to addr's balance. A zero-amount credit of an
+// account that already has a record is a no-op: it neither dirties the
+// layer nor counts as a write in a tracked footprint (so the zero-value
+// transfer every contract invocation performs does not serialize all
+// invocations of one contract). Crediting an absent account still
+// creates its record, even with amount 0, exactly as before.
 func (s *State) Credit(addr cryptoutil.Address, amount uint64) {
-	a := s.Account(addr)
+	a, exists := s.lookupAccount(addr)
+	if amount == 0 && exists {
+		return
+	}
 	a.Balance += amount
-	s.accounts[addr] = a
+	s.setAccount(addr, a)
 }
 
-// Debit removes amount from addr's balance.
+// Debit removes amount from addr's balance. Zero-amount debits of
+// existing accounts skip the write (see Credit).
 func (s *State) Debit(addr cryptoutil.Address, amount uint64) error {
-	a := s.Account(addr)
+	a, exists := s.lookupAccount(addr)
 	if a.Balance < amount {
 		return fmt.Errorf("%w: %s has %d, needs %d", ErrInsufficientBalance, addr.Short(), a.Balance, amount)
 	}
+	if amount == 0 && exists {
+		return nil
+	}
 	a.Balance -= amount
-	s.accounts[addr] = a
+	s.setAccount(addr, a)
 	return nil
 }
 
@@ -141,7 +238,7 @@ func (s *State) SetCode(addr cryptoutil.Address, code []byte) {
 	s.code[h] = append([]byte(nil), code...)
 	a := s.Account(addr)
 	a.Code = h
-	s.accounts[addr] = a
+	s.setAccount(addr, a)
 }
 
 // Code returns the contract code bound to addr.
@@ -165,6 +262,9 @@ func (s *State) IsContract(addr cryptoutil.Address) bool {
 
 // SetStorage writes a contract storage slot.
 func (s *State) SetStorage(addr cryptoutil.Address, key, value []byte) {
+	if s.track != nil {
+		s.track.WriteSlots[SlotKey{Addr: addr, Key: string(key)}] = struct{}{}
+	}
 	m := s.storage[addr]
 	if m == nil {
 		m = make(map[string][]byte)
@@ -179,6 +279,9 @@ func (s *State) SetStorage(addr cryptoutil.Address, key, value []byte) {
 // Storage reads a contract storage slot.
 func (s *State) Storage(addr cryptoutil.Address, key []byte) []byte {
 	k := string(key)
+	if s.track != nil {
+		s.track.ReadSlots[SlotKey{Addr: addr, Key: k}] = struct{}{}
+	}
 	for cur := s; cur != nil; cur = cur.parent {
 		if m := cur.storage[addr]; m != nil {
 			if v, ok := m[k]; ok {
@@ -197,6 +300,9 @@ func (s *State) Storage(addr cryptoutil.Address, key []byte) []byte {
 // DeleteStorage clears one slot.
 func (s *State) DeleteStorage(addr cryptoutil.Address, key []byte) {
 	k := string(key)
+	if s.track != nil {
+		s.track.WriteSlots[SlotKey{Addr: addr, Key: k}] = struct{}{}
+	}
 	if m := s.storage[addr]; m != nil {
 		delete(m, k)
 	}
@@ -225,6 +331,7 @@ func (s *State) Copy() *State {
 		code:     make(map[cryptoutil.Hash][]byte),
 		storage:  make(map[cryptoutil.Address]map[string][]byte),
 		executor: s.executor,
+		track:    s.track,
 		depth:    s.depth + 1,
 	}
 }
@@ -263,6 +370,12 @@ func (s *State) Flatten() *State {
 	}
 	return ns
 }
+
+// Absorb folds a child diff layer (created by Copy of s) back into s.
+// Exported for the optimistic parallel executor (internal/exec), which
+// commits non-conflicting speculation lanes by absorbing them into the
+// block layer in transaction-index order.
+func (s *State) Absorb(child *State) { s.absorb(child) }
 
 // absorb folds a child diff layer (created by Copy of s) back into s.
 // It is the success path of speculative contract execution: effects are
@@ -359,6 +472,20 @@ func (s *State) storageAddrs() []cryptoutil.Address {
 // be included in a block (receipts with OK=false are included failures,
 // e.g. a contract that ran out of gas: the fee is still paid).
 func (s *State) ApplyTx(tx *types.Transaction, proposer cryptoutil.Address) (*Receipt, error) {
+	return s.applyTx(tx, proposer, false)
+}
+
+// ApplyTxDeferredFee applies one transaction WITHOUT crediting its fee to
+// anyone. The optimistic parallel executor speculates with deferred fees
+// so every transaction does not read-write the proposer account (which
+// would make all of them conflict); it settles the fees on the block
+// layer in transaction-index order at merge time. Everything else matches
+// ApplyTx exactly.
+func (s *State) ApplyTxDeferredFee(tx *types.Transaction) (*Receipt, error) {
+	return s.applyTx(tx, cryptoutil.ZeroAddress, true)
+}
+
+func (s *State) applyTx(tx *types.Transaction, proposer cryptoutil.Address, deferFee bool) (*Receipt, error) {
 	rec := &Receipt{TxID: tx.ID()}
 	switch tx.Kind {
 	case types.TxCoinbase:
@@ -386,8 +513,10 @@ func (s *State) ApplyTx(tx *types.Transaction, proposer cryptoutil.Address) (*Re
 	// contract effects but keeps the fee (gas is paid for work done).
 	acc.Balance -= cost
 	acc.Nonce++
-	s.accounts[tx.From] = acc
-	s.Credit(proposer, tx.Fee)
+	s.setAccount(tx.From, acc)
+	if !deferFee {
+		s.Credit(proposer, tx.Fee)
+	}
 
 	switch tx.Kind {
 	case types.TxTransfer:
@@ -432,37 +561,10 @@ func (s *State) ApplyTx(tx *types.Transaction, proposer cryptoutil.Address) (*Re
 // user transaction. It mutates the state; callers copy first if they may
 // need to roll back.
 func (s *State) ApplyBlock(b *types.Block, expectedReward uint64) ([]*Receipt, error) {
-	if len(b.Txs) == 0 || b.Txs[0].Kind != types.TxCoinbase {
-		return nil, fmt.Errorf("%w: block must start with a coinbase", ErrBadCoinbase)
-	}
-	// The fee sum and the reward+fees total are checked adds: a block
-	// stuffed with huge fees must not wrap the expected coinbase value
-	// into range.
-	var fees uint64
-	for _, tx := range b.Txs[1:] {
-		if tx.Kind == types.TxCoinbase {
-			return nil, fmt.Errorf("%w: coinbase not at position 0", ErrBadCoinbase)
-		}
-		if fees+tx.Fee < fees {
-			return nil, fmt.Errorf("%w: block fees overflow", ErrBadCoinbase)
-		}
-		fees += tx.Fee
+	if _, err := CheckCoinbase(b, expectedReward); err != nil {
+		return nil, err
 	}
 	cb := b.Txs[0]
-	want := expectedReward + fees
-	if want < expectedReward {
-		return nil, fmt.Errorf("%w: reward %d + fees %d overflows", ErrBadCoinbase, expectedReward, fees)
-	}
-	if cb.Value != want {
-		return nil, fmt.Errorf("%w: coinbase value %d, want reward %d + fees %d",
-			ErrBadCoinbase, cb.Value, expectedReward, fees)
-	}
-	if cb.Nonce != b.Header.Height {
-		return nil, fmt.Errorf("%w: coinbase nonce %d, want height %d", ErrBadCoinbase, cb.Nonce, b.Header.Height)
-	}
-	if !cb.From.IsZero() {
-		return nil, fmt.Errorf("%w: coinbase sender must be the zero address", ErrBadCoinbase)
-	}
 	receipts := make([]*Receipt, 0, len(b.Txs))
 	// The coinbase mints only the subsidy; fees reach the proposer as
 	// each user transaction is applied (minting the full coinbase value
@@ -477,6 +579,46 @@ func (s *State) ApplyBlock(b *types.Block, expectedReward uint64) ([]*Receipt, e
 		receipts = append(receipts, rec)
 	}
 	return receipts, nil
+}
+
+// CheckCoinbase validates the block's coinbase shape — leading coinbase
+// transaction whose value equals expectedReward plus the block's total
+// fees (both sums overflow-checked), nonce equal to the block height,
+// zero sender — and returns the total fees. It is the consensus-critical
+// preamble shared by serial ApplyBlock and the parallel executor.
+func CheckCoinbase(b *types.Block, expectedReward uint64) (uint64, error) {
+	if len(b.Txs) == 0 || b.Txs[0].Kind != types.TxCoinbase {
+		return 0, fmt.Errorf("%w: block must start with a coinbase", ErrBadCoinbase)
+	}
+	// The fee sum and the reward+fees total are checked adds: a block
+	// stuffed with huge fees must not wrap the expected coinbase value
+	// into range.
+	var fees uint64
+	for _, tx := range b.Txs[1:] {
+		if tx.Kind == types.TxCoinbase {
+			return 0, fmt.Errorf("%w: coinbase not at position 0", ErrBadCoinbase)
+		}
+		if fees+tx.Fee < fees {
+			return 0, fmt.Errorf("%w: block fees overflow", ErrBadCoinbase)
+		}
+		fees += tx.Fee
+	}
+	cb := b.Txs[0]
+	want := expectedReward + fees
+	if want < expectedReward {
+		return 0, fmt.Errorf("%w: reward %d + fees %d overflows", ErrBadCoinbase, expectedReward, fees)
+	}
+	if cb.Value != want {
+		return 0, fmt.Errorf("%w: coinbase value %d, want reward %d + fees %d",
+			ErrBadCoinbase, cb.Value, expectedReward, fees)
+	}
+	if cb.Nonce != b.Header.Height {
+		return 0, fmt.Errorf("%w: coinbase nonce %d, want height %d", ErrBadCoinbase, cb.Nonce, b.Header.Height)
+	}
+	if !cb.From.IsZero() {
+		return 0, fmt.Errorf("%w: coinbase sender must be the zero address", ErrBadCoinbase)
+	}
+	return fees, nil
 }
 
 // Commit returns the authenticated root of the entire state: a Merkle

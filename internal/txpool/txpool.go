@@ -151,10 +151,21 @@ func (p *Pool) Select(maxTxs, maxBytes int) []*types.Transaction {
 	// nonce is not transitive): global fee priority first, then each
 	// sender's transactions are rearranged into nonce order within the
 	// slots that sender occupies, so selected batches stay applicable.
+	// Fee ties break by sender (then nonce, then ID) rather than by ID
+	// alone, so one sender's equal-fee nonce chain lands in consecutive
+	// slots: the parallel executor speculates a contiguous same-sender
+	// run as a single lane, and scattering the chain across the block
+	// would make every later fragment a spurious conflict.
 	sort.Slice(all, func(i, j int) bool {
 		a, b := all[i], all[j]
 		if a.Fee != b.Fee {
 			return a.Fee > b.Fee
+		}
+		if a.From != b.From {
+			return bytes.Compare(a.From[:], b.From[:]) < 0
+		}
+		if a.Nonce != b.Nonce {
+			return a.Nonce < b.Nonce
 		}
 		ai, bi := a.ID(), b.ID()
 		return bytes.Compare(ai[:], bi[:]) < 0

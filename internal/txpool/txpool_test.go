@@ -234,3 +234,42 @@ func TestEvictionDeterministicOnFeeTies(t *testing.T) {
 		}
 	}
 }
+
+// TestSelectGroupsSendersOnFeeTies is the parallel-execution ordering
+// regression: with every fee equal, each sender's whole nonce chain must
+// occupy consecutive slots in nonce order. The optimistic executor
+// (internal/exec) speculates one contiguous same-sender run per lane, so
+// a chain scattered across the block would turn nonce succession into
+// spurious conflicts.
+func TestSelectGroupsSendersOnFeeTies(t *testing.T) {
+	p := New(0)
+	seeds := []string{"tie-a", "tie-b", "tie-c"}
+	for _, seed := range seeds {
+		for n := uint64(0); n < 10; n++ {
+			if err := p.Add(tx(t, seed, n, 7)); err != nil {
+				t.Fatalf("Add %s/%d: %v", seed, n, err)
+			}
+		}
+	}
+	got := p.Select(0, 0)
+	if len(got) != 30 {
+		t.Fatalf("Select returned %d txs, want 30", len(got))
+	}
+	seen := make(map[cryptoutil.Address]bool)
+	for i := 0; i < len(got); i += 10 {
+		from := got[i].From
+		if seen[from] {
+			t.Fatalf("sender %s not contiguous: reappears at slot %d", from.Short(), i)
+		}
+		seen[from] = true
+		for k := 0; k < 10; k++ {
+			cur := got[i+k]
+			if cur.From != from {
+				t.Fatalf("slot %d: sender %s interleaves %s's run", i+k, cur.From.Short(), from.Short())
+			}
+			if cur.Nonce != uint64(k) {
+				t.Fatalf("slot %d: nonce %d, want %d", i+k, cur.Nonce, k)
+			}
+		}
+	}
+}

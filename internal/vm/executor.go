@@ -105,6 +105,30 @@ func (e *Executor) ConstantCall(st *state.State, self cryptoutil.Address, caller
 	return res.Return, nil
 }
 
+// Fork implements state.ForkableExecutor: the fork shares the gas
+// schedule, block time, and analysis policy but accumulates events in a
+// private buffer, so speculation lanes can run concurrently without
+// racing on Events.
+func (e *Executor) Fork() state.Executor {
+	return &Executor{
+		DeployGasPerByte: e.DeployGasPerByte,
+		Now:              e.Now,
+		StrictDeploy:     e.StrictDeploy,
+	}
+}
+
+// Absorb implements state.ForkableExecutor: appends a fork's events to
+// the receiver's log. The parallel executor calls it in
+// transaction-index order, so the merged log matches serial execution.
+func (e *Executor) Absorb(fork state.Executor) {
+	if f, ok := fork.(*Executor); ok && len(f.Events) > 0 {
+		e.Events = append(e.Events, f.Events...)
+		f.Events = nil
+	}
+}
+
+var _ state.ForkableExecutor = (*Executor)(nil)
+
 // DrainEvents returns and clears accumulated events.
 func (e *Executor) DrainEvents() []Event {
 	out := e.Events
