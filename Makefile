@@ -6,7 +6,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: all build vet lint test race fmt-check doc-check tier1 ci trace-demo crash-matrix fuzz-smoke bench-smoke
+.PHONY: all build vet lint lint-baseline test race fmt-check doc-check tier1 ci trace-demo crash-matrix fuzz-smoke bench-smoke
 
 all: tier1
 
@@ -16,10 +16,19 @@ build:
 vet:
 	$(GO) vet ./...
 
-# dcslint: determinism, lock hygiene, atomic discipline, and hot-path
-# error checking. Also runnable as `go vet -vettool=$$(which dcslint)`.
+# dcslint: determinism + nondeterminism-taint flow, lock hygiene,
+# atomic discipline, hot-path error checking, goroutine lifecycle,
+# unbounded-growth, and JSON-creep analyzers (docs/LINT.md). The run is
+# gated against the committed baseline: fix or suppress new findings,
+# never raise the baseline. Also runnable as
+# `go vet -vettool=$$(which dcslint)`.
 lint:
-	$(GO) run ./cmd/dcslint ./...
+	$(GO) run ./cmd/dcslint -baseline .dcslint-baseline.json ./...
+
+# Rewrite the finding-count baseline from the current tree. Only for
+# ratcheting DOWN after burning findings off; CI fails on any rise.
+lint-baseline:
+	$(GO) run ./cmd/dcslint -baseline .dcslint-baseline.json -write-baseline ./...
 
 test:
 	$(GO) test ./...

@@ -126,3 +126,126 @@ func Height(parent uint64) uint64 { return parent + 1 }
 		t.Fatalf("go vet -vettool on clean module: %v\n%s", err, out)
 	}
 }
+
+// writeLaunderingModule creates a module where the nondeterminism is
+// laundered through a helper package: only the interprocedural facts
+// path can flag the consensus-side call.
+func writeLaunderingModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	mustWrite(t, filepath.Join(dir, "go.mod"), "module vetfacts\n\ngo 1.22\n")
+	mustWrite(t, filepath.Join(dir, "internal", "util", "util.go"), `package util
+
+import "time"
+
+// Stamp launders a wall-clock read.
+func Stamp() int64 { return time.Now().UnixNano() }
+`)
+	mustWrite(t, filepath.Join(dir, "internal", "consensus", "c.go"), `package consensus
+
+import "vetfacts/internal/util"
+
+// Deadline consumes the laundered clock in critical code.
+func Deadline() int64 { return util.Stamp() }
+`)
+	return dir
+}
+
+// TestVettoolCrossPackageFacts proves taint facts ride the unitchecker
+// vetx protocol: the laundering helper lives in a dependency package,
+// so the finding in the consensus package exists only if PackageVetx
+// facts were written and read back.
+func TestVettoolCrossPackageFacts(t *testing.T) {
+	bin := buildTool(t)
+	dir := writeLaunderingModule(t)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool should fail on the laundering module; output:\n%s", out)
+	}
+	if !strings.Contains(string(out), "[nondetflow]") || !strings.Contains(string(out), "Stamp → time.Now") {
+		t.Errorf("missing cross-package nondetflow finding in go vet output:\n%s", out)
+	}
+}
+
+// TestStandaloneCrossPackageFacts proves the concurrent standalone
+// driver analyzes in dependency order over the shared fact store.
+func TestStandaloneCrossPackageFacts(t *testing.T) {
+	bin := buildTool(t)
+	dir := writeLaunderingModule(t)
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = dir
+	out, _ := cmd.CombinedOutput()
+	if !strings.Contains(string(out), "[nondetflow]") || !strings.Contains(string(out), "Stamp → time.Now") {
+		t.Errorf("missing cross-package nondetflow finding in standalone output:\n%s", out)
+	}
+}
+
+// TestSuppressionsInventory lists directives with their reasons.
+func TestSuppressionsInventory(t *testing.T) {
+	bin := buildTool(t)
+	dir := t.TempDir()
+	mustWrite(t, filepath.Join(dir, "go.mod"), "module suppinv\n\ngo 1.22\n")
+	mustWrite(t, filepath.Join(dir, "internal", "node", "a.go"), `package node
+
+import "time"
+
+// Stamp is suppressed with a recorded reason.
+func Stamp() int64 {
+	//dcslint:ignore determinism operator-facing log timestamp, never hashed
+	return time.Now().UnixNano()
+}
+`)
+	cmd := exec.Command(bin, "-suppressions", "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("-suppressions: %v\n%s", err, out)
+	}
+	s := string(out)
+	if !strings.Contains(s, "[determinism]") || !strings.Contains(s, "operator-facing log timestamp") {
+		t.Errorf("inventory missing directive details:\n%s", s)
+	}
+	if !strings.Contains(s, "1 suppression(s), 0 malformed") {
+		t.Errorf("inventory missing summary:\n%s", s)
+	}
+}
+
+// TestBaselineGate writes a baseline, passes while counts hold, and
+// fails when a new finding appears.
+func TestBaselineGate(t *testing.T) {
+	bin := buildTool(t)
+	dir := writeViolatingModule(t)
+	base := filepath.Join(dir, ".dcslint-baseline.json")
+
+	write := exec.Command(bin, "-baseline", base, "-write-baseline", "./...")
+	write.Dir = dir
+	if out, err := write.CombinedOutput(); err != nil {
+		t.Fatalf("-write-baseline: %v\n%s", err, out)
+	}
+
+	check := exec.Command(bin, "-baseline", base, "./...")
+	check.Dir = dir
+	if out, err := check.CombinedOutput(); err != nil {
+		t.Fatalf("baseline check should pass at recorded counts: %v\n%s", err, out)
+	}
+
+	mustWrite(t, filepath.Join(dir, "internal", "node", "worse.go"), `package node
+
+import "time"
+
+// Since adds a second determinism finding above the baseline.
+func Since(s time.Time) time.Duration { return time.Since(s) }
+`)
+	regress := exec.Command(bin, "-baseline", base, "./...")
+	regress.Dir = dir
+	out, err := regress.CombinedOutput()
+	var exitErr *exec.ExitError
+	if !errors.As(err, &exitErr) || exitErr.ExitCode() != 1 {
+		t.Fatalf("baseline regression should exit 1, got %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "findings rose") {
+		t.Errorf("missing regression message:\n%s", out)
+	}
+}

@@ -1,29 +1,56 @@
 // Command doccheck validates intra-repo markdown links: every
 // `[text](target)` in the repo's markdown files whose target is a
-// relative path must point at a file or directory that exists. External
-// links (scheme prefixes) and pure fragments are skipped; a `#fragment`
-// suffix on a relative target is stripped before the existence check.
-// `make doc-check` runs this after the package-doc-comment gate.
+// relative path must point at a file or directory that exists, and a
+// `#fragment` — in-page or on a relative .md target — must name a real
+// heading in that file (GitHub anchor slugification: lowercase, spaces
+// to hyphens, punctuation dropped, duplicate slugs suffixed -1, -2).
+// External links (scheme prefixes) are skipped, as is anything inside
+// fenced code blocks. `make doc-check` runs this after the
+// package-doc-comment gate.
 package main
 
 import (
 	"fmt"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
 	"regexp"
 	"strings"
+	"unicode"
 )
 
 // linkRe matches markdown inline links. Images (![alt](src)) count too:
 // a dead image reference is just as much drift as a dead link.
 var linkRe = regexp.MustCompile(`\]\(([^)\s]+)\)`)
 
+// headingRe matches ATX headings (# through ######).
+var headingRe = regexp.MustCompile(`^#{1,6}\s+(.*?)\s*#*\s*$`)
+
+// mdLinkTextRe strips markdown links inside heading text, keeping the
+// visible text (GitHub slugs the rendered text, not the URL).
+var mdLinkTextRe = regexp.MustCompile(`\[([^\]]*)\]\([^)]*\)`)
+
 func main() {
 	root := "."
 	if len(os.Args) > 1 {
 		root = os.Args[1]
 	}
+	broken, err := check(root, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doccheck:", err)
+		os.Exit(1)
+	}
+	if broken > 0 {
+		fmt.Printf("doccheck: %d dead intra-repo link(s)\n", broken)
+		os.Exit(1)
+	}
+}
+
+// check walks root for markdown files and validates every intra-repo
+// link target and fragment, writing findings to out. It returns the
+// number of broken links.
+func check(root string, out io.Writer) (int, error) {
 	var files []string
 	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
@@ -44,45 +71,133 @@ func main() {
 		return nil
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "doccheck:", err)
-		os.Exit(1)
+		return 0, err
+	}
+
+	// anchorCache lazily holds each markdown file's heading slugs.
+	anchorCache := map[string]map[string]bool{}
+	anchorsOf := func(path string) (map[string]bool, error) {
+		if a, ok := anchorCache[path]; ok {
+			return a, nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		a := headingAnchors(string(data))
+		anchorCache[path] = a
+		return a, nil
 	}
 
 	broken := 0
 	for _, f := range files {
 		data, err := os.ReadFile(f)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "doccheck:", err)
-			os.Exit(1)
+			return 0, err
 		}
+		inFence := false
 		for i, line := range strings.Split(string(data), "\n") {
+			if isFenceDelimiter(line) {
+				inFence = !inFence
+				continue
+			}
+			if inFence {
+				continue
+			}
 			for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
 				target := m[1]
 				if skipTarget(target) {
 					continue
 				}
-				target, _, _ = strings.Cut(target, "#")
-				if target == "" {
+				path, frag, hasFrag := strings.Cut(target, "#")
+
+				// Resolve the file part (empty path = in-page fragment).
+				resolved := f
+				if path != "" {
+					resolved = filepath.Join(filepath.Dir(f), path)
+					if _, err := os.Stat(resolved); err != nil {
+						fmt.Fprintf(out, "%s:%d: dead link %q (%s does not exist)\n", f, i+1, m[1], resolved)
+						broken++
+						continue
+					}
+				}
+				// Validate the #fragment against the target's headings
+				// (only meaningful for markdown targets).
+				if !hasFrag || frag == "" || !strings.EqualFold(filepath.Ext(resolved), ".md") {
 					continue
 				}
-				resolved := filepath.Join(filepath.Dir(f), target)
-				if _, err := os.Stat(resolved); err != nil {
-					fmt.Printf("%s:%d: dead link %q (%s does not exist)\n", f, i+1, m[1], resolved)
+				anchors, err := anchorsOf(resolved)
+				if err != nil {
+					return 0, err
+				}
+				if !anchors[strings.ToLower(frag)] {
+					fmt.Fprintf(out, "%s:%d: dead anchor %q (no heading in %s slugs to %q)\n", f, i+1, m[1], resolved, frag)
 					broken++
 				}
 			}
 		}
 	}
-	if broken > 0 {
-		fmt.Printf("doccheck: %d dead intra-repo link(s)\n", broken)
-		os.Exit(1)
+	return broken, nil
+}
+
+// isFenceDelimiter reports whether a line opens or closes a fenced
+// code block.
+func isFenceDelimiter(line string) bool {
+	t := strings.TrimSpace(line)
+	return strings.HasPrefix(t, "```") || strings.HasPrefix(t, "~~~")
+}
+
+// headingAnchors extracts the GitHub anchor slug of every ATX heading
+// outside code fences, applying the -1, -2 suffix rule for duplicates.
+func headingAnchors(doc string) map[string]bool {
+	anchors := map[string]bool{}
+	counts := map[string]int{}
+	inFence := false
+	for _, line := range strings.Split(doc, "\n") {
+		if isFenceDelimiter(line) {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		m := headingRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		slug := slugify(m[1])
+		if c := counts[slug]; c > 0 {
+			anchors[fmt.Sprintf("%s-%d", slug, c)] = true
+		} else {
+			anchors[slug] = true
+		}
+		counts[slug]++
 	}
+	return anchors
+}
+
+// slugify lowers heading text into its GitHub anchor: markdown link
+// text is kept (URLs dropped), formatting punctuation is removed,
+// spaces become hyphens, and letters/digits/hyphens/underscores
+// survive.
+func slugify(text string) string {
+	text = mdLinkTextRe.ReplaceAllString(text, "$1")
+	text = strings.ReplaceAll(text, "`", "")
+	var b strings.Builder
+	for _, r := range strings.ToLower(text) {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r) || r == '-' || r == '_':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
 }
 
 // skipTarget reports whether a link target is out of scope: external
-// URLs, mail links, and in-page fragments.
+// URLs and mail links. In-page fragments (#...) are NOT skipped — they
+// are validated against this file's own headings.
 func skipTarget(t string) bool {
-	return strings.HasPrefix(t, "#") ||
-		strings.Contains(t, "://") ||
-		strings.HasPrefix(t, "mailto:")
+	return strings.Contains(t, "://") || strings.HasPrefix(t, "mailto:")
 }

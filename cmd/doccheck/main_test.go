@@ -1,0 +1,94 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSlugify(t *testing.T) {
+	for in, want := range map[string]string{
+		"Simple Heading":             "simple-heading",
+		"With `code` and *stars*":    "with-code-and-stars",
+		"Flags: -json, -baseline":    "flags--json--baseline",
+		"under_score kept":           "under_score-kept",
+		"Link [text](http://x) here": "link-text-here",
+		"Mixed CASE 123":             "mixed-case-123",
+	} {
+		if got := slugify(in); got != want {
+			t.Errorf("slugify(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestHeadingAnchorsFencesAndDuplicates(t *testing.T) {
+	doc := strings.Join([]string{
+		"# Title",
+		"## Setup",
+		"```",
+		"# not a heading, inside a fence",
+		"```",
+		"## Setup",
+		"### Trailing Hashes ##",
+	}, "\n")
+	a := headingAnchors(doc)
+	for _, want := range []string{"title", "setup", "setup-1", "trailing-hashes"} {
+		if !a[want] {
+			t.Errorf("anchor %q missing from %v", want, a)
+		}
+	}
+	if a["not-a-heading-inside-a-fence"] {
+		t.Error("fenced pseudo-heading leaked into anchors")
+	}
+}
+
+// TestCheck exercises the full walk: dead files, dead anchors (in-page
+// and cross-file), valid anchors, and links inside code fences.
+func TestCheck(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("A.md", strings.Join([]string{
+		"# Alpha Doc",
+		"## Real Section",
+		"[ok in-page](#real-section)",
+		"[ok cross-file](B.md#beta-section)",
+		"[dead in-page](#no-such-section)",
+		"[dead cross-file](B.md#missing)",
+		"[dead file](C.md)",
+		"[external](https://example.com/x#frag)",
+		"```",
+		"[inside fence](nowhere.md)",
+		"```",
+	}, "\n"))
+	write("B.md", "# Beta Section\n")
+
+	var out strings.Builder
+	broken, err := check(dir, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if broken != 3 {
+		t.Fatalf("broken = %d, want 3\noutput:\n%s", broken, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		`dead anchor "#no-such-section"`,
+		`dead anchor "B.md#missing"`,
+		`dead link "C.md"`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	for _, bad := range []string{"real-section", "beta-section", "nowhere.md", "example.com"} {
+		if strings.Contains(got, bad) {
+			t.Errorf("output flags %q, which should be clean:\n%s", bad, got)
+		}
+	}
+}

@@ -38,6 +38,12 @@ type Analyzer struct {
 	// Run applies the analyzer to one package and reports findings
 	// through pass.Reportf.
 	Run func(*Pass) error
+	// FactTypes lists prototype values of every Fact type the analyzer
+	// exports (each a pointer to a gob-encodable struct). An analyzer
+	// with a non-empty FactTypes participates in the interprocedural
+	// facts protocol: its facts are serialized alongside export data
+	// and imported when dependent packages are analyzed.
+	FactTypes []Fact
 }
 
 // A Pass provides one analyzer with the loaded, type-checked package
@@ -49,6 +55,11 @@ type Pass struct {
 	Path      string // import path of the package under analysis
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Facts is the run's fact store: dependency facts are already
+	// present when Run starts (the driver analyzes packages in
+	// dependency order), and facts the analyzer exports become visible
+	// to dependent packages. Nil when the driver runs without facts.
+	Facts *FactStore
 
 	diags *[]Diagnostic
 }
@@ -101,6 +112,10 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+	// Imports lists the package's direct imports (when loaded through
+	// Listing.Load) — the edges the concurrent driver schedules fact
+	// propagation over.
+	Imports []string
 }
 
 // RunPackage applies every analyzer to pkg, enforces the
@@ -115,6 +130,14 @@ type Package struct {
 // fork a ledger. This keeps `go vet -vettool` — which analyzes test
 // variants — consistent with the standalone runner.
 func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunPackageFacts(pkg, analyzers, nil)
+}
+
+// RunPackageFacts is RunPackage with an interprocedural fact store:
+// facts of the package's dependencies must already be in the store
+// (analyze packages in dependency order), and facts this package
+// exports are added to it.
+func RunPackageFacts(pkg *Package, analyzers []*Analyzer, facts *FactStore) ([]Diagnostic, error) {
 	files := make([]*ast.File, 0, len(pkg.Files))
 	for _, f := range pkg.Files {
 		if strings.HasSuffix(pkg.Fset.Position(f.Pos()).Filename, "_test.go") {
@@ -132,6 +155,7 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Path:      pkg.Path,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
+			Facts:     facts,
 			diags:     &raw,
 		}
 		if err := a.Run(pass); err != nil {

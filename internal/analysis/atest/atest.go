@@ -19,6 +19,7 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"go/types"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -42,16 +43,75 @@ type lineKey struct {
 	line int
 }
 
+// A PkgSpec names one testdata package of a multi-package fixture: its
+// on-disk directory and the import path to analyze it under (which
+// controls path-scoped analyzers such as determinism, and is the path
+// dependent fixture packages import it by).
+type PkgSpec struct {
+	Dir        string
+	ImportPath string
+}
+
 // Run loads the single package rooted at dir, analyzes it under the
 // given import path (which controls path-scoped analyzers such as
 // determinism), and matches the diagnostics against the // want
 // comments in the sources.
 func Run(t *testing.T, dir, importPath string, analyzers ...*analysis.Analyzer) {
 	t.Helper()
-	fset := token.NewFileSet()
-	files := parseDir(t, fset, dir)
-	diags := analyze(t, fset, files, dir, importPath, analyzers...)
+	RunPackages(t, []PkgSpec{{Dir: dir, ImportPath: importPath}}, analyzers...)
+}
 
+// RunPackages analyzes a sequence of testdata packages in order with a
+// shared fact store — the interprocedural harness. Earlier packages'
+// type-checked results are made importable by later ones (under their
+// spec ImportPath), and facts exported while analyzing an earlier
+// package are visible when a later package is analyzed, exactly like
+// the driver's dependency-ordered run. // want expectations are
+// matched per package.
+func RunPackages(t *testing.T, specs []PkgSpec, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	facts := analysis.NewFactStore()
+	local := map[string]*types.Package{}
+
+	// One FileSet and one fallback importer for the whole fixture set:
+	// shared external dependencies (context, time, sync, ...) must
+	// resolve to identical *types.Package values across fixture
+	// packages, or values flowing between them fail to type-check.
+	fset := token.NewFileSet()
+	isLocal := map[string]bool{}
+	for _, spec := range specs {
+		isLocal[spec.ImportPath] = true
+	}
+	parsed := make([][]*ast.File, len(specs))
+	seen := map[string]bool{}
+	var external []string
+	for i, spec := range specs {
+		parsed[i] = parseDir(t, fset, spec.Dir)
+		for _, f := range parsed[i] {
+			for _, imp := range f.Imports {
+				p, err := strconv.Unquote(imp.Path.Value)
+				if err == nil && !seen[p] && !isLocal[p] {
+					seen[p] = true
+					external = append(external, p)
+				}
+			}
+		}
+	}
+	sort.Strings(external)
+	fallback, err := analysis.ExportImporter(fset, "", external)
+	if err != nil {
+		t.Fatalf("building importer: %v", err)
+	}
+
+	for i, spec := range specs {
+		diags := analyze(t, fset, parsed[i], spec.Dir, spec.ImportPath, local, fallback, facts, analyzers...)
+		match(t, fset, parsed[i], diags)
+	}
+}
+
+// match checks one package's diagnostics against its // want comments.
+func match(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
 	got := make(map[lineKey][]analysis.Diagnostic)
 	for _, d := range diags {
 		k := lineKey{filepath.Base(d.Pos.Filename), d.Pos.Line}
@@ -123,34 +183,36 @@ func parseDir(t *testing.T, fset *token.FileSet, dir string) []*ast.File {
 	return files
 }
 
-// analyze type-checks the parsed files and runs the analyzers.
-func analyze(t *testing.T, fset *token.FileSet, files []*ast.File, dir, importPath string, analyzers ...*analysis.Analyzer) []analysis.Diagnostic {
+// analyze type-checks the parsed files and runs the analyzers. local
+// maps import paths of already-checked fixture packages (consulted
+// before export data, so fixture packages can import one another);
+// the checked package is added to it.
+func analyze(t *testing.T, fset *token.FileSet, files []*ast.File, dir, importPath string, local map[string]*types.Package, fallback types.Importer, facts *analysis.FactStore, analyzers ...*analysis.Analyzer) []analysis.Diagnostic {
 	t.Helper()
-	seen := map[string]bool{}
-	var imports []string
-	for _, f := range files {
-		for _, imp := range f.Imports {
-			p, err := strconv.Unquote(imp.Path.Value)
-			if err == nil && !seen[p] {
-				seen[p] = true
-				imports = append(imports, p)
-			}
-		}
-	}
-	sort.Strings(imports)
-	imp, err := analysis.ExportImporter(fset, "", imports)
-	if err != nil {
-		t.Fatalf("building importer: %v", err)
-	}
-	pkg, err := analysis.CheckFiles(fset, imp, importPath, dir, files)
+	pkg, err := analysis.CheckFiles(fset, localImporter{local, fallback}, importPath, dir, files)
 	if err != nil {
 		t.Fatalf("type-checking testdata: %v", err)
 	}
-	diags, err := analysis.RunPackage(pkg, analyzers)
+	local[importPath] = pkg.Types
+	diags, err := analysis.RunPackageFacts(pkg, analyzers, facts)
 	if err != nil {
 		t.Fatalf("running analyzers: %v", err)
 	}
 	return diags
+}
+
+// localImporter resolves fixture packages from memory before falling
+// back to export data for the standard library.
+type localImporter struct {
+	local    map[string]*types.Package
+	fallback types.Importer
+}
+
+func (li localImporter) Import(path string) (*types.Package, error) {
+	if p := li.local[path]; p != nil {
+		return p, nil
+	}
+	return li.fallback.Import(path)
 }
 
 // matchAndRemove consumes the first diagnostic at k matching re.

@@ -1,0 +1,15 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"dcsledger/internal/analysis/atest"
+	"dcsledger/internal/analysis/goroleak"
+)
+
+func TestGoroleak(t *testing.T) {
+	atest.RunPackages(t, []atest.PkgSpec{
+		{Dir: "testdata/src/goroutil", ImportPath: "dcsledger/internal/goroutil"},
+		{Dir: "testdata/src/leaky", ImportPath: "dcsledger/internal/p2p/fake"},
+	}, goroleak.Analyzer)
+}

@@ -1,0 +1,43 @@
+// Package goroutil is a NON-policed helper package: nothing is
+// reported here, but spawner/loop facts are exported for the policed
+// fixture that imports it.
+package goroutil
+
+import "context"
+
+func work() {}
+
+// StartTicker launches an unstoppable goroutine: exported as a spawner
+// fact so policed callers are flagged at the call site.
+func StartTicker() {
+	go func() {
+		for {
+			work()
+		}
+	}()
+}
+
+// Wrapped proves spawner facts propagate through same-package wrappers
+// before export.
+func Wrapped() {
+	StartTicker()
+}
+
+// Forever is an unbounded loop with no stop token: exported as a loop
+// fact so `go goroutil.Forever()` is flagged at the spawn.
+func Forever() {
+	for {
+		work()
+	}
+}
+
+// ForeverCtx takes a context — the conventional promise of
+// cancellation — so no fact is exported.
+func ForeverCtx(ctx context.Context) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		work()
+	}
+}

@@ -1,0 +1,133 @@
+// Package leaky is analyzed under a policed long-lived-component
+// import path: every `go` statement needs a provable stop path.
+package leaky
+
+import (
+	"context"
+	"sync"
+
+	goroutil "dcsledger/internal/goroutil"
+)
+
+// Comp is a long-lived component with the conventional lifecycle
+// machinery: a done channel its Close closes and a WaitGroup it Waits.
+type Comp struct {
+	done chan struct{}
+	wg   sync.WaitGroup
+	ch   chan int
+}
+
+// Close wires the stop tokens the goroutines below are judged against.
+func (c *Comp) Close() {
+	close(c.done)
+	c.wg.Wait()
+}
+
+// --- clean spawns ---
+
+// StartGood resolves the spawned method through the call graph; its
+// loop selects on the closed done channel.
+func (c *Comp) StartGood() {
+	go c.loop()
+}
+
+func (c *Comp) loop() {
+	for {
+		select {
+		case <-c.done:
+			return
+		case v := <-c.ch:
+			_ = v
+		}
+	}
+}
+
+// StartCtx stops via context cancellation.
+func (c *Comp) StartCtx(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-c.ch:
+				_ = v
+			}
+		}
+	}()
+}
+
+// StartOnce is a one-shot goroutine: terminates by construction.
+func (c *Comp) StartOnce() {
+	go func() {
+		c.ch <- 1
+	}()
+}
+
+// StartDrain loops, but under the WaitGroup Close Waits on: either the
+// loop exits on shutdown or Close hangs and every test catches it.
+func (c *Comp) StartDrain() {
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		for v := range c.ch {
+			_ = v
+		}
+	}()
+}
+
+// SpawnExternalCtx hands the external loop a context: clean.
+func (c *Comp) SpawnExternalCtx(ctx context.Context) {
+	go goroutil.ForeverCtx(ctx)
+}
+
+// --- leaks ---
+
+func (c *Comp) StartBad() {
+	go func() { // want "goroutine launched in long-lived component .* has no provable stop path"
+		for {
+			v := <-c.ch
+			_ = v
+		}
+	}()
+}
+
+// StartBadMethod leaks through a same-package method target.
+func (c *Comp) StartBadMethod() {
+	go c.pump() // want "goroutine launched in long-lived component .* has no provable stop path"
+}
+
+func (c *Comp) pump() {
+	for v := range c.ch {
+		_ = v
+	}
+}
+
+// StartExternal calls a cross-package spawner: flagged at the call
+// site via the imported fact.
+func (c *Comp) StartExternal() {
+	goroutil.StartTicker() // want "call to StartTicker launches a goroutine with no provable stop path"
+}
+
+// StartWrapped proves the fact survived same-package propagation in
+// the helper package before export.
+func (c *Comp) StartWrapped() {
+	goroutil.Wrapped() // want "call to Wrapped launches a goroutine with no provable stop path"
+}
+
+// SpawnExternalLoop spawns a cross-package unstoppable loop: flagged
+// at the `go` via the imported loop fact.
+func (c *Comp) SpawnExternalLoop() {
+	go goroutil.Forever() // want "runs Forever, which loops with no stop token"
+}
+
+// StartSuppressed is bounded by a test harness, not by lifecycle —
+// the justified-suppression path.
+func (c *Comp) StartSuppressed() {
+	//dcslint:ignore goroleak fixture goroutine, bounded by the test harness closing ch
+	go func() {
+		for {
+			v := <-c.ch
+			_ = v
+		}
+	}()
+}

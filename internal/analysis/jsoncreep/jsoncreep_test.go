@@ -1,0 +1,16 @@
+package jsoncreep_test
+
+import (
+	"testing"
+
+	"dcsledger/internal/analysis/atest"
+	"dcsledger/internal/analysis/jsoncreep"
+)
+
+func TestJSONCreep(t *testing.T) {
+	atest.Run(t, "testdata/src/creep", "dcsledger/internal/p2p/fake", jsoncreep.Analyzer)
+}
+
+func TestJSONAllowedOutside(t *testing.T) {
+	atest.Run(t, "testdata/src/allowed", "dcsledger/cmd/ledgercli/fake", jsoncreep.Analyzer)
+}

@@ -1,0 +1,10 @@
+// Package allowed is CLI-side tooling: JSON stays fine outside the
+// binary-codec set.
+package allowed
+
+import "encoding/json"
+
+// Render pretty-prints operator-facing output.
+func Render(v any) ([]byte, error) {
+	return json.MarshalIndent(v, "", "  ")
+}

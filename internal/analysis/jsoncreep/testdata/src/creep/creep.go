@@ -1,0 +1,12 @@
+// Package creep reintroduces encoding/json in a binary-codec package:
+// the regression the analyzer exists to catch.
+package creep
+
+import (
+	"encoding/json" // want "imports encoding/json: this package was converted to the canonical binary codec"
+)
+
+// Encode is the convenient mistake: non-canonical bytes on a hot path.
+func Encode(v any) ([]byte, error) {
+	return json.Marshal(v)
+}

@@ -22,6 +22,7 @@ type listPackage struct {
 	Dir        string
 	GoFiles    []string
 	CgoFiles   []string
+	Imports    []string
 	Export     string
 	DepOnly    bool
 	Standard   bool
@@ -29,18 +30,24 @@ type listPackage struct {
 	Error      *struct{ Err string }
 }
 
-// LoadPackages loads, parses, and type-checks the packages matched by
-// the given `go list` patterns (e.g. "./..."), rooted at dir ("" means
-// the current directory). Dependencies are resolved from compiler
-// export data produced by `go list -export`, so loading is as fast as
-// an incremental build and needs no network access.
-func LoadPackages(dir string, patterns ...string) ([]*Package, error) {
+// A Listing is the parsed result of one `go list -export` invocation:
+// the root packages to analyze plus the export-data and vendor/import
+// maps needed to type-check them. Roots are sorted by import path.
+type Listing struct {
+	Roots     []listPackage
+	exportFor map[string]string // import path → export data file
+	importMap map[string]string // source import path → vendored path
+}
+
+// List runs `go list -export` over the given patterns rooted at dir
+// ("" means the current directory) and parses the result.
+func List(dir string, patterns ...string) (*Listing, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 	args := append([]string{
 		"list", "-export", "-deps",
-		"-json=ImportPath,Dir,GoFiles,CgoFiles,Export,DepOnly,Standard,ImportMap,Error",
+		"-json=ImportPath,Dir,GoFiles,CgoFiles,Imports,Export,DepOnly,Standard,ImportMap,Error",
 	}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
@@ -49,11 +56,18 @@ func LoadPackages(dir string, patterns ...string) ([]*Package, error) {
 	if err := cmd.Run(); err != nil {
 		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, errb.String())
 	}
+	return parseGoList(&out)
+}
 
-	exportFor := make(map[string]string)
-	importMap := make(map[string]string)
-	var roots []listPackage
-	dec := json.NewDecoder(&out)
+// parseGoList decodes a stream of `go list -json` objects into a
+// Listing. Split from List so malformed-output and edge-case handling
+// is unit-testable without shelling out.
+func parseGoList(r io.Reader) (*Listing, error) {
+	l := &Listing{
+		exportFor: make(map[string]string),
+		importMap: make(map[string]string),
+	}
+	dec := json.NewDecoder(r)
 	for {
 		var p listPackage
 		if err := dec.Decode(&p); err == io.EOF {
@@ -65,38 +79,69 @@ func LoadPackages(dir string, patterns ...string) ([]*Package, error) {
 			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
 		}
 		if p.Export != "" {
-			exportFor[p.ImportPath] = p.Export
+			l.exportFor[p.ImportPath] = p.Export
 		}
 		for from, to := range p.ImportMap {
-			importMap[from] = to
+			l.importMap[from] = to
 		}
 		if !p.DepOnly && len(p.GoFiles) > 0 {
-			roots = append(roots, p)
+			l.Roots = append(l.Roots, p)
 		}
 	}
-	sort.Slice(roots, func(i, j int) bool { return roots[i].ImportPath < roots[j].ImportPath })
+	sort.Slice(l.Roots, func(i, j int) bool { return l.Roots[i].ImportPath < l.Roots[j].ImportPath })
+	return l, nil
+}
 
+// lookup resolves an import path (through the vendor map) to its
+// export-data file.
+func (l *Listing) lookup(path string) (io.ReadCloser, error) {
+	if to, ok := l.importMap[path]; ok {
+		path = to
+	}
+	f, ok := l.exportFor[path]
+	if !ok {
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	return os.Open(f)
+}
+
+// Load parses and type-checks one root package from the listing. Each
+// call builds its own FileSet and export-data importer, so independent
+// packages can be loaded concurrently — the gc importer's package
+// cache is not safe for sharing across goroutines.
+func (l *Listing) Load(r listPackage) (*Package, error) {
+	if len(r.CgoFiles) > 0 {
+		// Cgo packages cannot be parsed as plain Go (none exist in this
+		// module).
+		return nil, fmt.Errorf("loading %s: cgo packages are unsupported", r.ImportPath)
+	}
 	fset := token.NewFileSet()
-	lookup := func(path string) (io.ReadCloser, error) {
-		if to, ok := importMap[path]; ok {
-			path = to
-		}
-		f, ok := exportFor[path]
-		if !ok {
-			return nil, fmt.Errorf("no export data for %q", path)
-		}
-		return os.Open(f)
+	imp := importer.ForCompiler(fset, "gc", l.lookup)
+	pkg, err := checkPackage(fset, imp, r.ImportPath, r.Dir, r.GoFiles)
+	if err != nil {
+		return nil, err
 	}
-	imp := importer.ForCompiler(fset, "gc", lookup)
+	pkg.Imports = append([]string(nil), r.Imports...)
+	return pkg, nil
+}
 
+// LoadPackages loads, parses, and type-checks the packages matched by
+// the given `go list` patterns (e.g. "./..."), rooted at dir ("" means
+// the current directory). Dependencies are resolved from compiler
+// export data produced by `go list -export`, so loading is as fast as
+// an incremental build and needs no network access.
+func LoadPackages(dir string, patterns ...string) ([]*Package, error) {
+	l, err := List(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
 	var pkgs []*Package
-	for _, r := range roots {
+	for _, r := range l.Roots {
 		if len(r.CgoFiles) > 0 {
-			// Cgo packages cannot be parsed as plain Go; skip rather
-			// than fail the whole run (none exist in this module).
+			// Skip rather than fail the whole run.
 			continue
 		}
-		pkg, err := checkPackage(fset, imp, r.ImportPath, r.Dir, r.GoFiles)
+		pkg, err := l.Load(r)
 		if err != nil {
 			return nil, err
 		}
@@ -180,27 +225,9 @@ func ExportImporter(fset *token.FileSet, dir string, imports []string) (types.Im
 	if err := cmd.Run(); err != nil {
 		return nil, fmt.Errorf("go list %v: %v\n%s", imports, err, errb.String())
 	}
-	exportFor := make(map[string]string)
-	dec := json.NewDecoder(&out)
-	for {
-		var p listPackage
-		if err := dec.Decode(&p); err == io.EOF {
-			break
-		} else if err != nil {
-			return nil, fmt.Errorf("decoding go list output: %w", err)
-		}
-		if p.Error != nil {
-			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
-		}
-		if p.Export != "" {
-			exportFor[p.ImportPath] = p.Export
-		}
+	l, err := parseGoList(&out)
+	if err != nil {
+		return nil, err
 	}
-	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
-		f, ok := exportFor[path]
-		if !ok {
-			return nil, fmt.Errorf("no export data for %q", path)
-		}
-		return os.Open(f)
-	}), nil
+	return importer.ForCompiler(fset, "gc", l.lookup), nil
 }

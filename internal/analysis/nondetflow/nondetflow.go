@@ -1,0 +1,407 @@
+// Package nondetflow implements the interprocedural dcslint analyzer
+// that catches nondeterminism *laundered through helper functions*
+// into consensus-critical code.
+//
+// The intraprocedural determinism analyzer flags a time.Now call that
+// appears literally inside a critical package — but a helper one hop
+// away defeats it:
+//
+//	package util                       // not consensus-critical
+//	func Stamp() int64 { return time.Now().UnixNano() }
+//
+//	package consensus                  // critical — and silently forked
+//	func propose() { h.deadline = util.Stamp() }
+//
+// nondetflow closes that hole with taint facts: every function, in
+// every package, is classified by whether it transitively reaches a
+// nondeterminism source — a wall clock (time.Now/Since), the
+// process-global math/rand, or map-iteration order escaping through
+// its return value. The classification propagates over the
+// package-local call graph to a fixpoint, is exported as a per-function
+// fact alongside the package's export data, and is imported when
+// dependent packages are analyzed — so the taint follows calls across
+// package boundaries exactly like go vet's facts protocol. Inside
+// consensus-critical packages, every call to a tainted function is
+// reported at the call site, with the chain of helpers that reaches
+// the source.
+//
+// Direct source calls (a literal time.Now inside critical code) are
+// the determinism analyzer's job and are not re-reported here.
+// Packages whose relationship with wall time is sanctioned by design —
+// internal/obs (observability stopwatches), internal/simclock (the
+// injectable clock itself), internal/metrics — neither export taint
+// nor trigger reports: they are the audited funnels critical code is
+// *supposed* to route timing through.
+package nondetflow
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"dcsledger/internal/analysis"
+	"dcsledger/internal/analysis/determinism"
+)
+
+// Analyzer is the interprocedural nondeterminism-taint checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "nondetflow",
+	Doc: "taint-tracks wall-clock reads, global math/rand, and map-iteration-order " +
+		"leaks through helper functions (same-package and cross-package via facts) " +
+		"into consensus-critical code",
+	Run:       run,
+	FactTypes: []analysis.Fact{&TaintFact{}},
+}
+
+// Taint kinds, in the order they render in diagnostics.
+const (
+	KindGlobalRand = "globalrand"
+	KindMapOrder   = "maporder"
+	KindWallClock  = "wallclock"
+)
+
+// kindDesc renders one kind for humans.
+var kindDesc = map[string]string{
+	KindGlobalRand: "process-global math/rand",
+	KindMapOrder:   "map-iteration order",
+	KindWallClock:  "a wall clock (time.Now/Since)",
+}
+
+// A TaintFact marks a function that transitively reaches a
+// nondeterminism source. Via is one witness chain ("Stamp → time.Now")
+// used in diagnostics.
+type TaintFact struct {
+	Kinds []string // sorted subset of {globalrand, maporder, wallclock}
+	Via   string
+}
+
+// AFact marks TaintFact as a fact type.
+func (*TaintFact) AFact() {}
+
+// sanctionedMarkers are import-path fragments of packages whose
+// wall-clock/randomness use is by-design: the audited funnels critical
+// code routes timing through. They neither export taint facts nor
+// trigger call-site reports.
+var sanctionedMarkers = []string{
+	"internal/obs",
+	"internal/simclock",
+	"internal/metrics",
+	"internal/analysis",
+}
+
+func sanctioned(path string) bool {
+	for _, m := range sanctionedMarkers {
+		if strings.Contains(path, m) {
+			return true
+		}
+	}
+	return false
+}
+
+// taint is the per-function analysis state.
+type taint struct {
+	kinds map[string]bool
+	via   string
+}
+
+func run(pass *analysis.Pass) error {
+	if sanctioned(pass.Path) {
+		return nil
+	}
+	graph := analysis.BuildCallGraph(pass)
+
+	// Seed: intrinsic sources reached directly by each function body.
+	taints := map[*types.Func]*taint{}
+	mark := func(fn *types.Func, kind, via string) bool {
+		t := taints[fn]
+		if t == nil {
+			t = &taint{kinds: map[string]bool{}, via: via}
+			taints[fn] = t
+		}
+		if t.kinds[kind] {
+			return false
+		}
+		t.kinds[kind] = true
+		return true
+	}
+	for fn, decl := range graph.Decls {
+		seedFunc(pass, fn, decl, mark)
+	}
+
+	// Propagate over the package-local call graph, importing facts at
+	// package boundaries, until fixpoint.
+	graph.Fixpoint(func(caller *types.Func, call analysis.ResolvedCall) bool {
+		callee := call.Callee
+		if callee.Pkg() == nil || sanctioned(callee.Pkg().Path()) {
+			return false
+		}
+		changed := false
+		if callee.Pkg() == pass.Pkg {
+			if ct := taints[callee]; ct != nil {
+				for k := range ct.kinds {
+					if mark(caller, k, callee.Name()+" → "+ct.via) {
+						changed = true
+					}
+				}
+			}
+			return changed
+		}
+		var fact TaintFact
+		if pass.ImportFunctionFact(callee, &fact) {
+			for _, k := range fact.Kinds {
+				if mark(caller, k, callee.Name()+" → "+fact.Via) {
+					changed = true
+				}
+			}
+		}
+		return changed
+	})
+
+	// Export facts for every tainted function so dependent packages see
+	// the taint.
+	for _, fn := range graph.Functions() {
+		if t := taints[fn]; t != nil {
+			pass.ExportFunctionFact(fn, &TaintFact{Kinds: sortedKinds(t.kinds), Via: t.via})
+		}
+	}
+
+	// Report, in consensus-critical packages only, every call to a
+	// tainted helper. Direct intrinsic-source calls belong to the
+	// determinism analyzer and are not re-reported.
+	if !determinism.Critical(pass.Path) {
+		return nil
+	}
+	for _, fn := range graph.Functions() {
+		for _, call := range graph.Calls[fn] {
+			callee := call.Callee
+			if callee.Pkg() == nil || sanctioned(callee.Pkg().Path()) {
+				continue
+			}
+			var kinds []string
+			var via string
+			if callee.Pkg() == pass.Pkg {
+				if t := taints[callee]; t != nil {
+					kinds, via = sortedKinds(t.kinds), t.via
+				}
+			} else {
+				var fact TaintFact
+				if pass.ImportFunctionFact(callee, &fact) {
+					kinds, via = fact.Kinds, fact.Via
+				}
+			}
+			if len(kinds) == 0 {
+				continue
+			}
+			pass.Reportf(call.Site.Pos(),
+				"call to %s in consensus-critical package %s reaches %s (via %s): nondeterminism laundered through helpers forks replicas; inject a simclock.Clock or seeded *rand.Rand, or sort before the value escapes",
+				callee.Name(), pass.Path, describeKinds(kinds), callee.Name()+" → "+via)
+		}
+	}
+	return nil
+}
+
+// seedFunc marks fn with every intrinsic source its own body reaches:
+// wall-clock and global-rand calls, and map-iteration order escaping
+// through a return value.
+func seedFunc(pass *analysis.Pass, fn *types.Func, decl *ast.FuncDecl, mark func(*types.Func, string, string) bool) {
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if kind, via := intrinsicSource(pass.TypesInfo, n); kind != "" {
+				mark(fn, kind, via)
+			}
+		case *ast.RangeStmt:
+			if isMapRange(pass, n) && mapOrderEscapes(pass, decl, n) {
+				mark(fn, KindMapOrder, "map range")
+			}
+		}
+		return true
+	})
+}
+
+// intrinsicSource classifies a call as a nondeterminism source:
+// time.Now/Since, or a package-global math/rand draw (constructors for
+// injectable generators are exempt, as in the determinism analyzer).
+func intrinsicSource(info *types.Info, call *ast.CallExpr) (kind, via string) {
+	fn := analysis.Callee(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", ""
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return "", "" // methods (time.Time.Sub etc.) are derived, not sources
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Now" || fn.Name() == "Since" {
+			return KindWallClock, "time." + fn.Name()
+		}
+	case "math/rand", "math/rand/v2":
+		switch fn.Name() {
+		case "New", "NewSource", "NewZipf":
+			return "", ""
+		}
+		return KindGlobalRand, fn.Pkg().Name() + "." + fn.Name()
+	}
+	return "", ""
+}
+
+func isMapRange(pass *analysis.Pass, rs *ast.RangeStmt) bool {
+	t := pass.TypeOf(rs.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// mapOrderEscapes reports whether rs leaks iteration order through the
+// enclosing function's return value: an early return of a
+// loop-dependent value ("first match wins"), or appending to a slice
+// that is returned without an intervening sort. A helper that sorts
+// before returning — the sorted-map-fold idiom — is clean.
+func mapOrderEscapes(pass *analysis.Pass, decl *ast.FuncDecl, rs *ast.RangeStmt) bool {
+	loopVars := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if o := pass.ObjectOf(id); o != nil {
+				loopVars[o] = true
+			}
+		}
+	}
+
+	escapes := false
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if escapes {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			if analysis.UsesObject(pass.TypesInfo, n, loopVars) {
+				escapes = true
+				return false
+			}
+		case *ast.AssignStmt:
+			if obj := appendTarget(pass, n, rs); obj != nil &&
+				!sortedBeforeReturn(pass, decl, obj, rs) && returnsObject(pass, decl, obj) {
+				escapes = true
+				return false
+			}
+		}
+		return true
+	})
+	return escapes
+}
+
+// appendTarget returns the object of an outer-declared slice grown by
+// `s = append(s, ...)` inside the loop, or nil.
+func appendTarget(pass *analysis.Pass, as *ast.AssignStmt, rs *ast.RangeStmt) types.Object {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	fid, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || fid.Name != "append" {
+		return nil
+	}
+	lhs, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := pass.ObjectOf(lhs)
+	if obj == nil {
+		return nil
+	}
+	if obj.Pos() >= rs.Body.Pos() && obj.Pos() <= rs.Body.End() {
+		return nil // loop-local: order cannot escape this way
+	}
+	return obj
+}
+
+// returnsObject reports whether any return statement of decl (or a
+// named result) carries obj.
+func returnsObject(pass *analysis.Pass, decl *ast.FuncDecl, obj types.Object) bool {
+	if res := decl.Type.Results; res != nil {
+		for _, f := range res.List {
+			for _, name := range f.Names {
+				if pass.ObjectOf(name) == obj {
+					return true // named result: every return carries it
+				}
+			}
+		}
+	}
+	found := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		if analysis.UsesObject(pass.TypesInfo, ret, map[types.Object]bool{obj: true}) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// sortedBeforeReturn reports whether a recognized sort of obj appears
+// after the loop in decl — the sorted-map-fold exemption.
+func sortedBeforeReturn(pass *analysis.Pass, decl *ast.FuncDecl, obj types.Object, rs *ast.RangeStmt) bool {
+	found := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || len(call.Args) == 0 {
+			return true
+		}
+		fn := analysis.Callee(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if pkg := fn.Pkg().Path(); pkg != "sort" && pkg != "slices" {
+			return true
+		}
+		name := fn.Name()
+		sorter := strings.HasPrefix(name, "Sort") || strings.HasPrefix(name, "Slice") ||
+			name == "Strings" || name == "Ints" || name == "Float64s" || name == "Stable"
+		if !sorter {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && pass.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func sortedKinds(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func describeKinds(kinds []string) string {
+	descs := make([]string, len(kinds))
+	for i, k := range kinds {
+		if d := kindDesc[k]; d != "" {
+			descs[i] = d
+		} else {
+			descs[i] = k
+		}
+	}
+	return strings.Join(descs, " and ")
+}

@@ -1,0 +1,31 @@
+package nondetflow_test
+
+import (
+	"testing"
+
+	"dcsledger/internal/analysis/atest"
+	"dcsledger/internal/analysis/nondetflow"
+)
+
+// TestNondetflow is the acceptance golden: a time.Now laundered
+// through a same-package helper AND a cross-package helper is flagged
+// in consensus-critical code, while the sorted-map-fold helper is not.
+// The util fixture is analyzed first (exporting taint facts), then the
+// critical fixture imports it — the same dependency-ordered flow the
+// driver runs.
+func TestNondetflow(t *testing.T) {
+	atest.RunPackages(t, []atest.PkgSpec{
+		{Dir: "testdata/src/util", ImportPath: "dcsledger/internal/util"},
+		{Dir: "testdata/src/critical", ImportPath: "dcsledger/internal/consensus/fake"},
+	}, nondetflow.Analyzer)
+}
+
+// TestNondetflowSanctioned proves the sanctioned funnels (obs,
+// simclock, metrics) neither export taint nor trigger reports: the
+// same laundering shape analyzed under a sanctioned path stays silent.
+func TestNondetflowSanctioned(t *testing.T) {
+	atest.RunPackages(t, []atest.PkgSpec{
+		{Dir: "testdata/src/sanctioned", ImportPath: "dcsledger/internal/obs/fake"},
+		{Dir: "testdata/src/sanctioneduser", ImportPath: "dcsledger/internal/consensus/fake2"},
+	}, nondetflow.Analyzer)
+}

@@ -1,0 +1,57 @@
+// Package critical is analyzed under a consensus-critical import path
+// and imports the util fixture: cross-package taint arrives via facts,
+// same-package taint via the local call graph.
+package critical
+
+import (
+	"time"
+
+	"dcsledger/internal/util"
+)
+
+// localStamp is a same-package launderer. Its own time.Now call is the
+// determinism analyzer's finding, not nondetflow's — nondetflow flags
+// the *call sites* of localStamp.
+func localStamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// localDeep proves same-package transitive propagation.
+func localDeep() int64 {
+	return localStamp() // want "call to localStamp in consensus-critical package .* reaches a wall clock .*via localStamp → time.Now"
+}
+
+func proposeDeadline() int64 {
+	return localDeep() // want "call to localDeep in consensus-critical package .* reaches a wall clock"
+}
+
+func crossStamp() int64 {
+	return util.Stamp() // want "call to Stamp in consensus-critical package .* reaches a wall clock .*via Stamp → time.Now"
+}
+
+func crossDeep() int64 {
+	return util.DeepStamp() // want "call to DeepStamp in consensus-critical package .* reaches a wall clock .*via DeepStamp → Stamp → time.Now"
+}
+
+func crossJitter() int64 {
+	return util.Jitter() // want "call to Jitter in consensus-critical package .* reaches process-global math/rand"
+}
+
+func crossOrder(m map[string]int) []string {
+	return util.UnsortedKeys(m) // want "call to UnsortedKeys in consensus-critical package .* reaches map-iteration order"
+}
+
+// sortedFold is the negative case the acceptance criterion names: a
+// sorted-map-fold helper is deterministic and must stay clean.
+func sortedFold(m map[string]int) []string {
+	return util.SortedKeys(m)
+}
+
+func pure() int64 {
+	return util.Double(21)
+}
+
+func suppressed() int64 {
+	//dcslint:ignore nondetflow deadline is operator-facing only, never hashed or compared across replicas
+	return util.Stamp()
+}

@@ -1,0 +1,10 @@
+// Package sanctioned mirrors internal/obs: wall-clock use here is
+// by-design, so no taint fact is exported for Stopwatch.
+package sanctioned
+
+import "time"
+
+// Stopwatch reads the wall clock — sanctioned, never tainted.
+func Stopwatch() int64 {
+	return time.Now().UnixNano()
+}

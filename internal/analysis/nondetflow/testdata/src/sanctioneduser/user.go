@@ -1,0 +1,10 @@
+// Package sanctioneduser is critical but calls only the sanctioned
+// funnel: no report — that is exactly how critical code is supposed to
+// consume timing.
+package sanctioneduser
+
+import sanctioned "dcsledger/internal/obs/fake"
+
+func record() int64 {
+	return sanctioned.Stopwatch() // clean: sanctioned funnel
+}

@@ -1,0 +1,104 @@
+// Package cachey exercises the unbounded-growth analyzer on a
+// long-lived struct (it has Close, the lifecycle marker).
+package cachey
+
+import "sync"
+
+// Cache is long-lived: map/slice fields are policed.
+type Cache struct {
+	seen    map[string]bool // grows, never shrinks → finding
+	entries map[string]int  // grows, but Forget deletes → clean
+	history []string        // append, never shrinks → finding
+	buf     []int           // append + compaction → clean
+	capped  map[string]int  // grows under a len guard → clean
+	scratch []byte          // append + reset in Reset → clean
+	intent  map[string]int  // grows, suppressed with a reason
+}
+
+// New primes fields: constructor writes are neither growth nor shrink.
+func New() *Cache {
+	c := &Cache{}
+	c.seen = make(map[string]bool)
+	c.entries = make(map[string]int)
+	c.capped = make(map[string]int)
+	c.intent = make(map[string]int)
+	c.seen["self"] = true
+	return c
+}
+
+// Close marks Cache long-lived.
+func (c *Cache) Close() {}
+
+func (c *Cache) Mark(id string) {
+	c.seen[id] = true // want "map field seen of long-lived struct Cache grows in Mark with no eviction, prune, or cap"
+}
+
+func (c *Cache) Put(k string, v int) {
+	c.entries[k] = v // clean: Forget deletes
+}
+
+func (c *Cache) Forget(k string) {
+	delete(c.entries, k)
+}
+
+func (c *Cache) Log(line string) {
+	c.history = append(c.history, line) // want "slice field history of long-lived struct Cache grows in Log"
+}
+
+func (c *Cache) Push(v int) {
+	c.buf = append(c.buf, v) // clean: Compact reslices
+}
+
+func (c *Cache) Compact() {
+	c.buf = append(c.buf[:0], c.buf[1:]...)
+}
+
+func (c *Cache) PutCapped(k string, v int) {
+	if len(c.capped) >= 1024 {
+		return
+	}
+	c.capped[k] = v // clean: len guard in the same function
+}
+
+func (c *Cache) Append(b []byte) {
+	c.scratch = append(c.scratch, b...) // clean: Reset re-makes it
+}
+
+func (c *Cache) Reset() {
+	c.scratch = make([]byte, 0, 64)
+}
+
+func (c *Cache) Record(k string) {
+	//dcslint:ignore unbounded keyspace is the fixed validator set, bounded by genesis config
+	c.intent[k] = 1
+}
+
+// Router has no lifecycle method, but a mutex-guarded struct in a
+// component package is long-lived by construction: still policed.
+type Router struct {
+	mu    sync.Mutex
+	dedup map[string]bool
+}
+
+func (r *Router) See(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.dedup[id] {
+		return false
+	}
+	r.dedup[id] = true // want "map field dedup of long-lived struct Router grows in See"
+	return true
+}
+
+// Short is request-scoped (no lifecycle method, no mutex): its fields
+// are never policed.
+type Short struct {
+	tmp map[string]int
+}
+
+func (s *Short) Add(k string) {
+	if s.tmp == nil {
+		s.tmp = map[string]int{}
+	}
+	s.tmp[k] = 1 // clean: Short is not long-lived
+}

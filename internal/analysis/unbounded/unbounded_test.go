@@ -1,0 +1,12 @@
+package unbounded_test
+
+import (
+	"testing"
+
+	"dcsledger/internal/analysis/atest"
+	"dcsledger/internal/analysis/unbounded"
+)
+
+func TestUnbounded(t *testing.T) {
+	atest.Run(t, "testdata/src/cachey", "dcsledger/internal/p2p/fake", unbounded.Analyzer)
+}

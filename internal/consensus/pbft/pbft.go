@@ -113,6 +113,8 @@ type Node struct {
 	vcVotes         map[uint64]map[p2p.NodeID]bool
 	vcTimer         *simclock.Timer
 	executedDigests map[cryptoutil.Hash]bool
+	executedQ       []cryptoutil.Hash // FIFO of live dedup digests, oldest at executedHead
+	executedHead    int
 	stopped         bool
 
 	executedOps uint64
@@ -429,6 +431,7 @@ func (n *Node) executeReadyLocked() {
 		delete(n.pending, inst.digest)
 		if !n.executedDigests[inst.digest] {
 			n.executedDigests[inst.digest] = true
+			n.recordExecutedLocked(inst.digest)
 			n.executedOps++
 			if n.tracer != nil && !inst.startedAt.IsZero() {
 				n.tracer.Record(obs.Span{
@@ -449,6 +452,35 @@ func (n *Node) executeReadyLocked() {
 		n.vcTimer.Stop()
 	} else {
 		n.armViewChangeTimerLocked()
+	}
+}
+
+// executedDedupCap bounds the replay-suppression set. Eviction is FIFO
+// in *execution* order, which every correct replica observes
+// identically, so all replicas forget the same digests at the same
+// point — the bound cannot fork the ledger. A client replaying a
+// request older than the cap window re-executes it, the same exposure
+// production PBFT accepts when checkpoint garbage-collection discards
+// old request logs. At 32 bytes per digest this is ~2 MiB of state.
+const executedDedupCap = 65536
+
+// maxTrackedViewAhead bounds how far above the current view this
+// replica tracks view-change votes: vcVotes holds at most this many
+// views, each with at most one vote per replica.
+const maxTrackedViewAhead = 128
+
+// recordExecutedLocked appends a digest to the dedup FIFO and evicts
+// past the cap, compacting the queue so its backing array stays
+// O(executedDedupCap) rather than growing with total throughput.
+func (n *Node) recordExecutedLocked(digest cryptoutil.Hash) {
+	n.executedQ = append(n.executedQ, digest)
+	for len(n.executedDigests) > executedDedupCap {
+		delete(n.executedDigests, n.executedQ[n.executedHead])
+		n.executedHead++
+	}
+	if n.executedHead > executedDedupCap {
+		n.executedQ = append(n.executedQ[:0], n.executedQ[n.executedHead:]...)
+		n.executedHead = 0
 	}
 }
 
@@ -494,6 +526,15 @@ func (n *Node) vcVotesFor(v uint64) map[p2p.NodeID]bool {
 
 func (n *Node) onViewChange(from p2p.NodeID, vc viewChange) {
 	if vc.NewView <= n.view {
+		return
+	}
+	// Track votes only within a bounded window above the current view:
+	// honest replicas propose at most their view+1, so a vote far ahead
+	// is either Byzantine spam (each fresh view number would otherwise
+	// allocate a vote map forever) or evidence this replica is lagging —
+	// and a lagging replica catches up via the primary's new-view
+	// message, not via vote accumulation.
+	if vc.NewView > n.view+maxTrackedViewAhead {
 		return
 	}
 	votes := n.vcVotesFor(vc.NewView)
@@ -551,6 +592,15 @@ func (n *Node) alignCursorLocked(startSeq uint64) {
 
 func (n *Node) enterViewLocked(v uint64) {
 	n.view = v
+	// Votes for views at or below the one just entered can never be
+	// consulted again (onViewChange rejects NewView <= view): drop them
+	// so a peer spamming view-change messages cannot grow this map
+	// without bound.
+	for past := range n.vcVotes {
+		if past <= v {
+			delete(n.vcVotes, past)
+		}
+	}
 	// Discard un-executed per-view state; executed ops are final.
 	// Numbering continues above every sequence this replica has seen so
 	// a renumbered op can never collide with an executed slot.

@@ -788,6 +788,7 @@ func (n *Node) Balance(a cryptoutil.Address) uint64 {
 func (n *Node) OnBlock(fn func(*types.Block)) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	//dcslint:ignore unbounded subscribers register once at process wiring time; the set is code-defined, not network input
 	n.blockSubs = append(n.blockSubs, fn)
 }
 

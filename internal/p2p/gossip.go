@@ -22,6 +22,15 @@ const GossipMsgType = "gossip"
 // larger than any simulation here runs.
 const DefaultMaxHops = 16
 
+// DefaultSeenCap bounds the duplicate-suppression cache. Without a
+// bound the seen-set is an unmetered memory grant to the network — any
+// peer can grow it forever by publishing fresh IDs. Eviction is FIFO
+// in arrival order, which is deterministic for one node's observed
+// stream; the hop TTL (DefaultMaxHops) keeps an evicted-then-reseen
+// item from circulating indefinitely. At 32 bytes per ID the default
+// is ~2 MiB of bounded state.
+const DefaultSeenCap = 65536
+
 // envelope is one gossiped item; its binary wire format is defined in
 // codec.go (decodeEnvelope) and docs/WIRE.md.
 type envelope struct {
@@ -64,6 +73,9 @@ type Gossiper struct {
 	neighbors []NodeID
 	rng       *rand.Rand
 	seen      map[cryptoutil.Hash]struct{}
+	seenQ     []cryptoutil.Hash // FIFO of live seen-IDs, oldest at seenHead
+	seenHead  int
+	seenCap   int
 	subs      map[string]DeliverFunc
 
 	delivered  atomic.Uint64
@@ -86,6 +98,7 @@ func NewGossiper(tr Transport, neighbors []NodeID, fanout int, rng *rand.Rand) *
 		maxHops:   DefaultMaxHops,
 		rng:       rng,
 		seen:      make(map[cryptoutil.Hash]struct{}),
+		seenCap:   DefaultSeenCap,
 		subs:      make(map[string]DeliverFunc),
 	}
 }
@@ -105,6 +118,7 @@ func (g *Gossiper) SetMaxHops(h uint8) {
 func (g *Gossiper) Subscribe(topic string, fn DeliverFunc) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	//dcslint:ignore unbounded one entry per code-defined topic, registered at node wiring time — not writable by remote input
 	g.subs[topic] = fn
 }
 
@@ -119,7 +133,33 @@ func (g *Gossiper) markSeen(id cryptoutil.Hash) bool {
 		return false
 	}
 	g.seen[id] = struct{}{}
+	g.seenQ = append(g.seenQ, id)
+	for len(g.seen) > g.seenCap {
+		delete(g.seen, g.seenQ[g.seenHead])
+		g.seenHead++
+	}
+	// Compact the queue once the dead prefix dominates, so the backing
+	// array stays O(seenCap) instead of growing with total traffic.
+	if g.seenHead > g.seenCap {
+		g.seenQ = append(g.seenQ[:0], g.seenQ[g.seenHead:]...)
+		g.seenHead = 0
+	}
 	return true
+}
+
+// SetSeenCap overrides the duplicate-suppression cache bound (0
+// restores DefaultSeenCap). Call before traffic starts.
+func (g *Gossiper) SetSeenCap(n int) {
+	if n <= 0 {
+		n = DefaultSeenCap
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.seenCap = n
+	for len(g.seen) > g.seenCap {
+		delete(g.seen, g.seenQ[g.seenHead])
+		g.seenHead++
+	}
 }
 
 // Publish floods payload under topic, delivering locally first.

@@ -194,3 +194,55 @@ func TestGossipRegisterMetrics(t *testing.T) {
 		t.Fatalf("snapshot %v", snap)
 	}
 }
+
+// TestSeenCacheBounded proves the duplicate-suppression cache evicts
+// FIFO at the configured cap: live entries never exceed the cap, the
+// oldest IDs are forgotten first, and the queue's backing array is
+// compacted rather than growing with total traffic.
+func TestSeenCacheBounded(t *testing.T) {
+	tr := &nullTransport{self: "n0"}
+	g := NewGossiper(tr, nil, 1, rand.New(rand.NewSource(1)))
+	g.SetSeenCap(8)
+
+	var ids []cryptoutil.Hash
+	for i := 0; i < 40; i++ {
+		id := cryptoutil.HashBytes([]byte{byte(i)})
+		ids = append(ids, id)
+		if !g.markSeen(id) {
+			t.Fatalf("fresh id %d reported as duplicate", i)
+		}
+		g.mu.Lock()
+		live, qlen, head := len(g.seen), len(g.seenQ), g.seenHead
+		g.mu.Unlock()
+		if live > 8 {
+			t.Fatalf("after %d inserts: %d live entries, cap 8", i+1, live)
+		}
+		if qlen-head > 8+1 || qlen > 2*(8+1) {
+			t.Fatalf("after %d inserts: queue len %d head %d — compaction failed", i+1, qlen, head)
+		}
+	}
+	// The newest 8 are still deduplicated; the oldest were evicted and
+	// count as fresh again.
+	if g.markSeen(ids[len(ids)-1]) {
+		t.Error("newest id should still be in the seen-cache")
+	}
+	if !g.markSeen(ids[0]) {
+		t.Error("oldest id should have been evicted FIFO")
+	}
+}
+
+// TestSetSeenCapShrinksLive lowering the cap evicts immediately.
+func TestSetSeenCapShrinksLive(t *testing.T) {
+	tr := &nullTransport{self: "n0"}
+	g := NewGossiper(tr, nil, 1, rand.New(rand.NewSource(1)))
+	for i := 0; i < 16; i++ {
+		g.markSeen(cryptoutil.HashBytes([]byte{byte(i)}))
+	}
+	g.SetSeenCap(4)
+	g.mu.Lock()
+	live := len(g.seen)
+	g.mu.Unlock()
+	if live != 4 {
+		t.Fatalf("after SetSeenCap(4): %d live entries", live)
+	}
+}

@@ -57,6 +57,7 @@ func NewMux() *Mux {
 func (m *Mux) Handle(prefix string, h Handler) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	//dcslint:ignore unbounded one route per code-defined message-type prefix, registered at node wiring time — not writable by remote input
 	m.routes[prefix] = h
 }
 

@@ -6,8 +6,10 @@
 package store
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"dcsledger/internal/cryptoutil"
@@ -113,6 +115,12 @@ func (t *BlockTree) Tips() []cryptoutil.Hash {
 			out = append(out, h)
 		}
 	}
+	// Sorted so callers see one canonical order: fork-choice folds over
+	// tips, and map-iteration order must not leak into anything a
+	// replica computes.
+	sort.Slice(out, func(i, j int) bool {
+		return bytes.Compare(out[i][:], out[j][:]) < 0
+	})
 	return out
 }
 
