@@ -6,7 +6,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: all build vet lint lint-baseline test race fmt-check doc-check tier1 ci trace-demo crash-matrix fuzz-smoke bench-smoke
+.PHONY: all build vet lint lint-baseline test race fmt-check doc-check tier1 ci trace-demo crash-matrix fuzz-smoke bench-smoke scenario-smoke scenario-full
 
 all: tier1
 
@@ -103,6 +103,19 @@ fuzz-smoke:
 bench-smoke:
 	$(GO) run ./cmd/dcsbench -exec -exec-txs 96 -exec-workers 1,4 -exec-rates 0,0.25
 
+# Adversarial scenario smoke: the 64-node preset for every consensus
+# family under the race detector — churn, a healing partition, one
+# Byzantine actor each, WAL crash-recovery for pow — every cell run
+# twice and required bit-identical (docs/SCENARIOS.md).
+scenario-smoke:
+	$(GO) run -race ./cmd/dcsbench -scenario all -scenario-nodes 64
+
+# Full-scale sweep behind the frontier table in EXPERIMENTS.md:
+# 1,000-node pow and raft, 256-replica pbft (O(n²) messaging cap).
+scenario-full:
+	$(GO) run ./cmd/dcsbench -scenario pow,raft -scenario-nodes 1000
+	$(GO) run ./cmd/dcsbench -scenario pbft -scenario-nodes 256
+
 tier1: build vet lint fmt-check doc-check test
 
-ci: tier1 race
+ci: tier1 race scenario-smoke

@@ -8,11 +8,17 @@
 //	dcsbench -e E3
 //	dcsbench -e all -scale 0.5
 //	dcsbench -stages -trace-file trace.jsonl
+//	dcsbench -scenario all -scenario-nodes 64,1000
 //
 // -stages runs the per-stage pipeline latency comparison (PoW network
 // vs ordering-service pipeline) instead of the numbered experiments,
 // printing one latency table per run; -trace-file additionally dumps
 // the raw spans as JSONL.
+//
+// -scenario runs the adversarial scenario harness (internal/scenario)
+// for the named consensus families and prints the FRONTIER table; each
+// cell is run twice and the determinism contract (bit-identical
+// reports) is enforced, not sampled.
 package main
 
 import (
@@ -47,6 +53,10 @@ func run(args []string) error {
 		execWork   = fs.String("exec-workers", "1,2,4,8", "with -exec: comma-separated speculation widths")
 		execRates  = fs.String("exec-rates", "0,0.05,0.25", "with -exec: comma-separated conflict rates in [0,1]")
 		execTxs    = fs.Int("exec-txs", 256, "with -exec: transactions per synthetic block")
+		scen       = fs.String("scenario", "", "run the adversarial scenario sweep for comma-separated families (pow,pbft,raft or 'all')")
+		scenNodes  = fs.String("scenario-nodes", "64", "with -scenario: comma-separated node counts")
+		scenSeed   = fs.Int64("scenario-seed", 1, "with -scenario: simulation seed")
+		scenMem    = fs.Bool("scenario-mem", false, "with -scenario: keep pow nodes memory-only (no WAL, no crash-recovery steps)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -59,6 +69,9 @@ func run(args []string) error {
 	}
 	if *scale <= 0 || *scale > 1 {
 		return fmt.Errorf("scale %v out of (0,1]", *scale)
+	}
+	if *scen != "" {
+		return runScenario(*scen, *scenNodes, *scenSeed, *scenMem)
 	}
 	if *stateKeys != "" {
 		return runState(*stateKeys, *stateCache)

@@ -49,6 +49,7 @@ var criticalMarkers = []string{
 	"internal/mpt",
 	"internal/iavl",
 	"internal/txpool",
+	"internal/scenario",
 }
 
 // Critical reports whether an import path belongs to the

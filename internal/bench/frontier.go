@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"dcsledger/internal/scenario"
+)
+
+// pbftFrontierCap bounds the PBFT rows of the frontier sweep: the
+// protocol's O(n²) message complexity makes replica counts past a few
+// hundred a simulation-time problem, not a measurement.
+const pbftFrontierCap = 256
+
+// FrontierTable runs the adversarial scenario preset (churn, a healing
+// half/half partition, one Byzantine actor, and — durable pow — a WAL
+// crash-recovery) for each requested family and size, and reports the
+// DCS frontier: agreement depth, fork rate, finality latency,
+// throughput, and messages per commit under attack.
+//
+// Every cell is run twice with the same seed; a fingerprint mismatch —
+// a determinism violation — or an invariant violation is an error, not
+// a number. dataDir, when non-empty, makes the pow runs durable (each
+// run gets a fresh subdirectory).
+func FrontierTable(families []string, sizes []int, seed int64, dataDir string) (*Table, error) {
+	t := &Table{
+		ID:    "FRONTIER",
+		Title: "DCS frontier under adversarial scenarios (scenario harness)",
+		Columns: []string{"family", "nodes", "height", "committed", "fork_rate",
+			"finality", "tput/s", "msgs/commit", "fingerprint", "result"},
+	}
+	for _, fam := range families {
+		for _, n := range sizes {
+			if fam == scenario.FamilyPBFT && n > pbftFrontierCap {
+				t.Note("pbft skipped at n=%d (O(n²) messaging; capped at %d replicas)", n, pbftFrontierCap)
+				continue
+			}
+			rep, err := runFrontierCell(fam, n, seed, dataDir)
+			if err != nil {
+				return nil, err
+			}
+			result := "PASS"
+			if !rep.Passed() {
+				result = fmt.Sprintf("FAIL (%d violations)", len(rep.Violations))
+			}
+			t.AddRow(fam, fmt.Sprintf("%d", n),
+				fmt.Sprintf("%d", rep.Height),
+				fmt.Sprintf("%d", rep.Committed),
+				fmt.Sprintf("%.4f", rep.ForkRate),
+				rep.FinalityLatency.Round(time.Millisecond).String(),
+				fmt.Sprintf("%.3f", rep.Throughput),
+				fmt.Sprintf("%.1f", rep.MsgsPerCommit),
+				rep.Fingerprint()[:16],
+				result)
+		}
+	}
+	t.Note("each cell is two identically-seeded runs; fingerprints matched bit-for-bit (determinism contract)")
+	return t, nil
+}
+
+// runFrontierCell executes one (family, size) cell twice and enforces
+// the determinism contract before handing back the report.
+func runFrontierCell(fam string, n int, seed int64, dataDir string) (*scenario.Report, error) {
+	run := func(tag string) (*scenario.Report, error) {
+		dir := ""
+		if fam == scenario.FamilyPoW && dataDir != "" {
+			dir = filepath.Join(dataDir, fmt.Sprintf("%s-%d-%s", fam, n, tag))
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return nil, err
+			}
+		}
+		return scenario.Run(scenario.Adversarial(fam, n, seed, dir))
+	}
+	r1, err := run("run1")
+	if err != nil {
+		return nil, fmt.Errorf("frontier %s n=%d: %w", fam, n, err)
+	}
+	r2, err := run("run2")
+	if err != nil {
+		return nil, fmt.Errorf("frontier %s n=%d (rerun): %w", fam, n, err)
+	}
+	if f1, f2 := r1.Fingerprint(), r2.Fingerprint(); f1 != f2 {
+		return nil, fmt.Errorf("frontier %s n=%d: nondeterministic: %s vs %s\nrun1:\n%s\nrun2:\n%s",
+			fam, n, f1, f2, r1, r2)
+	}
+	return r1, nil
+}

@@ -16,8 +16,10 @@
 package pbft
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -557,11 +559,27 @@ func (n *Node) maybeEnterViewLocked(v uint64) {
 	if n.primaryLocked(v) == n.id {
 		n.broadcast("new-view", newView{View: v, StartSeq: n.nextSeq})
 		n.alignCursorLocked(n.nextSeq)
-		// Re-propose everything still pending.
-		for _, op := range n.pending {
-			n.assignLocked(op)
+		// Re-propose everything still pending, in digest order: map
+		// iteration order would assign sequence numbers differently
+		// run-to-run, breaking the simulation determinism contract.
+		for _, d := range n.sortedPendingLocked() {
+			n.assignLocked(n.pending[d])
 		}
 	}
+}
+
+// sortedPendingLocked returns the pending digests in byte order — the
+// canonical traversal for anything that turns the pending set into
+// ordered protocol actions.
+func (n *Node) sortedPendingLocked() []cryptoutil.Hash {
+	out := make([]cryptoutil.Hash, 0, len(n.pending))
+	for d := range n.pending {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return bytes.Compare(out[i][:], out[j][:]) < 0
+	})
+	return out
 }
 
 func (n *Node) onNewView(from p2p.NodeID, nv newView) {
@@ -609,10 +627,11 @@ func (n *Node) enterViewLocked(v uint64) {
 	n.vcTimer.Stop()
 	if len(n.pending) > 0 {
 		n.armViewChangeTimerLocked()
-		// Hand pending ops to the new primary.
+		// Hand pending ops to the new primary, in digest order (see
+		// sortedPendingLocked).
 		if n.primaryLocked(v) != n.id {
-			for _, op := range n.pending {
-				n.send(n.primaryLocked(v), "request", request{Op: op})
+			for _, d := range n.sortedPendingLocked() {
+				n.send(n.primaryLocked(v), "request", request{Op: n.pending[d]})
 			}
 		}
 	}

@@ -9,6 +9,7 @@ import (
 	"crypto/elliptic"
 	"crypto/rand"
 	"crypto/sha256"
+	"encoding/asn1"
 	"encoding/binary"
 	"encoding/hex"
 	"errors"
@@ -230,6 +231,58 @@ func (k *KeyPair) Sign(digest Hash) ([]byte, error) {
 		return nil, fmt.Errorf("sign: %w", err)
 	}
 	return sig, nil
+}
+
+// ecdsaSig is the ASN.1 shape of an ECDSA signature: SEQUENCE of two
+// INTEGERs, exactly what ecdsa.VerifyASN1 parses.
+type ecdsaSig struct {
+	R, S *big.Int
+}
+
+// SignDeterministic signs digest with a nonce derived from the private
+// key and the digest (RFC 6979 in spirit: k = H(key ‖ digest ‖ ctr)
+// reduced into [1, n-1]), so the same key and digest always produce the
+// same ASN.1 DER signature — byte-identical across processes and Go
+// versions. The scenario harness's bit-identical determinism contract
+// needs this: stdlib ECDSA hedges its nonce with runtime randomness, so
+// identically-seeded simulation runs would diverge at the first signed
+// transaction. Signatures verify with Verify like any other. Use for
+// simulation workloads, not for keys that must resist side channels.
+func (k *KeyPair) SignDeterministic(digest Hash) ([]byte, error) {
+	curve := k.priv.Curve
+	params := curve.Params()
+	n := params.N
+	nMinus1 := new(big.Int).Sub(n, big.NewInt(1))
+	z := new(big.Int).SetBytes(digest[:]) // P-256: hash length == order length, no truncation
+	var keyBytes [32]byte
+	k.priv.D.FillBytes(keyBytes[:])
+	for ctr := byte(0); ; ctr++ {
+		kh := HashBytes([]byte("dcsledger/detsign"), keyBytes[:], digest[:], []byte{ctr})
+		kNonce := new(big.Int).SetBytes(kh[:])
+		kNonce.Mod(kNonce, nMinus1)
+		kNonce.Add(kNonce, big.NewInt(1))
+		rx, _ := curve.ScalarBaseMult(kNonce.Bytes())
+		r := new(big.Int).Mod(rx, n)
+		if r.Sign() == 0 {
+			continue
+		}
+		kInv := new(big.Int).ModInverse(kNonce, n)
+		if kInv == nil {
+			continue
+		}
+		s := new(big.Int).Mul(r, k.priv.D)
+		s.Add(s, z)
+		s.Mul(s, kInv)
+		s.Mod(s, n)
+		if s.Sign() == 0 {
+			continue
+		}
+		sig, err := asn1.Marshal(ecdsaSig{R: r, S: s})
+		if err != nil {
+			return nil, fmt.Errorf("sign deterministic: %w", err)
+		}
+		return sig, nil
+	}
 }
 
 // Verify checks an ASN.1 DER signature over digest against an encoded

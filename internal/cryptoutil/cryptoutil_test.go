@@ -107,6 +107,56 @@ func TestSignVerify(t *testing.T) {
 	}
 }
 
+func TestSignDeterministic(t *testing.T) {
+	k := KeyFromSeed([]byte("det-signer"))
+	digest := HashBytes([]byte("det message"))
+	sig1, err := k.SignDeterministic(digest)
+	if err != nil {
+		t.Fatalf("SignDeterministic: %v", err)
+	}
+	sig2, err := k.SignDeterministic(digest)
+	if err != nil {
+		t.Fatalf("SignDeterministic: %v", err)
+	}
+	if !bytes.Equal(sig1, sig2) {
+		t.Fatalf("same key+digest must yield identical signatures: %x vs %x", sig1, sig2)
+	}
+	if !Verify(k.PublicKey(), digest, sig1) {
+		t.Fatal("deterministic signature should verify")
+	}
+	// A fresh KeyPair from the same seed must reproduce the signature
+	// byte-for-byte: this is the cross-process determinism contract.
+	again, err := KeyFromSeed([]byte("det-signer")).SignDeterministic(digest)
+	if err != nil {
+		t.Fatalf("SignDeterministic: %v", err)
+	}
+	if !bytes.Equal(sig1, again) {
+		t.Fatal("re-derived key must reproduce the signature")
+	}
+	other := HashBytes([]byte("other"))
+	sigOther, err := k.SignDeterministic(other)
+	if err != nil {
+		t.Fatalf("SignDeterministic: %v", err)
+	}
+	if bytes.Equal(sig1, sigOther) {
+		t.Fatal("different digests must yield different signatures")
+	}
+	if Verify(k.PublicKey(), other, sig1) {
+		t.Fatal("signature must not verify for a different digest")
+	}
+	k2 := KeyFromSeed([]byte("det-other"))
+	sigK2, err := k2.SignDeterministic(digest)
+	if err != nil {
+		t.Fatalf("SignDeterministic: %v", err)
+	}
+	if bytes.Equal(sig1, sigK2) {
+		t.Fatal("different keys must yield different signatures")
+	}
+	if Verify(k2.PublicKey(), digest, sig1) {
+		t.Fatal("signature must not verify under a different key")
+	}
+}
+
 func TestVerifyRejectsMalformedKeys(t *testing.T) {
 	k := KeyFromSeed([]byte("signer"))
 	digest := HashBytes([]byte("message"))

@@ -191,6 +191,14 @@ type Node struct {
 
 	blockSubs []func(*types.Block)
 
+	// publishIntercept, when set, decides per produced block whether to
+	// gossip it now (true) or withhold it (false). Withheld blocks stay
+	// connected locally — the node keeps mining its private chain — and
+	// are buffered until ReleaseWithheld. This is the injection point
+	// for the scenario harness's selfish-mining actor.
+	publishIntercept func(*types.Block) bool
+	withheld         []*types.Block
+
 	// disk is the persistent account-trie mirror (nil unless
 	// Config.DiskState is set). See diskstate.go.
 	disk *diskMirror
@@ -325,6 +333,11 @@ func (r headerReader) HeaderByHash(h cryptoutil.Hash) (*types.BlockHeader, bool)
 // Mux is the node's message dispatcher; point the transport handler at
 // Mux().Dispatch.
 func (n *Node) Mux() *p2p.Mux { return n.mux }
+
+// Gossiper returns the attached gossiper (nil before Attach). Scenario
+// actors use it to inject traffic — e.g. junk-topic spam — through this
+// node's overlay links.
+func (n *Node) Gossiper() *p2p.Gossiper { return n.gossiper }
 
 // Attach wires the node to its transport and gossiper.
 func (n *Node) Attach(tr p2p.Transport, g *p2p.Gossiper) {
@@ -1346,10 +1359,49 @@ func (n *Node) produceBlock() error {
 		Height: height,
 		N:      uint64(len(included)),
 	})
+	if n.publishIntercept != nil && !n.publishIntercept(b) {
+		//dcslint:ignore unbounded withheld buffer is drained by ReleaseWithheld; bounded by the actor's release policy in scenarios
+		n.withheld = append(n.withheld, b)
+		return nil
+	}
 	if n.gossiper != nil {
 		n.gossiper.Publish(TopicBlock, b.Encode())
 	}
 	return nil
+}
+
+// SetPublishInterceptor installs (or clears, with nil) the block
+// publication interceptor. Returning false from fn withholds the block
+// from gossip; see ReleaseWithheld. fn runs with the node lock held and
+// must not call back into the node.
+func (n *Node) SetPublishInterceptor(fn func(*types.Block) bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.publishIntercept = fn
+}
+
+// ReleaseWithheld publishes every block the interceptor withheld, in
+// production order, and returns how many were released.
+func (n *Node) ReleaseWithheld() int {
+	n.mu.Lock()
+	blocks := n.withheld
+	n.withheld = nil
+	g := n.gossiper
+	n.mu.Unlock()
+	if g == nil {
+		return len(blocks)
+	}
+	for _, b := range blocks {
+		g.Publish(TopicBlock, b.Encode())
+	}
+	return len(blocks)
+}
+
+// WithheldCount reports how many produced blocks are currently withheld.
+func (n *Node) WithheldCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.withheld)
 }
 
 func (n *Node) setExecutorTime(now int64) {

@@ -1,11 +1,13 @@
 package p2p
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math/rand"
 	"time"
 
+	"dcsledger/internal/cryptoutil"
 	"dcsledger/internal/simclock"
 )
 
@@ -31,11 +33,14 @@ type SimStats struct {
 type SimNetwork struct {
 	clock *simclock.Simulator
 	rng   *rand.Rand
+	seed  int64
 
 	endpoints map[NodeID]*SimEndpoint
+	departed  map[NodeID]bool
 	latency   time.Duration
 	jitter    time.Duration
 	linkLat   map[[2]NodeID]time.Duration
+	blocked   map[[2]NodeID]bool
 	dropRate  float64
 	partition map[NodeID]int
 
@@ -70,9 +75,12 @@ func NewSimNetwork(clock *simclock.Simulator, seed int64, opts ...SimOption) *Si
 	n := &SimNetwork{
 		clock:     clock,
 		rng:       rand.New(rand.NewSource(seed)),
+		seed:      seed,
 		endpoints: make(map[NodeID]*SimEndpoint),
+		departed:  make(map[NodeID]bool),
 		latency:   50 * time.Millisecond,
 		linkLat:   make(map[[2]NodeID]time.Duration),
+		blocked:   make(map[[2]NodeID]bool),
 		partition: make(map[NodeID]int),
 	}
 	for _, o := range opts {
@@ -88,7 +96,42 @@ func (n *SimNetwork) Join(id NodeID, h Handler) (*SimEndpoint, error) {
 	}
 	ep := &SimEndpoint{net: n, id: id, handler: h}
 	n.endpoints[id] = ep
+	delete(n.departed, id)
 	return ep, nil
+}
+
+// Leave removes a node from the network. Queued-message semantics:
+// messages already in flight to the departed node are counted Dropped at
+// their delivery time (they can never reach a later incarnation), and
+// subsequent sends addressed to it are accounted Sent+Dropped and return
+// nil — a departed peer looks like loss, not like an addressing error.
+// The node's partition-group membership is left untouched so a later
+// Rejoin lands back in the same group. Returns ErrUnknownPeer if the id
+// is not currently joined.
+func (n *SimNetwork) Leave(id NodeID) error {
+	ep, ok := n.endpoints[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownPeer, id)
+	}
+	ep.left = true
+	delete(n.endpoints, id)
+	n.departed[id] = true
+	return nil
+}
+
+// Rejoin re-registers a previously departed node with a fresh endpoint
+// and handler. Messages queued for the old incarnation stay dropped; the
+// new endpoint only receives traffic sent after the rejoin. Returns
+// ErrUnknownPeer if the id never left (use Join for first-time
+// registration) and ErrDuplicateID if it is currently joined.
+func (n *SimNetwork) Rejoin(id NodeID, h Handler) (*SimEndpoint, error) {
+	if _, ok := n.endpoints[id]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrDuplicateID, id)
+	}
+	if !n.departed[id] {
+		return nil, fmt.Errorf("%w: %s never joined", ErrUnknownPeer, id)
+	}
+	return n.Join(id, h)
 }
 
 // SetHandler replaces a node's handler (used when wiring a node after
@@ -102,9 +145,29 @@ func (n *SimNetwork) SetHandler(id NodeID, h Handler) error {
 	return nil
 }
 
-// SetLinkLatency overrides latency for the directed link from → to.
+// SetLinkLatency overrides latency for the directed link from → to. The
+// override is exact: it replaces both the base latency and any jitter,
+// so a scenario script can pin a link's timing precisely.
 func (n *SimNetwork) SetLinkLatency(from, to NodeID, d time.Duration) {
 	n.linkLat[[2]NodeID{from, to}] = d
+}
+
+// ClearLinkLatency removes a per-link latency override, restoring the
+// base-plus-jitter model for that directed link.
+func (n *SimNetwork) ClearLinkLatency(from, to NodeID) {
+	delete(n.linkLat, [2]NodeID{from, to})
+}
+
+// BlockLink drops all messages on the directed link from → to until
+// UnblockLink or Heal. Unlike Partition's symmetric groups, this models
+// asymmetric faults: from can be deaf to to while to still hears from.
+func (n *SimNetwork) BlockLink(from, to NodeID) {
+	n.blocked[[2]NodeID{from, to}] = true
+}
+
+// UnblockLink removes a directed link block.
+func (n *SimNetwork) UnblockLink(from, to NodeID) {
+	delete(n.blocked, [2]NodeID{from, to})
 }
 
 // Partition splits the network into groups; messages across group
@@ -118,9 +181,19 @@ func (n *SimNetwork) Partition(groups ...[]NodeID) {
 	}
 }
 
-// Heal removes all partitions.
+// Heal removes all partitions and directed link blocks.
 func (n *SimNetwork) Heal() {
 	n.partition = make(map[NodeID]int)
+	n.blocked = make(map[[2]NodeID]bool)
+}
+
+// RNGStream derives an independent deterministic random stream from the
+// network seed and a label. Scenario actors draw from their own labelled
+// streams so adding an actor (or reordering sends) never perturbs the
+// jitter/drop stream that shapes everyone else's traffic.
+func (n *SimNetwork) RNGStream(label string) *rand.Rand {
+	h := cryptoutil.HashUint64("dcsledger/simnet-rng/"+label, uint64(n.seed))
+	return rand.New(rand.NewSource(int64(binary.BigEndian.Uint64(h[:8]))))
 }
 
 // Stats returns a snapshot of the traffic counters.
@@ -138,6 +211,13 @@ func (n *SimNetwork) NodeIDs() []NodeID {
 func (n *SimNetwork) send(from, to NodeID, m Message) error {
 	dst, ok := n.endpoints[to]
 	if !ok {
+		if n.departed[to] {
+			// Dead peer: the message goes into the void, like loss.
+			n.stats.Sent++
+			n.stats.Bytes += uint64(len(m.Data))
+			n.stats.Dropped++
+			return nil
+		}
 		return fmt.Errorf("%w: %s", ErrUnknownPeer, to)
 	}
 	n.stats.Sent++
@@ -146,19 +226,29 @@ func (n *SimNetwork) send(from, to NodeID, m Message) error {
 		n.stats.Dropped++
 		return nil // partitioned: silently lost, like the real network
 	}
+	if n.blocked[[2]NodeID{from, to}] {
+		n.stats.Dropped++
+		return nil // asymmetric link fault
+	}
 	if n.dropRate > 0 && n.rng.Float64() < n.dropRate {
 		n.stats.Dropped++
 		return nil
 	}
-	d := n.latency
-	if ll, ok := n.linkLat[[2]NodeID{from, to}]; ok {
-		d = ll
-	}
-	if n.jitter > 0 {
-		d += time.Duration(n.rng.Int63n(int64(n.jitter)))
+	d, exact := n.linkLat[[2]NodeID{from, to}]
+	if !exact {
+		d = n.latency
+		if n.jitter > 0 {
+			d += time.Duration(n.rng.Int63n(int64(n.jitter)))
+		}
 	}
 	m.From = from
 	n.clock.After(d, func() {
+		if dst.left {
+			// The destination departed while the message was in flight;
+			// it can never reach a later incarnation of the same id.
+			n.stats.Dropped++
+			return
+		}
 		n.stats.Delivered++
 		if dst.handler != nil {
 			dst.handler(m)
@@ -172,6 +262,7 @@ type SimEndpoint struct {
 	net     *SimNetwork
 	id      NodeID
 	handler Handler
+	left    bool // set by Leave: in-flight deliveries to this incarnation are dropped
 }
 
 var _ Transport = (*SimEndpoint)(nil)
@@ -179,8 +270,16 @@ var _ Transport = (*SimEndpoint)(nil)
 // Self implements Transport.
 func (e *SimEndpoint) Self() NodeID { return e.id }
 
-// Send implements Transport.
+// Send implements Transport. A stale endpoint — one whose node has
+// left — sends into the void: its traffic is accounted Sent+Dropped so
+// a departed node's still-running timers cannot reach the network.
 func (e *SimEndpoint) Send(to NodeID, m Message) error {
+	if e.left {
+		e.net.stats.Sent++
+		e.net.stats.Bytes += uint64(len(m.Data))
+		e.net.stats.Dropped++
+		return nil
+	}
 	return e.net.send(e.id, to, m)
 }
 

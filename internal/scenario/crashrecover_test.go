@@ -1,0 +1,82 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// crashScenario is the regression scenario for mid-run crash recovery:
+// node 6 tears its WAL while partitioned with minority miner 3, is
+// crash-recovered (still partitioned), and must land back on the
+// majority prefix after the heal — with its recovered state root
+// re-proven (the Restart handler records a violation otherwise).
+func crashScenario(dataDir string) Scenario {
+	return Scenario{
+		Name:   "pow-crash-recover",
+		Family: FamilyPoW,
+		N:      8,
+		Miners: 0, // all mine: the crashing node must keep appending to its WAL while partitioned
+
+		Seed:        1234,
+		Duration:    8 * time.Minute,
+		Drain:       2 * time.Minute,
+		SubmitEvery: 5 * time.Second,
+		Durable:     true,
+		DataDir:     dataDir,
+		Steps: []Step{
+			{At: 1 * time.Minute, Action: Partition{Groups: [][]int{{0, 1, 2, 4, 5}, {3, 6, 7}}}},
+			{At: 90 * time.Second, Action: Crash{Node: 6, Mode: "torn"}},
+			{At: 4 * time.Minute, Action: Restart{Node: 6}},
+			{At: 5 * time.Minute, Action: Heal{}},
+		},
+	}
+}
+
+// TestCrashRecoverDuringPartition is the issue's regression scenario: a
+// WAL failpoint torn mid-partition, crash-recovery while still cut off,
+// then a heal — the recovered node must re-prove its state root and
+// converge onto the majority prefix without any finality reversal.
+func TestCrashRecoverDuringPartition(t *testing.T) {
+	r, err := Run(crashScenario(t.TempDir()))
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !r.Passed() {
+		t.Fatalf("invariant violations:\n%s", r)
+	}
+	if len(r.StepLog) != 4 {
+		t.Fatalf("executed %d of 4 steps:\n%s", len(r.StepLog), r)
+	}
+	if r.Height == 0 || r.Committed == 0 {
+		t.Fatalf("cluster made no finalized progress:\n%s", r)
+	}
+	// The failpoint must actually have tripped before the restart —
+	// otherwise this "recovery" test restarted a healthy store.
+	found := false
+	for _, n := range r.Notes {
+		if strings.Contains(n, "restart 6: crashed store=true") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("restart did not recover a crash-latched store:\n%s", r)
+	}
+}
+
+// TestCrashRecoverDeterministic re-runs the crash scenario in a fresh
+// data directory; durability must not leak nondeterminism (fsync
+// timing, paths, recovery ordering) into the report.
+func TestCrashRecoverDeterministic(t *testing.T) {
+	r1, err := Run(crashScenario(t.TempDir()))
+	if err != nil {
+		t.Fatalf("run 1: %v", err)
+	}
+	r2, err := Run(crashScenario(t.TempDir()))
+	if err != nil {
+		t.Fatalf("run 2: %v", err)
+	}
+	if f1, f2 := r1.Fingerprint(), r2.Fingerprint(); f1 != f2 {
+		t.Fatalf("nondeterministic crash scenario:\nrun1 %s\n%s\nrun2 %s\n%s", f1, r1, f2, r2)
+	}
+}

@@ -1,0 +1,237 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"dcsledger/internal/consensus/pbft"
+	"dcsledger/internal/cryptoutil"
+	"dcsledger/internal/p2p"
+)
+
+// swapTransport is a mutable indirection between a consensus node and
+// its network endpoint: churn replaces the endpoint (Rejoin issues a
+// fresh one) without the node noticing. The simulation is
+// single-threaded, so no lock.
+type swapTransport struct {
+	ep p2p.Transport
+}
+
+func (s *swapTransport) Self() p2p.NodeID                        { return s.ep.Self() }
+func (s *swapTransport) Peers() []p2p.NodeID                     { return s.ep.Peers() }
+func (s *swapTransport) Send(to p2p.NodeID, m p2p.Message) error { return s.ep.Send(to, m) }
+
+// pbftFamily drives N PBFT replicas (quorum 2f+1) and checks the
+// protocol's safety invariant globally: no two replicas may ever
+// execute different operations at the same sequence number.
+type pbftFamily struct {
+	nodes []*pbft.Node
+	muxes []*p2p.Mux
+	swaps []*swapTransport
+	evil  map[int]*pbft.EquivocatingTransport
+
+	agreed    map[uint64]cryptoutil.Hash // seq -> digest, union over replicas
+	execSeen  map[cryptoutil.Hash]bool   // ops executed somewhere, dedup
+	submitAt  map[cryptoutil.Hash]time.Time
+	latency   time.Duration
+	latencyN  int
+	committed uint64
+	maxSeq    uint64
+	lastExec  []uint64 // per-replica executed count, monotonicity check
+	spam      map[int]*spammer
+}
+
+func newPBFTFamily() *pbftFamily {
+	return &pbftFamily{
+		evil:     make(map[int]*pbft.EquivocatingTransport),
+		agreed:   make(map[uint64]cryptoutil.Hash),
+		execSeen: make(map[cryptoutil.Hash]bool),
+		submitAt: make(map[cryptoutil.Hash]time.Time),
+		spam:     make(map[int]*spammer),
+	}
+}
+
+func (f *pbftFamily) build(e *Engine) error {
+	sc := e.Scenario
+	ids := f.idsFor(sc.N)
+	// Replicas the script will ever equivocate get the tampering
+	// transport from the start (disarmed until their step fires).
+	wantEvil := make(map[int]bool)
+	for _, st := range sc.Steps {
+		if eq, ok := st.Action.(Equivocate); ok {
+			wantEvil[eq.Node] = true
+		}
+	}
+	f.nodes = make([]*pbft.Node, sc.N)
+	f.muxes = make([]*p2p.Mux, sc.N)
+	f.swaps = make([]*swapTransport, sc.N)
+	f.lastExec = make([]uint64, sc.N)
+	for i := 0; i < sc.N; i++ {
+		i := i
+		mux := p2p.NewMux()
+		ep, err := e.Net.Join(ids[i], mux.Dispatch)
+		if err != nil {
+			return err
+		}
+		swap := &swapTransport{ep: ep}
+		var tr p2p.Transport = swap
+		if wantEvil[i] {
+			ev := pbft.NewEquivocatingTransport(swap, ids)
+			f.evil[i] = ev
+			tr = ev
+		}
+		n, err := pbft.NewNode(ids[i], ids, tr, e.Sim, pbft.Config{ViewTimeout: 2 * time.Second},
+			func(seq uint64, op []byte) { f.onExec(e, i, seq, op) })
+		if err != nil {
+			return err
+		}
+		mux.Handle(pbft.MsgPrefix, n.HandleMessage)
+		f.nodes[i] = n
+		f.muxes[i] = mux
+		f.swaps[i] = swap
+	}
+	return nil
+}
+
+func (f *pbftFamily) idsFor(n int) []p2p.NodeID {
+	out := make([]p2p.NodeID, n)
+	for i := range out {
+		out[i] = p2p.NodeName(i)
+	}
+	return out
+}
+
+func (f *pbftFamily) ids() []p2p.NodeID { return f.idsFor(len(f.nodes)) }
+
+// onExec is every replica's apply callback — the safety invariant is
+// checked at the instant of execution, not at the next sweep.
+func (f *pbftFamily) onExec(e *Engine, i int, seq uint64, op []byte) {
+	d := cryptoutil.HashBytes(op)
+	if prev, ok := f.agreed[seq]; ok {
+		if prev != d {
+			e.violate("pbft divergent execution: replica %d seq %d digest %s, cluster agreed %s",
+				i, seq, d.Short(), prev.Short())
+		}
+	} else {
+		f.agreed[seq] = d
+	}
+	if seq > f.maxSeq {
+		f.maxSeq = seq
+	}
+	if !f.execSeen[d] {
+		f.execSeen[d] = true
+		f.committed++
+		if t0, ok := f.submitAt[d]; ok {
+			f.latency += e.Sim.Now().Sub(t0)
+			f.latencyN++
+		}
+	}
+}
+
+func (f *pbftFamily) submit(e *Engine, k uint64) {
+	live := e.Live()
+	if len(live) == 0 {
+		return
+	}
+	op := []byte(fmt.Sprintf("op-%06d", k))
+	d := cryptoutil.HashBytes(op)
+	target := live[int(k)%len(live)]
+	if err := f.nodes[target].Propose(op); err != nil {
+		return
+	}
+	f.submitAt[d] = e.Sim.Now()
+}
+
+func (f *pbftFamily) apply(e *Engine, a Action) error {
+	switch act := a.(type) {
+	case Leave:
+		return e.Net.Leave(p2p.NodeName(act.Node))
+	case Rejoin:
+		ep, err := e.Net.Rejoin(p2p.NodeName(act.Node), f.muxes[act.Node].Dispatch)
+		if err != nil {
+			return err
+		}
+		f.swaps[act.Node].ep = ep
+		return nil
+	case Equivocate:
+		ev := f.evil[act.Node]
+		if ev == nil {
+			return fmt.Errorf("replica %d has no equivocating transport (internal)", act.Node)
+		}
+		ev.Arm(act.On)
+		return nil
+	case Spam:
+		return applyProtocolSpam(e, act, f.spam, pbft.MsgPrefix+"junk", f.swaps)
+	default:
+		return fmt.Errorf("pbft family does not support %T", a)
+	}
+}
+
+func (f *pbftFamily) sweep(e *Engine) {
+	// Executed-op counters only ever grow: a shrink would mean a replica
+	// un-executed an operation (the log-replication analog of a
+	// finalized-block reversal).
+	for _, j := range e.Live() {
+		cnt := f.nodes[j].Executed()
+		if cnt < f.lastExec[j] {
+			e.violate("pbft replica %d executed count shrank %d -> %d", j, f.lastExec[j], cnt)
+		}
+		f.lastExec[j] = cnt
+	}
+}
+
+func (f *pbftFamily) quiesce(e *Engine) {
+	for _, ev := range f.evil {
+		ev.Arm(false)
+	}
+	for _, s := range f.spam {
+		s.active = false
+	}
+}
+
+func (f *pbftFamily) finish(e *Engine) {
+	rep := e.Report
+	rep.Height = f.maxSeq
+	rep.Committed = f.committed
+	if f.latencyN > 0 {
+		rep.FinalityLatency = f.latency / time.Duration(f.latencyN)
+	}
+}
+
+// applyProtocolSpam services Spam actions for the log-replication
+// families: junk protocol messages of Size bytes fired every Interval at
+// deterministically chosen live peers.
+func applyProtocolSpam(e *Engine, act Spam, reg map[int]*spammer, msgType string, swaps []*swapTransport) error {
+	if !act.On {
+		if s := reg[act.Node]; s != nil {
+			s.active = false
+		}
+		return nil
+	}
+	if act.Interval <= 0 {
+		act.Interval = time.Second
+	}
+	if act.Size <= 0 {
+		act.Size = 512
+	}
+	s := &spammer{
+		active:   true,
+		interval: act.Interval,
+		size:     act.Size,
+		rng:      e.Net.RNGStream(fmt.Sprintf("spam/%d", act.Node)),
+	}
+	reg[act.Node] = s
+	e.every(s.interval,
+		func() bool { return !s.active || e.Elapsed() >= e.Scenario.Duration },
+		func() {
+			live := e.Live()
+			if !e.live[act.Node] || len(live) == 0 {
+				return
+			}
+			payload := make([]byte, s.size)
+			s.rng.Read(payload)
+			to := p2p.NodeName(live[s.rng.Intn(len(live))])
+			_ = swaps[act.Node].Send(to, p2p.Message{Type: msgType, Data: payload})
+		})
+	return nil
+}

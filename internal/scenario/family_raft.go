@@ -1,0 +1,168 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"dcsledger/internal/consensus/raft"
+	"dcsledger/internal/cryptoutil"
+	"dcsledger/internal/p2p"
+)
+
+// raftFamily drives an N-node Raft cluster and checks log-replication
+// safety globally: no two nodes may ever apply different entries at the
+// same log index.
+type raftFamily struct {
+	nodes []*raft.Node
+	muxes []*p2p.Mux
+	swaps []*swapTransport
+
+	agreed     map[uint64]cryptoutil.Hash // index -> digest, union over nodes
+	applySeen  map[cryptoutil.Hash]bool
+	submitAt   map[cryptoutil.Hash]time.Time
+	latency    time.Duration
+	latencyN   int
+	committed  uint64
+	maxIndex   uint64
+	lastCommit []uint64 // per-node commit index, monotonicity check
+	spam       map[int]*spammer
+}
+
+func newRaftFamily() *raftFamily {
+	return &raftFamily{
+		agreed:    make(map[uint64]cryptoutil.Hash),
+		applySeen: make(map[cryptoutil.Hash]bool),
+		submitAt:  make(map[cryptoutil.Hash]time.Time),
+		spam:      make(map[int]*spammer),
+	}
+}
+
+func (f *raftFamily) build(e *Engine) error {
+	sc := e.Scenario
+	ids := make([]p2p.NodeID, sc.N)
+	for i := range ids {
+		ids[i] = p2p.NodeName(i)
+	}
+	f.nodes = make([]*raft.Node, sc.N)
+	f.muxes = make([]*p2p.Mux, sc.N)
+	f.swaps = make([]*swapTransport, sc.N)
+	f.lastCommit = make([]uint64, sc.N)
+	for i := 0; i < sc.N; i++ {
+		i := i
+		mux := p2p.NewMux()
+		ep, err := e.Net.Join(ids[i], mux.Dispatch)
+		if err != nil {
+			return err
+		}
+		swap := &swapTransport{ep: ep}
+		peers := make([]p2p.NodeID, 0, sc.N-1)
+		for j, id := range ids {
+			if j != i {
+				peers = append(peers, id)
+			}
+		}
+		n := raft.NewNode(ids[i], peers, swap, e.Sim,
+			rand.New(rand.NewSource(sc.Seed+int64(i)*7919+1)),
+			raft.Config{ElectionTimeout: 500 * time.Millisecond, HeartbeatInterval: 100 * time.Millisecond},
+			func(index uint64, data []byte) { f.onApply(e, i, index, data) })
+		mux.Handle(raft.MsgPrefix, n.HandleMessage)
+		f.nodes[i] = n
+		f.muxes[i] = mux
+		f.swaps[i] = swap
+	}
+	for _, n := range f.nodes {
+		n.Start()
+	}
+	return nil
+}
+
+func (f *raftFamily) ids() []p2p.NodeID {
+	out := make([]p2p.NodeID, len(f.nodes))
+	for i := range out {
+		out[i] = p2p.NodeName(i)
+	}
+	return out
+}
+
+func (f *raftFamily) onApply(e *Engine, i int, index uint64, data []byte) {
+	d := cryptoutil.HashBytes(data)
+	if prev, ok := f.agreed[index]; ok {
+		if prev != d {
+			e.violate("raft divergent apply: node %d index %d digest %s, cluster agreed %s",
+				i, index, d.Short(), prev.Short())
+		}
+	} else {
+		f.agreed[index] = d
+	}
+	if index > f.maxIndex {
+		f.maxIndex = index
+	}
+	if !f.applySeen[d] {
+		f.applySeen[d] = true
+		f.committed++
+		if t0, ok := f.submitAt[d]; ok {
+			f.latency += e.Sim.Now().Sub(t0)
+			f.latencyN++
+		}
+	}
+}
+
+// submit proposes at the current leader, if a live one exists; during
+// elections the workload unit is simply lost, as a real client's would
+// be without retry.
+func (f *raftFamily) submit(e *Engine, k uint64) {
+	op := []byte(fmt.Sprintf("op-%06d", k))
+	for _, j := range e.Live() {
+		if !f.nodes[j].IsLeader() {
+			continue
+		}
+		if _, err := f.nodes[j].Propose(op); err == nil {
+			f.submitAt[cryptoutil.HashBytes(op)] = e.Sim.Now()
+		}
+		return
+	}
+}
+
+func (f *raftFamily) apply(e *Engine, a Action) error {
+	switch act := a.(type) {
+	case Leave:
+		return e.Net.Leave(p2p.NodeName(act.Node))
+	case Rejoin:
+		ep, err := e.Net.Rejoin(p2p.NodeName(act.Node), f.muxes[act.Node].Dispatch)
+		if err != nil {
+			return err
+		}
+		f.swaps[act.Node].ep = ep
+		return nil
+	case Spam:
+		return applyProtocolSpam(e, act, f.spam, raft.MsgPrefix+"junk", f.swaps)
+	default:
+		return fmt.Errorf("raft family does not support %T", a)
+	}
+}
+
+func (f *raftFamily) sweep(e *Engine) {
+	for _, j := range e.Live() {
+		ci := f.nodes[j].CommitIndex()
+		if ci < f.lastCommit[j] {
+			e.violate("raft node %d commit index shrank %d -> %d", j, f.lastCommit[j], ci)
+		}
+		f.lastCommit[j] = ci
+	}
+}
+
+func (f *raftFamily) quiesce(e *Engine) {
+	for _, s := range f.spam {
+		s.active = false
+	}
+}
+
+func (f *raftFamily) finish(e *Engine) {
+	rep := e.Report
+	rep.Height = f.maxIndex
+	rep.Committed = f.committed
+	if f.latencyN > 0 {
+		rep.FinalityLatency = f.latency / time.Duration(f.latencyN)
+	}
+}

@@ -1,0 +1,95 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+)
+
+// Adversarial returns the standard adversarial preset for one family at
+// one size: churn (leave/rejoin), a half/half partition that heals, one
+// Byzantine actor (selfish miner for pow, equivocating replica for
+// pbft, protocol spammer for raft) and — for a durable pow run — a WAL
+// crash with recovery while partitioned. This is the scenario behind
+// `dcsbench -scenario` and the scenario-smoke / scenario-full make
+// targets; EXPERIMENTS.md's DCS-frontier table is produced from it.
+//
+// dataDir is pow-only: when non-empty the pow nodes are durable and the
+// script includes the crash/restart pair.
+func Adversarial(family string, n int, seed int64, dataDir string) Scenario {
+	sc := Scenario{
+		Name:        fmt.Sprintf("adversarial-%s-%d", family, n),
+		Family:      family,
+		N:           n,
+		Seed:        seed,
+		Drain:       2 * time.Minute,
+		Latency:     50 * time.Millisecond,
+		Jitter:      20 * time.Millisecond,
+		SubmitEvery: 5 * time.Second,
+	}
+	// Half/half split; the second half churns its last node.
+	firstHalf := make([]int, 0, n/2)
+	secondHalf := make([]int, 0, n-n/2)
+	for i := 0; i < n; i++ {
+		if i < n/2 {
+			firstHalf = append(firstHalf, i)
+		} else {
+			secondHalf = append(secondHalf, i)
+		}
+	}
+	switch family {
+	case FamilyPoW:
+		sc.Duration = 20 * time.Minute
+		// Cap miner count so block (not miner) throughput dominates at
+		// large n; below the cap everyone mines.
+		if n > 32 {
+			sc.Miners = 32
+		}
+		sc.Steps = []Step{
+			{At: 2 * time.Minute, Action: Selfish{Node: 0, On: true}},
+			{At: 4 * time.Minute, Action: Spam{Node: n - 1, On: true, Interval: 2 * time.Second, Size: 512}},
+			{At: 6 * time.Minute, Action: Partition{Groups: [][]int{firstHalf, secondHalf}}},
+			{At: 10 * time.Minute, Action: Heal{}},
+			{At: 12 * time.Minute, Action: Selfish{Node: 0, On: false}},
+			{At: 12 * time.Minute, Action: Spam{Node: n - 1, On: false}},
+			{At: 14 * time.Minute, Action: Leave{Node: n - 1}},
+			{At: 16 * time.Minute, Action: Rejoin{Node: n - 1}},
+		}
+		if dataDir != "" {
+			sc.Durable = true
+			sc.DataDir = dataDir
+			// Crash a miner inside the partition window and recover it
+			// while its side is still cut off.
+			sc.Steps = append(sc.Steps,
+				Step{At: 7 * time.Minute, Action: Crash{Node: 1, Mode: "torn"}},
+				Step{At: 9 * time.Minute, Action: Restart{Node: 1}},
+			)
+		}
+	case FamilyPBFT:
+		sc.Duration = 8 * time.Minute
+		sc.Latency = 10 * time.Millisecond
+		sc.SubmitEvery = 2 * time.Second
+		sc.Steps = []Step{
+			{At: 1 * time.Minute, Action: Equivocate{Node: 0, On: true}},
+			{At: 2 * time.Minute, Action: Equivocate{Node: 0, On: false}},
+			{At: 3 * time.Minute, Action: Partition{Groups: [][]int{firstHalf, secondHalf}}},
+			{At: 4 * time.Minute, Action: Heal{}},
+			{At: 5 * time.Minute, Action: Leave{Node: n - 1}},
+			{At: 6 * time.Minute, Action: Rejoin{Node: n - 1}},
+			{At: 3 * time.Minute, Action: Spam{Node: 1, On: true, Interval: time.Second, Size: 256}},
+			{At: 6 * time.Minute, Action: Spam{Node: 1, On: false}},
+		}
+	case FamilyRaft:
+		sc.Duration = 8 * time.Minute
+		sc.Latency = 10 * time.Millisecond
+		sc.SubmitEvery = 2 * time.Second
+		sc.Steps = []Step{
+			{At: 1 * time.Minute, Action: Spam{Node: n - 1, On: true, Interval: time.Second, Size: 256}},
+			{At: 3 * time.Minute, Action: Partition{Groups: [][]int{firstHalf, secondHalf}}},
+			{At: 4 * time.Minute, Action: Heal{}},
+			{At: 5 * time.Minute, Action: Leave{Node: n - 1}},
+			{At: 6 * time.Minute, Action: Rejoin{Node: n - 1}},
+			{At: 6 * time.Minute, Action: Spam{Node: n - 1, On: false}},
+		}
+	}
+	return sc
+}

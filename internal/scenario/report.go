@@ -1,0 +1,89 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"dcsledger/internal/cryptoutil"
+	"dcsledger/internal/p2p"
+)
+
+// Report is the deterministic outcome of one scenario run: the executed
+// step log, every invariant violation, and the DCS-frontier metrics
+// (fork rate, finality latency, throughput, messages per commit). Two
+// identically-seeded runs of the same scenario must produce reports
+// whose String renderings — and therefore Fingerprints — are
+// bit-identical.
+type Report struct {
+	Scenario string
+	Family   string
+	N        int
+	Seed     int64
+
+	// StepLog records each executed script step as "t=<at> <action>".
+	StepLog []string
+	// Notes records family-level evidence about executed steps (e.g.
+	// whether a Restart found its store crash-latched) — part of the
+	// canonical rendering, so determinism covers it.
+	Notes []string
+	// Violations lists every invariant violation observed; an empty
+	// slice is the pass condition.
+	Violations []string
+
+	// Committed is the number of finalized workload units: transactions
+	// in finalized blocks (pow) or distinct executed operations
+	// (pbft/raft). Submitted counts workload injections attempted.
+	Submitted, Committed uint64
+	// Height is the final agreement depth: common-prefix length across
+	// live nodes (pow) or the highest globally executed sequence
+	// (pbft/raft).
+	Height uint64
+	// ForkRate is the stale-block rate at the first live node (pow; 0
+	// for the log-replication families).
+	ForkRate float64
+	// FinalityLatency is the mean virtual time from a block's creation
+	// (pow) or an operation's submission (pbft/raft) to finality.
+	FinalityLatency time.Duration
+	// Throughput is Committed per virtual second of scripted time.
+	Throughput float64
+	// MsgsPerCommit is total network sends per committed unit.
+	MsgsPerCommit float64
+	// Net is the simulated network's traffic counters at the end.
+	Net p2p.SimStats
+}
+
+// Passed reports whether every invariant held.
+func (r *Report) Passed() bool { return len(r.Violations) == 0 }
+
+// String renders the report canonically: fixed field order, fixed
+// formatting, no map iteration — the determinism contract's witness.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario %s family=%s n=%d seed=%d\n", r.Scenario, r.Family, r.N, r.Seed)
+	for _, s := range r.StepLog {
+		fmt.Fprintf(&b, "step %s\n", s)
+	}
+	for _, s := range r.Notes {
+		fmt.Fprintf(&b, "note %s\n", s)
+	}
+	if len(r.Violations) == 0 {
+		b.WriteString("invariants PASS\n")
+	} else {
+		for _, v := range r.Violations {
+			fmt.Fprintf(&b, "VIOLATION %s\n", v)
+		}
+	}
+	fmt.Fprintf(&b, "submitted %d committed %d height %d\n", r.Submitted, r.Committed, r.Height)
+	fmt.Fprintf(&b, "fork_rate %.4f finality_latency %s throughput %.4f/s msgs_per_commit %.1f\n",
+		r.ForkRate, r.FinalityLatency, r.Throughput, r.MsgsPerCommit)
+	fmt.Fprintf(&b, "net sent=%d delivered=%d dropped=%d bytes=%d\n",
+		r.Net.Sent, r.Net.Delivered, r.Net.Dropped, r.Net.Bytes)
+	return b.String()
+}
+
+// Fingerprint is the hash of the canonical rendering — the value the
+// determinism acceptance test compares across identically-seeded runs.
+func (r *Report) Fingerprint() string {
+	return cryptoutil.HashBytes([]byte("dcsledger/scenario-report"), []byte(r.String())).Hex()
+}

@@ -135,6 +135,24 @@ func (tx *Transaction) Sign(k *cryptoutil.KeyPair) error {
 	return nil
 }
 
+// SignDeterministic is Sign with a derived (RFC 6979-style) nonce: the
+// same key and transaction always produce byte-identical signatures,
+// which keeps identically-seeded simulation runs bit-identical (block
+// hashes commit to transaction signatures). Verification is unchanged.
+func (tx *Transaction) SignDeterministic(k *cryptoutil.KeyPair) error {
+	if tx.From != k.Address() {
+		return ErrFromMismatch
+	}
+	sig, err := k.SignDeterministic(tx.SigningDigest())
+	if err != nil {
+		return fmt.Errorf("sign tx: %w", err)
+	}
+	tx.PubKey = k.PublicKey()
+	tx.Sig = sig
+	atomic.StoreUint32(&tx.sigOK, 0)
+	return nil
+}
+
 // Verify checks the structural validity and signature of the transaction.
 // Coinbase transactions are unsigned by design and always pass signature
 // checks; their contextual validity (reward amount, position) is enforced
